@@ -1,0 +1,321 @@
+(* The benchmark harness.
+
+   Three sections:
+
+   1. {b Reproduction} — regenerates every table and figure of the
+      paper's evaluation at full scale (1080x1920, 300 frames) and
+      prints them in the paper's layout, next to the published numbers.
+   2. {b Ablations} — the design-choice studies DESIGN.md calls out
+      (WLF on/off, Figure 8 generator splitting on/off, transfer
+      batching, generic vs non-generic), reported in simulated GTX480
+      time.
+   3. {b Microbenchmarks} — one Bechamel [Test.make] per table/figure
+      (at a reduced scale so the statistics converge quickly) plus the
+      main compiler components, measuring the *implementation's* wall
+      clock. *)
+
+open Bechamel
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* 1. Reproduction at paper scale                                      *)
+(* ------------------------------------------------------------------ *)
+
+let reproduction () =
+  section "Reproduction (1080x1920, 300 frames, simulated GTX480)";
+  print_newline ();
+  print_string (Study.Report.fig9 (Study.Experiments.fig9 ()));
+  print_newline ();
+  print_string
+    (Study.Report.side_by_side ~title:"Table I (paper vs simulated)"
+       ~paper:Study.Report.paper_table1_reference
+       ~ours:(Study.Experiments.table1 ()));
+  print_newline ();
+  print_string
+    (Study.Report.side_by_side ~title:"Table II (paper vs simulated)"
+       ~paper:Study.Report.paper_table2_reference
+       ~ours:(Study.Experiments.table2 ()));
+  print_newline ();
+  print_string (Study.Report.fig12 (Study.Experiments.fig12 ()));
+  print_newline ();
+  print_string (Study.Report.claims (Study.Experiments.claims ()))
+
+(* ------------------------------------------------------------------ *)
+(* 2. Ablations (simulated time)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let scale = Study.Scale.paper
+
+let plane =
+  lazy
+    (Ndarray.Tensor.init
+       [| scale.Study.Scale.rows; scale.Study.Scale.cols |]
+       (fun idx -> (idx.(0) + (2 * idx.(1))) mod 251))
+
+let simulate_plan plan =
+  let rt = Cuda.Runtime.init ~mode:Gpu.Context.Timing_only () in
+  let outcome =
+    Sac_cuda.Exec.run ~host_mode:`Estimate rt plan
+      ~args:[ ("frame", Lazy.force plane) ]
+  in
+  let dev = Cuda.Runtime.elapsed_us rt in
+  ( (dev +. outcome.Sac_cuda.Exec.host_us)
+    *. float_of_int (Study.Scale.planes * scale.Study.Scale.frames)
+    /. 1e6,
+    outcome.Sac_cuda.Exec.kernel_launches )
+
+let ablation_wlf () =
+  section "Ablation: WITH-loop folding (non-generic H+V pipeline)";
+  let src =
+    Sac.Programs.downscaler ~generic:false ~rows:scale.Study.Scale.rows
+      ~cols:scale.Study.Scale.cols
+  in
+  let fused, _ = Sac_cuda.Compile.plan_of_source src ~entry:"main" in
+  let unfused =
+    (* Inline and simplify only: the three with-loops per filter stay
+       separate, materialising both intermediate arrays on the device. *)
+    Sac_cuda.Compile.plan
+      (Sac.Dce.fundef
+         (Sac.Simplify.fundef
+            (Sac.Inline.program (Sac.Parser.program src) ~entry:"main")))
+  in
+  let t_fused, k_fused = simulate_plan fused in
+  let t_unfused, k_unfused = simulate_plan unfused in
+  Printf.printf "  with WLF:    %2d kernel launches/plane, %6.2f s simulated\n"
+    k_fused t_fused;
+  Printf.printf "  without WLF: %2d kernel launches/plane, %6.2f s simulated\n"
+    k_unfused t_unfused;
+  Printf.printf "  folding saves %.0f%% of device time\n"
+    (100.0 *. (1.0 -. (t_fused /. t_unfused)))
+
+let ablation_split () =
+  section "Ablation: Figure 8 generator splitting (non-generic H filter)";
+  let src =
+    Sac.Programs.horizontal ~generic:false ~rows:scale.Study.Scale.rows
+      ~cols:scale.Study.Scale.cols
+  in
+  List.iter
+    (fun (label, split_generators) ->
+      let plan, _ =
+        Sac_cuda.Compile.plan_of_source ~split_generators src ~entry:"main"
+      in
+      let t, k = simulate_plan plan in
+      Printf.printf "  %-22s %2d kernels, %6.2f s simulated\n" label k t)
+    [ ("split (as Figure 8):", true); ("unsplit:", false) ]
+
+let ablation_transfers () =
+  section "Ablation: transfer batching (300 frames, host->device)";
+  let d = Gpu.Device.gtx480 in
+  let plane_bytes = scale.Study.Scale.rows * scale.Study.Scale.cols * 4 in
+  let per_plane =
+    3. *. 300.
+    *. Gpu.Perf_model.memcpy_time_us d ~bytes:plane_bytes ~dir:`H2d
+  in
+  let batched =
+    300. *. Gpu.Perf_model.memcpy_time_us d ~bytes:(3 * plane_bytes) ~dir:`H2d
+  in
+  Printf.printf "  per-plane copies (as both papers' backends): %6.2f s\n"
+    (per_plane /. 1e6);
+  Printf.printf "  one batched copy per frame:                  %6.2f s\n"
+    (batched /. 1e6);
+  Printf.printf "  batching would save %.1f%% of upload time\n"
+    (100.0 *. (1.0 -. (batched /. per_plane)))
+
+let ablation_overlap () =
+  section "Ablation: stream overlap (what both backends leave on the table)";
+  (* One Gaspard2 frame's events, pipelined over 300 frames with
+     double-buffered streams. *)
+  let model =
+    Mde.Chain.downscaler_model ~rows:scale.Study.Scale.rows
+      ~cols:scale.Study.Scale.cols
+  in
+  let gen = Mde.Chain.transform_exn model in
+  let ctx = Opencl.Runtime.create_context ~mode:Gpu.Context.Timing_only () in
+  let plane c =
+    Ndarray.Tensor.init
+      [| scale.Study.Scale.rows; scale.Study.Scale.cols |]
+      (fun idx -> (idx.(0) + idx.(1) + c) mod 251)
+  in
+  ignore
+    (Mde.Chain.run ctx gen
+       ~inputs:[ ("r_in", plane 0); ("g_in", plane 1); ("b_in", plane 2) ]);
+  let summary =
+    Gpu.Overlap.of_timeline
+      (Gpu.Context.timeline (Opencl.Runtime.gpu_context ctx))
+      ~rounds:scale.Study.Scale.frames
+  in
+  Format.printf "  Gaspard2 pipeline: %a@." Gpu.Overlap.pp_summary summary
+
+let ablation_generic () =
+  section "Ablation: abstraction tax (generic vs non-generic, simulated)";
+  List.iter
+    (fun filter ->
+      let name =
+        match filter with Study.Sac_runs.H -> "horizontal" | _ -> "vertical"
+      in
+      let g = Study.Sac_runs.time_us Study.Sac_runs.Cuda_generic filter scale in
+      let n =
+        Study.Sac_runs.time_us Study.Sac_runs.Cuda_nongeneric filter scale
+      in
+      Printf.printf "  %-10s generic %6.2f s, non-generic %6.2f s (%.1fx)\n"
+        name (g /. 1e6) (n /. 1e6) (g /. n))
+    [ Study.Sac_runs.H; Study.Sac_runs.V ]
+
+let ablation_devices () =
+  section "Ablation: device sensitivity (non-generic SAC pipeline)";
+  let src =
+    Sac.Programs.downscaler ~generic:false ~rows:scale.Study.Scale.rows
+      ~cols:scale.Study.Scale.cols
+  in
+  let plan, _ = Sac_cuda.Compile.plan_of_source src ~entry:"main" in
+  List.iter
+    (fun device ->
+      let rt =
+        Cuda.Runtime.init ~mode:Gpu.Context.Timing_only ~device ()
+      in
+      ignore
+        (Sac_cuda.Exec.run ~host_mode:`Estimate rt plan
+           ~args:[ ("frame", Lazy.force plane) ]);
+      let t =
+        Cuda.Runtime.elapsed_us rt
+        *. float_of_int (Study.Scale.planes * scale.Study.Scale.frames)
+        /. 1e6
+      in
+      Printf.printf "  %-44s %6.2f s\n" device.Gpu.Device.name t)
+    [
+      Gpu.Device.tesla_c1060;
+      Gpu.Device.gtx480;
+      Gpu.Device.scaled ~name:"hypothetical 2x-bandwidth successor"
+        ~bandwidth_factor:2.0 ~pcie_factor:2.0 Gpu.Device.gtx480;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* 3. Bechamel microbenchmarks                                         *)
+(* ------------------------------------------------------------------ *)
+
+let small = { Study.Scale.rows = 72; cols = 64; frames = 2 }
+
+let tiny_frame =
+  lazy
+    (Ndarray.Tensor.init [| 72; 64 |] (fun idx ->
+         (idx.(0) + (2 * idx.(1))) mod 251))
+
+let nongeneric_src =
+  lazy (Sac.Programs.horizontal ~generic:false ~rows:72 ~cols:64)
+
+let compiled_plan =
+  lazy
+    (fst
+       (Sac_cuda.Compile.plan_of_source (Lazy.force nongeneric_src)
+          ~entry:"main"))
+
+let tests =
+  [
+    (* One benchmark per paper artefact, at reduced scale. *)
+    Test.make ~name:"fig9/seq-nongeneric-H"
+      (Staged.stage (fun () ->
+           Study.Sac_runs.time_us Study.Sac_runs.Seq_nongeneric Study.Sac_runs.H
+             small));
+    Test.make ~name:"fig9/cuda-nongeneric-H"
+      (Staged.stage (fun () ->
+           Study.Sac_runs.time_us Study.Sac_runs.Cuda_nongeneric
+             Study.Sac_runs.H small));
+    Test.make ~name:"fig9/cuda-generic-H"
+      (Staged.stage (fun () ->
+           Study.Sac_runs.time_us Study.Sac_runs.Cuda_generic Study.Sac_runs.H
+             small));
+    Test.make ~name:"table1/gaspard-profile"
+      (Staged.stage (fun () -> Study.Gaspard_runs.profile small));
+    Test.make ~name:"table2/sac-profile"
+      (Staged.stage (fun () ->
+           Study.Sac_runs.full_pipeline_profile ~generic:false small));
+    Test.make ~name:"fig12/comparison"
+      (Staged.stage (fun () -> Study.Experiments.fig12 ~scale:small ()));
+    Test.make ~name:"fig8/folded-loop"
+      (Staged.stage (fun () -> Study.Experiments.fig8 ~scale:small ()));
+    (* Compiler components. *)
+    Test.make ~name:"compiler/parse"
+      (Staged.stage (fun () -> Sac.Parser.program (Lazy.force nongeneric_src)));
+    Test.make ~name:"compiler/optimize"
+      (Staged.stage (fun () ->
+           Sac.Pipeline.optimize_source (Lazy.force nongeneric_src)
+             ~entry:"main"));
+    Test.make ~name:"compiler/backend"
+      (Staged.stage (fun () ->
+           Sac_cuda.Compile.plan_of_source (Lazy.force nongeneric_src)
+             ~entry:"main"));
+    Test.make ~name:"compiler/emit-cuda"
+      (Staged.stage (fun () ->
+           Sac_cuda.Emit_cu.source ~name:"bench" (Lazy.force compiled_plan)));
+    Test.make ~name:"runtime/execute-plan-72x64"
+      (Staged.stage (fun () ->
+           let rt = Cuda.Runtime.init () in
+           Sac_cuda.Exec.run rt (Lazy.force compiled_plan)
+             ~args:[ ("frame", Lazy.force tiny_frame) ]));
+    Test.make ~name:"mde/transform-chain"
+      (Staged.stage (fun () ->
+           Mde.Chain.transform_exn
+             (Mde.Chain.downscaler_model ~rows:72 ~cols:64)));
+    Test.make ~name:"substrate/tiler-gather-all"
+      (Staged.stage (fun () ->
+           let spec, _ =
+             Video.Downscaler.input_tilers
+               { Video.Format.name = "b"; rows = 72; cols = 64 }
+           in
+           Tiler.gather_all (Lazy.force tiny_frame) spec));
+    Test.make ~name:"substrate/reference-downscaler"
+      (Staged.stage (fun () -> Video.Downscaler.plane (Lazy.force tiny_frame)));
+  ]
+
+let run_benchmarks () =
+  section "Microbenchmarks (wall clock of this implementation)";
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let analysis =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| "run" |]
+  in
+  Printf.printf "%-42s %14s %10s\n" "benchmark" "time/run" "r^2";
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg [ instance ] test in
+      let results = Analyze.all analysis instance raw in
+      List.iter
+        (fun name ->
+          match Hashtbl.find_opt results name with
+          | None -> ()
+          | Some ols ->
+              let time_ns =
+                match Analyze.OLS.estimates ols with
+                | Some (t :: _) -> t
+                | _ -> nan
+              in
+              let r2 =
+                match Analyze.OLS.r_square ols with
+                | Some r -> Printf.sprintf "%.3f" r
+                | None -> "-"
+              in
+              let pretty =
+                if time_ns >= 1e9 then
+                  Printf.sprintf "%8.2f  s" (time_ns /. 1e9)
+                else if time_ns >= 1e6 then
+                  Printf.sprintf "%8.2f ms" (time_ns /. 1e6)
+                else if time_ns >= 1e3 then
+                  Printf.sprintf "%8.2f us" (time_ns /. 1e3)
+                else Printf.sprintf "%8.0f ns" time_ns
+              in
+              Printf.printf "%-42s %14s %10s\n%!" name pretty r2)
+        (Test.names test))
+    tests
+
+let () =
+  reproduction ();
+  ablation_wlf ();
+  ablation_split ();
+  ablation_transfers ();
+  ablation_overlap ();
+  ablation_generic ();
+  ablation_devices ();
+  run_benchmarks ();
+  print_newline ()

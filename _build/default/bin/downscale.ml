@@ -1,0 +1,110 @@
+(* downscale -- the end-to-end application: synthetic video in, scaled
+   frames out, through a selectable pipeline (golden reference, the
+   SAC->CUDA route, or the Gaspard2->OpenCL route), with the device
+   profile printed afterwards.  This is the "downscaler application"
+   of the paper's Section III as a runnable tool. *)
+
+open Cmdliner
+
+type pipeline = Reference | Sac_cuda_pipe | Gaspard
+
+let frame_via_sac rows cols =
+  let src = Sac.Programs.downscaler ~generic:false ~rows ~cols in
+  let labels = ref [ "H. Filter"; "V. Filter" ] in
+  let label_of _ =
+    match !labels with
+    | l :: rest ->
+        labels := rest;
+        l
+    | [] -> "Kernel"
+  in
+  let plan, _ = Sac_cuda.Compile.plan_of_source ~label_of src ~entry:"main" in
+  let rt = Cuda.Runtime.init () in
+  let run frame =
+    Video.Frame.map_planes
+      (fun _ plane ->
+        (Sac_cuda.Exec.run rt plan ~args:[ ("frame", plane) ])
+          .Sac_cuda.Exec.result)
+      frame
+  in
+  (run, fun () -> Cuda.Runtime.profile rt)
+
+let frame_via_gaspard rows cols =
+  let gen = Mde.Chain.transform_exn (Mde.Chain.downscaler_model ~rows ~cols) in
+  let ctx = Opencl.Runtime.create_context () in
+  let label_of = function
+    | "HorizontalFilter" -> "H. Filter"
+    | "VerticalFilter" -> "V. Filter"
+    | other -> other
+  in
+  let run frame =
+    let outs =
+      Mde.Chain.run ctx gen ~label_of
+        ~inputs:
+          [
+            ("r_in", Video.Frame.plane frame Video.Frame.R);
+            ("g_in", Video.Frame.plane frame Video.Frame.G);
+            ("b_in", Video.Frame.plane frame Video.Frame.B);
+          ]
+    in
+    {
+      Video.Frame.r = List.assoc "r_out" outs;
+      g = List.assoc "g_out" outs;
+      b = List.assoc "b_out" outs;
+    }
+  in
+  (run, fun () -> Opencl.Runtime.profile ctx)
+
+let main rows cols frames pipeline out_dir =
+  if cols mod 8 <> 0 || rows mod 9 <> 0 then begin
+    Printf.eprintf "rows must be a multiple of 9 and cols of 8\n";
+    exit 2
+  end;
+  let fmt = { Video.Format.name = "synthetic"; rows; cols } in
+  let run, profile =
+    match pipeline with
+    | Reference -> ((fun f -> Video.Downscaler.frame f), fun () -> [])
+    | Sac_cuda_pipe -> frame_via_sac rows cols
+    | Gaspard -> frame_via_gaspard rows cols
+  in
+  if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+  let worst_psnr = ref infinity in
+  for n = 0 to frames - 1 do
+    let frame = Video.Framegen.frame fmt n in
+    let scaled = run frame in
+    let reference = Video.Downscaler.frame frame in
+    let psnr = Video.Quality.frame_psnr scaled reference in
+    worst_psnr := Float.min !worst_psnr psnr;
+    let path = Filename.concat out_dir (Printf.sprintf "frame_%03d.ppm" n) in
+    Video.Frame_io.write_ppm path scaled;
+    Printf.printf "frame %3d -> %s (%dx%d)\n%!" n path
+      (Video.Format.downscaled fmt).Video.Format.rows
+      (Video.Format.downscaled fmt).Video.Format.cols
+  done;
+  Printf.printf "\nworst PSNR vs reference: %s\n"
+    (if !worst_psnr = infinity then "inf (bit-exact)"
+     else Printf.sprintf "%.1f dB" !worst_psnr);
+  (match profile () with
+  | [] -> ()
+  | rows -> print_string (Gpu.Profiler.to_string ~title:"\nDevice profile:" rows));
+  0
+
+let () =
+  let rows = Arg.(value & opt int 288 & info [ "rows" ]) in
+  let cols = Arg.(value & opt int 352 & info [ "cols" ]) in
+  let frames = Arg.(value & opt int 4 & info [ "frames" ]) in
+  let pipeline =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("reference", Reference); ("sac", Sac_cuda_pipe);
+               ("gaspard", Gaspard) ])
+          Sac_cuda_pipe
+      & info [ "pipeline" ] ~doc:"reference, sac or gaspard.")
+  in
+  let out = Arg.(value & opt string "frames" & info [ "o"; "output" ]) in
+  let term = Term.(const main $ rows $ cols $ frames $ pipeline $ out) in
+  exit
+    (Cmd.eval'
+       (Cmd.v (Cmd.info "downscale" ~doc:"H.263 video downscaler") term))

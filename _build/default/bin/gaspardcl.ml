@@ -1,0 +1,82 @@
+(* gaspardcl -- the Gaspard2 OpenCL transformation chain driver.
+
+   Builds the downscaler MARTE model, executes the transformation chain
+   (printing each pass, as the Eclipse console would) and writes the
+   generated sources (.cl, .cpp, Makefile) to an output directory. *)
+
+open Cmdliner
+
+let main rows cols out_dir show_model load save_model =
+  let model =
+    match load with
+    | Some path -> Mde.Marte.allocate_data_parallel (Mde.Model_io.load path)
+    | None -> Mde.Chain.downscaler_model ~rows ~cols
+  in
+  (match save_model with
+  | Some path ->
+      Mde.Model_io.save path model;
+      Printf.printf "wrote model to %s\n" path
+  | None -> ());
+  if show_model then Format.printf "%a@.@." Mde.Marte.pp model;
+  match Mde.Chain.transform model with
+  | Error m ->
+      Printf.eprintf "transformation chain failed: %s\n" m;
+      1
+  | Ok (gen, trace) ->
+      List.iter
+        (fun (t : Mde.Chain.trace) ->
+          Printf.printf "[chain] %-40s %s\n" t.Mde.Chain.pass
+            t.Mde.Chain.detail)
+        trace;
+      (match out_dir with
+      | None ->
+          print_newline ();
+          print_string gen.Mde.Codegen.cl_source
+      | Some dir ->
+          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+          let write name contents =
+            let path = Filename.concat dir name in
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () -> output_string oc contents);
+            Printf.printf "wrote %s (%d bytes)\n" path (String.length contents)
+          in
+          write "downscaler.cl" gen.Mde.Codegen.cl_source;
+          write "downscaler.cpp" gen.Mde.Codegen.host_source;
+          write "Makefile" gen.Mde.Codegen.makefile);
+      0
+
+let () =
+  let rows = Arg.(value & opt int 1080 & info [ "rows" ]) in
+  let cols = Arg.(value & opt int 1920 & info [ "cols" ]) in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~doc:"Directory for the generated sources.")
+  in
+  let show_model =
+    Arg.(value & flag & info [ "model" ] ~doc:"Print the MARTE model first.")
+  in
+  let load =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "load" ] ~doc:"Run the chain on a model file (see Model_io).")
+  in
+  let save_model =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-model" ] ~doc:"Serialise the model before running.")
+  in
+  let term =
+    Term.(const main $ rows $ cols $ out $ show_model $ load $ save_model)
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.v
+          (Cmd.info "gaspardcl"
+             ~doc:"Gaspard2 model-to-OpenCL transformation chain")
+          term))

@@ -1,0 +1,131 @@
+(* repro -- regenerate every table and figure of the paper's evaluation.
+
+   Subcommands map one-to-one onto the artefacts of Section VIII; `all`
+   produces everything plus the side-by-side comparison used in
+   EXPERIMENTS.md. *)
+
+open Cmdliner
+
+let scale_of rows cols frames =
+  { Study.Scale.rows; cols; frames }
+
+let scale_args =
+  let rows =
+    Arg.(value & opt int 1080 & info [ "rows" ] ~doc:"Frame height.")
+  in
+  let cols =
+    Arg.(value & opt int 1920 & info [ "cols" ] ~doc:"Frame width.")
+  in
+  let frames =
+    Arg.(value & opt int 300 & info [ "frames" ] ~doc:"Iterations.")
+  in
+  Term.(const scale_of $ rows $ cols $ frames)
+
+let run_fig2 scale =
+  let open Study.Scale in
+  Printf.printf
+    "Figure 2: downscaler geometry\n\
+    \  input:            %d x %d\n\
+    \  after horizontal: %d x %d   (packets of 8 columns -> 3)\n\
+    \  after vertical:   %d x %d   (packets of 9 rows -> 4)\n"
+    scale.rows scale.cols scale.rows (h_out_cols scale) (v_out_rows scale)
+    (h_out_cols scale)
+
+let run_fig8 scale =
+  print_string "Figure 8: code after WITH-loop folding\n\n";
+  print_string (Study.Experiments.fig8 ~scale ())
+
+let run_fig9 scale =
+  print_string (Study.Report.fig9 (Study.Experiments.fig9 ~scale ()))
+
+let run_table1 scale =
+  print_string
+    (Study.Report.table
+       ~title:
+         "Table I: kernel execution and data transfer times of GASPARD2 \
+          implementation"
+       (Study.Experiments.table1 ~scale ()))
+
+let run_table2 scale =
+  print_string
+    (Study.Report.table
+       ~title:
+         "Table II: kernel execution and data transfer times of SAC \
+          implementation"
+       (Study.Experiments.table2 ~scale ()))
+
+let run_fig12 scale =
+  print_string (Study.Report.fig12 (Study.Experiments.fig12 ~scale ()))
+
+let run_claims scale =
+  print_string (Study.Report.claims (Study.Experiments.claims ~scale ()))
+
+let run_cif _scale =
+  let s = Study.Experiments.cif_scenario () in
+  Printf.printf
+    "Section III scenario: %s\n\
+    \  Gaspard2: %.2f s   SAC: %.2f s   budget: %.0f s\n\
+    \  real-time on both routes: %b\n"
+    s.Study.Experiments.description s.Study.Experiments.gaspard_s
+    s.Study.Experiments.sac_s s.Study.Experiments.budget_s
+    s.Study.Experiments.both_realtime
+
+let run_validate () =
+  print_string (Study.Report.validation (Study.Experiments.validate ()))
+
+let run_side_by_side scale =
+  print_string
+    (Study.Report.side_by_side ~title:"Table I (paper vs simulated)"
+       ~paper:Study.Report.paper_table1_reference
+       ~ours:(Study.Experiments.table1 ~scale ()));
+  print_newline ();
+  print_string
+    (Study.Report.side_by_side ~title:"Table II (paper vs simulated)"
+       ~paper:Study.Report.paper_table2_reference
+       ~ours:(Study.Experiments.table2 ~scale ()))
+
+let run_all scale =
+  run_fig2 scale;
+  print_newline ();
+  run_fig8 scale;
+  print_newline ();
+  run_fig9 scale;
+  print_newline ();
+  run_table1 scale;
+  print_newline ();
+  run_table2 scale;
+  print_newline ();
+  run_fig12 scale;
+  print_newline ();
+  run_claims scale;
+  print_newline ();
+  run_side_by_side scale;
+  print_newline ();
+  run_validate ()
+
+let cmd_of name doc f =
+  Cmd.v (Cmd.info name ~doc) Term.(const f $ scale_args)
+
+let () =
+  let doc = "Reproduce the evaluation of the SAC/ArrayOL GPU study" in
+  let default =
+    Term.(const run_all $ scale_args)
+  in
+  let cmd =
+    Cmd.group ~default (Cmd.info "repro" ~doc)
+      [
+        cmd_of "fig2" "Downscaler geometry (Figure 2)" run_fig2;
+        cmd_of "fig8" "Folded WITH-loop (Figure 8)" run_fig8;
+        cmd_of "fig9" "Filter execution times (Figure 9)" run_fig9;
+        cmd_of "table1" "Gaspard2 profile (Table I)" run_table1;
+        cmd_of "table2" "SAC profile (Table II)" run_table2;
+        cmd_of "fig12" "Operation comparison (Figure 12)" run_fig12;
+        cmd_of "claims" "Conclusion claims (Section IX)" run_claims;
+        cmd_of "cif" "Section III CIF workload (2000 frames)" run_cif;
+        cmd_of "compare" "Paper vs simulated tables" run_side_by_side;
+        Cmd.v
+          (Cmd.info "validate" ~doc:"Cross-pipeline functional validation")
+          Term.(const run_validate $ const ());
+      ]
+  in
+  exit (Cmd.eval cmd)

@@ -1,0 +1,160 @@
+(* sacc -- the SAC compiler driver.
+
+   Parses a SAC program (from a file, or one of the built-in downscaler
+   variants), runs the optimisation pipeline and either prints the
+   optimised SAC, the compiled plan, or the generated CUDA C. *)
+
+open Cmdliner
+
+type emit = Ast | Optimized | Plan | Cuda | Opencl_src | Run
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let builtin_source name rows cols =
+  match name with
+  | "downscaler" -> Some (Sac.Programs.downscaler ~generic:false ~rows ~cols)
+  | "downscaler-generic" ->
+      Some (Sac.Programs.downscaler ~generic:true ~rows ~cols)
+  | "horizontal" -> Some (Sac.Programs.horizontal ~generic:false ~rows ~cols)
+  | "horizontal-generic" ->
+      Some (Sac.Programs.horizontal ~generic:true ~rows ~cols)
+  | "vertical" -> Some (Sac.Programs.vertical ~generic:false ~rows ~cols)
+  | "vertical-generic" ->
+      Some (Sac.Programs.vertical ~generic:true ~rows ~cols)
+  | _ -> None
+
+let main input builtin from_model generic rows cols emit entry =
+  try
+    let source =
+      match (input, builtin, from_model) with
+      | Some path, _, _ -> read_file path
+      | None, Some name, _ -> (
+          match builtin_source name rows cols with
+          | Some src -> src
+          | None ->
+              Printf.eprintf
+                "unknown built-in %s (try downscaler, horizontal, \
+                 vertical, *-generic)\n"
+                name;
+              exit 2)
+      | None, None, Some path ->
+          (* ArrayOL model -> SAC, the Section VI translation automated. *)
+          let model = Mde.Model_io.load path in
+          Bridge.Arrayol_to_sac.translate ~generic
+            model.Mde.Marte.application
+      | None, None, None ->
+          Printf.eprintf "either FILE, --builtin or --from-model is required\n";
+          exit 2
+    in
+    (match emit with
+    | Ast ->
+        print_endline (Sac.Ast.program_to_string (Sac.Parser.program source))
+    | Optimized ->
+        let fd, report = Sac.Pipeline.optimize_source source ~entry in
+        Printf.printf
+          "/* WLF: %d fold(s); %d with-loop(s) before, %d after */\n"
+          report.Sac.Pipeline.wlf_rounds report.Sac.Pipeline.withloops_before
+          report.Sac.Pipeline.withloops_after;
+        print_endline (Sac.Ast.program_to_string [ fd ])
+    | Plan ->
+        let plan, report = Sac_cuda.Compile.plan_of_source source ~entry in
+        Printf.printf "/* WLF: %d fold(s) */\n" report.Sac.Pipeline.wlf_rounds;
+        Format.printf "%a@." Sac_cuda.Plan.pp plan
+    | Cuda ->
+        let plan, _ = Sac_cuda.Compile.plan_of_source source ~entry in
+        print_string (Sac_cuda.Emit_cu.source ~name:"sac_program" plan)
+    | Opencl_src ->
+        let plan, _ = Sac_cuda.Compile.plan_of_source source ~entry in
+        let src = Sac_opencl.Backend.sources ~name:"sac_program" plan in
+        print_string src.Sac_opencl.Backend.cl;
+        print_newline ();
+        print_string src.Sac_opencl.Backend.host
+    | Run ->
+        let plan, _ = Sac_cuda.Compile.plan_of_source source ~entry in
+        let rt = Cuda.Runtime.init () in
+        let frame =
+          match plan.Sac_cuda.Plan.params with
+          | [ (name, shape) ] ->
+              ( name,
+                Ndarray.Tensor.init shape (fun idx ->
+                    (idx.(0) + (2 * idx.(1))) mod 251) )
+          | _ ->
+              Printf.eprintf "--emit run expects a single-array-input program\n";
+              exit 2
+        in
+        let outcome = Sac_cuda.Exec.run rt plan ~args:[ frame ] in
+        Printf.printf "executed: %d kernel launches, result shape %s\n"
+          outcome.Sac_cuda.Exec.kernel_launches
+          (Ndarray.Shape.to_string
+             (Ndarray.Tensor.shape outcome.Sac_cuda.Exec.result));
+        print_string
+          (Gpu.Profiler.to_string ~title:"Simulated device profile:"
+             (Cuda.Runtime.profile rt)));
+    0
+  with
+  | Sac.Lexer.Lex_error m | Sac.Parser.Parse_error m ->
+      Printf.eprintf "syntax error: %s\n" m;
+      1
+  | Sac.Ast.Sac_error m | Sac.Value.Value_error m ->
+      Printf.eprintf "error: %s\n" m;
+      1
+  | Sac_cuda.Compile.Compile_error m ->
+      Printf.eprintf "backend error: %s\n" m;
+      1
+  | Bridge.Arrayol_to_sac.Unsupported m ->
+      Printf.eprintf "model translation error: %s\n" m;
+      1
+  | Mde.Model_io.Format_error m | Mde.Sexp.Parse_error m ->
+      Printf.eprintf "model file error: %s\n" m;
+      1
+
+let () =
+  let input =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"SAC source file.")
+  in
+  let builtin =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "builtin" ] ~doc:"Use a built-in program instead of a file.")
+  in
+  let from_model =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "from-model" ]
+          ~doc:"Translate an ArrayOL model file to SAC first (Section VI).")
+  in
+  let generic =
+    Arg.(
+      value & flag
+      & info [ "generic" ]
+          ~doc:"With --from-model: use the generic (for-loop) output tiler.")
+  in
+  let rows = Arg.(value & opt int 1080 & info [ "rows" ]) in
+  let cols = Arg.(value & opt int 1920 & info [ "cols" ]) in
+  let emit =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("ast", Ast); ("optimized", Optimized); ("plan", Plan);
+               ("cuda", Cuda); ("opencl", Opencl_src); ("run", Run) ])
+          Cuda
+      & info [ "emit" ]
+          ~doc:"What to produce: ast, optimized, plan, cuda, opencl, run.")
+  in
+  let entry = Arg.(value & opt string "main" & info [ "entry" ]) in
+  let term =
+    Term.(
+      const main $ input $ builtin $ from_model $ generic $ rows $ cols
+      $ emit $ entry)
+  in
+  let info =
+    Cmd.info "sacc" ~doc:"SAC to CUDA compiler (simulated device)"
+  in
+  exit (Cmd.eval' (Cmd.v info term))

@@ -1,0 +1,1 @@
+examples/edge_detect.ml: Array Cuda Filename Ndarray Printf Sac Sac_cuda Tensor Video

@@ -1,0 +1,1 @@
+examples/h263_downscaler.ml: Array Cuda Filename Format Gpu List Mde Ndarray Opencl Printf Sac Sac_cuda Tensor Video

@@ -1,0 +1,1 @@
+examples/h263_downscaler.mli:

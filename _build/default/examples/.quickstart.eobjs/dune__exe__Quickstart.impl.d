@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cuda Format Gpu Int Linalg List Mde Ndarray Opencl Printf Sac Sac_cuda Shape String Tensor Tiler Video

@@ -1,0 +1,1 @@
+examples/stencil_heat.ml: Array Cuda Gpu Ndarray Printf Sac_cuda Tensor

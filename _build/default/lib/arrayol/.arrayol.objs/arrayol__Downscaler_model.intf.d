@@ -1,0 +1,1 @@
+lib/arrayol/downscaler_model.mli: Model

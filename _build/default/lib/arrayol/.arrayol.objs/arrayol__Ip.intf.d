@@ -1,0 +1,1 @@
+lib/arrayol/ip.mli:

@@ -1,0 +1,1 @@
+lib/arrayol/model.ml: Format List Ndarray Printf Shape String Tiler

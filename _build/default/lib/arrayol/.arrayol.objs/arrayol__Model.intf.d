@@ -1,0 +1,1 @@
+lib/arrayol/model.mli: Format Ndarray Shape Tiler

@@ -1,0 +1,1 @@
+lib/arrayol/refactor.ml: Array Linalg List Model Ndarray Printf Result Shape Tiler

@@ -1,0 +1,1 @@
+lib/arrayol/refactor.mli: Model

@@ -1,0 +1,1 @@
+lib/arrayol/schedule.ml: Format List Model Ndarray Printf Shape String

@@ -1,0 +1,1 @@
+lib/arrayol/schedule.mli: Format Model

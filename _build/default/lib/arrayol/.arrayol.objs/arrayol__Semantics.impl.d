@@ -1,0 +1,1 @@
+lib/arrayol/semantics.ml: Array Format Hashtbl Index Ip List Model Ndarray Schedule Shape String Tensor Tiler

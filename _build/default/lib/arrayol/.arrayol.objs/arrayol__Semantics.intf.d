@@ -1,0 +1,1 @@
+lib/arrayol/semantics.mli: Model Ndarray Tensor

@@ -1,0 +1,1 @@
+lib/arrayol/validate.ml: Format Ip List Model Ndarray Shape String Tiler

@@ -1,0 +1,1 @@
+lib/arrayol/validate.mli: Format Model

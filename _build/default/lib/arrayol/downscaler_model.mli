@@ -1,0 +1,24 @@
+(** The paper's downscaler as an ArrayOL model (Figures 3 and 10).
+
+    Per colour plane: a horizontal filter (repetition space
+    [rows x cols/8], 11-point input pattern, 3-point output pattern)
+    feeding a vertical filter (repetition space [rows/9 x cols'],
+    14-point pattern to 4).  A frame-level compound instantiates the
+    plane chain three times (rhf/ghf/bhf and the vertical
+    counterparts), which is why the Gaspard2 profile of Table I shows
+    "H. Filter (3 kernels)". *)
+
+val horizontal : rows:int -> cols:int -> Model.t
+(** Repetitive task ["HorizontalFilter"]; input port ["in"] of shape
+    [rows x cols], output port ["out"] of [rows x cols/8*3]. *)
+
+val vertical : rows:int -> cols:int -> Model.t
+(** Repetitive task ["VerticalFilter"] on the horizontal filter's
+    output geometry. *)
+
+val plane : rows:int -> cols:int -> Model.t
+(** Compound ["PlaneDownscaler"] chaining both filters. *)
+
+val frame : rows:int -> cols:int -> Model.t
+(** Compound ["Downscaler"] with one plane chain per colour component;
+    boundary ports [r_in g_in b_in] and [r_out g_out b_out]. *)

@@ -1,0 +1,53 @@
+type t = {
+  name : string;
+  pattern_in : int;
+  pattern_out : int;
+  apply : int array -> int array;
+}
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 8
+
+let register ip =
+  if Hashtbl.mem registry ip.name then
+    invalid_arg (Printf.sprintf "Ip.register: duplicate IP %s" ip.name);
+  Hashtbl.replace registry ip.name ip
+
+let find name = Hashtbl.find registry name
+
+let mem name = Hashtbl.mem registry name
+
+(* The downscaler's interpolation: windows of 6 pattern elements
+   combined as sum/6 - sum mod 6 (paper, Figure 5).  The cross-check
+   against [Video.Downscaler] lives in the test suite to keep this
+   library free of the video substrate. *)
+let window_reduction ~name ~offsets ~pattern_in =
+  let pattern_out = Array.length offsets in
+  {
+    name;
+    pattern_in;
+    pattern_out;
+    apply =
+      (fun pattern ->
+        if Array.length pattern <> pattern_in then
+          invalid_arg (name ^ ": pattern length mismatch");
+        Array.map
+          (fun off ->
+            let sum = ref 0 in
+            for t = 0 to 5 do
+              sum := !sum + pattern.(off + t)
+            done;
+            (!sum / 6) - (!sum mod 6))
+          offsets);
+  }
+
+let horizontal_reduction =
+  window_reduction ~name:"HorizontalReduction" ~offsets:[| 0; 2; 5 |]
+    ~pattern_in:11
+
+let vertical_reduction =
+  window_reduction ~name:"VerticalReduction" ~offsets:[| 0; 2; 5; 8 |]
+    ~pattern_in:14
+
+let () =
+  register horizontal_reduction;
+  register vertical_reduction

@@ -1,0 +1,31 @@
+(** Intellectual-property blocks (elementary-task implementations).
+
+    In Gaspard2, elementary tasks are "linked to an IP" — a piece of
+    code applied to one input pattern producing one output pattern.
+    Here an IP is a pure function on flat pattern arrays plus arity
+    metadata; the MDE chain separately owns equivalent kernel-IR
+    fragments for code generation. *)
+
+type t = {
+  name : string;
+  pattern_in : int;  (** input pattern length *)
+  pattern_out : int;  (** output pattern length *)
+  apply : int array -> int array;
+      (** total on arrays of length [pattern_in]; returns
+          [pattern_out] elements *)
+}
+
+val register : t -> unit
+(** Raises [Invalid_argument] on duplicate names. *)
+
+val find : string -> t
+(** Raises [Not_found]. *)
+
+val mem : string -> bool
+
+val horizontal_reduction : t
+(** The paper's horizontal interpolation: 11 pixels -> 3, windows of 6
+    at offsets 0/2/5, [sum/6 - sum mod 6] (pre-registered). *)
+
+val vertical_reduction : t
+(** 14 pixels -> 4, windows at offsets 0/2/5/8 (pre-registered). *)

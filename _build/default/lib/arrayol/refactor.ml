@@ -1,0 +1,143 @@
+open Ndarray
+
+let ( let* ) = Result.bind
+
+(* The scalar [s] with [paving_col = s * fitting_col], if any. *)
+let stride_of ~fitting_col ~paving_col =
+  let pairs = Array.to_list (Array.map2 (fun f p -> (f, p)) fitting_col paving_col) in
+  let candidates =
+    List.filter_map
+      (fun (f, p) ->
+        if f <> 0 then if p mod f = 0 then Some (p / f) else None else None)
+      pairs
+  in
+  match candidates with
+  | [] -> None
+  | s :: _ ->
+      if
+        s >= 0
+        && List.for_all (fun (f, p) -> p = s * f) pairs
+      then Some s
+      else None
+
+let column m j = Array.map (fun row -> row.(j)) m
+
+(* Rewrite one tiling into (outer tiling over super-patterns, inner
+   tiling within a super-pattern, super-pattern length). *)
+let block_tiling ~dim ~factor task ~output (t : Model.tiling) =
+  let spec =
+    if output then Model.out_tiler_spec task t else Model.in_tiler_spec task t
+  in
+  if Shape.rank spec.Tiler.pattern_shape <> 1 then
+    Error
+      (Printf.sprintf "port %s: only rank-1 patterns can be blocked"
+         t.Model.inner_port)
+  else
+    let pattern_len = spec.Tiler.pattern_shape.(0) in
+    let fitting_col = column t.Model.tiler.Tiler.fitting 0 in
+    let paving_col = column t.Model.tiler.Tiler.paving dim in
+    match stride_of ~fitting_col ~paving_col with
+    | None ->
+        Error
+          (Printf.sprintf
+             "port %s: paving along dimension %d is not a multiple of the \
+              fitting vector"
+             t.Model.inner_port dim)
+    | Some s ->
+        let super_len = (s * (factor - 1)) + pattern_len in
+        let outer_paving =
+          Array.map
+            (fun row ->
+              Array.mapi
+                (fun j c -> if j = dim then c * factor else c)
+                row)
+            t.Model.tiler.Tiler.paving
+        in
+        let outer =
+          {
+            Model.outer_port = t.Model.outer_port;
+            inner_port = t.Model.inner_port ^ "_block";
+            tiler =
+              Tiler.make ~origin:t.Model.tiler.Tiler.origin
+                ~fitting:t.Model.tiler.Tiler.fitting ~paving:outer_paving;
+          }
+        in
+        let inner =
+          {
+            Model.outer_port = t.Model.inner_port ^ "_block";
+            inner_port = t.Model.inner_port;
+            tiler =
+              Tiler.make ~origin:[| 0 |]
+                ~fitting:(Linalg.of_lists [ [ 1 ] ])
+                ~paving:(Linalg.of_lists [ [ s ] ]);
+          }
+        in
+        Ok (outer, inner, super_len)
+
+let block ~dim ~factor task =
+  match task with
+  | Model.Repetitive
+      { name; repetition; inner; in_tilings; out_tilings; inputs; outputs } ->
+      let* () =
+        if factor <= 0 then Error "factor must be positive"
+        else if dim < 0 || dim >= Shape.rank repetition then
+          Error "dimension out of range"
+        else if repetition.(dim) mod factor <> 0 then
+          Error
+            (Printf.sprintf "repetition extent %d is not a multiple of %d"
+               repetition.(dim) factor)
+        else Ok ()
+      in
+      let rec map_tilings ~output acc = function
+        | [] -> Ok (List.rev acc)
+        | t :: rest ->
+            let* r = block_tiling ~dim ~factor task ~output t in
+            map_tilings ~output (r :: acc) rest
+      in
+      let* ins = map_tilings ~output:false [] in_tilings in
+      let* outs = map_tilings ~output:true [] out_tilings in
+      let block_port_of inner_port super_len =
+        { Model.pname = inner_port ^ "_block"; pshape = [| super_len |] }
+      in
+      let block_task =
+        Model.Repetitive
+          {
+            name = name ^ "_block";
+            repetition = [| factor |];
+            inner;
+            in_tilings = List.map (fun (_, i, _) -> i) ins;
+            out_tilings = List.map (fun (_, i, _) -> i) outs;
+            inputs =
+              List.map2
+                (fun (t : Model.tiling) (_, _, len) ->
+                  block_port_of t.Model.inner_port len)
+                in_tilings ins;
+            outputs =
+              List.map2
+                (fun (t : Model.tiling) (_, _, len) ->
+                  block_port_of t.Model.inner_port len)
+                out_tilings outs;
+          }
+      in
+      let outer_repetition =
+        Array.mapi
+          (fun d e -> if d = dim then e / factor else e)
+          repetition
+      in
+      Ok
+        (Model.Repetitive
+           {
+             name = name ^ "_blocked";
+             repetition = outer_repetition;
+             inner = block_task;
+             in_tilings = List.map (fun (o, _, _) -> o) ins;
+             out_tilings = List.map (fun (o, _, _) -> o) outs;
+             inputs;
+             outputs;
+           })
+  | _ -> Error "only repetitive tasks can be blocked"
+
+let block_exn ~dim ~factor task =
+  match block ~dim ~factor task with
+  | Ok t -> t
+  | Error m -> invalid_arg ("Refactor.block: " ^ m)

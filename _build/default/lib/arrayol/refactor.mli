@@ -1,0 +1,29 @@
+(** ArrayOL granularity refactoring.
+
+    "The language is hierarchical to allow descriptions at different
+    granularity levels" (Section II-A).  {!block} rewrites a flat
+    repetitive task into an equivalent two-level hierarchy: an outer
+    repetitive task over blocks of [factor] repetitions along one
+    dimension, whose inner task is itself repetitive over the block.
+    This is the classic Array-OL tiling transformation used to match a
+    repetition space to a platform hierarchy (e.g. one block per
+    work-group, one repetition per work-item).
+
+    The transformation is semantics-preserving (property-tested against
+    {!Semantics.run}): the outer tiler gathers the block's
+    "super-pattern" — the union of the [factor] original patterns,
+    which is a contiguous segment whenever the paving column along the
+    blocked dimension is an integer multiple [s] of the fitting vector
+    — and the inner tiler walks it with paving [s]. *)
+
+val block :
+  dim:int -> factor:int -> Model.t -> (Model.t, string) result
+(** Requirements (checked, reported as [Error]):
+    - the task is repetitive with an elementary (or already blocked)
+      inner task and rank-1 patterns;
+    - the repetition extent along [dim] is a positive multiple of
+      [factor];
+    - for every tiling, the paving column of [dim] equals [s * fitting]
+      for some non-negative integer [s]. *)
+
+val block_exn : dim:int -> factor:int -> Model.t -> Model.t

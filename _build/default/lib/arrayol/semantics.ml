@@ -1,0 +1,157 @@
+open Ndarray
+
+exception Exec_error of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Exec_error m)) fmt
+
+let get_input bindings (p : Model.port) =
+  match List.assoc_opt p.Model.pname bindings with
+  | Some t ->
+      if not (Shape.equal (Tensor.shape t) p.Model.pshape) then
+        fail "port %s expects shape %s, got %s" p.Model.pname
+          (Shape.to_string p.Model.pshape)
+          (Shape.to_string (Tensor.shape t))
+      else t
+  | None -> fail "input port %s is not bound" p.Model.pname
+
+let rec run task ~inputs:bindings =
+  match task with
+  | Model.Elementary { ip; inputs; outputs; name } ->
+      let registered =
+        try Ip.find ip with Not_found -> fail "%s: unknown IP %s" name ip
+      in
+      let in_data =
+        Array.concat
+          (List.map (fun p -> Tensor.data (get_input bindings p)) inputs)
+      in
+      let out_data = registered.Ip.apply in_data in
+      if Array.length out_data <> registered.Ip.pattern_out then
+        fail "%s: IP %s returned %d elements" name ip (Array.length out_data);
+      (* Split the flat output over the output ports, in order. *)
+      let _, result =
+        List.fold_left
+          (fun (off, acc) (p : Model.port) ->
+            let n = Shape.size p.Model.pshape in
+            ( off + n,
+              (p.Model.pname, Tensor.of_array p.Model.pshape (Array.sub out_data off n))
+              :: acc ))
+          (0, []) outputs
+      in
+      List.rev result
+  | Model.Repetitive
+      { inner; repetition; in_tilings; out_tilings; outputs; _ } ->
+      let in_specs =
+        List.map
+          (fun t -> (t, Model.in_tiler_spec task t))
+          in_tilings
+      in
+      let out_specs =
+        List.map (fun t -> (t, Model.out_tiler_spec task t)) out_tilings
+      in
+      let out_arrays =
+        List.map
+          (fun (p : Model.port) -> (p.Model.pname, Tensor.create p.Model.pshape 0))
+          outputs
+      in
+      Index.iter repetition (fun rep ->
+          let inner_inputs =
+            List.map
+              (fun ((t : Model.tiling), spec) ->
+                let outer =
+                  get_input bindings
+                    {
+                      Model.pname = t.Model.outer_port;
+                      pshape = spec.Tiler.array_shape;
+                    }
+                in
+                (t.Model.inner_port, Tiler.gather outer spec ~rep))
+              in_specs
+          in
+          let inner_outputs = run inner ~inputs:inner_inputs in
+          List.iter
+            (fun ((t : Model.tiling), spec) ->
+              match List.assoc_opt t.Model.inner_port inner_outputs with
+              | Some tile ->
+                  let dst = List.assoc t.Model.outer_port out_arrays in
+                  Tiler.scatter dst spec ~rep tile
+              | None ->
+                  fail "inner task did not produce port %s" t.Model.inner_port)
+            out_specs);
+      out_arrays
+  | Model.Compound { parts; connections; inputs = _; outputs; name } ->
+      (* Evaluate parts in dependence order, routing arrays. *)
+      let values : (Model.endpoint, int Tensor.t) Hashtbl.t =
+        Hashtbl.create 16
+      in
+      List.iter
+        (fun (pname, t) -> Hashtbl.replace values (Model.Boundary pname) t)
+        bindings;
+      let source_of target =
+        List.find_opt (fun c -> c.Model.cto = target) connections
+      in
+      let fetch target =
+        match source_of target with
+        | None -> fail "%s: port has no driver" name
+        | Some c -> (
+            match Hashtbl.find_opt values c.Model.cfrom with
+            | Some t -> t
+            | None -> fail "%s: value not ready (scheduling bug)" name)
+      in
+      let schedule = Schedule.compute task in
+      List.iter
+        (fun level ->
+          List.iter
+            (fun (s : Schedule.step) ->
+              let inst =
+                match String.index_opt s.Schedule.instance '/' with
+                | Some _ -> String.sub s.Schedule.instance 0
+                              (String.index s.Schedule.instance '/')
+                | None -> s.Schedule.instance
+              in
+              match List.assoc_opt inst parts with
+              | None -> ()
+              | Some part ->
+                  if
+                    (* Each instance executes once even if its schedule
+                       has several sub-steps. *)
+                    not
+                      (List.exists
+                         (fun (p : Model.port) ->
+                           Hashtbl.mem values (Model.Part (inst, p.Model.pname)))
+                         (Model.outputs part))
+                  then begin
+                    let part_inputs =
+                      List.map
+                        (fun (p : Model.port) ->
+                          ( p.Model.pname,
+                            fetch (Model.Part (inst, p.Model.pname)) ))
+                        (Model.inputs part)
+                    in
+                    let part_outputs = run part ~inputs:part_inputs in
+                    List.iter
+                      (fun (pname, t) ->
+                        Hashtbl.replace values (Model.Part (inst, pname)) t)
+                      part_outputs
+                  end)
+            level)
+        schedule;
+      List.map
+        (fun (p : Model.port) ->
+          match source_of (Model.Boundary p.Model.pname) with
+          | Some c -> (
+              match Hashtbl.find_opt values c.Model.cfrom with
+              | Some t -> (p.Model.pname, t)
+              | None -> fail "%s: output %s never produced" name p.Model.pname)
+          | None -> fail "%s: output %s has no driver" name p.Model.pname)
+        outputs
+
+let run1 task input =
+  match (Model.inputs task, Model.outputs task) with
+  | [ inp ], [ out ] -> (
+      match
+        List.assoc_opt out.Model.pname
+          (run task ~inputs:[ (inp.Model.pname, input) ])
+      with
+      | Some t -> t
+      | None -> fail "run1: output missing")
+  | _ -> fail "run1: task is not single-input single-output"

@@ -1,0 +1,20 @@
+(** Reference (direct) execution of ArrayOL models.
+
+    The first-order functional semantics of Section II-A: elementary
+    tasks apply their IP to concatenated input patterns; repetitive
+    tasks gather one pattern per input tiler, apply the inner task for
+    every repetition index and scatter through the output tilers;
+    compounds route arrays along connections in dependence order. *)
+
+open Ndarray
+
+exception Exec_error of string
+
+val run :
+  Model.t -> inputs:(string * int Tensor.t) list -> (string * int Tensor.t) list
+(** [run task ~inputs] binds the task's boundary input ports and
+    returns all boundary output ports.  Raises {!Exec_error} on missing
+    inputs, shape mismatches or unknown IPs. *)
+
+val run1 : Model.t -> int Tensor.t -> int Tensor.t
+(** Convenience for single-input single-output tasks. *)

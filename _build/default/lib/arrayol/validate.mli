@@ -1,0 +1,20 @@
+(** Static checks on ArrayOL models.
+
+    Enforces the language rules of Section II-A: single assignment
+    (every input is driven exactly once, no output is driven twice),
+    rank-consistent tilers, IPs that exist and match their elementary
+    task's pattern sizes, acyclic compound graphs, and exact-cover
+    output tilers (no element of an output array may be written twice,
+    and all must be written). *)
+
+type issue = { where : string; what : string }
+
+val check : Model.t -> issue list
+(** Empty list = valid model.  Exact-cover analysis is skipped for
+    arrays larger than [1_000_000] elements (it is exercised by the
+    tests at representative sizes). *)
+
+val check_exn : Model.t -> unit
+(** Raises [Invalid_argument] listing all issues. *)
+
+val pp_issue : Format.formatter -> issue -> unit

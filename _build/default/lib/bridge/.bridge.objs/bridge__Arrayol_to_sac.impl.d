@@ -1,0 +1,1 @@
+lib/bridge/arrayol_to_sac.ml: Array Arrayol Buffer Format Hashtbl Linalg List Ndarray Printf Sac Shape String Tiler

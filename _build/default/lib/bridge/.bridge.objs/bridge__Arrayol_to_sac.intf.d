@@ -1,0 +1,1 @@
+lib/bridge/arrayol_to_sac.mli: Arrayol

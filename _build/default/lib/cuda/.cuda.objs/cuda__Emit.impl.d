@@ -1,0 +1,1 @@
+lib/cuda/emit.ml: Array Gpu Kir List Ndarray Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/cuda/emit.mli: Gpu Ndarray

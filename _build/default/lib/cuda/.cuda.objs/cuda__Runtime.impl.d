@@ -1,0 +1,1 @@
+lib/cuda/runtime.ml: Array Gpu Ndarray

@@ -1,0 +1,1 @@
+lib/cuda/runtime.mli: Gpu Ndarray

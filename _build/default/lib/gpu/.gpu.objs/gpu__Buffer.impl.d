@@ -1,0 +1,1 @@
+lib/gpu/buffer.ml: Array Format

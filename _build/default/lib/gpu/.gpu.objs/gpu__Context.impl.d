@@ -1,0 +1,1 @@
+lib/gpu/context.ml: Array Buffer Device Hashtbl Kir Ndarray Option Perf_model Printf Timeline

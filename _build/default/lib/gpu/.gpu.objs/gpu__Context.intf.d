@@ -1,0 +1,1 @@
+lib/gpu/context.mli: Buffer Device Kir Ndarray Timeline

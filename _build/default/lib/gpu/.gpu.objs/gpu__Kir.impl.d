@@ -1,0 +1,1 @@
+lib/gpu/kir.ml: Array Buffer Domain Format List Ndarray Printf Result Set String

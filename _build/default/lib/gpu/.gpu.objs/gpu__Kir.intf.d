@@ -1,0 +1,1 @@
+lib/gpu/kir.mli: Buffer Format Ndarray

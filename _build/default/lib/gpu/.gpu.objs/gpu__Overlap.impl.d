@@ -1,0 +1,1 @@
+lib/gpu/overlap.ml: Float Format List Timeline

@@ -1,0 +1,1 @@
+lib/gpu/overlap.mli: Format Timeline

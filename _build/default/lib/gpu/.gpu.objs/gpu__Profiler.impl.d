@@ -1,0 +1,1 @@
+lib/gpu/profiler.ml: Format Hashtbl List Printf String Timeline

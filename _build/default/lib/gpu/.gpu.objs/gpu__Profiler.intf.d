@@ -1,0 +1,1 @@
+lib/gpu/profiler.mli: Format Timeline

@@ -1,0 +1,16 @@
+type t = { id : int; name : string; data : int array }
+
+let length b = Array.length b.data
+
+let bytes b = 4 * length b
+
+let get b i = b.data.(i)
+
+let set b i v = b.data.(i) <- v
+
+let fill b v = Array.fill b.data 0 (Array.length b.data) v
+
+let to_array b = Array.copy b.data
+
+let pp ppf b =
+  Format.fprintf ppf "buffer#%d %s[%d ints]" b.id b.name (length b)

@@ -1,0 +1,23 @@
+(** Device-memory buffers.
+
+    A buffer is a flat array of 32-bit-style ints living in simulated
+    device memory.  Allocation and deallocation go through
+    {!Context}, which tracks the memory budget of the device. *)
+
+type t = { id : int; name : string; data : int array }
+
+val length : t -> int
+
+val bytes : t -> int
+(** Size in (simulated 32-bit) bytes: [4 * length]. *)
+
+val get : t -> int -> int
+
+val set : t -> int -> int -> unit
+
+val fill : t -> int -> unit
+
+val to_array : t -> int array
+(** A copy of the contents. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,93 @@
+(* All fitted constants in one place.  Derivations reference the paper's
+   Tables I and II (300 frames, 1080x1920 int32 colour planes).
+
+   PCIe host->device: Table I reports 1 391 670 us for 900 plane copies.
+     bytes = 1080 * 1920 * 4 = 8 294 400 B per copy
+     time  = 1 391 670 / 900 = 1546.3 us per copy
+     bw    = 8 294 400 B / 1546.3 us = 5.36 GB/s                       *)
+let pcie_h2d_gbs = 5.36
+
+(* PCIe device->host: Table I reports 197 057 us for 900 copies of the
+   downscaled 480x720 plane.
+     bytes = 480 * 720 * 4 = 1 382 400 B
+     time  = 197 057 / 900 = 219.0 us
+     bw    = 1 382 400 / 219.0 = 6.31 GB/s                              *)
+let pcie_d2h_gbs = 6.31
+
+(* Fermi-era kernel launch latency; also the knob behind the paper's
+   "each kernel launch incurs context overheads" observation.           *)
+let kernel_launch_us = 10.0
+
+let memcpy_overhead_us = 8.0
+
+(* Un-hidden DRAM latency paid by kernels too small to fill the
+   machine (a few hundred cycles of pipeline drain).  Saturated grids
+   pay none of it.                                                      *)
+let memory_latency_us = 4.0
+
+(* Effective bandwidths are fitted jointly to the four kernel groups of
+   Tables I and II.  Traffic per frame (3 colour planes):
+
+     Gaspard2 H: 3 x 259 200 items x (11 reads + 3 writes) x 4 B
+               = 43.5 MB in 2814 us  => 15.5 GB/s  (eff 0.087)
+     SAC H:      3 x 777 600 items x (6 reads + 1 write) x 4 B
+               = 65.3 MB in 3384 us  => 19.3 GB/s  (eff 0.109)
+     Gaspard2 V: 3 x  86 400 items x (14 reads + 4 writes) x 4 B
+               = 18.7 MB in 1414 us  => 13.2 GB/s  (eff 0.074)
+     SAC V:      3 x 345 600 items x (6 reads + 1 write) x 4 B
+               = 29.0 MB in 2541 us  => 11.4 GB/s  (eff 0.064)
+
+   Note that the SAC slowdown the paper attributes to splitting is
+   dominated by *extra traffic*: the per-generator kernels re-read the
+   window overlaps that the fused Gaspard2 kernel serves from
+   registers/L1 (18 reads per packet instead of 11 horizontally, 24
+   instead of 14 vertically).  That traffic is counted for real by the
+   kernel profiler, so a single per-access-class efficiency suffices:
+   the midpoints below land every kernel group within about 11% of its
+   published time and both table totals within 2%.                      *)
+let row_efficiency_numerator = 0.147
+
+let row_burst_scale = 16.0
+
+(* eff_row(burst) = 0.147 / (1 + burst/16): longer per-thread bursts
+   spread a warp's accesses over more cache lines, hurting coalescing.
+   Fitted: Gaspard2 H (burst 11) -> 0.087, SAC H (burst 6) -> 0.107,
+   matching both published horizontal kernel times within 2%.           *)
+let base_efficiency_row ~burst =
+  row_efficiency_numerator /. (1.0 +. (burst /. row_burst_scale))
+
+let base_efficiency_column = 0.0706
+
+(* Irregular gathers (mod-wrapped, data-dependent): roughly half the
+   column figure; only exercised by synthetic ablation workloads.       *)
+let base_efficiency_gather = 0.035
+
+(* Residual cross-kernel reuse penalty 1/(1 + alpha (k-1)).  Zero after
+   the recalibration above: the observable cost of splitting is the
+   launch overhead plus the re-read traffic, both modelled explicitly.
+   The knob remains for the sensitivity-ablation benchmark.             *)
+let split_reuse_alpha = 0.0
+
+let split_factor k =
+  if k <= 1 then 1.0 else 1.0 /. (1.0 +. (split_reuse_alpha *. float_of_int (k - 1)))
+
+(* Host CPU (i7-930 @ 2.8 GHz, single core, -O3), in *interpreter
+   abstract operations* per microsecond.  The SAC interpreter charges
+   about 124 abstract ops per downscaled output pixel of the fused
+   non-generic horizontal filter; Figure 9 puts that filter's
+   sequential run near 4.3 s for 300 HD frames x 3 planes, i.e. about
+   6.1 ns per output pixel of compiled -O3 code, giving
+   124 ops / 6.1 ns ~= 20 000 ops/us.  One constant converts all
+   interpreter-counted host work (sequential filters, host-resident
+   tiler loops) to modelled i7 time.                                    *)
+let host_int_ops_per_us = 20000.0
+
+(* Cold-memory penalty per indexed store in host tiler loops.  The
+   generic output tiler runs on data freshly downloaded over PCIe, so
+   every scattered store misses: Figure 9's 4.5x (H) and 3x (V) ratios
+   between the generic and non-generic CUDA variants are reproduced
+   with ~4 ns per update on the i7-930.                                 *)
+let host_cold_update_ns = 4.0
+
+(* Host-side bulk copies (kept for the ablation benchmarks).            *)
+let host_memcpy_gbs = 4.0

@@ -1,0 +1,103 @@
+type exec_mode = Sequential | Parallel of int | Timing_only
+
+type t = {
+  spec : Device.t;
+  timeline : Timeline.t;
+  mutable mode : exec_mode;
+  mutable allocated : int;
+  mutable next_id : int;
+  live : (int, Buffer.t) Hashtbl.t;
+}
+
+exception Out_of_memory of string
+
+let create ?(mode = Sequential) spec =
+  {
+    spec;
+    timeline = Timeline.create ();
+    mode;
+    allocated = 0;
+    next_id = 0;
+    live = Hashtbl.create 16;
+  }
+
+let device t = t.spec
+
+let timeline t = t.timeline
+
+let allocated_bytes t = t.allocated
+
+let set_mode t mode = t.mode <- mode
+
+let alloc t ~name len =
+  if len < 0 then invalid_arg "Context.alloc";
+  let bytes = 4 * len in
+  let budget = t.spec.device_mem_mb * 1024 * 1024 in
+  if t.allocated + bytes > budget then
+    raise
+      (Out_of_memory
+         (Printf.sprintf
+            "allocating %d B for %s exceeds device memory (%d B in use of %d)"
+            bytes name t.allocated budget));
+  let buf = { Buffer.id = t.next_id; name; data = Array.make len 0 } in
+  t.next_id <- t.next_id + 1;
+  t.allocated <- t.allocated + bytes;
+  Hashtbl.add t.live buf.Buffer.id buf;
+  buf
+
+let free t (buf : Buffer.t) =
+  if Hashtbl.mem t.live buf.Buffer.id then begin
+    Hashtbl.remove t.live buf.Buffer.id;
+    t.allocated <- t.allocated - Buffer.bytes buf
+  end
+
+let copy_event t kind label detail bytes =
+  let dir = match kind with Timeline.Memcpy_h2d -> `H2d | _ -> `D2h in
+  Timeline.record t.timeline
+    {
+      Timeline.label;
+      detail;
+      kind;
+      us = Perf_model.memcpy_time_us t.spec ~bytes ~dir;
+      bytes;
+      threads = 0;
+    }
+
+let h2d ?(label = "memcpyHtoDasync") t (buf : Buffer.t) src =
+  if Array.length src <> Buffer.length buf then
+    invalid_arg "Context.h2d: length mismatch";
+  Array.blit src 0 buf.Buffer.data 0 (Array.length src);
+  copy_event t Timeline.Memcpy_h2d label buf.Buffer.name (4 * Array.length src)
+
+let d2h ?(label = "memcpyDtoHasync") t (buf : Buffer.t) dst =
+  if Array.length dst <> Buffer.length buf then
+    invalid_arg "Context.d2h: length mismatch";
+  Array.blit buf.Buffer.data 0 dst 0 (Array.length dst);
+  copy_event t Timeline.Memcpy_d2h label buf.Buffer.name (4 * Array.length dst)
+
+let launch ?label ?(split = 1) t kernel ~grid ~args =
+  let label = Option.value label ~default:kernel.Kir.kname in
+  if Ndarray.Shape.rank grid <> kernel.Kir.grid_rank then
+    invalid_arg
+      (Printf.sprintf "Context.launch %s: grid rank %d <> kernel rank %d"
+         kernel.Kir.kname (Ndarray.Shape.rank grid) kernel.Kir.grid_rank);
+  let threads = Ndarray.Shape.size grid in
+  let cost = Kir.profile_threads kernel ~args ~grid in
+  (match t.mode with
+  | Sequential -> Kir.run_grid (Kir.compile kernel ~args) grid
+  | Parallel domains -> Kir.run_grid ~domains (Kir.compile kernel ~args) grid
+  | Timing_only -> ());
+  let us = Perf_model.kernel_time_us t.spec ~threads ~cost ~split in
+  let bytes =
+    int_of_float
+      (float_of_int threads
+      *. (cost.Kir.reads_per_thread +. cost.Kir.writes_per_thread)
+      *. 4.0)
+  in
+  Timeline.record t.timeline
+    { Timeline.label; detail = kernel.Kir.kname; kind = Timeline.Kernel; us;
+      bytes; threads }
+
+let elapsed_us t = Timeline.total_us t.timeline
+
+let reset t = Timeline.clear t.timeline

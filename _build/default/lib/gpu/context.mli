@@ -1,0 +1,62 @@
+(** A live simulated device: memory, execution and a timeline.
+
+    Both runtime facades ([Cuda] and [Opencl]) drive a [Context]; the
+    context executes kernels functionally (results are bit-exact) and
+    charges modelled time to its {!Timeline}. *)
+
+type exec_mode =
+  | Sequential
+  | Parallel of int  (** number of OCaml domains for kernel execution *)
+  | Timing_only
+      (** Model kernel timing (cost profiling still interprets sampled
+          threads) but skip full functional execution — used by the
+          paper-scale experiments, whose correctness is separately
+          verified at representative sizes. *)
+
+type t
+
+val create : ?mode:exec_mode -> Device.t -> t
+
+val device : t -> Device.t
+
+val timeline : t -> Timeline.t
+
+val allocated_bytes : t -> int
+
+val set_mode : t -> exec_mode -> unit
+
+exception Out_of_memory of string
+
+val alloc : t -> name:string -> int -> Buffer.t
+(** [alloc ctx ~name len] allocates a device buffer of [len] ints,
+    zero-filled.  Raises {!Out_of_memory} when the device memory
+    budget would be exceeded. *)
+
+val free : t -> Buffer.t -> unit
+
+val h2d : ?label:string -> t -> Buffer.t -> int array -> unit
+(** Copy a host array into a device buffer, recording a
+    [memcpyHtoDasync] event.  Lengths must match. *)
+
+val d2h : ?label:string -> t -> Buffer.t -> int array -> unit
+(** Copy a device buffer into a host array, recording a
+    [memcpyDtoHasync] event. *)
+
+val launch :
+  ?label:string ->
+  ?split:int ->
+  t ->
+  Kir.t ->
+  grid:Ndarray.Shape.t ->
+  args:(string * Kir.arg) list ->
+  unit
+(** Execute a kernel over [grid], recording a kernel event whose
+    duration comes from {!Perf_model}.  [label] is the profiling group
+    (defaults to the kernel name); [split] is the number of kernels the
+    originating task was divided into (defaults to 1). *)
+
+val elapsed_us : t -> float
+(** Total modelled time accumulated on the timeline. *)
+
+val reset : t -> unit
+(** Clear the timeline (buffers survive). *)

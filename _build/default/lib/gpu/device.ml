@@ -1,0 +1,75 @@
+type t = {
+  name : string;
+  sm_count : int;
+  cores_per_sm : int;
+  clock_ghz : float;
+  warp_size : int;
+  dram_bandwidth_gbs : float;
+  device_mem_mb : int;
+  pcie_h2d_gbs : float;
+  pcie_d2h_gbs : float;
+  kernel_launch_us : float;
+  memcpy_overhead_us : float;
+  resident_threads_per_sm : int;
+}
+
+let saturation_threads d = d.sm_count * d.resident_threads_per_sm
+
+(* Section VIII: "an Nvidia Fermi GTX480 GPU.  The device has 15
+   streaming multiprocessors.  Each multiprocessor has 32 streaming
+   processors clocked at 1.4 GHz.  The total amount of device memory is
+   1.5 GB.  The GPU is connected to the CPU through a PCIe x16 Gen2
+   bus."  Peak DRAM bandwidth of the GTX480 is 177.4 GB/s; the PCIe and
+   launch constants are calibrated in Calibration. *)
+let gtx480 =
+  {
+    name = "NVIDIA GTX480 (Fermi, simulated)";
+    sm_count = 15;
+    cores_per_sm = 32;
+    clock_ghz = 1.4;
+    warp_size = 32;
+    dram_bandwidth_gbs = 177.4;
+    device_mem_mb = 1536;
+    pcie_h2d_gbs = Calibration.pcie_h2d_gbs;
+    pcie_d2h_gbs = Calibration.pcie_d2h_gbs;
+    kernel_launch_us = Calibration.kernel_launch_us;
+    memcpy_overhead_us = Calibration.memcpy_overhead_us;
+    resident_threads_per_sm = 1536;
+  }
+
+let scaled ~name ~bandwidth_factor ~pcie_factor d =
+  {
+    d with
+    name;
+    dram_bandwidth_gbs = d.dram_bandwidth_gbs *. bandwidth_factor;
+    pcie_h2d_gbs = d.pcie_h2d_gbs *. pcie_factor;
+    pcie_d2h_gbs = d.pcie_d2h_gbs *. pcie_factor;
+  }
+
+(* GT200-class card: 30 SMs x 8 SPs @ 1.3 GHz, 4 GB, 102 GB/s peak,
+   PCIe Gen1 (half the paper system's effective copy bandwidth). *)
+let tesla_c1060 =
+  {
+    name = "NVIDIA Tesla C1060 (GT200, simulated)";
+    sm_count = 30;
+    cores_per_sm = 8;
+    clock_ghz = 1.3;
+    warp_size = 32;
+    dram_bandwidth_gbs = 102.0;
+    device_mem_mb = 4096;
+    pcie_h2d_gbs = Calibration.pcie_h2d_gbs /. 2.0;
+    pcie_d2h_gbs = Calibration.pcie_d2h_gbs /. 2.0;
+    kernel_launch_us = 15.0;
+    memcpy_overhead_us = 10.0;
+    resident_threads_per_sm = 1024;
+  }
+
+let int_throughput_gops d =
+  float_of_int (d.sm_count * d.cores_per_sm) *. d.clock_ghz
+
+let pp ppf d =
+  Format.fprintf ppf
+    "%s: %d SMs x %d cores @ %.1f GHz, %d MB, %.1f GB/s DRAM, PCIe \
+     %.2f/%.2f GB/s"
+    d.name d.sm_count d.cores_per_sm d.clock_ghz d.device_mem_mb
+    d.dram_bandwidth_gbs d.pcie_h2d_gbs d.pcie_d2h_gbs

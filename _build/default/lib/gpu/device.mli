@@ -1,0 +1,48 @@
+(** Device descriptions for the GPU simulator.
+
+    The simulator substitutes for the paper's test system (an NVIDIA
+    GTX480 Fermi card behind a PCIe x16 Gen2 bus, see Section VIII); a
+    device spec carries exactly the architectural parameters the
+    analytic timing model consumes. *)
+
+type t = {
+  name : string;
+  sm_count : int;  (** streaming multiprocessors *)
+  cores_per_sm : int;  (** streaming processors per SM *)
+  clock_ghz : float;  (** shader clock *)
+  warp_size : int;
+  dram_bandwidth_gbs : float;  (** peak device-memory bandwidth, GB/s *)
+  device_mem_mb : int;
+  pcie_h2d_gbs : float;  (** effective host-to-device copy bandwidth *)
+  pcie_d2h_gbs : float;  (** effective device-to-host copy bandwidth *)
+  kernel_launch_us : float;  (** fixed per-launch context overhead *)
+  memcpy_overhead_us : float;  (** fixed per-copy setup cost *)
+  resident_threads_per_sm : int;
+      (** maximum resident threads per multiprocessor (1536 on Fermi);
+          grids smaller than one full residency cannot saturate the
+          memory system, which the model captures as a linear
+          bandwidth ramp *)
+}
+
+val saturation_threads : t -> int
+(** Threads needed for full memory-bandwidth utilisation:
+    [sm_count * resident_threads_per_sm]. *)
+
+val gtx480 : t
+(** The paper's device: 15 SMs x 32 SPs @ 1.4 GHz, 1.5 GB.  PCIe copy
+    bandwidths are the *effective* values derived from the paper's own
+    Table I profile (see {!Calibration}). *)
+
+val tesla_c1060 : t
+(** A previous-generation (GT200) card behind PCIe Gen1, for
+    device-sensitivity studies: same access-efficiency model, scaled
+    peak bandwidth and clocks. *)
+
+val scaled : name:string -> bandwidth_factor:float -> pcie_factor:float -> t -> t
+(** Derive a what-if device from an existing one. *)
+
+val int_throughput_gops : t -> float
+(** Aggregate integer-op throughput used for the (almost always
+    negligible) compute-bound side of the roofline. *)
+
+val pp : Format.formatter -> t -> unit

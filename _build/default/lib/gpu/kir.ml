@@ -1,0 +1,560 @@
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Min
+  | Max
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | And
+  | Or
+
+type expr =
+  | Int of int
+  | Gid of int
+  | Param of string
+  | Var of string
+  | Read of string * expr
+  | Bin of binop * expr * expr
+  | Select of expr * expr * expr
+
+type stmt =
+  | Let of string * expr
+  | Store of string * expr * expr
+  | If of expr * stmt list * stmt list
+  | For of { var : string; lo : expr; hi : expr; body : stmt list }
+
+type param_kind = Scalar | In_buffer | Out_buffer
+
+type param = { pname : string; kind : param_kind }
+
+type t = {
+  kname : string;
+  params : param list;
+  grid_rank : int;
+  body : stmt list;
+}
+
+type arg = Scalar_arg of int | Buffer_arg of Buffer.t
+
+let bool_of_int i = i <> 0
+
+let int_of_bool b = if b then 1 else 0
+
+let apply_binop op a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> if b = 0 then invalid_arg "Kir: division by zero" else a / b
+  | Mod -> if b = 0 then invalid_arg "Kir: modulo by zero" else a mod b
+  | Min -> min a b
+  | Max -> max a b
+  | Lt -> int_of_bool (a < b)
+  | Le -> int_of_bool (a <= b)
+  | Gt -> int_of_bool (a > b)
+  | Ge -> int_of_bool (a >= b)
+  | Eq -> int_of_bool (a = b)
+  | Ne -> int_of_bool (a <> b)
+  | And -> int_of_bool (bool_of_int a && bool_of_int b)
+  | Or -> int_of_bool (bool_of_int a || bool_of_int b)
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Sset = Set.Make (String)
+
+let param_kind k params name =
+  List.find_map
+    (fun p -> if p.pname = name then Some p.kind else None)
+    params
+  |> function
+  | Some kind -> Ok kind
+  | None -> Error (Printf.sprintf "kernel %s: unknown parameter %s" k name)
+
+let validate kernel =
+  let ( let* ) r f = Result.bind r f in
+  let err fmt = Format.kasprintf (fun m -> Error m) fmt in
+  let* () =
+    if kernel.kname = "" then err "kernel has an empty name" else Ok ()
+  in
+  let* () =
+    let names = List.map (fun p -> p.pname) kernel.params in
+    if List.length (List.sort_uniq String.compare names) <> List.length names
+    then err "kernel %s: duplicate parameter names" kernel.kname
+    else Ok ()
+  in
+  let rec check_expr bound = function
+    | Int _ -> Ok ()
+    | Gid d ->
+        if d < 0 || d >= kernel.grid_rank then
+          err "kernel %s: gid dimension %d out of grid rank %d" kernel.kname d
+            kernel.grid_rank
+        else Ok ()
+    | Param name -> (
+        match param_kind kernel.kname kernel.params name with
+        | Error _ as e -> e
+        | Ok Scalar -> Ok ()
+        | Ok (In_buffer | Out_buffer) ->
+            err "kernel %s: buffer %s used as a scalar" kernel.kname name)
+    | Var name ->
+        if Sset.mem name bound then Ok ()
+        else err "kernel %s: unbound variable %s" kernel.kname name
+    | Read (buf, idx) -> (
+        match param_kind kernel.kname kernel.params buf with
+        | Error _ as e -> e
+        | Ok Scalar ->
+            err "kernel %s: scalar %s used as a buffer" kernel.kname buf
+        | Ok (In_buffer | Out_buffer) -> check_expr bound idx)
+    | Bin (_, a, b) ->
+        let* () = check_expr bound a in
+        check_expr bound b
+    | Select (c, a, b) ->
+        let* () = check_expr bound c in
+        let* () = check_expr bound a in
+        check_expr bound b
+  in
+  let rec check_stmts bound = function
+    | [] -> Ok bound
+    | Let (name, e) :: rest ->
+        let* () = check_expr bound e in
+        check_stmts (Sset.add name bound) rest
+    | Store (buf, idx, v) :: rest ->
+        let* () =
+          match param_kind kernel.kname kernel.params buf with
+          | Error _ as e -> e
+          | Ok Out_buffer -> Ok ()
+          | Ok Scalar ->
+              err "kernel %s: store to scalar %s" kernel.kname buf
+          | Ok In_buffer ->
+              err "kernel %s: store to input buffer %s" kernel.kname buf
+        in
+        let* () = check_expr bound idx in
+        let* () = check_expr bound v in
+        check_stmts bound rest
+    | If (c, t_, e_) :: rest ->
+        let* () = check_expr bound c in
+        let* _ = check_stmts bound t_ in
+        let* _ = check_stmts bound e_ in
+        check_stmts bound rest
+    | For { var; lo; hi; body } :: rest ->
+        let* () = check_expr bound lo in
+        let* () = check_expr bound hi in
+        let* _ = check_stmts (Sset.add var bound) body in
+        check_stmts bound rest
+  in
+  let* _ = check_stmts Sset.empty kernel.body in
+  Ok ()
+
+let check_args kernel args =
+  let err fmt = Format.kasprintf (fun m -> Error m) fmt in
+  if List.length args <> List.length kernel.params then
+    err "kernel %s: expected %d arguments, got %d" kernel.kname
+      (List.length kernel.params) (List.length args)
+  else
+    List.fold_left
+      (fun acc p ->
+        Result.bind acc (fun () ->
+            match List.assoc_opt p.pname args with
+            | None -> err "kernel %s: missing argument %s" kernel.kname p.pname
+            | Some (Scalar_arg _) when p.kind = Scalar -> Ok ()
+            | Some (Buffer_arg _) when p.kind <> Scalar -> Ok ()
+            | Some _ ->
+                err "kernel %s: argument %s has the wrong kind" kernel.kname
+                  p.pname))
+      (Ok ()) kernel.params
+
+(* ------------------------------------------------------------------ *)
+(* Compilation to closures                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Variables are resolved to slots of a per-thread scratch array; buffer
+   and scalar arguments are resolved to OCaml values at compile time, so
+   running a thread allocates only the scratch array. *)
+
+type compiled = { scratch_size : int; run : int array -> int array -> unit }
+(* [run scratch gid] *)
+
+exception Kernel_error of string
+
+let compile kernel ~args =
+  (match validate kernel with
+  | Ok () -> ()
+  | Error m -> invalid_arg (Printf.sprintf "Kir.compile: %s" m));
+  (match check_args kernel args with
+  | Ok () -> ()
+  | Error m -> invalid_arg (Printf.sprintf "Kir.compile: %s" m));
+  let scalar name =
+    match List.assoc name args with
+    | Scalar_arg v -> v
+    | Buffer_arg _ -> assert false
+  in
+  let buffer name =
+    match List.assoc name args with
+    | Buffer_arg b -> b.Buffer.data
+    | Scalar_arg _ -> assert false
+  in
+  let next_slot = ref 0 in
+  let fresh_slot () =
+    let s = !next_slot in
+    incr next_slot;
+    s
+  in
+  (* Scope: variable name -> slot.  Scoping is lexical; shadowing binds a
+     fresh slot. *)
+  let rec comp_expr scope = function
+    | Int n -> fun _ _ -> n
+    | Gid d -> fun _ gid -> gid.(d)
+    | Param name ->
+        let v = scalar name in
+        fun _ _ -> v
+    | Var name ->
+        let slot = List.assoc name scope in
+        fun scratch _ -> scratch.(slot)
+    | Read (buf, idx) ->
+        let data = buffer buf in
+        let idx = comp_expr scope idx in
+        fun scratch gid -> data.(idx scratch gid)
+    | Bin (op, a, b) -> (
+        let a = comp_expr scope a and b = comp_expr scope b in
+        match op with
+        | Add -> fun s g -> a s g + b s g
+        | Sub -> fun s g -> a s g - b s g
+        | Mul -> fun s g -> a s g * b s g
+        | Div ->
+            fun s g ->
+              let d = b s g in
+              if d = 0 then raise (Kernel_error "division by zero")
+              else a s g / d
+        | Mod ->
+            fun s g ->
+              let d = b s g in
+              if d = 0 then raise (Kernel_error "modulo by zero")
+              else a s g mod d
+        | Min -> fun s g -> min (a s g) (b s g)
+        | Max -> fun s g -> max (a s g) (b s g)
+        | Lt -> fun s g -> int_of_bool (a s g < b s g)
+        | Le -> fun s g -> int_of_bool (a s g <= b s g)
+        | Gt -> fun s g -> int_of_bool (a s g > b s g)
+        | Ge -> fun s g -> int_of_bool (a s g >= b s g)
+        | Eq -> fun s g -> int_of_bool (a s g = b s g)
+        | Ne -> fun s g -> int_of_bool (a s g <> b s g)
+        | And -> fun s g -> int_of_bool (a s g <> 0 && b s g <> 0)
+        | Or -> fun s g -> int_of_bool (a s g <> 0 || b s g <> 0))
+    | Select (c, a, b) ->
+        let c = comp_expr scope c
+        and a = comp_expr scope a
+        and b = comp_expr scope b in
+        fun s g -> if c s g <> 0 then a s g else b s g
+  in
+  let rec comp_stmts scope = function
+    | [] -> (scope, fun _ _ -> ())
+    | stmt :: rest ->
+        let scope, head = comp_stmt scope stmt in
+        let scope, tail = comp_stmts scope rest in
+        ( scope,
+          fun s g ->
+            head s g;
+            tail s g )
+  and comp_stmt scope = function
+    | Let (name, e) ->
+        let e = comp_expr scope e in
+        let slot = fresh_slot () in
+        ( (name, slot) :: scope,
+          fun s g -> s.(slot) <- e s g )
+    | Store (buf, idx, v) ->
+        let data = buffer buf in
+        let idx = comp_expr scope idx and v = comp_expr scope v in
+        (scope, fun s g -> data.(idx s g) <- v s g)
+    | If (c, then_, else_) ->
+        let c = comp_expr scope c in
+        let _, then_ = comp_stmts scope then_ in
+        let _, else_ = comp_stmts scope else_ in
+        (scope, fun s g -> if c s g <> 0 then then_ s g else else_ s g)
+    | For { var; lo; hi; body } ->
+        let lo = comp_expr scope lo and hi = comp_expr scope hi in
+        let slot = fresh_slot () in
+        let _, body = comp_stmts ((var, slot) :: scope) body in
+        ( scope,
+          fun s g ->
+            let stop = hi s g in
+            let i = ref (lo s g) in
+            while !i < stop do
+              s.(slot) <- !i;
+              body s g;
+              incr i
+            done )
+  in
+  let _, run = comp_stmts [] kernel.body in
+  { scratch_size = max 1 !next_slot; run }
+
+let run_thread compiled gid =
+  let scratch = Array.make compiled.scratch_size 0 in
+  compiled.run scratch gid
+
+let run_grid ?(domains = 1) compiled grid =
+  let total = Ndarray.Shape.size grid in
+  if total > 0 then
+    if domains <= 1 then begin
+      let gid = Ndarray.Index.zeros (Ndarray.Shape.rank grid) in
+      let scratch = Array.make compiled.scratch_size 0 in
+      let continue = ref true in
+      while !continue do
+        compiled.run scratch gid;
+        continue := Ndarray.Index.next_in_place grid gid
+      done
+    end
+    else begin
+      let chunk = (total + domains - 1) / domains in
+      let worker d () =
+        let scratch = Array.make compiled.scratch_size 0 in
+        let lo = d * chunk and hi = min total ((d + 1) * chunk) in
+        for lin = lo to hi - 1 do
+          compiled.run scratch (Ndarray.Index.unravel grid lin)
+        done
+      in
+      let spawned =
+        List.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1)))
+      in
+      worker 0 ();
+      List.iter Domain.join spawned
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Instrumented interpretation for cost profiling                      *)
+(* ------------------------------------------------------------------ *)
+
+type cost = {
+  reads_per_thread : float;
+  writes_per_thread : float;
+  ops_per_thread : float;
+  access : [ `Row | `Column | `Gather ];
+  read_burst : float;
+}
+
+type trace = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable ops : int;
+  mutable read_addrs : int list;  (** reversed trace of read addresses *)
+}
+
+let interp_thread kernel ~args ~gid trace =
+  let scalar name =
+    match List.assoc name args with
+    | Scalar_arg v -> v
+    | Buffer_arg _ -> assert false
+  in
+  let buffer name =
+    match List.assoc name args with
+    | Buffer_arg b -> b.Buffer.data
+    | Scalar_arg _ -> assert false
+  in
+  let rec eval env = function
+    | Int n -> n
+    | Gid d -> gid.(d)
+    | Param name -> scalar name
+    | Var name -> List.assoc name env
+    | Read (buf, idx) ->
+        let i = eval env idx in
+        trace.reads <- trace.reads + 1;
+        trace.read_addrs <- i :: trace.read_addrs;
+        let data = buffer buf in
+        if i < 0 || i >= Array.length data then
+          raise
+            (Kernel_error
+               (Printf.sprintf "%s: out-of-bounds read %s[%d]" kernel.kname
+                  buf i))
+        else data.(i)
+    | Bin (op, a, b) ->
+        trace.ops <- trace.ops + 1;
+        apply_binop op (eval env a) (eval env b)
+    | Select (c, a, b) ->
+        trace.ops <- trace.ops + 1;
+        if eval env c <> 0 then eval env a else eval env b
+  in
+  let rec exec env = function
+    | [] -> env
+    | Let (name, e) :: rest -> exec ((name, eval env e) :: env) rest
+    | Store (buf, idx, v) :: rest ->
+        let i = eval env idx in
+        let v = eval env v in
+        trace.writes <- trace.writes + 1;
+        let data = buffer buf in
+        if i < 0 || i >= Array.length data then
+          raise
+            (Kernel_error
+               (Printf.sprintf "%s: out-of-bounds write %s[%d]" kernel.kname
+                  buf i))
+        else data.(i) <- v;
+        exec env rest
+    | If (c, then_, else_) :: rest ->
+        ignore (exec env (if eval env c <> 0 then then_ else else_));
+        exec env rest
+    | For { var; lo; hi; body } :: rest ->
+        let stop = eval env hi in
+        let i = ref (eval env lo) in
+        while !i < stop do
+          ignore (exec ((var, !i) :: env) body);
+          incr i
+        done;
+        exec env rest
+  in
+  ignore (exec [] kernel.body)
+
+(* Classify the read pattern of one thread from its address trace: the
+   median gap between consecutively issued reads.  Generated downscaler
+   kernels read either consecutive pixels of a row (gap 1: [`Row]) or a
+   fixed column of consecutive rows (gap = row width: [`Column]). *)
+let classify_addrs addrs =
+  match addrs with
+  | [] | [ _ ] -> `Row
+  | _ ->
+      let a = Array.of_list (List.rev addrs) in
+      let gaps =
+        Array.init
+          (Array.length a - 1)
+          (fun i -> abs (a.(i + 1) - a.(i)))
+      in
+      Array.sort compare gaps;
+      let median = gaps.(Array.length gaps / 2) in
+      if median <= 2 then `Row
+      else if median >= 8 then
+        (* Constant large stride = column walk; irregular = gather. *)
+        let uniform =
+          Array.for_all (fun g -> g = gaps.(0) || g <= 2) gaps
+        in
+        if uniform then `Column else `Gather
+      else `Gather
+
+(* Mean length of maximal consecutive-address runs in issue order. *)
+let burst_of_addrs addrs =
+  match addrs with
+  | [] -> 1.0
+  | _ ->
+      let a = Array.of_list (List.rev addrs) in
+      let runs = ref 1 in
+      for i = 0 to Array.length a - 2 do
+        (* Ascending or descending unit steps both form a burst (code
+           generators may emit window reads in either order). *)
+        if abs (a.(i + 1) - a.(i)) <> 1 then incr runs
+      done;
+      float_of_int (Array.length a) /. float_of_int !runs
+
+let profile_threads kernel ~args ~grid =
+  (match check_args kernel args with
+  | Ok () -> ()
+  | Error m -> invalid_arg (Printf.sprintf "Kir.profile_threads: %s" m));
+  let total = Ndarray.Shape.size grid in
+  if total = 0 then
+    { reads_per_thread = 0.; writes_per_thread = 0.; ops_per_thread = 0.;
+      access = `Row; read_burst = 1.0 }
+  else begin
+    let samples = min total 64 in
+    let step = max 1 (total / samples) in
+    let reads = ref 0 and writes = ref 0 and ops = ref 0 in
+    let votes_row = ref 0 and votes_col = ref 0 and votes_gather = ref 0 in
+    let burst_sum = ref 0.0 in
+    let n = ref 0 in
+    let lin = ref 0 in
+    while !lin < total do
+      let gid = Ndarray.Index.unravel grid !lin in
+      let trace = { reads = 0; writes = 0; ops = 0; read_addrs = [] } in
+      interp_thread kernel ~args ~gid trace;
+      reads := !reads + trace.reads;
+      writes := !writes + trace.writes;
+      ops := !ops + trace.ops;
+      burst_sum := !burst_sum +. burst_of_addrs trace.read_addrs;
+      (match classify_addrs trace.read_addrs with
+      | `Row -> incr votes_row
+      | `Column -> incr votes_col
+      | `Gather -> incr votes_gather);
+      incr n;
+      lin := !lin + step
+    done;
+    let nf = float_of_int !n in
+    let access =
+      if !votes_gather > !votes_row && !votes_gather > !votes_col then `Gather
+      else if !votes_col > !votes_row then `Column
+      else `Row
+    in
+    {
+      reads_per_thread = float_of_int !reads /. nf;
+      writes_per_thread = float_of_int !writes /. nf;
+      ops_per_thread = float_of_int !ops /. nf;
+      access;
+      read_burst = !burst_sum /. nf;
+    }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Debug printing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let binop_symbol = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Min -> "min"
+  | Max -> "max"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+  | And -> "&&"
+  | Or -> "||"
+
+let rec pp_expr ppf = function
+  | Int n -> Format.pp_print_int ppf n
+  | Gid d -> Format.fprintf ppf "gid%d" d
+  | Param p -> Format.pp_print_string ppf p
+  | Var v -> Format.pp_print_string ppf v
+  | Read (b, i) -> Format.fprintf ppf "%s[%a]" b pp_expr i
+  | Bin ((Min | Max) as op, a, b) ->
+      Format.fprintf ppf "%s(%a, %a)" (binop_symbol op) pp_expr a pp_expr b
+  | Bin (op, a, b) ->
+      Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_symbol op) pp_expr b
+  | Select (c, a, b) ->
+      Format.fprintf ppf "(%a ? %a : %a)" pp_expr c pp_expr a pp_expr b
+
+let rec pp_stmt ppf = function
+  | Let (v, e) -> Format.fprintf ppf "int %s = %a;" v pp_expr e
+  | Store (b, i, v) ->
+      Format.fprintf ppf "%s[%a] = %a;" b pp_expr i pp_expr v
+  | If (c, t, []) ->
+      Format.fprintf ppf "@[<v 2>if (%a) {@ %a@]@ }" pp_expr c pp_stmts t
+  | If (c, t, e) ->
+      Format.fprintf ppf "@[<v 2>if (%a) {@ %a@]@ @[<v 2>} else {@ %a@]@ }"
+        pp_expr c pp_stmts t pp_stmts e
+  | For { var; lo; hi; body } ->
+      Format.fprintf ppf
+        "@[<v 2>for (int %s = %a; %s < %a; %s++) {@ %a@]@ }" var pp_expr lo
+        var pp_expr hi var pp_stmts body
+
+and pp_stmts ppf stmts =
+  Format.pp_print_list ~pp_sep:Format.pp_print_space pp_stmt ppf stmts
+
+let pp ppf k =
+  let pp_param ppf p =
+    match p.kind with
+    | Scalar -> Format.fprintf ppf "int %s" p.pname
+    | In_buffer -> Format.fprintf ppf "const int *%s" p.pname
+    | Out_buffer -> Format.fprintf ppf "int *%s" p.pname
+  in
+  Format.fprintf ppf "@[<v 2>kernel %s(%a) /* grid rank %d */ {@ %a@]@ }"
+    k.kname
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_param)
+    k.params k.grid_rank pp_stmts k.body

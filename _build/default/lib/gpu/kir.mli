@@ -1,0 +1,115 @@
+(** Kernel IR: the common target of both compiler pipelines.
+
+    The SAC->CUDA backend and the Gaspard2->OpenCL template chain both
+    produce kernels in this small C-like IR.  A kernel is a scalar
+    program executed once per point of an n-dimensional grid; it reads
+    and writes flat device buffers through linear addresses, exactly
+    like the generated code in the paper's Figure 11.
+
+    The IR has three consumers:
+    - {!compile} turns it into fast OCaml closures for functional
+      (bit-exact) execution on the simulator;
+    - {!profile_threads} interprets sampled threads with instrumented
+      reads/writes to drive the analytic timing model;
+    - the [Cuda.Emit] and [Opencl.Emit] printers render it as CUDA C
+      and OpenCL C source text. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div  (** C semantics: truncation towards zero *)
+  | Mod  (** C semantics: sign follows the dividend *)
+  | Min
+  | Max
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | And
+  | Or
+
+type expr =
+  | Int of int
+  | Gid of int  (** global work-item id along grid dimension [d] *)
+  | Param of string  (** scalar kernel argument *)
+  | Var of string  (** let- or loop-bound variable *)
+  | Read of string * expr  (** buffer argument, linear index *)
+  | Bin of binop * expr * expr
+  | Select of expr * expr * expr  (** [Select (c, a, b)] = [c ? a : b] *)
+
+type stmt =
+  | Let of string * expr
+  | Store of string * expr * expr  (** buffer, linear index, value *)
+  | If of expr * stmt list * stmt list
+  | For of { var : string; lo : expr; hi : expr; body : stmt list }
+      (** [for (var = lo; var < hi; var++)] *)
+
+type param_kind = Scalar | In_buffer | Out_buffer
+
+type param = { pname : string; kind : param_kind }
+
+type t = {
+  kname : string;
+  params : param list;
+  grid_rank : int;
+  body : stmt list;
+}
+
+type arg = Scalar_arg of int | Buffer_arg of Buffer.t
+
+val validate : t -> (unit, string) result
+(** Static checks: identifiers bound before use, unique parameter
+    names, reads only from buffers, stores only to [Out_buffer]s, [Gid]
+    dimensions below [grid_rank], non-empty name. *)
+
+val check_args : t -> (string * arg) list -> (unit, string) result
+(** Arguments match the parameter list in names and kinds. *)
+
+exception Kernel_error of string
+(** Raised during execution on division/modulo by zero or out-of-bounds
+    buffer access (the latter only under interpretation). *)
+
+type compiled
+
+val compile : t -> args:(string * arg) list -> compiled
+(** Resolve variables to slots and arguments to values.  Raises
+    [Invalid_argument] if {!validate} or {!check_args} fail. *)
+
+val run_thread : compiled -> Ndarray.Index.t -> unit
+(** Execute one work-item.  Buffer stores land in the bound
+    {!Buffer.t}s. *)
+
+val run_grid : ?domains:int -> compiled -> Ndarray.Shape.t -> unit
+(** Execute every work-item of the grid, row-major.  With [domains > 1]
+    the linearised grid is chunked across that many OCaml domains;
+    kernels produced by the two backends write disjoint output elements
+    per thread, so this is race-free. *)
+
+(** Per-thread cost profile, averaged over sampled threads. *)
+type cost = {
+  reads_per_thread : float;  (** global-memory loads *)
+  writes_per_thread : float;  (** global-memory stores *)
+  ops_per_thread : float;  (** arithmetic/logic operations *)
+  access : [ `Row | `Column | `Gather ];
+      (** dominant read-address pattern: consecutive addresses within a
+          thread ([`Row]), large constant stride ([`Column]), or
+          irregular ([`Gather]) *)
+  read_burst : float;
+      (** mean length of consecutive-address runs in the read trace; a
+          thread reading an 11-point row pattern has burst 11.  Long
+          per-thread bursts reduce cross-thread coalescing, which the
+          performance model charges for [`Row] kernels. *)
+}
+
+val profile_threads : t -> args:(string * arg) list -> grid:Ndarray.Shape.t -> cost
+(** Interpret up to 64 threads spread across the grid with instrumented
+    memory accesses.  Thread bodies of the generated kernels are
+    control-uniform in all but boundary threads, so the sample mean is
+    an accurate per-thread cost. *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug printer (C-like pseudocode; the real emitters live in the
+    [cuda] and [opencl] libraries). *)

@@ -1,0 +1,53 @@
+let check stages rounds =
+  if stages = [] then invalid_arg "Overlap: empty stage list";
+  if rounds < 1 then invalid_arg "Overlap: rounds must be positive";
+  if List.exists (fun s -> s < 0.0) stages then
+    invalid_arg "Overlap: negative stage time"
+
+let serial_us ~stages ~rounds =
+  check stages rounds;
+  float_of_int rounds *. List.fold_left ( +. ) 0.0 stages
+
+let makespan_us ~stages ~rounds =
+  check stages rounds;
+  let total = List.fold_left ( +. ) 0.0 stages in
+  let bottleneck = List.fold_left Float.max 0.0 stages in
+  total +. (float_of_int (rounds - 1) *. bottleneck)
+
+type summary = {
+  serial_s : float;
+  pipelined_s : float;
+  bottleneck_share : float;
+  saving_pct : float;
+}
+
+let of_timeline timeline ~rounds =
+  let upload = ref 0.0 and kernels = ref 0.0 and download = ref 0.0 in
+  List.iter
+    (fun (e : Timeline.event) ->
+      match e.Timeline.kind with
+      | Timeline.Memcpy_h2d -> upload := !upload +. e.Timeline.us
+      | Timeline.Kernel -> kernels := !kernels +. e.Timeline.us
+      | Timeline.Memcpy_d2h -> download := !download +. e.Timeline.us)
+    (Timeline.events timeline);
+  let stages = [ !upload; !kernels; !download ] in
+  let serial = serial_us ~stages ~rounds in
+  let pipelined = makespan_us ~stages ~rounds in
+  let total = List.fold_left ( +. ) 0.0 stages in
+  {
+    serial_s = serial /. 1e6;
+    pipelined_s = pipelined /. 1e6;
+    bottleneck_share =
+      (if total > 0.0 then List.fold_left Float.max 0.0 stages /. total
+       else 0.0);
+    saving_pct =
+      (if serial > 0.0 then 100.0 *. (1.0 -. (pipelined /. serial)) else 0.0);
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "serial %.2f s, pipelined %.2f s (bottleneck %.0f%% of a round, saves \
+     %.1f%%)"
+    s.serial_s s.pipelined_s
+    (100.0 *. s.bottleneck_share)
+    s.saving_pct

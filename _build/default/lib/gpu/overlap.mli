@@ -1,0 +1,31 @@
+(** Stream-overlap (software pipelining) model.
+
+    Both papers' backends issue [memcpy*Async] but synchronise per
+    frame, so Tables I/II are additive.  This model answers the natural
+    follow-up: how much would double-buffered CUDA streams / OpenCL
+    command queues recover by overlapping frame [n+1]'s upload with
+    frame [n]'s kernels and frame [n-1]'s download?
+
+    Frames are identical, so the steady-state makespan of an [s]-stage
+    pipeline over [r] rounds is
+    [sum(stages) + (r - 1) * max(stages)] — fill the pipe once, then
+    every round costs its bottleneck stage. *)
+
+val makespan_us : stages:float list -> rounds:int -> float
+(** Raises [Invalid_argument] on an empty stage list or [rounds < 1]. *)
+
+val serial_us : stages:float list -> rounds:int -> float
+
+type summary = {
+  serial_s : float;
+  pipelined_s : float;
+  bottleneck_share : float;  (** bottleneck stage / total per-round *)
+  saving_pct : float;
+}
+
+val of_timeline : Timeline.t -> rounds:int -> summary
+(** Interpret a single-round timeline as the three stages
+    upload / kernels / download (grouping events by kind) and pipeline
+    it over [rounds]. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,106 @@
+type row = {
+  operation : string;
+  calls : int;
+  gpu_time_us : float;
+  share_pct : float;
+}
+
+type group = {
+  mutable events : int;
+  mutable us : float;
+  mutable details : string list;  (** distinct kernel names, reversed *)
+}
+
+let rows timeline =
+  let order = ref [] in
+  let table : (string, group) Hashtbl.t = Hashtbl.create 8 in
+  let key_of (e : Timeline.event) =
+    match e.kind with
+    | Timeline.Kernel -> "K:" ^ e.label
+    | Timeline.Memcpy_h2d -> "H2D"
+    | Timeline.Memcpy_d2h -> "D2H"
+  in
+  List.iter
+    (fun (e : Timeline.event) ->
+      let key = key_of e in
+      let g =
+        match Hashtbl.find_opt table key with
+        | Some g -> g
+        | None ->
+            let g = { events = 0; us = 0.0; details = [] } in
+            Hashtbl.add table key g;
+            order := (key, e) :: !order;
+            g
+      in
+      g.events <- g.events + 1;
+      g.us <- g.us +. e.us;
+      if e.kind = Timeline.Kernel && not (List.mem e.detail g.details) then
+        g.details <- e.detail :: g.details)
+    (Timeline.events timeline);
+  let ordered = List.rev !order in
+  let kernels, copies =
+    List.partition (fun (key, _) -> String.length key > 2 && key.[0] = 'K') ordered
+  in
+  let copies =
+    (* Host-to-device first, then device-to-host, as in the paper. *)
+    List.sort
+      (fun (k1, _) (k2, _) -> compare k1 k2)
+      copies
+    |> List.sort (fun (k1, _) (k2, _) ->
+           let rank k = if k = "H2D" then 0 else 1 in
+           compare (rank k1) (rank k2))
+  in
+  let total =
+    Hashtbl.fold (fun _ g acc -> acc +. g.us) table 0.0
+  in
+  let mk (key, (e0 : Timeline.event)) =
+    let g = Hashtbl.find table key in
+    match e0.kind with
+    | Timeline.Kernel ->
+        let nk = max 1 (List.length g.details) in
+        (* Per-plane clones are tagged "name@plane": they count towards
+           rounds but the displayed kernel count is per base name. *)
+        let base d =
+          match String.index_opt d '@' with
+          | Some i -> String.sub d 0 i
+          | None -> d
+        in
+        let display =
+          max 1 (List.length (List.sort_uniq compare (List.map base g.details)))
+        in
+        let operation =
+          if display = 1 then Printf.sprintf "%s (1 kernel)" e0.label
+          else Printf.sprintf "%s (%d kernels)" e0.label display
+        in
+        {
+          operation;
+          calls = g.events / nk;
+          gpu_time_us = g.us;
+          share_pct = (if total > 0.0 then 100.0 *. g.us /. total else 0.0);
+        }
+    | Timeline.Memcpy_h2d | Timeline.Memcpy_d2h ->
+        {
+          operation = Format.asprintf "%a" Timeline.pp_kind e0.kind;
+          calls = g.events;
+          gpu_time_us = g.us;
+          share_pct = (if total > 0.0 then 100.0 *. g.us /. total else 0.0);
+        }
+  in
+  List.map mk kernels @ List.map mk copies
+
+let total_us rows = List.fold_left (fun acc r -> acc +. r.gpu_time_us) 0.0 rows
+
+let pp_table ?title ppf rows =
+  let open Format in
+  (match title with Some t -> fprintf ppf "%s@." t | None -> ());
+  fprintf ppf "%-28s %8s %16s %14s@." "Operation" "#calls" "GPU time(usec)"
+    "GPU time (%)";
+  List.iter
+    (fun r ->
+      fprintf ppf "%-28s %8d %16.0f %14.2f@." r.operation r.calls
+        r.gpu_time_us r.share_pct)
+    rows;
+  let t = total_us rows in
+  fprintf ppf "%-28s %8s %15.2fs %14.2f@." "Total" "-" (t /. 1e6) 100.0
+
+let to_string ?title rows = Format.asprintf "%a" (pp_table ?title) rows

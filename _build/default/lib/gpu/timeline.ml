@@ -1,0 +1,40 @@
+type kind = Kernel | Memcpy_h2d | Memcpy_d2h
+
+type event = {
+  label : string;
+  detail : string;
+  kind : kind;
+  us : float;
+  bytes : int;
+  threads : int;
+}
+
+type t = { mutable rev_events : event list; mutable n : int }
+
+let create () = { rev_events = []; n = 0 }
+
+let record t e =
+  t.rev_events <- e :: t.rev_events;
+  t.n <- t.n + 1
+
+let events t = List.rev t.rev_events
+
+let clear t =
+  t.rev_events <- [];
+  t.n <- 0
+
+let total_us t = List.fold_left (fun acc e -> acc +. e.us) 0.0 t.rev_events
+
+let count t = t.n
+
+let replay t ~times =
+  if times < 1 then invalid_arg "Timeline.replay";
+  let base = events t in
+  for _ = 2 to times do
+    List.iter (record t) base
+  done
+
+let pp_kind ppf = function
+  | Kernel -> Format.pp_print_string ppf "kernel"
+  | Memcpy_h2d -> Format.pp_print_string ppf "memcpyHtoDasync"
+  | Memcpy_d2h -> Format.pp_print_string ppf "memcpyDtoHasync"

@@ -1,0 +1,38 @@
+(** Event timeline of a simulated device.
+
+    Every kernel launch and memory copy appends one event carrying its
+    modelled duration; the {!Profiler} aggregates these into the
+    paper's Table I / Table II rows. *)
+
+type kind = Kernel | Memcpy_h2d | Memcpy_d2h
+
+type event = {
+  label : string;  (** profiling label, e.g. ["H. Filter"] *)
+  detail : string;  (** kernel name or buffer name *)
+  kind : kind;
+  us : float;  (** modelled duration *)
+  bytes : int;  (** payload moved (copies) or touched (kernels) *)
+  threads : int;  (** work items (kernels only) *)
+}
+
+type t
+
+val create : unit -> t
+
+val record : t -> event -> unit
+
+val events : t -> event list
+(** In recording order. *)
+
+val clear : t -> unit
+
+val total_us : t -> float
+
+val count : t -> int
+
+val replay : t -> times:int -> unit
+(** Re-record the current event list [times - 1] more times; used to
+    extrapolate one simulated frame to the paper's 300 iterations
+    without re-executing identical work. *)
+
+val pp_kind : Format.formatter -> kind -> unit

@@ -1,0 +1,1 @@
+lib/mde/chain.ml: Array Arrayol Codegen Format Gpu Hashtbl List Marte Ndarray Opencl Printf Result Shape String Tensor

@@ -1,0 +1,1 @@
+lib/mde/chain.mli: Codegen Marte Ndarray Opencl

@@ -1,0 +1,1 @@
+lib/mde/codegen.ml: Array Arrayol Format Fragments Gpu Kir List Marte Ndarray Opencl Printf Shape String Tiler

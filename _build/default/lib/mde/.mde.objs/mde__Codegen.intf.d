@@ -1,0 +1,1 @@
+lib/mde/codegen.mli: Arrayol Gpu Marte

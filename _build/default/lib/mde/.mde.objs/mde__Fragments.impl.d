@@ -1,0 +1,1 @@
+lib/mde/fragments.ml: Array Gpu Hashtbl Kir Printf

@@ -1,0 +1,1 @@
+lib/mde/fragments.mli: Gpu

@@ -1,0 +1,1 @@
+lib/mde/marte.ml: Arrayol Format List Option String

@@ -1,0 +1,1 @@
+lib/mde/marte.mli: Arrayol Format

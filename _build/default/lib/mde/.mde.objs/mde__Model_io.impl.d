@@ -1,0 +1,1 @@
+lib/mde/model_io.ml: Array Arrayol Format Fun List Marte Sexp Tiler

@@ -1,0 +1,1 @@
+lib/mde/model_io.mli: Arrayol Marte Sexp

@@ -1,0 +1,1 @@
+lib/mde/sexp.ml: Buffer Format List String

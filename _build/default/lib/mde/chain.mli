@@ -1,0 +1,32 @@
+(** The Gaspard2 OpenCL transformation chain, end to end.
+
+    "We use the downscaler model ... then we execute the OpenCL chain"
+    (Section VI-B): a sequence of model-to-model passes — application
+    validation, allocation onto the platform, scheduling — followed by
+    the model-to-text generation, then execution of the generated
+    program on the simulated OpenCL device. *)
+
+type trace = { pass : string; detail : string }
+
+val transform : Marte.model -> (Codegen.generated * trace list, string) result
+(** Runs the full chain; the trace records one entry per pass (what a
+    Gaspard2 user sees in the Eclipse console). *)
+
+val transform_exn : Marte.model -> Codegen.generated
+
+exception Run_error of string
+
+val run :
+  ?label_of:(string -> string) ->
+  Opencl.Runtime.context ->
+  Codegen.generated ->
+  inputs:(string * int Ndarray.Tensor.t) list ->
+  (string * int Ndarray.Tensor.t) list
+(** Execute the generated program: boundary inputs are written to
+    device buffers ([clEnqueueWriteBuffer]), kernels run in schedule
+    order, boundary outputs are read back.  [label_of] maps a task name
+    to its profiling label (e.g. ["HorizontalFilter"] -> ["H. Filter"]);
+    defaults to the task name. *)
+
+val downscaler_model : rows:int -> cols:int -> Marte.model
+(** The paper's frame-level downscaler, allocated data-parallel. *)

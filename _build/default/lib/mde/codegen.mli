@@ -1,0 +1,44 @@
+(** Model-to-text: OpenCL code generation (Section V-C).
+
+    Each GPU-allocated repetitive task becomes one [__kernel] whose
+    body is generated from its tiler specifications — an unrolled
+    gather ("pattern filling based on Fitting matrix", Figure 11), the
+    IP fragment, and the output-tiler scatter.  The host program and
+    makefile are rendered alongside, as Gaspard2 "produces source
+    files (.cpp, .cl) and a makefile". *)
+
+exception Codegen_error of string
+
+val sanitize : string -> string
+(** Valid C identifier from an instance/port name. *)
+
+type kernel_task = {
+  instance : string;  (** part instance, e.g. ["rhf"] *)
+  task_name : string;  (** e.g. ["HorizontalFilter"] *)
+  kernel : Gpu.Kir.t;
+  grid : int array;
+  input_ports : (string * int array) list;  (** port -> array shape *)
+  output_ports : (string * int array) list;
+}
+
+type generated = {
+  model_name : string;
+  kernel_tasks : kernel_task list;
+  levels : string list list;  (** schedule: instance names per level *)
+  connections : Arrayol.Model.connection list;
+  boundary_inputs : Arrayol.Model.port list;
+  boundary_outputs : Arrayol.Model.port list;
+  cl_source : string;
+  host_source : string;
+  makefile : string;
+}
+
+val kernel_of_repetitive :
+  instance:string -> Arrayol.Model.t -> kernel_task
+(** Raises {!Codegen_error} when the task is not repetitive, has a
+    non-rank-1 pattern, or its IP has no registered fragment. *)
+
+val generate : Marte.model -> generated
+(** The application must be a flat compound of repetitive parts (or a
+    single repetitive task), fully allocated; GPU parts become kernels.
+    Raises {!Codegen_error} otherwise. *)

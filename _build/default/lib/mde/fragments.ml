@@ -1,0 +1,42 @@
+open Gpu
+
+type fragment = { lets : (string * Kir.expr) list; outputs : Kir.expr array }
+
+let table : (string, Kir.expr array -> fragment) Hashtbl.t = Hashtbl.create 8
+
+let register name f =
+  if Hashtbl.mem table name then
+    invalid_arg ("Fragments.register: duplicate " ^ name);
+  Hashtbl.replace table name f
+
+let find name = Hashtbl.find_opt table name
+
+(* Window interpolation (Figure 5 arithmetic): one [tmp] binding per
+   window so the sums are not re-evaluated per use. *)
+let window_reduction offsets elems =
+  let lets =
+    Array.to_list
+      (Array.mapi
+         (fun k off ->
+           let sum = ref elems.(off) in
+           for t = 1 to 5 do
+             sum := Kir.Bin (Kir.Add, !sum, elems.(off + t))
+           done;
+           (Printf.sprintf "tmp%d" k, !sum))
+         offsets)
+  in
+  let outputs =
+    Array.mapi
+      (fun k _ ->
+        let tmp = Kir.Var (Printf.sprintf "tmp%d" k) in
+        Kir.Bin
+          ( Kir.Sub,
+            Kir.Bin (Kir.Div, tmp, Kir.Int 6),
+            Kir.Bin (Kir.Mod, tmp, Kir.Int 6) ))
+      offsets
+  in
+  { lets; outputs }
+
+let () =
+  register "HorizontalReduction" (window_reduction [| 0; 2; 5 |]);
+  register "VerticalReduction" (window_reduction [| 0; 2; 5; 8 |])

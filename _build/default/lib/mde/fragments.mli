@@ -1,0 +1,18 @@
+(** Kernel-IR fragments for IPs.
+
+    The model-to-text templates splice an IP's computation between the
+    generated tiler gather and scatter code (cf. the paper's
+    Figure 11).  A fragment receives the gathered pattern elements as
+    expressions (already bound to registers) and yields local bindings
+    plus one expression per output pattern element. *)
+
+type fragment = {
+  lets : (string * Gpu.Kir.expr) list;
+  outputs : Gpu.Kir.expr array;
+}
+
+val find : string -> (Gpu.Kir.expr array -> fragment) option
+(** Fragment generator for a registered IP name. *)
+
+val register : string -> (Gpu.Kir.expr array -> fragment) -> unit
+(** Raises [Invalid_argument] on duplicates. *)

@@ -1,0 +1,117 @@
+type hw_kind = Cpu | Gpu
+
+type stereotype =
+  | Hw_resource of hw_kind
+  | Sw_resource
+  | Shaped
+  | Allocate of string
+
+type resource = { rname : string; kind : hw_kind }
+
+type platform = { presources : resource list }
+
+type model = {
+  mname : string;
+  application : Arrayol.Model.t;
+  platform : platform;
+  allocations : (string * string) list;
+}
+
+let default_platform =
+  {
+    presources =
+      [
+        { rname = "host_cpu"; kind = Cpu };
+        { rname = "gpu0"; kind = Gpu };
+      ];
+  }
+
+let resource platform name =
+  List.find_opt (fun r -> r.rname = name) platform.presources
+
+let first_of_kind platform kind =
+  List.find_opt (fun r -> r.kind = kind) platform.presources
+
+let rec part_instances prefix task =
+  match task with
+  | Arrayol.Model.Compound { parts; _ } ->
+      List.concat_map
+        (fun (inst, t) ->
+          let path = if prefix = "" then inst else prefix ^ "/" ^ inst in
+          (path, t) :: part_instances path t)
+        parts
+  | _ -> []
+
+let allocate_data_parallel model =
+  let gpu = first_of_kind model.platform Gpu in
+  let cpu = first_of_kind model.platform Cpu in
+  let instances =
+    match model.application with
+    | Arrayol.Model.Compound _ ->
+        part_instances "" model.application
+    | t -> [ (Arrayol.Model.name t, t) ]
+  in
+  let extra =
+    List.filter_map
+      (fun (path, task) ->
+        if List.mem_assoc path model.allocations then None
+        else
+          match (task, gpu, cpu) with
+          | Arrayol.Model.Repetitive _, Some g, _ -> Some (path, g.rname)
+          | Arrayol.Model.Compound _, _, _ -> None
+          | _, _, Some c -> Some (path, c.rname)
+          | _ -> None)
+      instances
+  in
+  { model with allocations = model.allocations @ extra }
+
+let allocation_of model instance =
+  Option.bind
+    (List.assoc_opt instance model.allocations)
+    (resource model.platform)
+
+let rec find_instance task path =
+  match String.index_opt path '/' with
+  | None -> (
+      match task with
+      | Arrayol.Model.Compound { parts; _ } -> List.assoc_opt path parts
+      | _ -> if Arrayol.Model.name task = path then Some task else None)
+  | Some i -> (
+      let head = String.sub path 0 i in
+      let rest = String.sub path (i + 1) (String.length path - i - 1) in
+      match task with
+      | Arrayol.Model.Compound { parts; _ } -> (
+          match List.assoc_opt head parts with
+          | Some t -> find_instance t rest
+          | None -> None)
+      | _ -> None)
+
+let stereotypes_of model instance =
+  let base =
+    match find_instance model.application instance with
+    | Some (Arrayol.Model.Repetitive _) -> [ Sw_resource; Shaped ]
+    | Some _ -> [ Sw_resource ]
+    | None -> (
+        match resource model.platform instance with
+        | Some r -> [ Hw_resource r.kind ]
+        | None -> [])
+  in
+  match List.assoc_opt instance model.allocations with
+  | Some r -> base @ [ Allocate r ]
+  | None -> base
+
+let make ?(name = "model") ?(platform = default_platform) application =
+  { mname = name; application; platform; allocations = [] }
+
+let pp ppf model =
+  Format.fprintf ppf "@[<v>MARTE model %s@ application: %s@ platform: %s@ %a@]"
+    model.mname
+    (Arrayol.Model.name model.application)
+    (String.concat ", "
+       (List.map
+          (fun r ->
+            r.rname ^ (match r.kind with Cpu -> ":CPU" | Gpu -> ":GPU"))
+          model.platform.presources))
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space (fun ppf (i, r) ->
+         Format.fprintf ppf "allocate %s -> %s" i r))
+    model.allocations

@@ -1,0 +1,53 @@
+(** A lightweight MARTE model (Section V).
+
+    MARTE "clearly distinguishes the hardware components from the
+    software components" via DRM stereotypes; the application side is
+    captured with the RSM package, which is where ArrayOL lives.  A
+    {!model} bundles the three views Gaspard2 manipulates: the
+    application (an ArrayOL task), the hardware platform, and the
+    allocation of application parts onto platform resources. *)
+
+type hw_kind = Cpu | Gpu
+
+type stereotype =
+  | Hw_resource of hw_kind  (** DRM HwResource *)
+  | Sw_resource  (** DRM SwResource *)
+  | Shaped  (** RSM: carries a repetition shape *)
+  | Allocate of string  (** allocation onto a named resource *)
+
+type resource = { rname : string; kind : hw_kind }
+
+type platform = { presources : resource list }
+
+type model = {
+  mname : string;
+  application : Arrayol.Model.t;
+  platform : platform;
+  allocations : (string * string) list;
+      (** application part instance -> resource name *)
+}
+
+val default_platform : platform
+(** One host CPU plus one GPU compute device (the simulated GTX480). *)
+
+val resource : platform -> string -> resource option
+
+val allocate_data_parallel : model -> model
+(** The standard Gaspard2 allocation: every repetitive part goes to the
+    first GPU resource, everything else to the CPU.  Existing explicit
+    allocations are kept. *)
+
+val allocation_of : model -> string -> resource option
+
+val stereotypes_of : model -> string -> stereotype list
+(** The stereotypes an element would carry in the UML view (derived;
+    used by the model printer and tests). *)
+
+val make :
+  ?name:string ->
+  ?platform:platform ->
+  Arrayol.Model.t ->
+  model
+(** A model with no allocations yet. *)
+
+val pp : Format.formatter -> model -> unit

@@ -1,0 +1,24 @@
+(** Minimal S-expressions: the concrete syntax of the model files
+    ({!Model_io}), standing in for Gaspard2's XMI/UML serialisation. *)
+
+type t = Atom of string | List of t list
+
+exception Parse_error of string
+
+val parse : string -> t
+(** One S-expression; raises {!Parse_error} (with position) on
+    malformed input or trailing tokens.  Comments run from [;] to end
+    of line. *)
+
+val parse_many : string -> t list
+
+val to_string : ?indent:int -> t -> string
+(** Pretty-printed with line breaks for nested lists. *)
+
+val atom : t -> string
+(** Raises {!Parse_error} when applied to a list. *)
+
+val int_atom : t -> int
+
+val ints : t -> int list
+(** A list of integer atoms. *)

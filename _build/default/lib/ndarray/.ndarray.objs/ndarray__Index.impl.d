@@ -1,0 +1,1 @@
+lib/ndarray/index.ml: Array Format Shape Stdlib

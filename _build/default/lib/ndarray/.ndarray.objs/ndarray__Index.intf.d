@@ -1,0 +1,1 @@
+lib/ndarray/index.mli: Format Shape

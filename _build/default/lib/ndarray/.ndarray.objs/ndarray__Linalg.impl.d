@@ -1,0 +1,1 @@
+lib/ndarray/linalg.ml: Array Format List

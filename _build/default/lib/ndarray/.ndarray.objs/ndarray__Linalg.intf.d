@@ -1,0 +1,1 @@
+lib/ndarray/linalg.mli: Format

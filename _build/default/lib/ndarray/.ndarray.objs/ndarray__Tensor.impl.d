@@ -1,0 +1,1 @@
+lib/ndarray/tensor.ml: Array Format Index List Shape

@@ -1,0 +1,1 @@
+lib/ndarray/tensor.mli: Format Index Shape

@@ -1,0 +1,81 @@
+type mat = int array array
+
+let is_rectangular m =
+  Array.length m = 0
+  || Array.for_all (fun row -> Array.length row = Array.length m.(0)) m
+
+let check name m = if not (is_rectangular m) then invalid_arg name
+
+let of_lists rows =
+  let m = Array.of_list (List.map Array.of_list rows) in
+  check "Linalg.of_lists" m;
+  m
+
+let to_lists m = Array.to_list (Array.map Array.to_list m)
+
+let rows m = Array.length m
+
+let cols m = if Array.length m = 0 then 0 else Array.length m.(0)
+
+let identity n = Array.init n (fun i -> Array.init n (fun j -> if i = j then 1 else 0))
+
+let zero r c = Array.make_matrix r c 0
+
+let transpose m =
+  check "Linalg.transpose" m;
+  Array.init (cols m) (fun j -> Array.init (rows m) (fun i -> m.(i).(j)))
+
+let equal (a : mat) (b : mat) = a = b
+
+let mv m v =
+  check "Linalg.mv" m;
+  if cols m <> Array.length v then invalid_arg "Linalg.mv: dimension mismatch";
+  Array.init (rows m) (fun i ->
+      let acc = ref 0 in
+      for j = 0 to Array.length v - 1 do
+        acc := !acc + (m.(i).(j) * v.(j))
+      done;
+      !acc)
+
+let mm a b =
+  check "Linalg.mm" a;
+  check "Linalg.mm" b;
+  if cols a <> rows b then invalid_arg "Linalg.mm: dimension mismatch";
+  Array.init (rows a) (fun i ->
+      Array.init (cols b) (fun j ->
+          let acc = ref 0 in
+          for k = 0 to cols a - 1 do
+            acc := !acc + (a.(i).(k) * b.(k).(j))
+          done;
+          !acc))
+
+let cat_cols a b =
+  check "Linalg.cat_cols" a;
+  check "Linalg.cat_cols" b;
+  if rows a <> rows b && rows a <> 0 && rows b <> 0 then
+    invalid_arg "Linalg.cat_cols: row mismatch";
+  if rows a = 0 then b
+  else if rows b = 0 then a
+  else Array.init (rows a) (fun i -> Array.append a.(i) b.(i))
+
+let scale k m = Array.map (Array.map (fun x -> k * x)) m
+
+let add a b =
+  if rows a <> rows b || cols a <> cols b then invalid_arg "Linalg.add";
+  Array.init (rows a) (fun i -> Array.init (cols a) (fun j -> a.(i).(j) + b.(i).(j)))
+
+let pp ppf m =
+  let pp_row ppf row =
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         Format.pp_print_int)
+      (Array.to_list row)
+  in
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       pp_row)
+    (Array.to_list m)
+
+let to_string m = Format.asprintf "%a" pp m

@@ -1,0 +1,44 @@
+(** Small integer linear algebra for tiler arithmetic.
+
+    ArrayOL fitting and paving matrices are tiny (rank-of-array rows by
+    rank-of-pattern/repetition columns), so everything here is exact
+    integer arithmetic on [int array array] in row-major layout. *)
+
+type mat = int array array
+(** [m.(i).(j)] is row [i], column [j].  All rows must have equal
+    length; constructors enforce this. *)
+
+val of_lists : int list list -> mat
+
+val to_lists : mat -> int list list
+
+val rows : mat -> int
+
+val cols : mat -> int
+
+val is_rectangular : mat -> bool
+
+val identity : int -> mat
+
+val zero : int -> int -> mat
+
+val transpose : mat -> mat
+
+val equal : mat -> mat -> bool
+
+val mv : mat -> int array -> int array
+(** Matrix-vector product; the [MV] builtin of the paper's SAC code. *)
+
+val mm : mat -> mat -> mat
+
+val cat_cols : mat -> mat -> mat
+(** Horizontal concatenation [\[A | B\]]; the [CAT] builtin.  The paper
+    computes index offsets as [CAT(paving, fitting) . (rep ++ pat)]. *)
+
+val scale : int -> mat -> mat
+
+val add : mat -> mat -> mat
+
+val pp : Format.formatter -> mat -> unit
+
+val to_string : mat -> string

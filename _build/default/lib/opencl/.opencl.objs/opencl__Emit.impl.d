@@ -1,0 +1,1 @@
+lib/opencl/emit.ml: Array Gpu Kir List Ndarray Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/opencl/emit.mli: Gpu Ndarray

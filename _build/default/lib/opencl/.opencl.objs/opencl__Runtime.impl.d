@@ -1,0 +1,1 @@
+lib/opencl/runtime.ml: Gpu List Printf Result

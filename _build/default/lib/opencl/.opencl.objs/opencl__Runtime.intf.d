@@ -1,0 +1,1 @@
+lib/opencl/runtime.mli: Gpu Ndarray

@@ -1,0 +1,229 @@
+open Gpu
+
+let binop_is_call = function Kir.Min | Kir.Max -> true | _ -> false
+
+let binop_text = function
+  | Kir.Add -> "+"
+  | Kir.Sub -> "-"
+  | Kir.Mul -> "*"
+  | Kir.Div -> "/"
+  | Kir.Mod -> "%"
+  | Kir.Min -> "min"
+  | Kir.Max -> "max"
+  | Kir.Lt -> "<"
+  | Kir.Le -> "<="
+  | Kir.Gt -> ">"
+  | Kir.Ge -> ">="
+  | Kir.Eq -> "=="
+  | Kir.Ne -> "!="
+  | Kir.And -> "&&"
+  | Kir.Or -> "||"
+
+let rec expr buf = function
+  | Kir.Int n ->
+      if n < 0 then Printf.bprintf buf "(%d)" n else Printf.bprintf buf "%d" n
+  | Kir.Gid d -> Printf.bprintf buf "gid%d" d
+  | Kir.Param p -> Stdlib.Buffer.add_string buf p
+  | Kir.Var v -> Stdlib.Buffer.add_string buf v
+  | Kir.Read (b, i) ->
+      Printf.bprintf buf "%s[" b;
+      expr buf i;
+      Stdlib.Buffer.add_char buf ']'
+  | Kir.Bin (op, a, b) when binop_is_call op ->
+      Printf.bprintf buf "%s(" (binop_text op);
+      expr buf a;
+      Stdlib.Buffer.add_string buf ", ";
+      expr buf b;
+      Stdlib.Buffer.add_char buf ')'
+  | Kir.Bin (op, a, b) ->
+      Stdlib.Buffer.add_char buf '(';
+      expr buf a;
+      Printf.bprintf buf " %s " (binop_text op);
+      expr buf b;
+      Stdlib.Buffer.add_char buf ')'
+  | Kir.Select (c, a, b) ->
+      Stdlib.Buffer.add_char buf '(';
+      expr buf c;
+      Stdlib.Buffer.add_string buf " ? ";
+      expr buf a;
+      Stdlib.Buffer.add_string buf " : ";
+      expr buf b;
+      Stdlib.Buffer.add_char buf ')'
+
+let rec stmt buf indent s =
+  let pad = String.make indent ' ' in
+  match s with
+  | Kir.Let (v, e) ->
+      Printf.bprintf buf "%sint %s = " pad v;
+      expr buf e;
+      Stdlib.Buffer.add_string buf ";\n"
+  | Kir.Store (b, i, v) ->
+      Printf.bprintf buf "%s%s[" pad b;
+      expr buf i;
+      Stdlib.Buffer.add_string buf "] = ";
+      expr buf v;
+      Stdlib.Buffer.add_string buf ";\n"
+  | Kir.If (c, t, e) ->
+      Printf.bprintf buf "%sif (" pad;
+      expr buf c;
+      Stdlib.Buffer.add_string buf ") {\n";
+      List.iter (stmt buf (indent + 4)) t;
+      if e <> [] then begin
+        Printf.bprintf buf "%s} else {\n" pad;
+        List.iter (stmt buf (indent + 4)) e
+      end;
+      Printf.bprintf buf "%s}\n" pad
+  | Kir.For { var; lo; hi; body } ->
+      Printf.bprintf buf "%sfor (int %s = " pad var;
+      expr buf lo;
+      Printf.bprintf buf "; %s < " var;
+      expr buf hi;
+      Printf.bprintf buf "; %s++) {\n" var;
+      List.iter (stmt buf (indent + 4)) body;
+      Printf.bprintf buf "%s}\n" pad
+
+let param_text (p : Kir.param) =
+  match p.kind with
+  | Kir.Scalar -> Printf.sprintf "const int %s" p.pname
+  | Kir.In_buffer -> Printf.sprintf "__global const int *%s" p.pname
+  | Kir.Out_buffer -> Printf.sprintf "__global int *%s" p.pname
+
+(* Work-item ids are linearised and decomposed with %-and-/ chains, as
+   in the paper's Figure 11 ("tlIter[0]=iGID%%1080; ..."). *)
+let kernel ~grid (k : Kir.t) =
+  let rank = Ndarray.Shape.rank grid in
+  if rank <> k.Kir.grid_rank then invalid_arg "Opencl.Emit.kernel: grid rank";
+  let buf = Stdlib.Buffer.create 512 in
+  Printf.bprintf buf "__kernel void %s(%s)\n{\n" k.Kir.kname
+    (String.concat ", " (List.map param_text k.Kir.params));
+  Printf.bprintf buf "    int iGID = get_global_id(0);\n";
+  Printf.bprintf buf "    if (iGID >= %d) return;\n" (Ndarray.Shape.size grid);
+  let stride = ref 1 in
+  for d = rank - 1 downto 0 do
+    if !stride = 1 then
+      Printf.bprintf buf "    int gid%d = iGID %% %d;\n" d grid.(d)
+    else if d = 0 then
+      Printf.bprintf buf "    int gid%d = iGID / %d;\n" d !stride
+    else
+      Printf.bprintf buf "    int gid%d = (iGID / %d) %% %d;\n" d !stride
+        grid.(d);
+    stride := !stride * grid.(d)
+  done;
+  List.iter (stmt buf 4) k.Kir.body;
+  Stdlib.Buffer.add_string buf "}\n";
+  Stdlib.Buffer.contents buf
+
+let cl_file ~name kernels =
+  let buf = Stdlib.Buffer.create 4096 in
+  Printf.bprintf buf
+    "/* %s.cl -- generated OpenCL kernels (simulated device).  Tiler\n\
+    \ * gather/scatter address arithmetic follows the\n\
+    \ * origin/paving/fitting formulae. */\n\n"
+    name;
+  List.iter
+    (fun (k, grid) ->
+      Stdlib.Buffer.add_string buf (kernel ~grid k);
+      Stdlib.Buffer.add_char buf '\n')
+    kernels;
+  Stdlib.Buffer.contents buf
+
+type host_step =
+  | Comment of string
+  | Create_buffer of { dst : string; len : int }
+  | Write_buffer of { dst : string; src : string; len : int }
+  | Read_buffer of { dst : string; src : string; len : int }
+  | Enqueue_kernel of {
+      kernel : Kir.t;
+      grid : Ndarray.Shape.t;
+      args : (string * string) list;
+    }
+  | Release of { name : string }
+
+let host_program ~name ~steps =
+  let buf = Stdlib.Buffer.create 4096 in
+  Printf.bprintf buf
+    "/* %s.cpp -- generated host program (Gaspard2 OpenCL chain). */\n\
+     #include <CL/cl.h>\n\
+     #include <cstdio>\n\
+     #include <cstdlib>\n\n\
+     int main(void)\n\
+     {\n\
+    \    cl_platform_id platform;\n\
+    \    cl_device_id device;\n\
+    \    clGetPlatformIDs(1, &platform, NULL);\n\
+    \    clGetDeviceIDs(platform, CL_DEVICE_TYPE_GPU, 1, &device, NULL);\n\
+    \    cl_context context = clCreateContext(NULL, 1, &device, NULL, NULL, \
+     NULL);\n\
+    \    cl_command_queue queue = clCreateCommandQueue(context, device, 0, \
+     NULL);\n\
+    \    cl_program program = build_program_from_file(context, \"%s.cl\");\n\n"
+    name name;
+  let kernel_no = ref 0 in
+  List.iter
+    (fun step ->
+      match step with
+      | Comment c -> Printf.bprintf buf "    /* %s */\n" c
+      | Create_buffer { dst; len } ->
+          Printf.bprintf buf
+            "    cl_mem %s = clCreateBuffer(context, CL_MEM_READ_WRITE, %d * \
+             sizeof(int), NULL, NULL);\n"
+            dst len
+      | Write_buffer { dst; src; len } ->
+          Printf.bprintf buf
+            "    clEnqueueWriteBuffer(queue, %s, CL_FALSE, 0, %d * \
+             sizeof(int), %s, 0, NULL, NULL);\n"
+            dst len src
+      | Read_buffer { dst; src; len } ->
+          Printf.bprintf buf
+            "    clEnqueueReadBuffer(queue, %s, CL_TRUE, 0, %d * \
+             sizeof(int), %s, 0, NULL, NULL);\n"
+            src len dst
+      | Enqueue_kernel { kernel; grid; args } ->
+          incr kernel_no;
+          let kv = Printf.sprintf "k%d" !kernel_no in
+          Printf.bprintf buf
+            "    cl_kernel %s = clCreateKernel(program, \"%s\", NULL);\n" kv
+            kernel.Kir.kname;
+          List.iteri
+            (fun i (p : Kir.param) ->
+              let actual =
+                match List.assoc_opt p.Kir.pname args with
+                | Some a -> a
+                | None ->
+                    invalid_arg
+                      (Printf.sprintf "Opencl.Emit: missing actual for %s"
+                         p.Kir.pname)
+              in
+              match p.Kir.kind with
+              | Kir.Scalar ->
+                  Printf.bprintf buf
+                    "    clSetKernelArg(%s, %d, sizeof(int), &%s);\n" kv i
+                    actual
+              | Kir.In_buffer | Kir.Out_buffer ->
+                  Printf.bprintf buf
+                    "    clSetKernelArg(%s, %d, sizeof(cl_mem), &%s);\n" kv i
+                    actual)
+            kernel.Kir.params;
+          Printf.bprintf buf
+            "    { size_t gws = %d;\n\
+            \      clEnqueueNDRangeKernel(queue, %s, 1, NULL, &gws, NULL, 0, \
+             NULL, NULL); }\n"
+            (Ndarray.Shape.size grid) kv
+      | Release { name } ->
+          Printf.bprintf buf "    clReleaseMemObject(%s);\n" name)
+    steps;
+  Stdlib.Buffer.add_string buf
+    "    clFinish(queue);\n    return 0;\n}\n";
+  Stdlib.Buffer.contents buf
+
+let makefile ~name =
+  Printf.sprintf
+    "# Makefile -- generated by the Gaspard2 OpenCL chain (simulated)\n\
+     CXX = g++\n\
+     CXXFLAGS = -O3\n\
+     LDLIBS = -lOpenCL\n\n\
+     %s: %s.cpp\n\
+     \t$(CXX) $(CXXFLAGS) -o $@ $< $(LDLIBS)\n\n\
+     clean:\n\
+     \trm -f %s\n"
+    name name name

@@ -1,0 +1,1 @@
+lib/sac/builtins.ml: Array Index Linalg List Ndarray Printf Shape Tensor Value

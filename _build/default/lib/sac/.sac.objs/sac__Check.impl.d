@@ -1,0 +1,1 @@
+lib/sac/check.ml: Ast Builtins Format List Option Set String

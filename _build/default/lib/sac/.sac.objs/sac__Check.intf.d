@@ -1,0 +1,1 @@
+lib/sac/check.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/sac/dce.ml: Ast List Option Rename Set String

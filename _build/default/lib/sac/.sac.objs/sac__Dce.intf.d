@@ -1,0 +1,1 @@
+lib/sac/dce.mli: Ast

@@ -1,0 +1,1 @@
+lib/sac/genspace.ml: Array Ast Format Fun Ndarray Value

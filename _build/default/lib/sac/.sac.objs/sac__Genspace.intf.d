@@ -1,0 +1,1 @@
+lib/sac/genspace.mli: Ast Format Value

@@ -1,0 +1,1 @@
+lib/sac/inline.ml: Ast Builtins List Option Rename

@@ -1,0 +1,1 @@
+lib/sac/inline.mli: Ast

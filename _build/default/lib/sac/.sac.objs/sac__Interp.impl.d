@@ -1,0 +1,1 @@
+lib/sac/interp.ml: Array Ast Builtins Genspace Hashtbl Index List Ndarray Option Shape String Tensor Value

@@ -1,0 +1,1 @@
+lib/sac/interp.mli: Ast Value

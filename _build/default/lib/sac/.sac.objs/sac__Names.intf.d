@@ -1,0 +1,1 @@
+lib/sac/names.mli:

@@ -1,0 +1,1 @@
+lib/sac/parser.ml: Array Ast Format Lexer List Printf

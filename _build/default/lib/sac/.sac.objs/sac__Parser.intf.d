@@ -1,0 +1,1 @@
+lib/sac/parser.mli: Ast

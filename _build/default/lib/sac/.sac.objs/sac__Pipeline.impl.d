@@ -1,0 +1,1 @@
+lib/sac/pipeline.ml: Check Dce Inline Parser Simplify Wlf

@@ -1,0 +1,1 @@
+lib/sac/rename.ml: Ast List Names Option String

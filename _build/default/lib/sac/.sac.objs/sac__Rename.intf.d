@@ -1,0 +1,1 @@
+lib/sac/rename.mli: Ast

@@ -1,0 +1,1 @@
+lib/sac/scalarize.ml: Array Ast Format Genspace List Names Ndarray Printf Rename Shapes Simplify Value

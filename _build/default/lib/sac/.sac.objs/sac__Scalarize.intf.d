@@ -1,0 +1,1 @@
+lib/sac/scalarize.mli: Ast Genspace Shapes

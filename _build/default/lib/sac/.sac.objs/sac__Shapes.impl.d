@@ -1,0 +1,1 @@
+lib/sac/shapes.ml: Array Ast List Option

@@ -1,0 +1,1 @@
+lib/sac/shapes.mli: Ast

@@ -1,0 +1,1 @@
+lib/sac/simplify.ml: Array Ast Builtins Interp List Ndarray Option Rename Shapes Tensor Value

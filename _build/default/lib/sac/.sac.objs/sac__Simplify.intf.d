@@ -1,0 +1,1 @@
+lib/sac/simplify.mli: Ast Shapes Value

@@ -1,0 +1,1 @@
+lib/sac/split_gens.ml: Array Genspace List Scalarize

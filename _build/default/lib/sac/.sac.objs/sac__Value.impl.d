@@ -1,0 +1,1 @@
+lib/sac/value.ml: Array Ast Format Index Int Ndarray Shape Tensor

@@ -1,0 +1,1 @@
+lib/sac/wlf.ml: Array Ast Dce Format List Logs Names Option Rename Shapes Simplify String Value

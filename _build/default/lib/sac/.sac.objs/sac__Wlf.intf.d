@@ -1,0 +1,1 @@
+lib/sac/wlf.mli: Ast

@@ -1,0 +1,200 @@
+(** Abstract syntax of the SAC subset used in the paper.
+
+    The subset covers everything in the paper's Figures 4-8: functions
+    over [int]/[int[.]]/[int[.,.]]/[int[*]] values, WITH-loops with
+    multiple generators ([genarray]/[modarray] operations, [step] and
+    [width] filters, dot bounds, vector index patterns), C-style
+    for-loops, indexed assignment, vector literals, the [++] array
+    concatenation operator and calls to builtins ([shape], [MV],
+    [CAT]). *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Concat  (** [++], array concatenation *)
+
+type dim_spec =
+  | Any_rank  (** [int[*]] *)
+  | Rank of int  (** [int[.]], [int[.,.]], ... *)
+  | Fixed of int list  (** [int[1080,1920]] *)
+
+type typ = Tint | Tarray of dim_spec
+
+(** Generator index patterns: [iv] binds the index vector whole,
+    [[i,j]] binds its components. *)
+type pat = Pvar of string | Pvec of string list
+
+type bound = Dot | Bexpr of expr
+
+and expr =
+  | Num of int
+  | Var of string
+  | Vec of expr list  (** [[e1, ..., en]] vector literal *)
+  | Select of expr * expr
+      (** [a[iv]]: full selection yields a scalar, partial selection a
+          sub-array (SAC semantics) *)
+  | Call of string * expr list
+  | Bin of binop * expr * expr
+  | Neg of expr
+  | With of with_loop
+
+and with_loop = { gens : gen list; op : operation }
+
+and gen = {
+  lb : bound;
+  lb_incl : bool;  (** [lb <= iv] when true, [lb < iv] otherwise *)
+  pat : pat;
+  ub : bound;
+  ub_incl : bool;
+  step : expr option;
+  width : expr option;
+  locals : stmt list;
+  cell : expr;
+}
+
+and operation =
+  | Genarray of expr * expr option  (** shape, optional default *)
+  | Modarray of expr
+
+and stmt =
+  | Assign of string * expr
+  | Assign_idx of string * expr * expr  (** [a[iv] = e] *)
+  | For of { var : string; start : expr; stop : expr; body : stmt list }
+      (** [for (var = start; var < stop; var++)] *)
+  | Return of expr
+
+type fundef = {
+  fname : string;
+  params : (typ * string) list;
+  ret : typ;
+  body : stmt list;
+}
+
+type program = fundef list
+
+exception Sac_error of string
+
+let error fmt = Format.kasprintf (fun m -> raise (Sac_error m)) fmt
+
+let find_fun program name =
+  match List.find_opt (fun f -> f.fname = name) program with
+  | Some f -> f
+  | None -> error "unknown function %s" name
+
+(* ------------------------------------------------------------------ *)
+(* Pretty printing (round-trips through the parser)                    *)
+(* ------------------------------------------------------------------ *)
+
+let binop_text = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Concat -> "++"
+
+let typ_text = function
+  | Tint -> "int"
+  | Tarray Any_rank -> "int[*]"
+  | Tarray (Rank r) ->
+      "int[" ^ String.concat "," (List.init r (fun _ -> ".")) ^ "]"
+  | Tarray (Fixed dims) ->
+      "int[" ^ String.concat "," (List.map string_of_int dims) ^ "]"
+
+let rec pp_expr ppf = function
+  | Num n -> Format.pp_print_int ppf n
+  | Var v -> Format.pp_print_string ppf v
+  | Vec es ->
+      Format.fprintf ppf "[%a]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp_expr)
+        es
+  | Select (e, idx) -> Format.fprintf ppf "%a[%a]" pp_atom e pp_expr idx
+  | Call (f, args) ->
+      Format.fprintf ppf "%s(%a)" f
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp_expr)
+        args
+  | Bin (op, a, b) ->
+      Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_text op) pp_expr b
+  | Neg e -> Format.fprintf ppf "(-%a)" pp_atom e
+  | With w -> pp_with ppf w
+
+and pp_atom ppf e =
+  match e with
+  | Num _ | Var _ | Vec _ | Call _ | Select _ -> pp_expr ppf e
+  | _ -> Format.fprintf ppf "(%a)" pp_expr e
+
+and pp_bound ppf = function
+  | Dot -> Format.pp_print_string ppf "."
+  | Bexpr e -> pp_expr ppf e
+
+and pp_pat ppf = function
+  | Pvar v -> Format.pp_print_string ppf v
+  | Pvec vs ->
+      Format.fprintf ppf "[%s]" (String.concat ", " vs)
+
+and pp_gen ppf g =
+  Format.fprintf ppf "@[<v 2>(%a %s %a %s %a%a%a)" pp_bound g.lb
+    (if g.lb_incl then "<=" else "<")
+    pp_pat g.pat
+    (if g.ub_incl then "<=" else "<")
+    pp_bound g.ub
+    (fun ppf -> function
+      | None -> ()
+      | Some e -> Format.fprintf ppf " step %a" pp_expr e)
+    g.step
+    (fun ppf -> function
+      | None -> ()
+      | Some e -> Format.fprintf ppf " width %a" pp_expr e)
+    g.width;
+  if g.locals <> [] then begin
+    Format.fprintf ppf " {@ %a@;<1 -2>}"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_stmt)
+      g.locals
+  end;
+  Format.fprintf ppf " : %a;@]" pp_expr g.cell
+
+and pp_with ppf w =
+  Format.fprintf ppf "@[<v 2>with {@ %a@;<1 -2>} : %a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_gen)
+    w.gens pp_operation w.op
+
+and pp_operation ppf = function
+  | Genarray (shp, None) -> Format.fprintf ppf "genarray(%a)" pp_expr shp
+  | Genarray (shp, Some d) ->
+      Format.fprintf ppf "genarray(%a, %a)" pp_expr shp pp_expr d
+  | Modarray e -> Format.fprintf ppf "modarray(%a)" pp_expr e
+
+and pp_stmt ppf = function
+  | Assign (v, e) -> Format.fprintf ppf "@[<hv 2>%s =@ %a;@]" v pp_expr e
+  | Assign_idx (v, idx, e) ->
+      Format.fprintf ppf "@[<hv 2>%s[%a] =@ %a;@]" v pp_expr idx pp_expr e
+  | For { var; start; stop; body } ->
+      Format.fprintf ppf "@[<v 2>for (%s = %a; %s < %a; %s++) {@ %a@;<1 -2>}@]"
+        var pp_expr start var pp_expr stop var
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_stmt)
+        body
+  | Return e -> Format.fprintf ppf "return(%a);" pp_expr e
+
+let pp_fundef ppf f =
+  Format.fprintf ppf "@[<v 2>%s %s(%s)@ {@[<v 2>@ %a@]@ }@]" (typ_text f.ret)
+    f.fname
+    (String.concat ", "
+       (List.map (fun (t, n) -> typ_text t ^ " " ^ n) f.params))
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_stmt)
+    f.body
+
+let pp_program ppf p =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ @ ")
+    pp_fundef ppf p
+
+let expr_to_string e = Format.asprintf "%a" pp_expr e
+
+let program_to_string p = Format.asprintf "@[<v>%a@]" pp_program p

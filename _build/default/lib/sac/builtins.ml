@@ -1,0 +1,74 @@
+open Ndarray
+
+let error m = Value.Value_error m
+
+let matrix_exn v =
+  let t = Value.tensor_exn v in
+  if Tensor.rank t <> 2 then
+    raise (error (Printf.sprintf "expected a matrix, got rank %d" (Tensor.rank t)))
+  else
+    let shape = Tensor.shape t in
+    Array.init shape.(0) (fun i ->
+        Array.init shape.(1) (fun j -> Tensor.get t [| i; j |]))
+
+let of_matrix m =
+  let rows = Array.length m in
+  let cols = if rows = 0 then 0 else Array.length m.(0) in
+  Value.Varr
+    (Tensor.init [| rows; cols |] (fun idx -> m.(idx.(0)).(idx.(1))))
+
+let shape_of v = Value.of_vector (Value.shape v)
+
+let apply name args =
+  match (name, args) with
+  | "shape", [ v ] -> shape_of v
+  | "dim", [ v ] -> Value.Vint (Value.rank v)
+  | "MV", [ m; v ] ->
+      let m = matrix_exn m in
+      let vec = Value.vector_exn v in
+      if Array.length m > 0 && Array.length m.(0) <> Array.length vec then
+        raise
+          (error
+             (Printf.sprintf "MV: matrix has %d columns, vector has %d"
+                (Array.length m.(0)) (Array.length vec)))
+      else begin
+        Value.ops := !Value.ops + (Array.length m * Array.length vec * 2);
+        Value.of_vector (Linalg.mv m vec)
+      end
+  | "CAT", [ a; b ] ->
+      let a = matrix_exn a and b = matrix_exn b in
+      Value.ops :=
+        !Value.ops
+        + Array.fold_left (fun n r -> n + Array.length r) 0 a
+        + Array.fold_left (fun n r -> n + Array.length r) 0 b;
+      of_matrix (Linalg.cat_cols a b)
+  | "genarray", [ shp ] ->
+      let frame = Value.vector_exn shp in
+      Value.ops := !Value.ops + Shape.size frame;
+      Value.Varr (Tensor.create frame 0)
+  | "genarray", [ shp; default ] ->
+      let frame = Value.vector_exn shp in
+      Value.ops := !Value.ops + Shape.size frame;
+      if Value.rank default = 0 then
+        Value.Varr (Tensor.create frame (Value.scalar_exn default))
+      else begin
+        let tile = Value.tensor_exn default in
+        let result =
+          Tensor.create (Shape.concat frame (Tensor.shape tile)) 0
+        in
+        Index.iter frame (fun idx -> Tensor.set_tile result ~outer:idx tile);
+        Value.Varr result
+      end
+  | "min", [ a; b ] ->
+      Value.Vint (min (Value.scalar_exn a) (Value.scalar_exn b))
+  | "max", [ a; b ] ->
+      Value.Vint (max (Value.scalar_exn a) (Value.scalar_exn b))
+  | ("shape" | "dim"), _ ->
+      raise (error (name ^ " expects one argument"))
+  | ("MV" | "CAT" | "min" | "max"), _ ->
+      raise (error (name ^ " expects two arguments"))
+  | _ -> raise Not_found
+
+let names = [ "shape"; "dim"; "MV"; "CAT"; "min"; "max"; "genarray" ]
+
+let is_builtin name = List.mem name names

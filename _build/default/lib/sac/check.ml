@@ -1,0 +1,189 @@
+module Sset = Set.Make (String)
+
+type issue = { in_function : string; message : string }
+
+type st = {
+  fname : string;
+  arities : (string * int) list;
+  mutable issues : issue list;
+}
+
+let report st fmt =
+  Format.kasprintf
+    (fun message -> st.issues <- { in_function = st.fname; message } :: st.issues)
+    fmt
+
+let literal_vector_length e =
+  match e with
+  | Ast.Vec es ->
+      if
+        List.for_all
+          (function Ast.Num _ | Ast.Neg (Ast.Num _) -> true | _ -> false)
+          es
+      then Some (List.length es)
+      else None
+  | _ -> None
+
+let rec check_expr st bound e =
+  match e with
+  | Ast.Num _ -> ()
+  | Ast.Var v ->
+      if not (Sset.mem v bound) then report st "unbound variable %s" v
+  | Ast.Vec es -> List.iter (check_expr st bound) es
+  | Ast.Select (a, b) | Ast.Bin (_, a, b) ->
+      check_expr st bound a;
+      check_expr st bound b
+  | Ast.Neg a -> check_expr st bound a
+  | Ast.Call (f, args) ->
+      List.iter (check_expr st bound) args;
+      if Builtins.is_builtin f then begin
+        let expected =
+          match f with
+          | "shape" | "dim" -> [ 1 ]
+          | "genarray" -> [ 1; 2 ]
+          | _ -> [ 2 ]
+        in
+        if not (List.mem (List.length args) expected) then
+          report st "builtin %s applied to %d argument(s)" f (List.length args)
+      end
+      else begin
+        match List.assoc_opt f st.arities with
+        | None -> report st "call to unknown function %s" f
+        | Some n ->
+            if n <> List.length args then
+              report st "%s expects %d argument(s), got %d" f n
+                (List.length args)
+      end
+  | Ast.With w -> check_with st bound w
+
+and check_with st bound (w : Ast.with_loop) =
+  if w.Ast.gens = [] then report st "with-loop has no generators";
+  (match w.Ast.op with
+  | Ast.Genarray (s, d) ->
+      check_expr st bound s;
+      Option.iter (check_expr st bound) d
+  | Ast.Modarray e -> check_expr st bound e);
+  List.iter
+    (fun (g : Ast.gen) ->
+      let bound_lens = ref [] in
+      let check_bound b =
+        match b with
+        | Ast.Dot -> ()
+        | Ast.Bexpr e -> (
+            check_expr st bound e;
+            match literal_vector_length e with
+            | Some n -> bound_lens := n :: !bound_lens
+            | None -> ())
+      in
+      check_bound g.Ast.lb;
+      check_bound g.Ast.ub;
+      (match List.sort_uniq compare !bound_lens with
+      | [] | [ _ ] -> ()
+      | _ -> report st "generator bounds have different ranks");
+      let rank = match !bound_lens with n :: _ -> Some n | [] -> None in
+      List.iter
+        (fun (what, e) ->
+          match e with
+          | None -> ()
+          | Some e -> (
+              check_expr st bound e;
+              match (literal_vector_length e, rank) with
+              | Some n, Some r when n <> r ->
+                  report st "generator %s has rank %d, bounds have rank %d"
+                    what n r
+              | _ -> ()))
+        [ ("step", g.Ast.step); ("width", g.Ast.width) ];
+      (match (g.Ast.pat, rank) with
+      | Ast.Pvec vs, Some r when List.length vs <> r ->
+          report st "index pattern [%s] does not match bound rank %d"
+            (String.concat "," vs) r
+      | _ -> ());
+      let bound_g =
+        match g.Ast.pat with
+        | Ast.Pvar v -> Sset.add v bound
+        | Ast.Pvec vs -> List.fold_right Sset.add vs bound
+      in
+      let bound_g = check_stmts st bound_g ~allow_return:false g.Ast.locals in
+      check_expr st bound_g g.Ast.cell)
+    w.Ast.gens
+
+and check_stmts st bound ~allow_return stmts =
+  List.fold_left
+    (fun bound stmt ->
+      match stmt with
+      | Ast.Assign (x, e) ->
+          check_expr st bound e;
+          Sset.add x bound
+      | Ast.Assign_idx (x, idx, e) ->
+          if not (Sset.mem x bound) then
+            report st "indexed update of unbound variable %s" x;
+          check_expr st bound idx;
+          check_expr st bound e;
+          bound
+      | Ast.For { var; start; stop; body } ->
+          check_expr st bound start;
+          check_expr st bound stop;
+          let inner =
+            check_stmts st (Sset.add var bound) ~allow_return:false body
+          in
+          (* Assignments inside the loop body stay in scope after it
+             (C-style), but the loop variable does too. *)
+          inner
+      | Ast.Return e ->
+          if not allow_return then
+            report st "return is only allowed at function level";
+          check_expr st bound e;
+          bound)
+    bound stmts
+
+let check_fundef st (fd : Ast.fundef) =
+  let params = List.map snd fd.Ast.params in
+  let dup =
+    List.filter
+      (fun p -> List.length (List.filter (String.equal p) params) > 1)
+      params
+  in
+  (match List.sort_uniq compare dup with
+  | [] -> ()
+  | ps -> report st "duplicate parameter(s): %s" (String.concat ", " ps));
+  ignore
+    (check_stmts st
+       (Sset.of_list params)
+       ~allow_return:true fd.Ast.body);
+  (* The last statement must be the return (the inliner and the
+     backend rely on it). *)
+  match List.rev fd.Ast.body with
+  | Ast.Return _ :: _ -> ()
+  | _ -> report st "function does not end with a return statement"
+
+let program prog =
+  let arities =
+    List.map (fun (f : Ast.fundef) -> (f.Ast.fname, List.length f.Ast.params)) prog
+  in
+  let issues = ref [] in
+  let names = List.map fst arities in
+  List.iter
+    (fun n ->
+      if List.length (List.filter (String.equal n) names) > 1 then
+        issues :=
+          { in_function = n; message = "function defined more than once" }
+          :: !issues)
+    (List.sort_uniq compare names);
+  List.iter
+    (fun (fd : Ast.fundef) ->
+      let st = { fname = fd.Ast.fname; arities; issues = [] } in
+      check_fundef st fd;
+      issues := st.issues @ !issues)
+    prog;
+  List.rev !issues
+
+let pp_issue ppf i =
+  Format.fprintf ppf "in %s: %s" i.in_function i.message
+
+let program_exn prog =
+  match program prog with
+  | [] -> prog
+  | issues ->
+      Ast.error "%s"
+        (String.concat "; "
+           (List.map (Format.asprintf "%a" pp_issue) issues))

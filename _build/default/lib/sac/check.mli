@@ -1,0 +1,19 @@
+(** Static semantic checks.
+
+    Catches the errors the interpreter or backend would otherwise
+    report mid-execution, with function-level context: unbound
+    variables, unknown functions and arity mismatches, missing or
+    non-final returns, duplicate definitions, and malformed with-loops
+    (no generators, inconsistent literal bound ranks, step/width
+    rank mismatches). *)
+
+type issue = { in_function : string; message : string }
+
+val program : Ast.program -> issue list
+(** Empty list = statically well-formed. *)
+
+val program_exn : Ast.program -> Ast.program
+(** Identity on well-formed programs; raises [Ast.Sac_error] listing
+    every issue otherwise. *)
+
+val pp_issue : Format.formatter -> issue -> unit

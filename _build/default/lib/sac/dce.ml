@@ -1,0 +1,113 @@
+module Sset = Set.Make (String)
+
+let rec fv_expr acc = function
+  | Ast.Num _ -> acc
+  | Ast.Var v -> Sset.add v acc
+  | Ast.Vec es -> List.fold_left fv_expr acc es
+  | Ast.Select (a, b) | Ast.Bin (_, a, b) -> fv_expr (fv_expr acc a) b
+  | Ast.Neg e -> fv_expr acc e
+  | Ast.Call (_, args) -> List.fold_left fv_expr acc args
+  | Ast.With w ->
+      let acc =
+        match w.Ast.op with
+        | Ast.Genarray (s, d) ->
+            Option.fold ~none:(fv_expr acc s) ~some:(fv_expr (fv_expr acc s)) d
+        | Ast.Modarray e -> fv_expr acc e
+      in
+      List.fold_left
+        (fun acc (g : Ast.gen) ->
+          let acc =
+            List.fold_left
+              (fun acc b ->
+                match b with Ast.Dot -> acc | Ast.Bexpr e -> fv_expr acc e)
+              acc
+              [ g.Ast.lb; g.Ast.ub ]
+          in
+          let acc = Option.fold ~none:acc ~some:(fv_expr acc) g.Ast.step in
+          let acc = Option.fold ~none:acc ~some:(fv_expr acc) g.Ast.width in
+          let bound =
+            match g.Ast.pat with
+            | Ast.Pvar v -> Sset.singleton v
+            | Ast.Pvec vs -> Sset.of_list vs
+          in
+          let inner =
+            List.fold_left fv_stmt
+              (fv_expr Sset.empty g.Ast.cell)
+              g.Ast.locals
+          in
+          let bound =
+            Sset.union bound (Sset.of_list (Rename.bound_names g.Ast.locals))
+          in
+          Sset.union acc (Sset.diff inner bound))
+        acc w.Ast.gens
+
+and fv_stmt acc = function
+  | Ast.Assign (_, e) -> fv_expr acc e
+  | Ast.Assign_idx (v, idx, e) -> Sset.add v (fv_expr (fv_expr acc idx) e)
+  | Ast.For { start; stop; body; _ } ->
+      List.fold_left fv_stmt (fv_expr (fv_expr acc start) stop) body
+  | Ast.Return e -> fv_expr acc e
+
+(* Backward pass: keep a statement when it defines or updates a live
+   variable; a kept statement's reads become live. *)
+and dce_stmts live stmts =
+  List.fold_right
+    (fun stmt (live, kept) ->
+      match stmt with
+      | Ast.Assign (x, e) ->
+          if Sset.mem x live then
+            (fv_expr (Sset.remove x live) e, dce_inside stmt :: kept)
+          else (live, kept)
+      | Ast.Assign_idx (x, idx, e) ->
+          if Sset.mem x live then
+            (fv_expr (fv_expr live idx) e, stmt :: kept)
+          else (live, kept)
+      | Ast.For { var; start; stop; body } ->
+          let assigned =
+            Sset.of_list (Rename.bound_names body)
+          in
+          if Sset.is_empty (Sset.inter assigned live) then (live, kept)
+          else
+            let live_body =
+              List.fold_left fv_stmt (Sset.union live assigned) body
+            in
+            ( fv_expr (fv_expr (Sset.remove var live_body) start) stop,
+              Ast.For { var; start; stop; body } :: kept )
+      | Ast.Return e -> (fv_expr live e, stmt :: kept))
+    stmts (live, [])
+
+(* Prune dead generator locals inside a kept assignment's with-loops. *)
+and dce_inside stmt =
+  match stmt with
+  | Ast.Assign (x, e) -> Ast.Assign (x, dce_expr e)
+  | _ -> stmt
+
+and dce_expr = function
+  | Ast.With w ->
+      Ast.With
+        {
+          w with
+          Ast.gens =
+            List.map
+              (fun (g : Ast.gen) ->
+                let cell = dce_expr g.Ast.cell in
+                let _, locals =
+                  dce_stmts (fv_expr Sset.empty cell) g.Ast.locals
+                in
+                { g with Ast.locals; cell })
+              w.Ast.gens;
+        }
+  | Ast.Bin (op, a, b) -> Ast.Bin (op, dce_expr a, dce_expr b)
+  | Ast.Select (a, b) -> Ast.Select (dce_expr a, dce_expr b)
+  | Ast.Neg e -> Ast.Neg (dce_expr e)
+  | Ast.Vec es -> Ast.Vec (List.map dce_expr es)
+  | Ast.Call (f, args) -> Ast.Call (f, List.map dce_expr args)
+  | (Ast.Num _ | Ast.Var _) as e -> e
+
+let free_vars e = Sset.elements (fv_expr Sset.empty e)
+
+let free_vars_of_stmt s = Sset.elements (fv_stmt Sset.empty s)
+
+let fundef (fd : Ast.fundef) =
+  let _, body = dce_stmts Sset.empty fd.Ast.body in
+  { fd with Ast.body }

@@ -1,0 +1,16 @@
+(** Dead-code elimination.
+
+    Removes assignments whose targets are never read afterwards —
+    notably the intermediate-array definitions that With-Loop Folding
+    leaves behind, and the tile-construction statements left over from
+    generator projection.  Liveness is over-approximated (free
+    variables ignore shadowing, which cannot occur after renaming), so
+    removal is always sound. *)
+
+val free_vars : Ast.expr -> string list
+
+val free_vars_of_stmt : Ast.stmt -> string list
+(** Free variables read by a statement (the target of an indexed
+    assignment counts as read, since it is updated in place). *)
+
+val fundef : Ast.fundef -> Ast.fundef

@@ -1,0 +1,77 @@
+let rec expr_has_user_call = function
+  | Ast.Num _ | Ast.Var _ -> false
+  | Ast.Vec es -> List.exists expr_has_user_call es
+  | Ast.Select (a, b) | Ast.Bin (_, a, b) ->
+      expr_has_user_call a || expr_has_user_call b
+  | Ast.Neg e -> expr_has_user_call e
+  | Ast.Call (f, args) ->
+      (not (Builtins.is_builtin f)) || List.exists expr_has_user_call args
+  | Ast.With w ->
+      List.exists
+        (fun (g : Ast.gen) ->
+          List.exists stmt_has_user_call g.Ast.locals
+          || expr_has_user_call g.Ast.cell
+          || (match g.Ast.lb with Ast.Bexpr e -> expr_has_user_call e | Ast.Dot -> false)
+          || (match g.Ast.ub with Ast.Bexpr e -> expr_has_user_call e | Ast.Dot -> false)
+          || Option.fold ~none:false ~some:expr_has_user_call g.Ast.step
+          || Option.fold ~none:false ~some:expr_has_user_call g.Ast.width)
+        w.Ast.gens
+      || (match w.Ast.op with
+         | Ast.Genarray (s, d) ->
+             expr_has_user_call s
+             || Option.fold ~none:false ~some:expr_has_user_call d
+         | Ast.Modarray e -> expr_has_user_call e)
+
+and stmt_has_user_call = function
+  | Ast.Assign (_, e) -> expr_has_user_call e
+  | Ast.Assign_idx (_, idx, e) -> expr_has_user_call idx || expr_has_user_call e
+  | Ast.For { start; stop; body; _ } ->
+      expr_has_user_call start || expr_has_user_call stop
+      || List.exists stmt_has_user_call body
+  | Ast.Return e -> expr_has_user_call e
+
+let split_return fname body =
+  match List.rev body with
+  | Ast.Return e :: rev_rest -> (List.rev rev_rest, e)
+  | _ ->
+      Ast.error "inline: %s must end with a return statement to be inlined"
+        fname
+
+let expand prog x f args =
+  let fd = Ast.find_fun prog f in
+  if List.length fd.Ast.params <> List.length args then
+    Ast.error "inline: %s expects %d arguments, got %d" f
+      (List.length fd.Ast.params) (List.length args);
+  let param_names = List.map snd fd.Ast.params in
+  let subst = Rename.freshen (param_names @ Rename.bound_names fd.Ast.body) in
+  let bind_params =
+    List.map2
+      (fun p arg -> Ast.Assign (List.assoc p subst, arg))
+      param_names args
+  in
+  let body, ret = split_return f (Rename.stmts subst fd.Ast.body) in
+  bind_params @ body @ [ Ast.Assign (x, ret) ]
+
+let rec inline_stmts prog depth stmts =
+  if depth > 100 then
+    Ast.error "inline: call depth exceeds 100 (recursive program?)";
+  List.concat_map
+    (fun stmt ->
+      match stmt with
+      | Ast.Assign (x, Ast.Call (f, args))
+        when not (Builtins.is_builtin f) ->
+          if List.exists expr_has_user_call args then
+            Ast.error
+              "inline: nested user calls in the arguments of %s are not \
+               supported"
+              f;
+          inline_stmts prog (depth + 1) (expand prog x f args)
+      | stmt when stmt_has_user_call stmt ->
+          Ast.error
+            "inline: user functions may only be called as 'x = f(...);'"
+      | stmt -> [ stmt ])
+    stmts
+
+let program prog ~entry =
+  let fd = Ast.find_fun prog entry in
+  { fd with Ast.body = inline_stmts prog 0 fd.Ast.body }

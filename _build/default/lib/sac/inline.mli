@@ -1,0 +1,16 @@
+(** Function inlining.
+
+    The CUDA backend "only parallelises the outermost WITH-loops
+    containing no function invocations" (Section VII); inlining user
+    functions into [main] removes all invocations, specialising the
+    generic tiler functions to their constant tiler arguments in the
+    process.  Builtins remain as calls.
+
+    Restriction: user calls are inlined only in the statement form
+    [x = f(args);] and a function's [return] must be its final
+    statement — the shape of every listing in the paper. *)
+
+val program : Ast.program -> entry:string -> Ast.fundef
+(** The entry function with every user call expanded.  Raises
+    [Ast.Sac_error] on recursion (depth limit), unsupported call
+    positions, or arity mismatches. *)

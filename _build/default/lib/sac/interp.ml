@@ -1,0 +1,215 @@
+open Ndarray
+
+type env = (string, Value.t) Hashtbl.t
+
+let env_of_list bindings =
+  let env = Hashtbl.create 16 in
+  List.iter (fun (name, v) -> Hashtbl.replace env name v) bindings;
+  env
+
+exception Return_exc of Value.t
+
+let ops_counter = Value.ops
+
+let lookup env name =
+  match Hashtbl.find_opt env name with
+  | Some v -> v
+  | None -> Ast.error "unbound variable %s" name
+
+let bind_pattern env pat idx =
+  match pat with
+  | Ast.Pvar name -> Hashtbl.replace env name (Value.of_vector idx)
+  | Ast.Pvec names ->
+      if List.length names <> Array.length idx then
+        Ast.error "index pattern [%s] does not match rank %d"
+          (String.concat "," names) (Array.length idx);
+      List.iteri (fun d name -> Hashtbl.replace env name (Value.Vint idx.(d))) names
+
+let rec eval_expr prog env = function
+  | Ast.Num n -> Value.Vint n
+  | Ast.Var name -> lookup env name
+  | Ast.Vec es ->
+      let elems = List.map (eval_expr prog env) es in
+      if List.for_all (fun v -> Value.rank v = 0) elems then
+        Value.of_vector
+          (Array.of_list (List.map Value.scalar_exn elems))
+      else begin
+        (* A vector of equal-shape arrays stacks into a higher-rank
+           array (needed for matrix literals). *)
+        match elems with
+        | [] -> Value.of_vector [||]
+        | first :: _ ->
+            let cell = Value.shape first in
+            List.iter
+              (fun v ->
+                if not (Shape.equal (Value.shape v) cell) then
+                  Ast.error "ragged array literal")
+              elems;
+            let n = List.length elems in
+            let result =
+              Tensor.create (Shape.concat [| n |] cell) 0
+            in
+            List.iteri
+              (fun i v ->
+                Tensor.set_tile result ~outer:[| i |] (Value.tensor_exn v))
+              elems;
+            Value.Varr result
+      end
+  | Ast.Select (e, idx) ->
+      Value.select (eval_expr prog env e) (eval_expr prog env idx)
+  | Ast.Call (name, args) ->
+      let actuals = List.map (eval_expr prog env) args in
+      if Builtins.is_builtin name then Builtins.apply name actuals
+      else call prog name actuals
+  | Ast.Bin (op, a, b) ->
+      Value.binop op (eval_expr prog env a) (eval_expr prog env b)
+  | Ast.Neg e -> Value.neg (eval_expr prog env e)
+  | Ast.With w -> eval_with prog env w
+
+and eval_with prog env (w : Ast.with_loop) =
+  let eval e = eval_expr prog env e in
+  match w.op with
+  | Ast.Modarray src_e ->
+      let src = Value.tensor_exn (eval src_e) in
+      let frame = Tensor.shape src in
+      let resolved =
+        List.map (fun g -> (g, Genspace.resolve ~frame ~eval g)) w.gens
+      in
+      let result = Tensor.copy src in
+      List.iter
+        (fun ((g : Ast.gen), space) ->
+          Genspace.iter space (fun idx ->
+              let v = eval_cell prog env g idx in
+              match v with
+              | Value.Vint n -> Tensor.set result idx n
+              | Value.Varr t when Tensor.rank t = 0 ->
+                  Tensor.set result idx (Tensor.get_lin t 0)
+              | Value.Varr _ ->
+                  Ast.error "modarray cells must be scalars"))
+        resolved;
+      Value.Varr result
+  | Ast.Genarray (shape_e, default_e) ->
+      let frame = Value.vector_exn (eval shape_e) in
+      if Array.exists (fun e -> e < 0) frame then
+        Ast.error "genarray shape %s has negative extents"
+          (Index.to_string frame);
+      let resolved =
+        List.map (fun g -> (g, Genspace.resolve ~frame ~eval g)) w.gens
+      in
+      let default = Option.map eval default_e in
+      (* Discover the cell shape from the first covered index (or from
+         the default when no index is covered). *)
+      let cell_shape = ref None in
+      (try
+         Index.iter frame (fun idx ->
+             match
+               List.find_opt (fun (_, s) -> Genspace.covers s idx) resolved
+             with
+             | Some ((g : Ast.gen), _) ->
+                 cell_shape := Some (Value.shape (eval_cell prog env g idx));
+                 raise Exit
+             | None -> ())
+       with Exit -> ());
+      let cell_shape =
+        match (!cell_shape, default) with
+        | Some s, Some d ->
+            if
+              Value.rank d > 0
+              && not (Shape.equal (Value.shape d) s)
+            then Ast.error "genarray default shape mismatch"
+            else s
+        | Some s, None -> s
+        | None, Some d -> Value.shape d
+        | None, None -> Shape.scalar
+      in
+      let result_shape = Shape.concat frame cell_shape in
+      let default_tensor =
+        match default with
+        | None -> Tensor.create cell_shape 0
+        | Some (Value.Vint n) -> Tensor.create cell_shape n
+        | Some (Value.Varr t) ->
+            if Tensor.rank t = 0 then
+              Tensor.create cell_shape (Tensor.get_lin t 0)
+            else Tensor.copy t
+      in
+      let result = Tensor.create result_shape 0 in
+      let cell_rank = Shape.rank cell_shape in
+      let place idx v =
+        if cell_rank = 0 then
+          Tensor.set result idx
+            (match v with
+            | Value.Vint n -> n
+            | Value.Varr t -> Tensor.get_lin t 0)
+        else begin
+          let t = Value.tensor_exn v in
+          if not (Shape.equal (Tensor.shape t) cell_shape) then
+            Ast.error "genarray cells disagree in shape: %s vs %s"
+              (Shape.to_string (Tensor.shape t))
+              (Shape.to_string cell_shape);
+          Tensor.set_tile result ~outer:idx t
+        end
+      in
+      Index.iter frame (fun idx ->
+          match
+            List.find_opt (fun (_, s) -> Genspace.covers s idx) resolved
+          with
+          | Some (g, _) -> place idx (eval_cell prog env g idx)
+          | None -> place idx (Value.Varr default_tensor));
+      Value.Varr result
+
+and eval_cell prog env (g : Ast.gen) idx =
+  let child = Hashtbl.copy env in
+  bind_pattern child g.pat idx;
+  match exec_stmts prog child g.locals with
+  | Some _ -> Ast.error "return inside a with-loop generator body"
+  | None -> eval_expr prog child g.cell
+
+and exec_stmts prog env stmts =
+  match stmts with
+  | [] -> None
+  | stmt :: rest -> (
+      match stmt with
+      | Ast.Assign (name, e) ->
+          Hashtbl.replace env name (Value.copy (eval_expr prog env e));
+          exec_stmts prog env rest
+      | Ast.Assign_idx (name, idx_e, e) ->
+          let current = lookup env name in
+          let idx = eval_expr prog env idx_e in
+          let v = eval_expr prog env e in
+          Hashtbl.replace env name (Value.update current idx v);
+          exec_stmts prog env rest
+      | Ast.For { var; start; stop; body } ->
+          let lo = Value.scalar_exn (eval_expr prog env start) in
+          let rec loop i =
+            (* The bound is re-evaluated like in C; the paper's loops
+               use invariant bounds, but re-evaluation is the honest
+               semantics. *)
+            let hi = Value.scalar_exn (eval_expr prog env stop) in
+            if i < hi then begin
+              Hashtbl.replace env var (Value.Vint i);
+              (match exec_stmts prog env body with
+              | Some v -> raise (Return_exc v)
+              | None -> ());
+              loop (i + 1)
+            end
+          in
+          loop lo;
+          exec_stmts prog env rest
+      | Ast.Return e -> Some (eval_expr prog env e))
+
+and call prog name actuals =
+  let f = Ast.find_fun prog name in
+  if List.length f.params <> List.length actuals then
+    Ast.error "%s expects %d arguments, got %d" name (List.length f.params)
+      (List.length actuals);
+  let env = Hashtbl.create 16 in
+  List.iter2
+    (fun (_, pname) v -> Hashtbl.replace env pname (Value.copy v))
+    f.params actuals;
+  match
+    try exec_stmts prog env f.body with Return_exc v -> Some v
+  with
+  | Some v -> v
+  | None -> Ast.error "%s finished without returning a value" name
+
+let run prog ~entry ~args = call prog entry args

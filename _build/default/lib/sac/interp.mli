@@ -1,0 +1,28 @@
+(** Reference interpreter.
+
+    Defines the semantics against which the optimiser and the CUDA
+    backend are verified: for every program [p] and pass [t],
+    [run (t p) = run p] must hold bit-exactly (checked by property
+    tests). *)
+
+type env
+
+val env_of_list : (string * Value.t) list -> env
+
+val run : Ast.program -> entry:string -> args:Value.t list -> Value.t
+(** Call [entry] with positional arguments.  Raises [Ast.Sac_error] /
+    [Value.Value_error] on semantic errors (unknown identifiers,
+    missing return, shape mismatches, ...). *)
+
+val eval_expr : Ast.program -> env -> Ast.expr -> Value.t
+(** Evaluate one expression in a given environment (used by tests and
+    by constant folding). *)
+
+val exec_stmts : Ast.program -> env -> Ast.stmt list -> Value.t option
+(** Execute statements; [Some v] when a [return] was reached. *)
+
+val ops_counter : int ref
+(** Abstract operation counter: incremented per arithmetic operation,
+    selection and indexed update.  The CUDA backend charges host-side
+    segments (for-loop tilers) by the operations they actually execute;
+    reset and read it around the segment. *)

@@ -1,0 +1,170 @@
+type token =
+  | INT of int
+  | IDENT of string
+  | KW_INT
+  | KW_WITH
+  | KW_GENARRAY
+  | KW_MODARRAY
+  | KW_STEP
+  | KW_WIDTH
+  | KW_RETURN
+  | KW_FOR
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | COLON
+  | LE
+  | LT
+  | ASSIGN
+  | PLUSPLUS
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | DOT
+  | EOF
+
+type located = { token : token; line : int; col : int }
+
+exception Lex_error of string
+
+let keyword = function
+  | "int" -> Some KW_INT
+  | "with" -> Some KW_WITH
+  | "genarray" -> Some KW_GENARRAY
+  | "modarray" -> Some KW_MODARRAY
+  | "step" -> Some KW_STEP
+  | "width" -> Some KW_WIDTH
+  | "return" -> Some KW_RETURN
+  | "for" -> Some KW_FOR
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 and col = ref 1 in
+  let pos = ref 0 in
+  let peek off = if !pos + off < n then Some src.[!pos + off] else None in
+  let advance () =
+    (match src.[!pos] with
+    | '\n' ->
+        incr line;
+        col := 1
+    | _ -> incr col);
+    incr pos
+  in
+  let fail fmt =
+    Format.kasprintf
+      (fun m ->
+        raise (Lex_error (Printf.sprintf "line %d, column %d: %s" !line !col m)))
+      fmt
+  in
+  let tokens = ref [] in
+  let emit token l c = tokens := { token; line = l; col = c } :: !tokens in
+  let rec skip_block_comment () =
+    match (peek 0, peek 1) with
+    | Some '*', Some '/' ->
+        advance ();
+        advance ()
+    | Some _, _ ->
+        advance ();
+        skip_block_comment ()
+    | None, _ -> fail "unterminated comment"
+  in
+  while !pos < n do
+    let l = !line and c = !col in
+    match src.[!pos] with
+    | ' ' | '\t' | '\r' | '\n' -> advance ()
+    | '/' when peek 1 = Some '*' ->
+        advance ();
+        advance ();
+        skip_block_comment ()
+    | '/' when peek 1 = Some '/' ->
+        while !pos < n && src.[!pos] <> '\n' do
+          advance ()
+        done
+    | '(' -> advance (); emit LPAREN l c
+    | ')' -> advance (); emit RPAREN l c
+    | '{' -> advance (); emit LBRACE l c
+    | '}' -> advance (); emit RBRACE l c
+    | '[' -> advance (); emit LBRACKET l c
+    | ']' -> advance (); emit RBRACKET l c
+    | ',' -> advance (); emit COMMA l c
+    | ';' -> advance (); emit SEMI l c
+    | ':' -> advance (); emit COLON l c
+    | '<' when peek 1 = Some '=' ->
+        advance ();
+        advance ();
+        emit LE l c
+    | '<' -> advance (); emit LT l c
+    | '=' -> advance (); emit ASSIGN l c
+    | '+' when peek 1 = Some '+' ->
+        advance ();
+        advance ();
+        emit PLUSPLUS l c
+    | '+' -> advance (); emit PLUS l c
+    | '-' -> advance (); emit MINUS l c
+    | '*' -> advance (); emit STAR l c
+    | '/' -> advance (); emit SLASH l c
+    | '%' -> advance (); emit PERCENT l c
+    | '.' -> advance (); emit DOT l c
+    | ch when is_digit ch ->
+        let start = !pos in
+        while !pos < n && is_digit src.[!pos] do
+          advance ()
+        done;
+        emit (INT (int_of_string (String.sub src start (!pos - start)))) l c
+    | ch when is_ident_start ch ->
+        let start = !pos in
+        while !pos < n && is_ident_char src.[!pos] do
+          advance ()
+        done;
+        let text = String.sub src start (!pos - start) in
+        emit (match keyword text with Some kw -> kw | None -> IDENT text) l c
+    | ch -> fail "illegal character %C" ch
+  done;
+  emit EOF !line !col;
+  List.rev !tokens
+
+let token_text = function
+  | INT n -> string_of_int n
+  | IDENT s -> s
+  | KW_INT -> "int"
+  | KW_WITH -> "with"
+  | KW_GENARRAY -> "genarray"
+  | KW_MODARRAY -> "modarray"
+  | KW_STEP -> "step"
+  | KW_WIDTH -> "width"
+  | KW_RETURN -> "return"
+  | KW_FOR -> "for"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | COMMA -> ","
+  | SEMI -> ";"
+  | COLON -> ":"
+  | LE -> "<="
+  | LT -> "<"
+  | ASSIGN -> "="
+  | PLUSPLUS -> "++"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | DOT -> "."
+  | EOF -> "<eof>"

@@ -1,0 +1,43 @@
+(** Hand-written lexer for the SAC subset. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW_INT  (** [int] *)
+  | KW_WITH
+  | KW_GENARRAY
+  | KW_MODARRAY
+  | KW_STEP
+  | KW_WIDTH
+  | KW_RETURN
+  | KW_FOR
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | COLON
+  | LE  (** [<=] *)
+  | LT
+  | ASSIGN  (** [=] *)
+  | PLUSPLUS  (** [++] *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | DOT
+  | EOF
+
+type located = { token : token; line : int; col : int }
+
+exception Lex_error of string
+
+val tokenize : string -> located list
+(** Comments ([/* ... */] and [// ...]) and whitespace are skipped.
+    Raises {!Lex_error} with position information on illegal input. *)
+
+val token_text : token -> string

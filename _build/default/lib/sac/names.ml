@@ -1,0 +1,17 @@
+let counter = ref 0
+
+let fresh base_name =
+  incr counter;
+  let root =
+    match String.index_opt base_name '$' with
+    | Some i -> String.sub base_name 0 i
+    | None -> base_name
+  in
+  Printf.sprintf "%s$%d" root !counter
+
+let base name =
+  match String.index_opt name '$' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+let reset () = counter := 0

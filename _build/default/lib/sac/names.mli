@@ -1,0 +1,13 @@
+(** Fresh-name supply for program transformations.
+
+    Generated names contain a ['$'], which the lexer rejects, so they
+    can never collide with source identifiers. *)
+
+val fresh : string -> string
+(** [fresh base] is a new name derived from [base]. *)
+
+val base : string -> string
+(** Strip the freshness suffix (for readable diagnostics). *)
+
+val reset : unit -> unit
+(** Restart the counter (tests only; makes output deterministic). *)

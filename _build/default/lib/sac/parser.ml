@@ -1,0 +1,381 @@
+open Lexer
+
+exception Parse_error of string
+
+type state = { tokens : located array; mutable cursor : int }
+
+let current st = st.tokens.(st.cursor)
+
+let peek_token ?(off = 0) st =
+  let i = st.cursor + off in
+  if i < Array.length st.tokens then st.tokens.(i).token else EOF
+
+let fail st fmt =
+  let { token; line; col } = current st in
+  Format.kasprintf
+    (fun m ->
+      raise
+        (Parse_error
+           (Printf.sprintf "line %d, column %d (at '%s'): %s" line col
+              (token_text token) m)))
+    fmt
+
+let advance st = st.cursor <- st.cursor + 1
+
+let expect st token =
+  if peek_token st = token then advance st
+  else fail st "expected '%s'" (token_text token)
+
+let accept st token =
+  if peek_token st = token then begin
+    advance st;
+    true
+  end
+  else false
+
+let ident st =
+  match peek_token st with
+  | IDENT name ->
+      advance st;
+      name
+  | _ -> fail st "expected an identifier"
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let typ st =
+  expect st KW_INT;
+  if not (accept st LBRACKET) then Ast.Tint
+  else
+    let spec =
+      match peek_token st with
+      | STAR ->
+          advance st;
+          Ast.Any_rank
+      | DOT ->
+          let rank = ref 0 in
+          let rec dots () =
+            expect st DOT;
+            incr rank;
+            if accept st COMMA then dots ()
+          in
+          dots ();
+          Ast.Rank !rank
+      | INT _ ->
+          let dims = ref [] in
+          let rec ints () =
+            (match peek_token st with
+            | INT n ->
+                advance st;
+                dims := n :: !dims
+            | _ -> fail st "expected a dimension");
+            if accept st COMMA then ints ()
+          in
+          ints ();
+          Ast.Fixed (List.rev !dims)
+      | _ -> fail st "expected '*', '.' or a dimension"
+    in
+    expect st RBRACKET;
+    Ast.Tarray spec
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec expr st = concat_level st
+
+and concat_level st =
+  let left = additive st in
+  if accept st PLUSPLUS then Ast.Bin (Ast.Concat, left, concat_level st)
+  else left
+
+and additive st =
+  let rec loop left =
+    match peek_token st with
+    | PLUS ->
+        advance st;
+        loop (Ast.Bin (Ast.Add, left, mult st))
+    | MINUS ->
+        advance st;
+        loop (Ast.Bin (Ast.Sub, left, mult st))
+    | _ -> left
+  in
+  loop (mult st)
+
+and mult st =
+  let rec loop left =
+    match peek_token st with
+    | STAR ->
+        advance st;
+        loop (Ast.Bin (Ast.Mul, left, unary st))
+    | SLASH ->
+        advance st;
+        loop (Ast.Bin (Ast.Div, left, unary st))
+    | PERCENT ->
+        advance st;
+        loop (Ast.Bin (Ast.Mod, left, unary st))
+    | _ -> left
+  in
+  loop (unary st)
+
+and unary st =
+  if accept st MINUS then Ast.Neg (unary st) else postfix st
+
+and postfix st =
+  let rec selects e =
+    if accept st LBRACKET then begin
+      let idx = expr st in
+      expect st RBRACKET;
+      selects (Ast.Select (e, idx))
+    end
+    else e
+  in
+  selects (primary st)
+
+and primary st =
+  match peek_token st with
+  | INT n ->
+      advance st;
+      Ast.Num n
+  | IDENT name ->
+      advance st;
+      if accept st LPAREN then begin
+        let args = ref [] in
+        if peek_token st <> RPAREN then begin
+          let rec loop () =
+            args := expr st :: !args;
+            if accept st COMMA then loop ()
+          in
+          loop ()
+        end;
+        expect st RPAREN;
+        Ast.Call (name, List.rev !args)
+      end
+      else Ast.Var name
+  | LPAREN ->
+      advance st;
+      let e = expr st in
+      expect st RPAREN;
+      e
+  | LBRACKET ->
+      advance st;
+      let elems = ref [] in
+      if peek_token st <> RBRACKET then begin
+        let rec loop () =
+          elems := expr st :: !elems;
+          if accept st COMMA then loop ()
+        in
+        loop ()
+      end;
+      expect st RBRACKET;
+      Ast.Vec (List.rev !elems)
+  | KW_WITH -> with_loop st
+  | KW_GENARRAY ->
+      (* genarray in expression position creates a constant array, as in
+         the paper's "tile = genarray(out_pattern, 0);". *)
+      advance st;
+      expect st LPAREN;
+      let shape = expr st in
+      let default = if accept st COMMA then Some (expr st) else None in
+      expect st RPAREN;
+      Ast.Call
+        ( "genarray",
+          match default with Some d -> [ shape; d ] | None -> [ shape ] )
+  | _ -> fail st "expected an expression"
+
+and with_loop st =
+  expect st KW_WITH;
+  expect st LBRACE;
+  let gens = ref [] in
+  while peek_token st = LPAREN do
+    gens := generator st :: !gens
+  done;
+  if !gens = [] then fail st "a with-loop needs at least one generator";
+  expect st RBRACE;
+  expect st COLON;
+  let op = operation st in
+  Ast.With { gens = List.rev !gens; op }
+
+and bound st =
+  (* A '.' is a dot bound; anything else is an expression.  A leading
+     '[' could begin either a vector literal bound or (never in bound
+     position) a selection, so plain expression parsing is safe. *)
+  if peek_token st = DOT then begin
+    advance st;
+    Ast.Dot
+  end
+  else Ast.Bexpr (expr st)
+
+and gen_pat st =
+  match peek_token st with
+  | IDENT name ->
+      advance st;
+      Ast.Pvar name
+  | LBRACKET ->
+      advance st;
+      let names = ref [ ident st ] in
+      while accept st COMMA do
+        names := ident st :: !names
+      done;
+      expect st RBRACKET;
+      Ast.Pvec (List.rev !names)
+  | _ -> fail st "expected an index variable or pattern"
+
+and generator st =
+  expect st LPAREN;
+  let lb = bound st in
+  let lb_incl =
+    match peek_token st with
+    | LE ->
+        advance st;
+        true
+    | LT ->
+        advance st;
+        false
+    | _ -> fail st "expected '<=' or '<' after the lower bound"
+  in
+  let pat = gen_pat st in
+  let ub_incl =
+    match peek_token st with
+    | LE ->
+        advance st;
+        true
+    | LT ->
+        advance st;
+        false
+    | _ -> fail st "expected '<=' or '<' after the index pattern"
+  in
+  let ub = bound st in
+  let step = if accept st KW_STEP then Some (expr st) else None in
+  let width = if accept st KW_WIDTH then Some (expr st) else None in
+  expect st RPAREN;
+  let locals =
+    if accept st LBRACE then begin
+      let stmts = ref [] in
+      while peek_token st <> RBRACE do
+        stmts := stmt st :: !stmts
+      done;
+      expect st RBRACE;
+      List.rev !stmts
+    end
+    else []
+  in
+  expect st COLON;
+  let cell = expr st in
+  expect st SEMI;
+  { Ast.lb; lb_incl; pat; ub; ub_incl; step; width; locals; cell }
+
+and operation st =
+  match peek_token st with
+  | KW_GENARRAY ->
+      advance st;
+      expect st LPAREN;
+      let shape = expr st in
+      let default = if accept st COMMA then Some (expr st) else None in
+      expect st RPAREN;
+      Ast.Genarray (shape, default)
+  | KW_MODARRAY ->
+      advance st;
+      expect st LPAREN;
+      let e = expr st in
+      expect st RPAREN;
+      Ast.Modarray e
+  | _ -> fail st "expected 'genarray' or 'modarray'"
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+and stmt st =
+  match peek_token st with
+  | KW_RETURN ->
+      advance st;
+      expect st LPAREN;
+      let e = expr st in
+      expect st RPAREN;
+      expect st SEMI;
+      Ast.Return e
+  | KW_FOR ->
+      advance st;
+      expect st LPAREN;
+      let var = ident st in
+      expect st ASSIGN;
+      let start = expr st in
+      expect st SEMI;
+      let var2 = ident st in
+      if var2 <> var then fail st "for-loop condition tests '%s', not '%s'" var2 var;
+      expect st LT;
+      let stop = expr st in
+      expect st SEMI;
+      let var3 = ident st in
+      if var3 <> var then fail st "for-loop increments '%s', not '%s'" var3 var;
+      expect st PLUSPLUS;
+      expect st RPAREN;
+      expect st LBRACE;
+      let body = ref [] in
+      while peek_token st <> RBRACE do
+        body := stmt st :: !body
+      done;
+      expect st RBRACE;
+      Ast.For { var; start; stop; body = List.rev !body }
+  | IDENT _ ->
+      let name = ident st in
+      if accept st LBRACKET then begin
+        let idx = expr st in
+        expect st RBRACKET;
+        expect st ASSIGN;
+        let e = expr st in
+        expect st SEMI;
+        Ast.Assign_idx (name, idx, e)
+      end
+      else begin
+        expect st ASSIGN;
+        let e = expr st in
+        expect st SEMI;
+        Ast.Assign (name, e)
+      end
+  | _ -> fail st "expected a statement"
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let fundef st =
+  let ret = typ st in
+  let fname = ident st in
+  expect st LPAREN;
+  let params = ref [] in
+  if peek_token st <> RPAREN then begin
+    let rec loop () =
+      let t = typ st in
+      let name = ident st in
+      params := (t, name) :: !params;
+      if accept st COMMA then loop ()
+    in
+    loop ()
+  end;
+  expect st RPAREN;
+  expect st LBRACE;
+  let body = ref [] in
+  while peek_token st <> RBRACE do
+    body := stmt st :: !body
+  done;
+  expect st RBRACE;
+  { Ast.fname; params = List.rev !params; ret; body = List.rev !body }
+
+let of_tokens tokens = { tokens = Array.of_list tokens; cursor = 0 }
+
+let program src =
+  let st = of_tokens (tokenize src) in
+  let funs = ref [] in
+  while peek_token st <> EOF do
+    funs := fundef st :: !funs
+  done;
+  List.rev !funs
+
+let expr src =
+  let st = of_tokens (tokenize src) in
+  let e = expr st in
+  expect st EOF;
+  e

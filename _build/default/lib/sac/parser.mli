@@ -1,0 +1,13 @@
+(** Recursive-descent parser for the SAC subset.
+
+    Accepts the concrete syntax of the paper's Figures 4-8 (functions,
+    WITH-loops with dot bounds / vector patterns / step-width filters,
+    for-loops, indexed assignment, [++]). *)
+
+exception Parse_error of string
+(** Carries a line/column position and an explanation. *)
+
+val program : string -> Ast.program
+
+val expr : string -> Ast.expr
+(** Parse a single expression (used by tests and the REPL-ish tools). *)

@@ -1,0 +1,104 @@
+type subst = (string * string) list
+
+let apply subst name =
+  match List.assoc_opt name subst with Some n' -> n' | None -> name
+
+let rec bound_in_stmt acc = function
+  | Ast.Assign (v, e) -> bound_in_expr (v :: acc) e
+  | Ast.Assign_idx (v, idx, e) ->
+      bound_in_expr (bound_in_expr (v :: acc) idx) e
+  | Ast.For { var; start; stop; body } ->
+      let acc = bound_in_expr (bound_in_expr (var :: acc) start) stop in
+      List.fold_left bound_in_stmt acc body
+  | Ast.Return e -> bound_in_expr acc e
+
+and bound_in_expr acc = function
+  | Ast.Num _ | Ast.Var _ -> acc
+  | Ast.Vec es -> List.fold_left bound_in_expr acc es
+  | Ast.Select (a, b) | Ast.Bin (_, a, b) ->
+      bound_in_expr (bound_in_expr acc a) b
+  | Ast.Neg e -> bound_in_expr acc e
+  | Ast.Call (_, args) -> List.fold_left bound_in_expr acc args
+  | Ast.With w ->
+      List.fold_left
+        (fun acc (g : Ast.gen) ->
+          let acc =
+            match g.Ast.pat with
+            | Ast.Pvar v -> v :: acc
+            | Ast.Pvec vs -> vs @ acc
+          in
+          let acc =
+            List.fold_left
+              (fun acc b ->
+                match b with Ast.Dot -> acc | Ast.Bexpr e -> bound_in_expr acc e)
+              acc
+              [ g.Ast.lb; g.Ast.ub ]
+          in
+          let acc = List.fold_left bound_in_stmt acc g.Ast.locals in
+          bound_in_expr acc g.Ast.cell)
+        (match w.Ast.op with
+        | Ast.Genarray (s, d) ->
+            let acc = bound_in_expr acc s in
+            Option.fold ~none:acc ~some:(bound_in_expr acc) d
+            |> fun x -> x
+        | Ast.Modarray e -> bound_in_expr acc e)
+        w.Ast.gens
+
+let bound_names body =
+  List.sort_uniq String.compare (List.fold_left bound_in_stmt [] body)
+
+let freshen names = List.map (fun n -> (n, Names.fresh n)) names
+
+let rec expr subst = function
+  | Ast.Num n -> Ast.Num n
+  | Ast.Var v -> Ast.Var (apply subst v)
+  | Ast.Vec es -> Ast.Vec (List.map (expr subst) es)
+  | Ast.Select (a, b) -> Ast.Select (expr subst a, expr subst b)
+  | Ast.Call (f, args) -> Ast.Call (f, List.map (expr subst) args)
+  | Ast.Bin (op, a, b) -> Ast.Bin (op, expr subst a, expr subst b)
+  | Ast.Neg e -> Ast.Neg (expr subst e)
+  | Ast.With w ->
+      Ast.With
+        {
+          gens = List.map (gen subst) w.Ast.gens;
+          op =
+            (match w.Ast.op with
+            | Ast.Genarray (s, d) ->
+                Ast.Genarray (expr subst s, Option.map (expr subst) d)
+            | Ast.Modarray e -> Ast.Modarray (expr subst e));
+        }
+
+and bound subst = function
+  | Ast.Dot -> Ast.Dot
+  | Ast.Bexpr e -> Ast.Bexpr (expr subst e)
+
+and gen subst (g : Ast.gen) =
+  {
+    g with
+    lb = bound subst g.Ast.lb;
+    ub = bound subst g.Ast.ub;
+    step = Option.map (expr subst) g.Ast.step;
+    width = Option.map (expr subst) g.Ast.width;
+    pat =
+      (match g.Ast.pat with
+      | Ast.Pvar v -> Ast.Pvar (apply subst v)
+      | Ast.Pvec vs -> Ast.Pvec (List.map (apply subst) vs));
+    locals = stmts subst g.Ast.locals;
+    cell = expr subst g.Ast.cell;
+  }
+
+and stmt subst = function
+  | Ast.Assign (v, e) -> Ast.Assign (apply subst v, expr subst e)
+  | Ast.Assign_idx (v, idx, e) ->
+      Ast.Assign_idx (apply subst v, expr subst idx, expr subst e)
+  | Ast.For { var; start; stop; body } ->
+      Ast.For
+        {
+          var = apply subst var;
+          start = expr subst start;
+          stop = expr subst stop;
+          body = stmts subst body;
+        }
+  | Ast.Return e -> Ast.Return (expr subst e)
+
+and stmts subst l = List.map (stmt subst) l

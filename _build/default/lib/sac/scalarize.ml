@@ -1,0 +1,414 @@
+exception Scal_fail of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Scal_fail m)) fmt
+
+type sgen = {
+  space : Genspace.t;
+  index_vars : string list;
+  locals : (string * Ast.expr) list;
+  cell : Ast.expr list;
+}
+
+type swith = {
+  frame : int array;
+  cell_shape : int array;
+  sgens : sgen list;
+  base : base;
+  arrays : (string * int array) list;
+}
+
+and base = Base_const of int | Base_array of string
+
+(* Per-generator scalarisation state. *)
+type st = {
+  senv : Shapes.env;  (** shapes of array variables (outer scope) *)
+  mutable venv : (string * Ast.expr list) list;
+      (** vector-valued locals -> component expressions *)
+  mutable scalars : (string * Ast.expr) list;  (** emitted, reversed *)
+  mutable arrays : (string * int array) list;
+}
+
+let emit st name e =
+  st.scalars <- (name, e) :: st.scalars;
+  Ast.Var name
+
+let note_array st name =
+  match List.assoc_opt name st.senv with
+  | Some shape when Array.length shape > 0 ->
+      if not (List.mem_assoc name st.arrays) then
+        st.arrays <- (name, shape) :: st.arrays;
+      shape
+  | Some _ -> fail "%s is a scalar, not an array" name
+  | None -> fail "array %s has no statically known shape" name
+
+let literal_matrix e =
+  match Simplify.eval_closed e with
+  | Some (Value.Varr t) when Ndarray.Tensor.rank t = 2 ->
+      let s = Ndarray.Tensor.shape t in
+      Some
+        (Array.init s.(0) (fun i ->
+             Array.init s.(1) (fun j -> Ndarray.Tensor.get t [| i; j |])))
+  | _ -> None
+
+(* Length of a vector-valued expression, [None] when scalar. *)
+let rec vec_length st e =
+  match e with
+  | Ast.Num _ | Ast.Neg _ -> None
+  | Ast.Var v -> (
+      match List.assoc_opt v st.venv with
+      | Some comps -> Some (List.length comps)
+      | None -> (
+          match List.assoc_opt v st.senv with
+          | Some [| n |] -> Some n
+          | Some [||] | None -> None
+          | Some s -> fail "variable %s has rank %d > 1" v (Array.length s)))
+  | Ast.Vec es -> Some (List.length es)
+  | Ast.Bin (Ast.Concat, a, b) -> (
+      match (vec_length st a, vec_length st b) with
+      | Some x, Some y -> Some (x + y)
+      | Some x, None -> Some (x + 1)
+      | None, Some y -> Some (1 + y)
+      | None, None -> Some 2)
+  | Ast.Bin (_, a, b) -> (
+      match vec_length st a with
+      | Some n -> Some n
+      | None -> vec_length st b)
+  | Ast.Call ("MV", [ m; _ ]) -> (
+      match literal_matrix m with
+      | Some rows -> Some (Array.length rows)
+      | None -> fail "MV with a non-constant matrix")
+  | Ast.Call ("shape", [ a ]) -> (
+      match Shapes.expr st.senv a with
+      | Some s -> Some (Array.length s)
+      | None -> fail "shape of unresolved array")
+  | Ast.Call ("genarray", [ shp ]) | Ast.Call ("genarray", [ shp; _ ]) -> (
+      match Simplify.eval_closed shp with
+      | Some v -> (
+          match Value.vector_exn v with
+          | [| n |] -> Some n
+          | _ -> fail "scalarise: genarray of rank > 1"
+          | exception Value.Value_error _ -> fail "genarray shape")
+      | None -> fail "genarray with non-constant shape")
+  | Ast.Call (_, _) -> None
+  | Ast.Select (base, idx) -> (
+      (* Partial selection yields a vector. *)
+      match chain_root st base idx with
+      | Some (_, shape, comps) ->
+          let k = List.length comps in
+          if k = Array.length shape then None
+          else if k = Array.length shape - 1 then
+            Some shape.(Array.length shape - 1)
+          else fail "selection leaves rank > 1"
+      | None -> None)
+  | Ast.With _ -> (
+      match Shapes.with_frame st.senv (match e with Ast.With w -> w | _ -> assert false) with
+      | Some [| n |] -> Some n
+      | _ -> fail "nested with-loop is not a vector")
+
+(* Normalise a selection chain to (array name, array shape, index
+   component expressions) — each component scalar-valued. *)
+and chain_root st base idx =
+  let rec root e acc =
+    match e with
+    | Ast.Var v when not (List.mem_assoc v st.venv) -> (
+        match List.assoc_opt v st.senv with
+        | Some shape when Array.length shape > 0 -> Some (v, shape, acc)
+        | _ -> None)
+    | Ast.Select (b, i) -> root b (i :: acc)
+    | _ -> None
+  in
+  match root base [ idx ] with
+  | None -> None
+  | Some (v, shape, idx_exprs) ->
+      (* Expand each index expression into scalar components. *)
+      let comps =
+        List.concat_map
+          (fun e ->
+            match vec_length st e with
+            | None -> [ scal st e ]
+            | Some n -> List.init n (fun d -> comp st e d))
+          idx_exprs
+      in
+      Some (v, shape, comps)
+
+(* The d-th component of a vector-valued expression, as a scalar
+   expression (emitting helper bindings when needed). *)
+and comp st e d =
+  match e with
+  | Ast.Vec es ->
+      if d < List.length es then scal st (List.nth es d)
+      else fail "component %d out of range" d
+  | Ast.Var v -> (
+      match List.assoc_opt v st.venv with
+      | Some comps ->
+          if d < List.length comps then List.nth comps d
+          else fail "component %d of %s out of range" d v
+      | None -> (
+          match List.assoc_opt v st.senv with
+          | Some [| _ |] ->
+              (* A rank-1 array variable: component = selection. *)
+              ignore (note_array st v);
+              Ast.Select (Ast.Var v, Ast.Vec [ Ast.Num d ])
+          | _ -> fail "vector variable %s is not scalarisable" v))
+  | Ast.Bin (Ast.Concat, a, b) -> (
+      let la = match vec_length st a with Some n -> n | None -> 1 in
+      if d < la then
+        match vec_length st a with
+        | Some _ -> comp st a d
+        | None -> scal st a
+      else
+        match vec_length st b with
+        | Some _ -> comp st b (d - la)
+        | None -> scal st b)
+  | Ast.Bin (op, a, b) ->
+      let ca =
+        match vec_length st a with Some _ -> comp st a d | None -> scal st a
+      in
+      let cb =
+        match vec_length st b with Some _ -> comp st b d | None -> scal st b
+      in
+      fold_scalar (Ast.Bin (op, ca, cb))
+  | Ast.Neg a -> fold_scalar (Ast.Neg (comp st a d))
+  | Ast.Call ("MV", [ m; v ]) -> (
+      match literal_matrix m with
+      | None -> fail "MV with a non-constant matrix"
+      | Some rows ->
+          let row = rows.(d) in
+          let nonzero =
+            List.concat
+              (List.mapi
+                 (fun j c ->
+                   if c = 0 then []
+                   else
+                     let vc = comp st v j in
+                     [ (if c = 1 then vc else Ast.Bin (Ast.Mul, Ast.Num c, vc)) ])
+                 (Array.to_list row))
+          in
+          (match nonzero with
+          | [] -> Ast.Num 0
+          | t :: ts ->
+              List.fold_left (fun acc t' -> Ast.Bin (Ast.Add, acc, t')) t ts))
+  | Ast.Call ("shape", [ a ]) -> (
+      match Shapes.expr st.senv a with
+      | Some s when d < Array.length s -> Ast.Num s.(d)
+      | _ -> fail "shape component unresolved")
+  | Ast.Call ("genarray", [ _ ]) -> Ast.Num 0
+  | Ast.Call ("genarray", [ _; dflt ]) -> scal st dflt
+  | Ast.Select (base, idx) -> (
+      match chain_root st base idx with
+      | Some (v, shape, comps) when List.length comps = Array.length shape - 1
+        ->
+          ignore (note_array st v);
+          Ast.Select (Ast.Var v, Ast.Vec (comps @ [ Ast.Num d ]))
+      | _ -> fail "component of unsupported selection")
+  | Ast.With w -> (
+      (* A vector-valued inner with-loop: instantiate its single dense
+         generator at the constant index [d]. *)
+      match Shapes.with_frame st.senv w with
+      | Some [| n |] when d < n -> (
+          match w.Ast.gens with
+          | [ g ] ->
+              let subst =
+                Rename.freshen
+                  ((match g.Ast.pat with
+                   | Ast.Pvar v -> [ v ]
+                   | Ast.Pvec vs -> vs)
+                  @ Rename.bound_names g.Ast.locals)
+              in
+              let g' = Rename.gen subst g in
+              (match g'.Ast.pat with
+              | Ast.Pvar p -> st.venv <- (p, [ Ast.Num d ]) :: st.venv
+              | Ast.Pvec [ p ] ->
+                  st.venv <- (p, [ Ast.Num d ]) :: st.venv;
+                  ignore (emit st p (Ast.Num d))
+              | Ast.Pvec _ -> fail "inner pattern arity");
+              scal_locals st g'.Ast.locals;
+              scal st g'.Ast.cell
+          | _ -> fail "inner with-loop has multiple generators")
+      | _ -> fail "inner with-loop frame unresolved")
+  | Ast.Num _ | Ast.Call (_, _) -> fail "not a vector expression"
+
+(* Scalar-valued expression to backend-ready form. *)
+and scal st e =
+  match e with
+  | Ast.Num _ -> e
+  | Ast.Var v ->
+      if List.mem_assoc v st.venv then fail "vector %s in scalar position" v
+      else e
+  | Ast.Neg a -> fold_scalar (Ast.Neg (scal st a))
+  | Ast.Bin (Ast.Concat, _, _) -> fail "++ in scalar position"
+  | Ast.Bin (op, a, b) -> fold_scalar (Ast.Bin (op, scal st a, scal st b))
+  | Ast.Call (("min" | "max") as f, [ a; b ]) ->
+      Ast.Call (f, [ scal st a; scal st b ])
+  | Ast.Call ("dim", [ a ]) -> (
+      match Shapes.expr st.senv a with
+      | Some s -> Ast.Num (Array.length s)
+      | None -> fail "dim of unresolved array")
+  | Ast.Select (Ast.Var v, idx) when List.mem_assoc v st.venv -> (
+      (* Selection from a scalarised vector local at a constant index. *)
+      let comps = List.assoc v st.venv in
+      match Simplify.eval_closed idx with
+      | Some cv -> (
+          let k =
+            match cv with
+            | Value.Vint n -> n
+            | Value.Varr _ -> (
+                match Value.vector_exn cv with
+                | [| n |] -> n
+                | _ -> fail "selection index rank on %s" v
+                | exception Value.Value_error _ -> fail "selection index")
+          in
+          match List.nth_opt comps k with
+          | Some c -> c
+          | None -> fail "component %d of %s out of range" k v)
+      | None -> fail "non-constant selection from vector local %s" v)
+  | Ast.Select (base, idx) -> (
+      match chain_root st base idx with
+      | Some (v, shape, comps) when List.length comps = Array.length shape ->
+          ignore (note_array st v);
+          Ast.Select (Ast.Var v, Ast.Vec comps)
+      | Some (v, _, _) -> fail "partial selection of %s in scalar position" v
+      | None -> fail "unsupported selection base")
+  | Ast.Vec _ | Ast.With _ | Ast.Call (_, _) ->
+      fail "unsupported expression in scalar position: %s"
+        (Ast.expr_to_string e)
+
+and fold_scalar e =
+  match Simplify.eval_closed e with
+  | Some (Value.Vint n) ->
+      if n < 0 then Ast.Neg (Ast.Num (-n)) else Ast.Num n
+  | _ -> e
+
+and scal_locals st stmts =
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | Ast.Assign (x, e) -> (
+          match vec_length st e with
+          | None -> ignore (emit st x (scal st e))
+          | Some n ->
+              let comps = List.init n (fun d -> comp st e d) in
+              (* Bind each non-trivial component so later uses are
+                 simple variables. *)
+              let named =
+                List.map
+                  (fun c ->
+                    match c with
+                    | Ast.Num _ | Ast.Var _ | Ast.Neg (Ast.Num _) -> c
+                    | _ ->
+                        let name = Names.fresh (x ^ "_c") in
+                        emit st name c)
+                  comps
+              in
+              st.venv <- (x, named) :: st.venv)
+      | Ast.Assign_idx (x, idx, e) -> (
+          (* Tile component update: x must be a known vector. *)
+          match List.assoc_opt x st.venv with
+          | None -> fail "indexed update of non-scalarised %s" x
+          | Some comps -> (
+              match Simplify.eval_closed idx with
+              | Some v -> (
+                  let k =
+                    match v with
+                    | Value.Vint n -> n
+                    | Value.Varr _ -> (
+                        match Value.vector_exn v with
+                        | [| n |] -> n
+                        | _ -> fail "tile update index rank"
+                        | exception Value.Value_error _ ->
+                            fail "tile update index")
+                  in
+                  let e' = scal st e in
+                  let name = Names.fresh (x ^ "_c") in
+                  ignore (emit st name e');
+                  st.venv <-
+                    (x, List.mapi (fun d c -> if d = k then Ast.Var name else c) comps)
+                    :: List.remove_assoc x st.venv)
+              | None -> fail "non-constant tile update index"))
+      | Ast.For _ -> fail "for-loop inside a generator"
+      | Ast.Return _ -> fail "return inside a generator")
+    stmts
+
+let with_loop senv (w : Ast.with_loop) =
+  let frame =
+    match Shapes.with_frame senv w with
+    | Some f -> f
+    | None -> fail "with-loop frame shape is not static"
+  in
+  let base =
+    match w.Ast.op with
+    | Ast.Genarray (_, None) -> Base_const 0
+    | Ast.Genarray (_, Some d) -> (
+        match Simplify.eval_closed d with
+        | Some (Value.Vint n) -> Base_const n
+        | _ -> (
+            match d with
+            | Ast.Var v -> Base_array v
+            | _ -> fail "unsupported genarray default"))
+    | Ast.Modarray (Ast.Var v) -> Base_array v
+    | Ast.Modarray _ -> fail "modarray source must be a variable"
+  in
+  let full_shape =
+    match Shapes.expr senv (Ast.With w) with
+    | Some s -> s
+    | None -> fail "with-loop result shape is not static"
+  in
+  let cell_shape =
+    Array.sub full_shape (Array.length frame)
+      (Array.length full_shape - Array.length frame)
+  in
+  let cell_size = Ndarray.Shape.size cell_shape in
+  let arrays = ref [] in
+  let eval_bound e =
+    match Simplify.eval_closed e with
+    | Some v -> v
+    | None -> fail "generator bound is not constant"
+  in
+  let sgens =
+    List.map
+      (fun (g : Ast.gen) ->
+        let space =
+          Genspace.resolve ~frame ~eval:eval_bound g
+        in
+        let st = { senv; venv = []; scalars = []; arrays = !arrays } in
+        (* Bind the index pattern to named scalar index variables. *)
+        let index_vars =
+          match g.Ast.pat with
+          | Ast.Pvec vs ->
+              if List.length vs <> Array.length frame then
+                fail "pattern arity does not match frame rank";
+              vs
+          | Ast.Pvar v ->
+              let names =
+                List.init (Array.length frame) (fun d ->
+                    Printf.sprintf "%s_%d" v d)
+              in
+              st.venv <-
+                (v, List.map (fun n -> Ast.Var n) names) :: st.venv;
+              names
+        in
+        scal_locals st g.Ast.locals;
+        let cell =
+          if cell_size = 1 && Array.length cell_shape = 0 then
+            [ scal st g.Ast.cell ]
+          else
+            List.init cell_size (fun d -> comp st g.Ast.cell d)
+        in
+        arrays := st.arrays;
+        {
+          space;
+          index_vars;
+          locals = List.rev st.scalars;
+          cell;
+        })
+      w.Ast.gens
+  in
+  (match base with
+  | Base_array v -> (
+      match List.assoc_opt v senv with
+      | Some shape ->
+          if not (List.mem_assoc v !arrays) then
+            arrays := (v, shape) :: !arrays
+      | None -> fail "modarray source %s has no static shape" v)
+  | Base_const _ -> ());
+  { frame; cell_shape; sgens; base; arrays = !arrays }

@@ -1,0 +1,44 @@
+(** Scalarisation of with-loops for code generation.
+
+    The CUDA backend needs generator bodies as straight-line scalar
+    code over flat array reads.  This pass eliminates the vector
+    temporaries of the tiler arithmetic ([off], [iv], [rep ++ pat],
+    [MV] on constant matrices, ...) by expanding every vector-valued
+    local into per-component scalar bindings, and flattens each
+    generator into:
+
+    - a resolved index space ({!Genspace.t}),
+    - named index variables (one per frame dimension),
+    - ordered scalar let-bindings,
+    - one scalar cell expression per cell component.
+
+    Scalar expressions after this pass contain only: integer literals,
+    scalar variables, arithmetic, [min]/[max], and full-rank selections
+    [arr[\[e0,...,ek\]]] from named arrays. *)
+
+exception Scal_fail of string
+
+type sgen = {
+  space : Genspace.t;
+  index_vars : string list;  (** one scalar name per frame dimension *)
+  locals : (string * Ast.expr) list;  (** scalar bindings, in order *)
+  cell : Ast.expr list;  (** row-major cell components *)
+}
+
+type swith = {
+  frame : int array;
+  cell_shape : int array;
+  sgens : sgen list;
+  base : base;
+  arrays : (string * int array) list;
+      (** free array variables read by the generators, with shapes *)
+}
+
+and base =
+  | Base_const of int  (** genarray with a constant (scalar) default *)
+  | Base_array of string  (** modarray source / array-valued default *)
+
+val with_loop : Shapes.env -> Ast.with_loop -> swith
+(** Raises {!Scal_fail} when the loop is outside the supported class
+    (shapes unresolved, vector of unknown length, nested consumer
+    with-loop, ...). *)

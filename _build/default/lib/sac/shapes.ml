@@ -1,0 +1,142 @@
+type env = (string * int array) list
+
+let of_typ = function
+  | Ast.Tint -> Some [||]
+  | Ast.Tarray (Ast.Fixed dims) -> Some (Array.of_list dims)
+  | Ast.Tarray (Ast.Any_rank | Ast.Rank _) -> None
+
+let ( let* ) = Option.bind
+
+(* Length of an index expression when used in a selection: a scalar
+   counts 1 component, a vector its length. *)
+let rec index_length env e =
+  match expr env e with
+  | Some [||] -> Some 1
+  | Some [| n |] -> Some n
+  | Some _ -> None
+  | None -> None
+
+and expr env = function
+  | Ast.Num _ -> Some [||]
+  | Ast.Var v -> List.assoc_opt v env
+  | Ast.Neg e -> expr env e
+  | Ast.Vec [] -> Some [| 0 |]
+  | Ast.Vec (e0 :: rest) ->
+      let* s0 = expr env e0 in
+      let all_same =
+        List.for_all
+          (fun e -> match expr env e with Some s -> s = s0 | None -> false)
+          rest
+      in
+      if all_same then
+        Some (Array.append [| List.length rest + 1 |] s0)
+      else None
+  | Ast.Select (e, idx) ->
+      let* s = expr env e in
+      let* k = index_length env idx in
+      if k <= Array.length s then
+        Some (Array.sub s k (Array.length s - k))
+      else None
+  | Ast.Bin (Ast.Concat, a, b) ->
+      let* sa = expr env a in
+      let* sb = expr env b in
+      (match (sa, sb) with
+      | [| x |], [| y |] -> Some [| x + y |]
+      | [||], [| y |] -> Some [| 1 + y |]
+      | [| x |], [||] -> Some [| x + 1 |]
+      | [||], [||] -> Some [| 2 |]
+      | _ -> None)
+  | Ast.Bin (_, a, b) -> (
+      match (expr env a, expr env b) with
+      | Some [||], Some s | Some s, Some [||] -> Some s
+      | Some sa, Some sb when sa = sb -> Some sa
+      | Some _, Some _ -> None
+      | _ -> None)
+  | Ast.Call ("shape", [ e ]) ->
+      let* s = expr env e in
+      Some [| Array.length s |]
+  | Ast.Call ("dim", [ _ ]) -> Some [||]
+  | Ast.Call (("min" | "max"), [ _; _ ]) -> Some [||]
+  | Ast.Call ("MV", [ m; _ ]) ->
+      let* sm = expr env m in
+      if Array.length sm = 2 then Some [| sm.(0) |] else None
+  | Ast.Call ("CAT", [ a; b ]) ->
+      let* sa = expr env a in
+      let* sb = expr env b in
+      if Array.length sa = 2 && Array.length sb = 2 && sa.(0) = sb.(0) then
+        Some [| sa.(0); sa.(1) + sb.(1) |]
+      else None
+  | Ast.Call ("genarray", args) -> (
+      match args with
+      | [ shp ] -> constant_vector env shp
+      | [ shp; default ] ->
+          let* frame = constant_vector env shp in
+          let* cell = expr env default in
+          Some (Array.append frame cell)
+      | _ -> None)
+  | Ast.Call (_, _) -> None
+  | Ast.With w -> (
+      let* frame = with_frame env w in
+      match w.Ast.gens with
+      | [] -> None
+      | g :: _ ->
+          let* cell = cell_shape env ~frame_rank:(Array.length frame) g in
+          Some (Array.append frame cell))
+
+(* The value of a constant-vector expression (used for genarray shapes
+   and explicit bounds).  Only closed arithmetic resolves. *)
+and constant_vector env e =
+  match e with
+  | Ast.Vec es ->
+      let scalars =
+        List.map
+          (fun e ->
+            match constant_scalar env e with Some n -> n | None -> min_int)
+          es
+      in
+      if List.exists (fun n -> n = min_int) scalars then None
+      else Some (Array.of_list scalars)
+  | _ -> None
+
+and constant_scalar _env e =
+  match e with
+  | Ast.Num n -> Some n
+  | Ast.Neg e' -> Option.map (fun n -> -n) (constant_scalar _env e')
+  | Ast.Bin (op, a, b) -> (
+      let* x = constant_scalar _env a in
+      let* y = constant_scalar _env b in
+      match op with
+      | Ast.Add -> Some (x + y)
+      | Ast.Sub -> Some (x - y)
+      | Ast.Mul -> Some (x * y)
+      | Ast.Div -> if y = 0 then None else Some (x / y)
+      | Ast.Mod -> if y = 0 then None else Some (x mod y)
+      | Ast.Concat -> None)
+  | _ -> None
+
+and with_frame env (w : Ast.with_loop) =
+  match w.Ast.op with
+  | Ast.Genarray (shp, _) -> constant_vector env shp
+  | Ast.Modarray e -> expr env e
+
+and cell_shape env ~frame_rank (g : Ast.gen) =
+  let env =
+    match g.Ast.pat with
+    | Ast.Pvar v -> (v, [| frame_rank |]) :: env
+    | Ast.Pvec vs -> List.map (fun v -> (v, [||])) vs @ env
+  in
+  let env = after_stmts env g.Ast.locals in
+  expr env g.Ast.cell
+
+and after_stmt env = function
+  | Ast.Assign (v, e) -> (
+      match expr env e with
+      | Some s -> (v, s) :: env
+      | None -> List.remove_assoc v env)
+  | Ast.Assign_idx (_, _, _) -> env
+  | Ast.For { var; body; _ } ->
+      let env = (var, [||]) :: env in
+      after_stmts env body
+  | Ast.Return _ -> env
+
+and after_stmts env stmts = List.fold_left after_stmt env stmts

@@ -1,0 +1,241 @@
+let rec is_closed = function
+  | Ast.Num _ -> true
+  | Ast.Var _ | Ast.With _ -> false
+  | Ast.Call ("genarray", _) ->
+      (* Constant but potentially huge; never materialised as a literal. *)
+      false
+  | Ast.Vec es -> List.for_all is_closed es
+  | Ast.Select (a, b) | Ast.Bin (_, a, b) -> is_closed a && is_closed b
+  | Ast.Neg e -> is_closed e
+  | Ast.Call (f, args) -> Builtins.is_builtin f && List.for_all is_closed args
+
+let eval_closed e =
+  if not (is_closed e) then None
+  else
+    try Some (Interp.eval_expr [] (Interp.env_of_list []) e)
+    with Value.Value_error _ | Ast.Sac_error _ -> None
+
+let literal_of_value v =
+  let open Ndarray in
+  match v with
+  | Value.Vint n -> Some (if n < 0 then Ast.Neg (Ast.Num (-n)) else Ast.Num n)
+  | Value.Varr t -> (
+      let num n = if n < 0 then Ast.Neg (Ast.Num (-n)) else Ast.Num n in
+      match Tensor.rank t with
+      | 0 -> Some (num (Tensor.get_lin t 0))
+      | 1 ->
+          Some (Ast.Vec (List.map num (Array.to_list (Tensor.data t))))
+      | 2 when Tensor.size t <= 64 ->
+          let shape = Tensor.shape t in
+          Some
+            (Ast.Vec
+               (List.init shape.(0) (fun i ->
+                    Ast.Vec
+                      (List.init shape.(1) (fun j ->
+                           num (Tensor.get t [| i; j |]))))))
+      | _ -> None)
+
+let rec is_literal = function
+  | Ast.Num _ -> true
+  | Ast.Neg (Ast.Num _) -> true
+  | Ast.Vec es -> List.for_all is_literal es
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Folding                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let try_fold e =
+  match eval_closed e with
+  | Some v -> (
+      match literal_of_value v with Some lit -> lit | None -> e)
+  | None -> e
+
+let rec fold_expr senv cenv e =
+  match e with
+  | Ast.Num _ -> e
+  | Ast.Var v -> (
+      match List.assoc_opt v cenv with Some lit -> lit | None -> e)
+  | Ast.Vec es -> try_fold (Ast.Vec (List.map (fold_expr senv cenv) es))
+  | Ast.Select (a, b) ->
+      try_fold (Ast.Select (fold_expr senv cenv a, fold_expr senv cenv b))
+  | Ast.Neg a -> try_fold (Ast.Neg (fold_expr senv cenv a))
+  | Ast.Bin (op, a, b) -> (
+      let a = fold_expr senv cenv a and b = fold_expr senv cenv b in
+      let folded = try_fold (Ast.Bin (op, a, b)) in
+      match folded with
+      | Ast.Bin _ -> algebraic op a b
+      | lit -> lit)
+  | Ast.Call ("shape", [ a ]) -> (
+      let a = fold_expr senv cenv a in
+      (* shape(x) resolves whenever x's shape is statically known even
+         if x's contents are not. *)
+      match Shapes.expr senv a with
+      | Some s ->
+          Ast.Vec (List.map (fun n -> Ast.Num n) (Array.to_list (Array.copy s)))
+      | None -> try_fold (Ast.Call ("shape", [ a ])))
+  | Ast.Call ("dim", [ a ]) -> (
+      let a = fold_expr senv cenv a in
+      match Shapes.expr senv a with
+      | Some s -> Ast.Num (Array.length s)
+      | None -> try_fold (Ast.Call ("dim", [ a ])))
+  | Ast.Call (f, args) ->
+      try_fold (Ast.Call (f, List.map (fold_expr senv cenv) args))
+  | Ast.With w -> Ast.With (fold_with senv cenv w)
+
+(* A couple of identities that constant evaluation alone cannot see. *)
+and algebraic op a b =
+  match (op, a, b) with
+  | Ast.Add, e, Ast.Num 0 | Ast.Add, Ast.Num 0, e -> e
+  | Ast.Sub, e, Ast.Num 0 -> e
+  | Ast.Mul, e, Ast.Num 1 | Ast.Mul, Ast.Num 1, e -> e
+  | Ast.Mul, _, Ast.Num 0 | Ast.Mul, Ast.Num 0, _ -> Ast.Num 0
+  | Ast.Div, e, Ast.Num 1 -> e
+  | _ -> Ast.Bin (op, a, b)
+
+and fold_with senv cenv (w : Ast.with_loop) =
+  let op =
+    match w.Ast.op with
+    | Ast.Genarray (s, d) ->
+        Ast.Genarray
+          (fold_expr senv cenv s, Option.map (fold_expr senv cenv) d)
+    | Ast.Modarray e -> Ast.Modarray (fold_expr senv cenv e)
+  in
+  let frame = Shapes.with_frame senv { w with Ast.op } in
+  let gens =
+    List.map
+      (fun (g : Ast.gen) ->
+        let g =
+          {
+            g with
+            Ast.lb =
+              (match g.Ast.lb with
+              | Ast.Dot -> Ast.Dot
+              | Ast.Bexpr e -> Ast.Bexpr (fold_expr senv cenv e));
+            ub =
+              (match g.Ast.ub with
+              | Ast.Dot -> Ast.Dot
+              | Ast.Bexpr e -> Ast.Bexpr (fold_expr senv cenv e));
+            step = Option.map (fold_expr senv cenv) g.Ast.step;
+            width = Option.map (fold_expr senv cenv) g.Ast.width;
+          }
+        in
+        let g = match frame with Some f -> normalize_bounds f g | None -> g in
+        let senv_g =
+          match (g.Ast.pat, frame) with
+          | Ast.Pvar v, Some f -> (v, [| Array.length f |]) :: senv
+          | Ast.Pvar v, None -> List.remove_assoc v senv
+          | Ast.Pvec vs, _ -> List.map (fun v -> (v, [||])) vs @ senv
+        in
+        let cenv_g =
+          (* Pattern variables shadow any constants of the same name. *)
+          let bound =
+            match g.Ast.pat with Ast.Pvar v -> [ v ] | Ast.Pvec vs -> vs
+          in
+          List.filter (fun (n, _) -> not (List.mem n bound)) cenv
+        in
+        let locals, senv', cenv' = fold_stmts senv_g cenv_g g.Ast.locals in
+        { g with Ast.locals; cell = fold_expr senv' cenv' g.Ast.cell })
+      w.Ast.gens
+  in
+  { Ast.gens; op }
+
+and normalize_bounds frame (g : Ast.gen) =
+  let zeros = Ast.Vec (List.map (fun _ -> Ast.Num 0) (Array.to_list frame)) in
+  let frame_vec = Ast.Vec (List.map (fun n -> Ast.Num n) (Array.to_list frame)) in
+  let bump lit delta =
+    match eval_closed lit with
+    | Some v -> (
+        match
+          literal_of_value (Value.binop Ast.Add v (Value.Vint delta))
+        with
+        | Some l -> Some l
+        | None -> None)
+    | None -> None
+  in
+  let lb, lb_incl =
+    match (g.Ast.lb, g.Ast.lb_incl) with
+    | Ast.Dot, _ -> (Ast.Bexpr zeros, true)
+    | Ast.Bexpr e, true -> (Ast.Bexpr e, true)
+    | Ast.Bexpr e, false -> (
+        match bump e 1 with
+        | Some l -> (Ast.Bexpr l, true)
+        | None -> (Ast.Bexpr e, false))
+  in
+  let ub, ub_incl =
+    match (g.Ast.ub, g.Ast.ub_incl) with
+    | Ast.Dot, _ -> (Ast.Bexpr frame_vec, false)
+    | Ast.Bexpr e, false -> (Ast.Bexpr e, false)
+    | Ast.Bexpr e, true -> (
+        match bump e 1 with
+        | Some l -> (Ast.Bexpr l, false)
+        | None -> (Ast.Bexpr e, true))
+  in
+  { g with Ast.lb; lb_incl; ub; ub_incl }
+
+(* Invalidate every binding for or depending on [x]: its own constant /
+   alias entry and any alias pointing at it. *)
+and kill cenv x =
+  List.filter
+    (fun (n, e) ->
+      n <> x && (match e with Ast.Var v -> v <> x | _ -> true))
+    cenv
+
+and fold_stmts senv cenv stmts =
+  let senv = ref senv and cenv = ref cenv in
+  let out =
+    List.map
+      (fun stmt ->
+        let stmt' =
+          match stmt with
+          | Ast.Assign (x, e) ->
+              let e' = fold_expr !senv !cenv e in
+              cenv :=
+                (if is_literal e' then (x, e') :: kill !cenv x
+                 else
+                   match e' with
+                   (* Copy propagation: array copies are pure in SAC's
+                      value semantics. *)
+                   | Ast.Var _ -> (x, e') :: kill !cenv x
+                   | _ -> kill !cenv x);
+              Ast.Assign (x, e')
+          | Ast.Assign_idx (x, idx, e) ->
+              cenv := kill !cenv x;
+              Ast.Assign_idx
+                (x, fold_expr !senv !cenv idx, fold_expr !senv !cenv e)
+          | Ast.For { var; start; stop; body } ->
+              let start = fold_expr !senv !cenv start in
+              let stop = fold_expr !senv !cenv stop in
+              let assigned = Rename.bound_names body in
+              let cenv_body =
+                List.filter
+                  (fun (n, e) ->
+                    (not (List.mem n assigned || n = var))
+                    &&
+                    match e with
+                    | Ast.Var v -> not (List.mem v assigned || v = var)
+                    | _ -> true)
+                  !cenv
+              in
+              let senv_body = (var, [||]) :: !senv in
+              let body, _, _ = fold_stmts senv_body cenv_body body in
+              cenv := cenv_body;
+              senv := Shapes.after_stmts !senv body;
+              Ast.For { var; start; stop; body }
+          | Ast.Return e -> Ast.Return (fold_expr !senv !cenv e)
+        in
+        senv := Shapes.after_stmt !senv stmt';
+        stmt')
+      stmts
+  in
+  (out, !senv, !cenv)
+
+let fundef (fd : Ast.fundef) =
+  let senv0 =
+    List.filter_map
+      (fun (t, name) ->
+        Option.map (fun s -> (name, s)) (Shapes.of_typ t))
+      fd.Ast.params
+  in
+  let body, _, _ = fold_stmts senv0 [] fd.Ast.body in
+  { fd with Ast.body }

@@ -1,0 +1,156 @@
+open Ndarray
+
+type t = Vint of int | Varr of int Tensor.t
+
+exception Value_error of string
+
+let error fmt = Format.kasprintf (fun m -> raise (Value_error m)) fmt
+
+let ops = ref 0
+
+let updates = ref 0
+
+let charge n = ops := !ops + n
+
+let of_vector a = Varr (Tensor.of_array [| Array.length a |] (Array.copy a))
+
+let scalar_exn = function
+  | Vint n -> n
+  | Varr t ->
+      if Tensor.rank t = 0 then Tensor.get_lin t 0
+      else error "expected a scalar, got an array of shape %s"
+          (Shape.to_string (Tensor.shape t))
+
+let vector_exn = function
+  | Vint n -> [| n |]
+  | Varr t ->
+      if Tensor.rank t = 1 then Array.copy (Tensor.data t)
+      else error "expected a vector, got an array of rank %d" (Tensor.rank t)
+
+let tensor_exn = function
+  | Vint n -> Tensor.scalar n
+  | Varr t -> t
+
+let shape = function Vint _ -> Shape.scalar | Varr t -> Tensor.shape t
+
+let rank v = Shape.rank (shape v)
+
+let copy = function Vint n -> Vint n | Varr t -> Varr (Tensor.copy t)
+
+let equal a b =
+  match (a, b) with
+  | Vint x, Vint y -> x = y
+  | Varr x, Varr y -> Tensor.equal Int.equal x y
+  | Vint x, Varr y | Varr y, Vint x ->
+      Tensor.rank y = 0 && Tensor.get_lin y 0 = x
+
+let scalar_op op a b =
+  match op with
+  | Ast.Add -> a + b
+  | Ast.Sub -> a - b
+  | Ast.Mul -> a * b
+  | Ast.Div -> if b = 0 then error "division by zero" else a / b
+  | Ast.Mod -> if b = 0 then error "modulo by zero" else a mod b
+  | Ast.Concat -> assert false
+
+let binop op a b =
+  (match (a, b) with
+  | Varr t, _ | _, Varr t -> charge (max 1 (Ndarray.Tensor.size t))
+  | Vint _, Vint _ -> charge 1);
+  match (op, a, b) with
+  | Ast.Concat, _, _ ->
+      let va =
+        match a with
+        | Vint n -> [| n |]
+        | Varr t when Tensor.rank t = 1 -> Tensor.data t
+        | Varr t ->
+            error "++ expects vectors, got rank %d" (Tensor.rank t)
+      in
+      let vb =
+        match b with
+        | Vint n -> [| n |]
+        | Varr t when Tensor.rank t = 1 -> Tensor.data t
+        | Varr t ->
+            error "++ expects vectors, got rank %d" (Tensor.rank t)
+      in
+      of_vector (Array.append va vb)
+  | _, Vint x, Vint y -> Vint (scalar_op op x y)
+  | _, Varr x, Vint y -> Varr (Tensor.map (fun e -> scalar_op op e y) x)
+  | _, Vint x, Varr y -> Varr (Tensor.map (fun e -> scalar_op op x e) y)
+  | _, Varr x, Varr y ->
+      if not (Shape.equal (Tensor.shape x) (Tensor.shape y)) then
+        error "shape mismatch in element-wise %s: %s vs %s"
+          (Ast.binop_text op)
+          (Shape.to_string (Tensor.shape x))
+          (Shape.to_string (Tensor.shape y))
+      else Varr (Tensor.map2 (scalar_op op) x y)
+
+let neg = function
+  | Vint n -> Vint (-n)
+  | Varr t -> Varr (Tensor.map (fun e -> -e) t)
+
+let index_of_value = function
+  | Vint n -> [| n |]
+  | Varr t when Tensor.rank t = 1 -> Tensor.data t
+  | Varr t when Tensor.rank t = 0 -> [| Tensor.get_lin t 0 |]
+  | Varr t -> error "index must be a vector, got rank %d" (Tensor.rank t)
+
+let select a iv =
+  charge 1;
+  match a with
+  | Vint _ -> error "cannot select from a scalar"
+  | Varr t ->
+      let idx = index_of_value iv in
+      let r = Tensor.rank t in
+      let k = Array.length idx in
+      if k > r then
+        error "selection index %s too long for shape %s"
+          (Index.to_string idx)
+          (Shape.to_string (Tensor.shape t))
+      else begin
+        Array.iteri
+          (fun d i ->
+            if i < 0 || i >= (Tensor.shape t).(d) then
+              error "selection index %s out of bounds for shape %s"
+                (Index.to_string idx)
+                (Shape.to_string (Tensor.shape t)))
+          idx;
+        if k = r then Vint (Tensor.get t idx)
+        else Varr (Tensor.sub_tile t ~outer:idx ~inner_rank:(r - k))
+      end
+
+let update a iv v =
+  charge 1;
+  incr updates;
+  match a with
+  | Vint _ -> error "cannot update a scalar by index"
+  | Varr t ->
+      let idx = index_of_value iv in
+      let r = Tensor.rank t in
+      let k = Array.length idx in
+      if k > r then
+        error "update index %s too long for shape %s" (Index.to_string idx)
+          (Shape.to_string (Tensor.shape t));
+      Array.iteri
+        (fun d i ->
+          if i < 0 || i >= (Tensor.shape t).(d) then
+            error "update index %s out of bounds for shape %s"
+              (Index.to_string idx)
+              (Shape.to_string (Tensor.shape t)))
+        idx;
+      let t' = Tensor.copy t in
+      if k = r then begin
+        Tensor.set t' idx (scalar_exn v);
+        Varr t'
+      end
+      else begin
+        let tile = tensor_exn v in
+        Tensor.set_tile t' ~outer:idx tile;
+        Varr t'
+      end
+
+let pp ppf = function
+  | Vint n -> Format.pp_print_int ppf n
+  | Varr t -> Tensor.pp Format.pp_print_int ppf t
+
+let to_string v = Format.asprintf "%a" pp v

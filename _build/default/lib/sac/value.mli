@@ -1,0 +1,64 @@
+(** Runtime values of the SAC interpreter.
+
+    SAC is an array language: every value is an integer scalar or a
+    multidimensional integer array.  Arithmetic maps element-wise and
+    broadcasts scalars, matching the semantics of the paper's tiler
+    code ([off = origin + MV(...)], [iv = off % shape(in_frame)] on
+    whole index vectors). *)
+
+open Ndarray
+
+type t = Vint of int | Varr of int Tensor.t
+
+exception Value_error of string
+
+val ops : int ref
+(** Abstract scalar-operation counter: every element-wise operation,
+    selection and update increments it by the number of scalar
+    operations performed (vector ops count their length).  The host
+    CPU cost model reads it; reset it around the region of interest. *)
+
+val updates : int ref
+(** Indexed-update counter ({!update} calls).  Scattered stores into
+    arrays that were just downloaded from the device are charged a
+    cold-memory penalty by the host cost model. *)
+
+val of_vector : int array -> t
+
+val scalar_exn : t -> int
+(** Raises {!Value_error} when the value is an array. *)
+
+val vector_exn : t -> int array
+(** The contents of a rank-1 array (or a singleton from a scalar). *)
+
+val tensor_exn : t -> int Tensor.t
+(** The array contents; scalars become rank-0 tensors. *)
+
+val shape : t -> Shape.t
+
+val rank : t -> int
+
+val copy : t -> t
+
+val equal : t -> t -> bool
+
+val binop : Ast.binop -> t -> t -> t
+(** Element-wise with scalar broadcast; [Concat] concatenates rank-1
+    vectors.  Division and modulo follow C semantics and raise
+    {!Value_error} on zero divisors. *)
+
+val neg : t -> t
+
+val select : t -> t -> t
+(** [select a iv]: full-rank selection yields a scalar, shorter index
+    vectors yield the addressed sub-array.  Indices must be in bounds
+    (SAC's tiler code wraps explicitly with [%], so out-of-bounds here
+    is a program bug). *)
+
+val update : t -> t -> t -> t
+(** [update a iv v]: functional árray update at a full-rank index — or,
+    when [iv] is shorter, replacement of a whole sub-tile. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,497 @@
+exception Fold_fail of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Fold_fail m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Producer analysis                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type producer = {
+  var : string;
+  wl : Ast.with_loop;
+  frame : int array;
+  cell_rank : int;
+}
+
+let closed_vector e =
+  match Simplify.eval_closed e with
+  | Some v -> (
+      try Some (Value.vector_exn v) with Value.Value_error _ -> None)
+  | None -> None
+
+(* A producer is foldable when its single generator densely covers the
+   whole frame. *)
+let dense_single_generator frame (w : Ast.with_loop) =
+  match w.Ast.gens with
+  | [ g ] -> (
+      let lb =
+        match g.Ast.lb with
+        | Ast.Dot -> Some (Array.map (fun _ -> 0) frame)
+        | Ast.Bexpr e ->
+            Option.map
+              (fun v ->
+                if g.Ast.lb_incl then v else Array.map (fun x -> x + 1) v)
+              (closed_vector e)
+      in
+      let ub =
+        match g.Ast.ub with
+        | Ast.Dot -> Some frame
+        | Ast.Bexpr e ->
+            Option.map
+              (fun v ->
+                if g.Ast.ub_incl then Array.map (fun x -> x + 1) v else v)
+              (closed_vector e)
+      in
+      match (lb, ub, g.Ast.step, g.Ast.width) with
+      | Some lb, Some ub, None, None ->
+          Array.length lb = Array.length frame
+          && Array.for_all (fun x -> x = 0) lb
+          && ub = frame
+      | _ -> false)
+  | _ -> false
+
+let producers_of_body senv0 body =
+  let senv = ref senv0 in
+  let out = ref [] in
+  List.iter
+    (fun stmt ->
+      (match stmt with
+      | Ast.Assign (x, Ast.With w) -> (
+          match Shapes.with_frame !senv w with
+          | Some frame when dense_single_generator frame w -> (
+              match Shapes.expr !senv (Ast.With w) with
+              | Some full ->
+                  out :=
+                    {
+                      var = x;
+                      wl = w;
+                      frame;
+                      cell_rank = Array.length full - Array.length frame;
+                    }
+                    :: !out
+              | None ->
+                  Logs.debug (fun k -> k "wlf: %s: full shape unknown" x))
+          | Some _ ->
+              Logs.debug (fun k -> k "wlf: %s: not a dense single generator" x)
+          | None -> Logs.debug (fun k -> k "wlf: %s: frame unknown" x))
+      | _ -> ());
+      senv := Shapes.after_stmt !senv stmt)
+    body;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Instantiation of a producer cell at an index                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Combine index component expressions (each scalar or vector; [lens]
+   gives vector lengths, 0 for scalars) into a single vector expression
+   for binding a [Pvar] pattern. *)
+let combine_components comps lens =
+  let scalarish = List.for_all (fun l -> l = 0) lens in
+  if scalarish then Ast.Vec comps
+  else
+    match comps with
+    | [ e ] -> e
+    | _ ->
+        let as_vector e len = if len = 0 then Ast.Vec [ e ] else e in
+        let rec go = function
+          | [] -> assert false
+          | [ (e, l) ] -> as_vector e l
+          | (e, l) :: rest -> Ast.Bin (Ast.Concat, as_vector e l, go rest)
+        in
+        go (List.combine comps lens)
+
+let constant_scalar e =
+  match Simplify.eval_closed e with
+  | Some (Value.Vint n) -> Some n
+  | Some (Value.Varr _ as v) -> (
+      match Value.vector_exn v with
+      | [| n |] -> Some n
+      | _ -> None
+      | exception Value.Value_error _ -> None)
+  | None -> None
+
+(* Instantiate generator [g] (of a producer) at the frame index given by
+   [comps]/[lens]; returns fresh binding statements plus the producer's
+   cell expression, selected into by [cell_idx] when non-empty. *)
+let rec instantiate_gen senv (g : Ast.gen) ~frame_rank ~comps ~lens ~cell_idx =
+  let subst =
+    Rename.freshen
+      ((match g.Ast.pat with Ast.Pvar v -> [ v ] | Ast.Pvec vs -> vs)
+      @ Rename.bound_names g.Ast.locals)
+  in
+  let g' = Rename.gen subst g in
+  let bind_stmts =
+    match g'.Ast.pat with
+    | Ast.Pvar p -> [ Ast.Assign (p, combine_components comps lens) ]
+    | Ast.Pvec names ->
+        if List.length names <> frame_rank then
+          fail "pattern arity mismatch during instantiation";
+        if List.for_all (fun l -> l = 0) lens && List.length comps = frame_rank
+        then List.map2 (fun n e -> Ast.Assign (n, e)) names comps
+        else begin
+          let tmp = Names.fresh "iv" in
+          Ast.Assign (tmp, combine_components comps lens)
+          :: List.mapi
+               (fun d n ->
+                 Ast.Assign
+                   (n, Ast.Select (Ast.Var tmp, Ast.Vec [ Ast.Num d ])))
+               names
+        end
+  in
+  let locals = g'.Ast.locals in
+  let value = g'.Ast.cell in
+  match cell_idx with
+  | [] -> (bind_stmts @ locals, value)
+  | _ -> select_into senv ~bind_stmts ~locals ~frame_rank value cell_idx
+
+(* Select [cell_idx] out of a producer's cell [value], given the
+   producer's instantiated [locals]. *)
+and select_into senv ~bind_stmts ~locals ~frame_rank value cell_idx =
+  ignore frame_rank;
+  match value with
+  | Ast.With inner ->
+          (* Nested case: select into the inner with-loop. *)
+          let inner_frame =
+            match Shapes.with_frame senv inner with
+            | Some f -> f
+            | None -> fail "inner with-loop frame is not static"
+          in
+          if not (dense_single_generator inner_frame inner) then
+            fail "inner with-loop is not a dense single generator";
+          let cell_lens =
+            List.map
+              (fun e ->
+                match Shapes.expr senv e with
+                | Some [||] -> 0
+                | Some [| n |] -> n
+                | _ -> fail "cell index component shape unknown")
+              cell_idx
+          in
+          let covered = List.fold_left (fun a l -> a + max 1 l) 0 cell_lens in
+          if covered <> Array.length inner_frame then
+            fail "cell selection does not cover the inner frame";
+          let stmts', value' =
+            instantiate_gen senv (List.hd inner.Ast.gens)
+              ~frame_rank:(Array.length inner_frame) ~comps:cell_idx
+              ~lens:cell_lens ~cell_idx:[]
+          in
+          (bind_stmts @ locals @ stmts', value')
+  | Ast.Var tile -> (
+      (* The cell is a local variable: either a tile built by
+         constant-index updates, or an alias for another foldable
+         expression (e.g. an inner with-loop bound to a name). *)
+      let init = ref None in
+      let updates = ref [] in
+      List.iter
+        (fun s ->
+          match s with
+          | Ast.Assign (v, e) when v = tile -> init := Some e
+          | Ast.Assign_idx (v, idx, e) when v = tile ->
+              updates := (idx, e) :: !updates
+          | _ -> ())
+        locals;
+      match !updates with
+      | [] -> (
+          match !init with
+          | Some (Ast.Call ("genarray", [ _; d ])) -> (bind_stmts @ locals, d)
+          | Some (Ast.Call ("genarray", [ _ ])) ->
+              (bind_stmts @ locals, Ast.Num 0)
+          | Some e ->
+              select_into senv ~bind_stmts ~locals ~frame_rank e cell_idx
+          | None -> fail "cell variable %s has no definition" tile)
+      | updates -> (
+          let k =
+            match cell_idx with
+            | [ e ] -> (
+                match constant_scalar e with
+                | Some k -> k
+                | None -> fail "tile projection needs a constant index")
+            | _ -> fail "tile projection needs a single index component"
+          in
+          let projected =
+            (* [updates] is reversed; the first match is the last
+               update in program order. *)
+            List.find_map
+              (fun (idx, e) ->
+                match constant_scalar idx with
+                | Some n -> if n = k then Some e else None
+                | None -> fail "non-constant tile update index")
+              updates
+          in
+          match projected with
+          | Some e -> (bind_stmts @ locals, e)
+          | None -> (
+              match !init with
+              | Some (Ast.Call ("genarray", [ _; d ])) ->
+                  (bind_stmts @ locals, d)
+              | Some (Ast.Call ("genarray", [ _ ])) ->
+                  (bind_stmts @ locals, Ast.Num 0)
+              | _ -> fail "tile component %d is never assigned" k)))
+  | _ -> fail "cannot select into this cell expression"
+
+(* ------------------------------------------------------------------ *)
+(* Consumer rewriting                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec select_chain e =
+  match e with
+  | Ast.Select (base, idx) -> (
+      match select_chain base with
+      | Some (root, idxs) -> Some (root, idxs @ [ idx ])
+      | None -> None)
+  | Ast.Var v -> Some (v, [])
+  | _ -> None
+
+(* Split index components at the producer's frame/cell boundary. *)
+let split_components senv idxs ~frame_rank ~total_rank =
+  let lens =
+    List.map
+      (fun e ->
+        match Shapes.expr senv e with
+        | Some [||] -> 0
+        | Some [| n |] -> n
+        | _ -> fail "selection component of unknown shape")
+      idxs
+  in
+  let covered = List.fold_left (fun a l -> a + max 1 l) 0 lens in
+  if covered <> total_rank then fail "selection is not full rank";
+  let rec go acc_c acc_l remaining lens_rem seen =
+    if seen = frame_rank then (List.rev acc_c, List.rev acc_l, remaining)
+    else
+      match (remaining, lens_rem) with
+      | [], _ | _, [] -> fail "selection too short"
+      | e :: rest, l :: lrest ->
+          let width = max 1 l in
+          if seen + width <= frame_rank then
+            go (e :: acc_c) (l :: acc_l) rest lrest (seen + width)
+          else begin
+            match e with
+            | Ast.Vec es ->
+                let take = frame_rank - seen in
+                let front = List.filteri (fun i _ -> i < take) es in
+                let back = List.filteri (fun i _ -> i >= take) es in
+                ( List.rev (Ast.Vec front :: acc_c),
+                  List.rev (take :: acc_l),
+                  Ast.Vec back :: rest )
+            | _ -> fail "selection component straddles the frame boundary"
+          end
+  in
+  go [] [] idxs lens 0
+
+type ctx = { producer : producer; mutable folded : bool }
+
+let rec rewrite_expr ctx senv prepend e =
+  match select_chain e with
+  | Some (root, idxs) when root = ctx.producer.var && idxs <> [] ->
+      let total_rank =
+        Array.length ctx.producer.frame + ctx.producer.cell_rank
+      in
+      let comps, lens, cell_idx =
+        split_components senv idxs
+          ~frame_rank:(Array.length ctx.producer.frame) ~total_rank
+      in
+      let stmts, value =
+        instantiate_gen senv
+          (List.hd ctx.producer.wl.Ast.gens)
+          ~frame_rank:(Array.length ctx.producer.frame) ~comps ~lens ~cell_idx
+      in
+      prepend := !prepend @ stmts;
+      ctx.folded <- true;
+      value
+  | _ -> (
+      match e with
+      | Ast.Var v when v = ctx.producer.var ->
+          fail "producer used whole (not through a selection)"
+      | Ast.Num _ | Ast.Var _ -> e
+      | Ast.Vec es -> Ast.Vec (List.map (rewrite_expr ctx senv prepend) es)
+      | Ast.Select (a, b) ->
+          Ast.Select
+            (rewrite_expr ctx senv prepend a, rewrite_expr ctx senv prepend b)
+      | Ast.Bin (op, a, b) ->
+          Ast.Bin
+            ( op,
+              rewrite_expr ctx senv prepend a,
+              rewrite_expr ctx senv prepend b )
+      | Ast.Neg a -> Ast.Neg (rewrite_expr ctx senv prepend a)
+      | Ast.Call (f, args) ->
+          Ast.Call (f, List.map (rewrite_expr ctx senv prepend) args)
+      | Ast.With _ ->
+          if List.mem ctx.producer.var (Dce.free_vars e) then
+            fail "producer read inside a nested with-loop"
+          else e)
+
+let rewrite_gen_locals ctx senv0 stmts =
+  let senv = ref senv0 in
+  let out =
+    List.concat_map
+      (fun stmt ->
+        let result =
+          match stmt with
+          | Ast.Assign (x, e) ->
+              let prepend = ref [] in
+              let e' = rewrite_expr ctx !senv prepend e in
+              !prepend @ [ Ast.Assign (x, e') ]
+          | Ast.Assign_idx (x, idx, e) ->
+              let prepend = ref [] in
+              let idx' = rewrite_expr ctx !senv prepend idx in
+              let e' = rewrite_expr ctx !senv prepend e in
+              !prepend @ [ Ast.Assign_idx (x, idx', e') ]
+          | Ast.For _ -> fail "producer read inside generator for-loop"
+          | Ast.Return _ -> fail "return inside generator locals"
+        in
+        List.iter (fun s -> senv := Shapes.after_stmt !senv s) result;
+        result)
+      stmts
+  in
+  (out, !senv)
+
+let rewrite_consumer ctx senv consumer_frame (w : Ast.with_loop) =
+  (* The producer may only be consumed through selections inside the
+     generators; an occurrence in the operation (a modarray source or a
+     genarray shape/default) would survive the fold and dangle. *)
+  (match w.Ast.op with
+  | Ast.Modarray e -> (
+      match Dce.free_vars e with
+      | vars when List.mem ctx.producer.var vars ->
+          fail "producer is the consumer's modarray source"
+      | _ -> ())
+  | Ast.Genarray (s, d) ->
+      if
+        List.mem ctx.producer.var (Dce.free_vars s)
+        || Option.fold ~none:false
+             ~some:(fun e -> List.mem ctx.producer.var (Dce.free_vars e))
+             d
+      then fail "producer appears in the consumer's genarray operation");
+  let gens =
+    List.map
+      (fun (g : Ast.gen) ->
+        (* Only rewrite generators that actually read the producer. *)
+        let reads_producer =
+          List.exists
+            (fun s ->
+              List.mem ctx.producer.var (Dce.free_vars_of_stmt s))
+            g.Ast.locals
+          || List.mem ctx.producer.var (Dce.free_vars g.Ast.cell)
+        in
+        if not reads_producer then g
+        else begin
+          let senv_g =
+            match g.Ast.pat with
+            | Ast.Pvar v -> (v, [| Array.length consumer_frame |]) :: senv
+            | Ast.Pvec vs -> List.map (fun v -> (v, [||])) vs @ senv
+          in
+          let locals, senv' = rewrite_gen_locals ctx senv_g g.Ast.locals in
+          let prepend = ref [] in
+          let cell = rewrite_expr ctx senv' prepend g.Ast.cell in
+          { g with Ast.locals = locals @ !prepend; cell }
+        end)
+      w.Ast.gens
+  in
+  { w with Ast.gens }
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let senv_before senv0 body site_idx =
+  List.fold_left
+    (fun (i, env) stmt ->
+      ((i + 1), if i < site_idx then Shapes.after_stmt env stmt else env))
+    (0, senv0) body
+  |> snd
+
+let try_fold_producer senv0 body (p : producer) =
+  let def_seen = ref false in
+  let uses = ref 0 in
+  let use_site = ref None in
+  List.iteri
+    (fun i stmt ->
+      if !def_seen then begin
+        let n =
+          List.length
+            (List.filter (String.equal p.var) (Dce.free_vars_of_stmt stmt))
+        in
+        if n > 0 then begin
+          uses := !uses + n;
+          use_site := Some (i, stmt)
+        end
+      end
+      else
+        match stmt with
+        | Ast.Assign (x, Ast.With _) when x = p.var -> def_seen := true
+        | _ -> ())
+    body;
+  match !use_site with
+  | Some (site_idx, Ast.Assign (y, Ast.With wb)) when !uses >= 1 -> (
+      (* All uses must be in this single statement. *)
+      let uses_elsewhere =
+        List.exists
+          (fun (i, stmt) ->
+            i <> site_idx
+            && List.mem p.var (Dce.free_vars_of_stmt stmt)
+            &&
+            match stmt with
+            | Ast.Assign (x, Ast.With _) when x = p.var -> false
+            | _ -> true)
+          (List.mapi (fun i s -> (i, s)) body)
+      in
+      if uses_elsewhere then begin
+        Logs.debug (fun k -> k "wlf: %s used outside its consumer" p.var);
+        None
+      end
+      else
+        let senv = senv_before senv0 body site_idx in
+        let consumer_frame =
+          match Shapes.with_frame senv wb with
+          | Some f -> f
+          | None -> [||]
+        in
+        let ctx = { producer = p; folded = false } in
+        try
+          let wb' = rewrite_consumer ctx senv consumer_frame wb in
+          if not ctx.folded then begin
+            Logs.debug (fun k ->
+                k "wlf: %s read by %s but nothing folded" p.var y);
+            None
+          end
+          else
+            Some
+              (List.concat
+                 (List.mapi
+                    (fun i stmt ->
+                      if i = site_idx then [ Ast.Assign (y, Ast.With wb') ]
+                      else
+                        match stmt with
+                        | Ast.Assign (x, Ast.With _) when x = p.var -> []
+                        | _ -> [ stmt ])
+                    body))
+        with Fold_fail m ->
+          Logs.debug (fun k -> k "wlf: fold of %s failed: %s" p.var m);
+          None)
+  | _ ->
+      Logs.debug (fun k ->
+          k "wlf: %s has no single with-loop consumer (uses=%d)" p.var !uses);
+      None
+
+let run (fd : Ast.fundef) =
+  let senv0 =
+    List.filter_map
+      (fun (t, name) -> Option.map (fun s -> (name, s)) (Shapes.of_typ t))
+      fd.Ast.params
+  in
+  let producers = producers_of_body senv0 fd.Ast.body in
+  let rec try_each = function
+    | [] -> (fd, false)
+    | p :: rest -> (
+        match try_fold_producer senv0 fd.Ast.body p with
+        | Some body' -> ({ fd with Ast.body = body' }, true)
+        | None -> try_each rest)
+  in
+  try_each producers
+
+let count_withloop_assigns (fd : Ast.fundef) =
+  List.length
+    (List.filter
+       (function Ast.Assign (_, Ast.With _) -> true | _ -> false)
+       fd.Ast.body)

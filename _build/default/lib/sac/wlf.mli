@@ -1,0 +1,32 @@
+(** With-Loop Folding (WLF) — the paper's key optimisation
+    (Section VII, citing Scholz's IFL'98 paper).
+
+    When a with-loop [A] is consumed by exactly one later with-loop [B]
+    through selections [A[e]], the selection is replaced by [A]'s cell
+    computation instantiated at index [e], making the intermediate
+    array unnecessary.  Three instantiation mechanisms cover the
+    downscaler (and the general class of tiler programs):
+
+    - {b direct}: [A]'s cell is a scalar expression — substitute;
+    - {b nested}: [A]'s cell is an inner with-loop and the trailing
+      index components select into it — recurse;
+    - {b projection}: [A]'s cell is a tile built by constant-index
+      updates ([tile[0] = e0; ...]) and the trailing index is constant
+      — select the matching update's right-hand side.
+
+    Producers must have a single generator covering their whole frame
+    (true of the paper's input tiler and task functions); consumers may
+    have any number of generators (the non-generic output tiler has
+    one per output position).  Reads that do not fit (e.g. from inside
+    a for-loop nest, as in the generic output tiler) abort the fold of
+    that producer, reproducing the paper's finding that "WLF fails in
+    the case of generic output tiler". *)
+
+val run : Ast.fundef -> Ast.fundef * bool
+(** One folding round; the flag reports whether anything changed.
+    Expects an inlined, simplified body (literal bounds).  Iterate with
+    {!Pipeline.optimize} until a fixpoint. *)
+
+val count_withloop_assigns : Ast.fundef -> int
+(** Number of top-level with-loop definitions (used by tests and the
+    experiment harness to observe folding). *)

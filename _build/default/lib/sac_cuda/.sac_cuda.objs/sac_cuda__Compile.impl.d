@@ -1,0 +1,1 @@
+lib/sac_cuda/compile.ml: Array Format Kernelize List Logs Ndarray Option Plan Printf Sac

@@ -1,0 +1,1 @@
+lib/sac_cuda/compile.mli: Plan Sac

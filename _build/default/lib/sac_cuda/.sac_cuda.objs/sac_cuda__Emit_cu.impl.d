@@ -1,0 +1,1 @@
+lib/sac_cuda/emit_cu.ml: Buffer Cuda Format Gpu Hashtbl Kernelize List Ndarray Plan Printf Sac Shape String

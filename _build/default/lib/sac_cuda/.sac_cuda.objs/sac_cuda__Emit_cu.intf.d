@@ -1,0 +1,1 @@
+lib/sac_cuda/emit_cu.mli: Plan

@@ -1,0 +1,1 @@
+lib/sac_cuda/exec.ml: Array Cuda Gpu Hashtbl Host_cost Kernelize List Ndarray Plan Printf Sac Shape Tensor

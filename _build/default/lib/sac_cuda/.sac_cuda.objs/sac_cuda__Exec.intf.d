@@ -1,0 +1,1 @@
+lib/sac_cuda/exec.mli: Cuda Gpu Ndarray Plan

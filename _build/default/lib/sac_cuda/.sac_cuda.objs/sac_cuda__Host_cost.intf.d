@@ -1,0 +1,1 @@
+lib/sac_cuda/host_cost.mli: Sac

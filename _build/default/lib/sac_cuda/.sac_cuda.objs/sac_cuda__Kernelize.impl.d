@@ -1,0 +1,1 @@
+lib/sac_cuda/kernelize.ml: Array Format Gpu Kir List Ndarray Sac String

@@ -1,0 +1,1 @@
+lib/sac_cuda/kernelize.mli: Gpu Sac

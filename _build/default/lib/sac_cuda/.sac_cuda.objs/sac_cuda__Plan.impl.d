@@ -1,0 +1,1 @@
+lib/sac_cuda/plan.ml: Format Gpu List Ndarray Sac String

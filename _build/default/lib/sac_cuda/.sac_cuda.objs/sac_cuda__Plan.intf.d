@@ -1,0 +1,1 @@
+lib/sac_cuda/plan.mli: Format Gpu Sac

@@ -1,0 +1,9 @@
+(** CUDA C emission for compiled plans.
+
+    Produces the [.cu] translation unit a user of the real SAC compiler
+    would inspect: one [__global__] kernel per generator and a host
+    [main] with [cudaMalloc] / [cudaMemcpyAsync] / launch sequences
+    derived from the same residency rules as {!Exec}.  Host blocks
+    appear as portable C loop nests in the host program. *)
+
+val source : name:string -> Plan.t -> string

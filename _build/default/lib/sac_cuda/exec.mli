@@ -1,0 +1,57 @@
+(** Simulated execution of compiled plans.
+
+    Runs a {!Plan.t} against the CUDA runtime facade: host/device
+    residency is tracked per variable, and the [host2device] /
+    [device2host] transfers of Section VII materialise exactly when a
+    kernel needs a host-resident array or a host block (or the final
+    result) needs a device-resident one.  Host blocks run through the
+    SAC interpreter and are charged to the host CPU model. *)
+
+type outcome = {
+  result : int Ndarray.Tensor.t;
+  host_us : float;  (** modelled host time for host blocks *)
+  kernel_launches : int;
+}
+
+(** Device operations a plan needs — plans are target-neutral, so any
+    runtime exposing these four operations can execute one (the CUDA
+    facade here, the OpenCL facade in [Sac_opencl]). *)
+type device_ops = {
+  alloc : name:string -> int -> Gpu.Buffer.t;
+  upload : Gpu.Buffer.t -> int array -> unit;
+  download : Gpu.Buffer.t -> int array -> unit;
+  launch :
+    label:string ->
+    split:int ->
+    Gpu.Kir.t ->
+    grid:int array ->
+    args:(string * Gpu.Kir.arg) list ->
+    unit;
+}
+
+val run_with :
+  ?host_mode:[ `Execute | `Estimate ] ->
+  ?plane_tag:string ->
+  device_ops ->
+  Plan.t ->
+  args:(string * int Ndarray.Tensor.t) list ->
+  outcome
+(** Execute a plan through arbitrary device operations. *)
+
+val run :
+  ?host_mode:[ `Execute | `Estimate ] ->
+  ?plane_tag:string ->
+  Cuda.Runtime.t ->
+  Plan.t ->
+  args:(string * int Ndarray.Tensor.t) list ->
+  outcome
+(** Device events (kernels and copies) are recorded on the runtime's
+    timeline; the returned tensor is the program result, bit-exact with
+    the interpreter.  Raises [Invalid_argument] on missing or mis-shaped
+    arguments.  [`Estimate] (for timing-only runs at paper scale)
+    charges host blocks by {!Host_cost} sampling instead of full
+    interpretation; the returned tensor is then not meaningful.
+    Default [`Execute].  [plane_tag] marks this run's kernel launches
+    as belonging to one colour plane ([kernel@tag] in the profile), so
+    the profiler reports per-frame rounds the way the paper's tables
+    do. *)

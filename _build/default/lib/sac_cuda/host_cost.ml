@@ -1,0 +1,55 @@
+exception Not_constant
+
+type counts = { ops : float; updates : float }
+
+let zero = { ops = 0.0; updates = 0.0 }
+
+let add a b = { ops = a.ops +. b.ops; updates = a.updates +. b.updates }
+
+let scale k a = { ops = k *. a.ops; updates = k *. a.updates }
+
+let measured f =
+  let ops0 = !Sac.Value.ops and upd0 = !Sac.Value.updates in
+  f ();
+  {
+    ops = float_of_int (!Sac.Value.ops - ops0);
+    updates = float_of_int (!Sac.Value.updates - upd0);
+  }
+
+let rec sampled env stmts =
+  List.fold_left
+    (fun acc stmt ->
+      match stmt with
+      | Sac.Ast.For { var; start; stop; body } ->
+          let eval e = Sac.Value.scalar_exn (Sac.Interp.eval_expr [] env e) in
+          let lo = eval start in
+          let hi = try eval stop with _ -> raise Not_constant in
+          let trips = max 0 (hi - lo) in
+          if trips = 0 then acc
+          else begin
+            (* Run one iteration, charge it [trips] times. *)
+            (match
+               Sac.Interp.exec_stmts [] env
+                 [ Sac.Ast.Assign (var, Sac.Ast.Num lo) ]
+             with
+            | None -> ()
+            | Some _ -> raise Not_constant);
+            let inner = sampled env body in
+            add acc (scale (float_of_int trips) inner)
+          end
+      | stmt ->
+          let c =
+            measured (fun () ->
+                match Sac.Interp.exec_stmts [] env [ stmt ] with
+                | None -> ()
+                | Some _ -> raise Not_constant)
+          in
+          add acc c)
+    zero stmts
+
+let sampled_counts env stmts =
+  match sampled env stmts with
+  | c -> Some c
+  | exception Not_constant -> None
+  | exception Sac.Value.Value_error _ -> None
+  | exception Sac.Ast.Sac_error _ -> None

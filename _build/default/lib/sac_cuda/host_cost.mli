@@ -1,0 +1,15 @@
+(** Sampled cost estimation for host blocks.
+
+    At paper scale the generic output tiler's for-nest runs hundreds of
+    thousands of iterations; the timing-only execution mode cannot
+    afford to interpret them all.  This estimator executes one
+    iteration per loop-nest level (with the real environment, so
+    vector lengths and builtin costs are exact) and extrapolates by the
+    constant trip counts. *)
+
+type counts = { ops : float; updates : float }
+
+val sampled_counts : Sac.Interp.env -> Sac.Ast.stmt list -> counts option
+(** [None] when a loop bound does not evaluate to a constant in the
+    given environment.  Executes sampled iterations for their side
+    effects on the environment (harmless in timing-only mode). *)

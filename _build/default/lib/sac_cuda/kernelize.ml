@@ -1,0 +1,147 @@
+open Gpu
+
+exception Unsupported of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Unsupported m)) fmt
+
+let sanitize name =
+  String.map (fun c -> if c = '$' then '_' else c) name
+
+(* Row-major linearisation of index component expressions. *)
+let linearize shape comps =
+  if List.length comps <> Array.length shape then
+    fail "selection rank %d does not match array rank %d"
+      (List.length comps) (Array.length shape);
+  let _, expr =
+    List.fold_left
+      (fun (d, acc) comp ->
+        let acc' =
+          match acc with
+          | None -> Some comp
+          | Some acc ->
+              Some
+                (Kir.Bin
+                   ( Kir.Add,
+                     Kir.Bin (Kir.Mul, acc, Kir.Int shape.(d)),
+                     comp ))
+        in
+        (d + 1, acc'))
+      (0, None) comps
+  in
+  match expr with Some e -> e | None -> Kir.Int 0
+
+let rec kir_of_expr ~arrays e =
+  match e with
+  | Sac.Ast.Num n -> Kir.Int n
+  | Sac.Ast.Neg (Sac.Ast.Num n) -> Kir.Int (-n)
+  | Sac.Ast.Neg a ->
+      Kir.Bin (Kir.Sub, Kir.Int 0, kir_of_expr ~arrays a)
+  | Sac.Ast.Var v -> Kir.Var (sanitize v)
+  | Sac.Ast.Bin (op, a, b) ->
+      let op =
+        match op with
+        | Sac.Ast.Add -> Kir.Add
+        | Sac.Ast.Sub -> Kir.Sub
+        | Sac.Ast.Mul -> Kir.Mul
+        | Sac.Ast.Div -> Kir.Div
+        | Sac.Ast.Mod -> Kir.Mod
+        | Sac.Ast.Concat -> fail "++ survived scalarisation"
+      in
+      Kir.Bin (op, kir_of_expr ~arrays a, kir_of_expr ~arrays b)
+  | Sac.Ast.Call ("min", [ a; b ]) ->
+      Kir.Bin (Kir.Min, kir_of_expr ~arrays a, kir_of_expr ~arrays b)
+  | Sac.Ast.Call ("max", [ a; b ]) ->
+      Kir.Bin (Kir.Max, kir_of_expr ~arrays a, kir_of_expr ~arrays b)
+  | Sac.Ast.Select (Sac.Ast.Var arr, Sac.Ast.Vec comps) -> (
+      match List.assoc_opt arr arrays with
+      | Some shape ->
+          Kir.Read
+            ( sanitize arr,
+              linearize shape (List.map (kir_of_expr ~arrays) comps) )
+      | None -> fail "read from array %s of unknown shape" arr)
+  | Sac.Ast.Select (_, _) -> fail "non-normalised selection"
+  | Sac.Ast.Vec _ | Sac.Ast.With _ | Sac.Ast.Call (_, _) ->
+      fail "non-scalar expression reached the backend: %s"
+        (Sac.Ast.expr_to_string e)
+
+let index_binding space d gid_dim =
+  match Sac.Genspace.dim_map space d with
+  | None -> fail "generator dimension %d has no closed-form thread map" d
+  | Some (Sac.Genspace.Affine { lb; step }) ->
+      let e = Kir.Gid gid_dim in
+      let e = if step = 1 then e else Kir.Bin (Kir.Mul, Kir.Int step, e) in
+      if lb = 0 then e else Kir.Bin (Kir.Add, Kir.Int lb, e)
+  | Some (Sac.Genspace.Blocked { lb; step; width }) ->
+      let block = Kir.Bin (Kir.Div, Kir.Gid gid_dim, Kir.Int width) in
+      let intra = Kir.Bin (Kir.Mod, Kir.Gid gid_dim, Kir.Int width) in
+      let base = Kir.Bin (Kir.Mul, Kir.Int step, block) in
+      let base = if lb = 0 then base else Kir.Bin (Kir.Add, Kir.Int lb, base) in
+      Kir.Bin (Kir.Add, base, intra)
+
+let kernel_of_sgen ~name ~out_shape ~cell_shape (g : Sac.Scalarize.sgen)
+    ~arrays =
+  let space = g.Sac.Scalarize.space in
+  let rank = Sac.Genspace.rank space in
+  let grid = Sac.Genspace.dim_counts space in
+  let index_lets =
+    List.mapi
+      (fun d v -> Kir.Let (sanitize v, index_binding space d d))
+      g.Sac.Scalarize.index_vars
+  in
+  let local_lets =
+    List.map
+      (fun (v, e) -> Kir.Let (sanitize v, kir_of_expr ~arrays e))
+      g.Sac.Scalarize.locals
+  in
+  let frame_rank = rank in
+  let frame_comps =
+    List.map (fun v -> Kir.Var (sanitize v)) g.Sac.Scalarize.index_vars
+  in
+  let cell_size = Ndarray.Shape.size cell_shape in
+  let stores =
+    if Array.length cell_shape = 0 then
+      match g.Sac.Scalarize.cell with
+      | [ cell ] ->
+          [
+            Kir.Store
+              ( "out",
+                linearize out_shape frame_comps,
+                kir_of_expr ~arrays cell );
+          ]
+      | _ -> fail "scalar cell expected"
+    else begin
+      if List.length g.Sac.Scalarize.cell <> cell_size then
+        fail "cell component count mismatch";
+      List.mapi
+        (fun k cell ->
+          let cell_idx =
+            Array.to_list
+              (Array.map (fun n -> Kir.Int n)
+                 (Ndarray.Index.unravel cell_shape k))
+          in
+          Kir.Store
+            ( "out",
+              linearize out_shape (frame_comps @ cell_idx),
+              kir_of_expr ~arrays cell ))
+        g.Sac.Scalarize.cell
+    end
+  in
+  ignore frame_rank;
+  let params =
+    List.map
+      (fun (a, _) -> { Kir.pname = sanitize a; kind = Kir.In_buffer })
+      arrays
+    @ [ { Kir.pname = "out"; kind = Kir.Out_buffer } ]
+  in
+  let kernel =
+    {
+      Kir.kname = sanitize name;
+      params;
+      grid_rank = rank;
+      body = index_lets @ local_lets @ stores;
+    }
+  in
+  (match Kir.validate kernel with
+  | Ok () -> ()
+  | Error m -> fail "generated kernel invalid: %s" m);
+  (kernel, grid)

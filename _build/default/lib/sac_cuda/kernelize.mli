@@ -1,0 +1,25 @@
+(** Translation of scalarised generators into kernel IR.
+
+    One kernel per generator ("We outline each WITH-loop generator as a
+    kernel function", Section VII).  Thread ids map to generator
+    members through the closed forms of {!Sac.Genspace.dim_map};
+    selections become linear reads with row-major strides; array cells
+    are written by an unrolled store per component. *)
+
+exception Unsupported of string
+
+val sanitize : string -> string
+(** Make a SAC-generated name a valid C identifier ['$' -> '_']. *)
+
+val kernel_of_sgen :
+  name:string ->
+  out_shape:int array ->
+  cell_shape:int array ->
+  Sac.Scalarize.sgen ->
+  arrays:(string * int array) list ->
+  Gpu.Kir.t * int array
+(** [kernel_of_sgen ~name ~out_shape ~cell_shape g ~arrays] is the
+    kernel and its launch grid.  [out_shape] is the full output-buffer
+    shape (frame ++ cell); [arrays] gives shapes for linearising reads.
+    Raises {!Unsupported} when a dimension mapping has no closed form
+    or an expression falls outside the scalar subset. *)

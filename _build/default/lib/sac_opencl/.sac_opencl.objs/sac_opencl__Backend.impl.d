@@ -1,0 +1,1 @@
+lib/sac_opencl/backend.ml: Gpu Hashtbl List Ndarray Opencl Printf Sac Sac_cuda Shape

@@ -1,0 +1,1 @@
+lib/sac_opencl/backend.mli: Ndarray Opencl Sac_cuda

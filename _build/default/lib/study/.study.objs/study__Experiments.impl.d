@@ -1,0 +1,1 @@
+lib/study/experiments.ml: Arrayol Buffer Cuda Float Gaspard_runs Gpu Index Int List Mde Ndarray Opencl Option Printf Sac Sac_cuda Sac_runs Scale String Tensor Video

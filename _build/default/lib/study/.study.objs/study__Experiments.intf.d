@@ -1,0 +1,1 @@
+lib/study/experiments.mli: Gpu Sac_runs Scale

@@ -1,0 +1,1 @@
+lib/study/gaspard_runs.ml: Array Gpu List Mde Ndarray Opencl Scale

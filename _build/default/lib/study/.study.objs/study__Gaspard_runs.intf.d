@@ -1,0 +1,1 @@
+lib/study/gaspard_runs.mli: Gpu Scale

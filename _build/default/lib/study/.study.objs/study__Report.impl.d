@@ -1,0 +1,1 @@
+lib/study/report.ml: Buffer Experiments Float Gpu List Printf Sac_runs String

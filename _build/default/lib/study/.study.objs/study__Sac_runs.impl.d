@@ -1,0 +1,1 @@
+lib/study/sac_runs.ml: Array Cuda Gpu List Ndarray Sac Sac_cuda Scale

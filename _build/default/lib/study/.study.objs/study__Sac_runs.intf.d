@@ -1,0 +1,1 @@
+lib/study/sac_runs.mli: Gpu Scale

@@ -1,0 +1,1 @@
+lib/study/scale.mli: Format

@@ -1,0 +1,277 @@
+open Ndarray
+
+type fig9_row = {
+  variant : Sac_runs.variant;
+  h_seconds : float;
+  v_seconds : float;
+}
+
+let fig9 ?(scale = Scale.paper) () =
+  List.map
+    (fun variant ->
+      {
+        variant;
+        h_seconds = Sac_runs.time_us variant Sac_runs.H scale /. 1e6;
+        v_seconds = Sac_runs.time_us variant Sac_runs.V scale /. 1e6;
+      })
+    [
+      Sac_runs.Seq_generic;
+      Sac_runs.Seq_nongeneric;
+      Sac_runs.Cuda_generic;
+      Sac_runs.Cuda_nongeneric;
+    ]
+
+let table1 ?(scale = Scale.paper) () = Gaspard_runs.profile scale
+
+let table2 ?(scale = Scale.paper) () =
+  fst (Sac_runs.full_pipeline_profile ~generic:false scale)
+
+type fig12_row = {
+  operation : string;
+  sac_seconds : float;
+  gaspard_seconds : float;
+}
+
+let row_time rows prefix =
+  List.fold_left
+    (fun acc (r : Gpu.Profiler.row) ->
+      let p = String.length prefix in
+      if
+        String.length r.Gpu.Profiler.operation >= p
+        && String.sub r.Gpu.Profiler.operation 0 p = prefix
+      then acc +. r.Gpu.Profiler.gpu_time_us
+      else acc)
+    0.0 rows
+
+let fig12 ?(scale = Scale.paper) () =
+  let sac = table2 ~scale () in
+  let gaspard = table1 ~scale () in
+  List.map
+    (fun (operation, prefix) ->
+      {
+        operation;
+        sac_seconds = row_time sac prefix /. 1e6;
+        gaspard_seconds = row_time gaspard prefix /. 1e6;
+      })
+    [
+      ("Horizontal Filter", "H. Filter");
+      ("Vertical Filter", "V. Filter");
+      ("Host2Device", "memcpyHtoDasync");
+      ("Device2Host", "memcpyDtoHasync");
+    ]
+
+let fig8 ?(scale = Scale.paper) () =
+  let src =
+    Sac.Programs.horizontal ~generic:false ~rows:scale.Scale.rows
+      ~cols:scale.Scale.cols
+  in
+  let fd, _ = Sac.Pipeline.optimize_source src ~entry:"main" in
+  let senv =
+    ref
+      (List.filter_map
+         (fun (t, n) -> Option.map (fun s -> (n, s)) (Sac.Shapes.of_typ t))
+         fd.Sac.Ast.params)
+  in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun stmt ->
+      (match stmt with
+      | Sac.Ast.Assign (_, Sac.Ast.With w) ->
+          let sw =
+            Sac.Split_gens.normalize (Sac.Scalarize.with_loop !senv w)
+          in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "int[%d, %d] in_frame;\nint[%d, %d] output;\noutput = with {\n"
+               scale.Scale.rows scale.Scale.cols scale.Scale.rows
+               (Scale.h_out_cols scale));
+          List.iter
+            (fun (g : Sac.Scalarize.sgen) ->
+              let space = g.Sac.Scalarize.space in
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "    ( %s <= iv < %s step %s width %s {\n\
+                   \        res = ...in_frame[...]...;\n\
+                   \    } : res;\n"
+                   (Index.to_string space.Sac.Genspace.lb)
+                   (Index.to_string space.Sac.Genspace.ub)
+                   (Index.to_string space.Sac.Genspace.step)
+                   (Index.to_string space.Sac.Genspace.width)))
+            sw.Sac.Scalarize.sgens;
+          Buffer.add_string buf
+            (Printf.sprintf "} : genarray( [%d, %d]);\n" scale.Scale.rows
+               (Scale.h_out_cols scale))
+      | _ -> ());
+      senv := Sac.Shapes.after_stmt !senv stmt)
+    fd.Sac.Ast.body;
+  Buffer.contents buf
+
+type claims = {
+  gaspard_total_s : float;
+  sac_total_s : float;
+  relative : float;
+  within_85_pct : bool;
+  seq_seconds : float;
+  best_gpu_kernel_seconds : float;
+  speedup : float;
+  realtime_ok : bool;
+}
+
+let claims ?(scale = Scale.paper) () =
+  let sac_rows = table2 ~scale () in
+  let gaspard_rows = table1 ~scale () in
+  let sac_total_s = Gpu.Profiler.total_us sac_rows /. 1e6 in
+  let gaspard_total_s = Gpu.Profiler.total_us gaspard_rows /. 1e6 in
+  let relative =
+    Float.min sac_total_s gaspard_total_s
+    /. Float.max sac_total_s gaspard_total_s
+  in
+  let seq_us =
+    Sac_runs.seq_us ~generic:false Sac_runs.H scale
+    +. Sac_runs.seq_us ~generic:false Sac_runs.V scale
+  in
+  let kernel_time rows =
+    (row_time rows "H. Filter" +. row_time rows "V. Filter") /. 1e6
+  in
+  let best_gpu_kernel_seconds =
+    Float.min (kernel_time sac_rows) (kernel_time gaspard_rows)
+  in
+  (* "As much as 11x": the best single-filter ratio between a sequential
+     implementation and the fastest GPU kernels for that filter. *)
+  let best_case_speedup =
+    List.fold_left Float.max 0.0
+      (List.concat_map
+         (fun filter ->
+           let gpu_us =
+             Float.min
+               (Gaspard_runs.filter_us scale
+                  (match filter with Sac_runs.H -> `H | Sac_runs.V -> `V))
+               (row_time sac_rows
+                  (match filter with
+                  | Sac_runs.H -> "H. Filter"
+                  | Sac_runs.V -> "V. Filter"))
+           in
+           List.map
+             (fun generic -> Sac_runs.seq_us ~generic filter scale /. gpu_us)
+             [ true; false ])
+         [ Sac_runs.H; Sac_runs.V ])
+  in
+  {
+    gaspard_total_s;
+    sac_total_s;
+    relative;
+    within_85_pct = relative >= 0.85 -. 0.02;
+    seq_seconds = seq_us /. 1e6;
+    best_gpu_kernel_seconds;
+    speedup = best_case_speedup;
+    realtime_ok =
+      (* 300 frames at 25 fps last 12 s (Section VIII-B). *)
+      gaspard_total_s < float_of_int scale.Scale.frames /. 25.0;
+  }
+
+type scenario = {
+  description : string;
+  gaspard_s : float;
+  sac_s : float;
+  budget_s : float;
+  both_realtime : bool;
+}
+
+let cif_scenario () =
+  let scale = { Scale.rows = 288; cols = 352; frames = 2000 } in
+  let gaspard_s = Gaspard_runs.total_us scale /. 1e6 in
+  let sac_s =
+    Gpu.Profiler.total_us (fst (Sac_runs.full_pipeline_profile ~generic:false scale))
+    /. 1e6
+  in
+  let budget_s = float_of_int scale.Scale.frames /. 25.0 in
+  {
+    description = "CIF 288x352, 2000 frames (80 s of 25 fps video)";
+    gaspard_s;
+    sac_s;
+    budget_s;
+    both_realtime = gaspard_s < budget_s && sac_s < budget_s;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Cross-pipeline validation                                           *)
+(* ------------------------------------------------------------------ *)
+
+type validation = { name : string; ok : bool }
+
+let validate ?(scale = Scale.validation) () =
+  let rows = scale.Scale.rows and cols = scale.Scale.cols in
+  let fmt = { Video.Format.name = "validation"; rows; cols } in
+  let frame = Video.Framegen.frame fmt 0 in
+  let plane = Video.Frame.plane frame Video.Frame.R in
+  let reference = Video.Downscaler.plane plane in
+  let tensor_eq = Tensor.equal Int.equal in
+  let check name f =
+    {
+      name;
+      ok = (try f () with _ -> false);
+    }
+  in
+  [
+    check "SAC interpreter (generic) = reference" (fun () ->
+        let src = Sac.Programs.downscaler ~generic:true ~rows ~cols in
+        Sac.Value.equal
+          (Sac.Interp.run (Sac.Parser.program src) ~entry:"main"
+             ~args:[ Sac.Value.Varr plane ])
+          (Sac.Value.Varr reference));
+    check "SAC interpreter (non-generic) = reference" (fun () ->
+        let src = Sac.Programs.downscaler ~generic:false ~rows ~cols in
+        Sac.Value.equal
+          (Sac.Interp.run (Sac.Parser.program src) ~entry:"main"
+             ~args:[ Sac.Value.Varr plane ])
+          (Sac.Value.Varr reference));
+    check "optimised SAC (WLF) = reference" (fun () ->
+        let src = Sac.Programs.downscaler ~generic:false ~rows ~cols in
+        let fd, report = Sac.Pipeline.optimize_source src ~entry:"main" in
+        report.Sac.Pipeline.withloops_after = 2
+        && Sac.Value.equal
+             (Sac.Interp.run [ fd ] ~entry:"main"
+                ~args:[ Sac.Value.Varr plane ])
+             (Sac.Value.Varr reference));
+    check "SAC-CUDA plan (non-generic) = reference" (fun () ->
+        let src = Sac.Programs.downscaler ~generic:false ~rows ~cols in
+        let plan, _ = Sac_cuda.Compile.plan_of_source src ~entry:"main" in
+        let rt = Cuda.Runtime.init () in
+        let outcome = Sac_cuda.Exec.run rt plan ~args:[ ("frame", plane) ] in
+        tensor_eq outcome.Sac_cuda.Exec.result reference);
+    check "SAC-CUDA plan (generic) = reference" (fun () ->
+        let src = Sac.Programs.downscaler ~generic:true ~rows ~cols in
+        let plan, _ = Sac_cuda.Compile.plan_of_source src ~entry:"main" in
+        let rt = Cuda.Runtime.init () in
+        let outcome = Sac_cuda.Exec.run rt plan ~args:[ ("frame", plane) ] in
+        tensor_eq outcome.Sac_cuda.Exec.result reference);
+    check "ArrayOL semantics = reference" (fun () ->
+        tensor_eq
+          (Arrayol.Semantics.run1
+             (Arrayol.Downscaler_model.plane ~rows ~cols)
+             plane)
+          reference);
+    check "Gaspard2 OpenCL chain = reference" (fun () ->
+        let gen =
+          Mde.Chain.transform_exn (Mde.Chain.downscaler_model ~rows ~cols)
+        in
+        let ctx = Opencl.Runtime.create_context () in
+        let outs =
+          Mde.Chain.run ctx gen
+            ~inputs:
+              [
+                ("r_in", Video.Frame.plane frame Video.Frame.R);
+                ("g_in", Video.Frame.plane frame Video.Frame.G);
+                ("b_in", Video.Frame.plane frame Video.Frame.B);
+              ]
+        in
+        let expected = Video.Downscaler.frame frame in
+        List.for_all
+          (fun (port, ch) ->
+            tensor_eq (List.assoc port outs) (Video.Frame.plane expected ch))
+          [
+            ("r_out", Video.Frame.R);
+            ("g_out", Video.Frame.G);
+            ("b_out", Video.Frame.B);
+          ]);
+  ]

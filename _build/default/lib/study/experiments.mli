@@ -1,0 +1,72 @@
+(** The paper's evaluation (Section VIII), experiment by experiment.
+
+    Every function simulates at the given scale (default
+    {!Scale.paper}) and returns structured results; {!Report} renders
+    them in the paper's layout.  Cross-pipeline correctness is checked
+    separately by {!validate}, which executes everything functionally
+    at a reduced scale. *)
+
+type fig9_row = {
+  variant : Sac_runs.variant;
+  h_seconds : float;
+  v_seconds : float;
+}
+
+val fig9 : ?scale:Scale.t -> unit -> fig9_row list
+(** Figure 9: execution times of both filters for the four SAC
+    implementations. *)
+
+val table1 : ?scale:Scale.t -> unit -> Gpu.Profiler.row list
+(** Table I: Gaspard2 kernel execution and data-transfer breakdown. *)
+
+val table2 : ?scale:Scale.t -> unit -> Gpu.Profiler.row list
+(** Table II: the non-generic SAC implementation's breakdown. *)
+
+type fig12_row = {
+  operation : string;
+  sac_seconds : float;
+  gaspard_seconds : float;
+}
+
+val fig12 : ?scale:Scale.t -> unit -> fig12_row list
+(** Figure 12: per-operation comparison of the two approaches. *)
+
+val fig8 : ?scale:Scale.t -> unit -> string
+(** The folded horizontal-filter WITH-loop after WLF and generator
+    splitting, printed with one generator per block (cf. Figure 8). *)
+
+type claims = {
+  gaspard_total_s : float;
+  sac_total_s : float;
+  relative : float;  (** min/max of the two totals *)
+  within_85_pct : bool;
+  seq_seconds : float;  (** sequential both-filter time *)
+  best_gpu_kernel_seconds : float;
+  speedup : float;  (** sequential vs best GPU kernels *)
+  realtime_ok : bool;  (** faster than the 12 s of 25 fps playback *)
+}
+
+val claims : ?scale:Scale.t -> unit -> claims
+(** Section IX's quantified conclusions. *)
+
+type scenario = {
+  description : string;
+  gaspard_s : float;
+  sac_s : float;
+  budget_s : float;  (** wall-clock duration of the video at 25 fps *)
+  both_realtime : bool;
+}
+
+val cif_scenario : unit -> scenario
+(** Section III's motivating workload: "a 25-frames-per-second video
+    signal lasting for 80 seconds, the downscaler may process up to
+    2000 frames in CIF format".  Both pipelines at 288x352, 2000
+    frames, against the 80 s budget. *)
+
+type validation = { name : string; ok : bool }
+
+val validate : ?scale:Scale.t -> unit -> validation list
+(** Functional cross-checks at a reduced scale: SAC interpreter, SAC
+    optimised interpreter, SAC-CUDA compiled plans (both variants),
+    ArrayOL semantics and the generated OpenCL program all reproduce
+    the golden reference downscaler bit-exactly. *)

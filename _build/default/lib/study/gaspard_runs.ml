@@ -1,0 +1,43 @@
+let label_of = function
+  | "HorizontalFilter" -> "H. Filter"
+  | "VerticalFilter" -> "V. Filter"
+  | other -> other
+
+let run_once (s : Scale.t) =
+  let model =
+    Mde.Chain.downscaler_model ~rows:s.Scale.rows ~cols:s.Scale.cols
+  in
+  let gen = Mde.Chain.transform_exn model in
+  let ctx = Opencl.Runtime.create_context ~mode:Gpu.Context.Timing_only () in
+  let plane c =
+    Ndarray.Tensor.init
+      [| s.Scale.rows; s.Scale.cols |]
+      (fun idx -> (idx.(0) + (2 * idx.(1)) + c) mod 251)
+  in
+  ignore
+    (Mde.Chain.run ctx gen ~label_of
+       ~inputs:
+         [ ("r_in", plane 0); ("g_in", plane 1); ("b_in", plane 2) ]);
+  Gpu.Context.timeline (Opencl.Runtime.gpu_context ctx)
+
+let profile s =
+  let timeline = run_once s in
+  Gpu.Timeline.replay timeline ~times:s.Scale.frames;
+  Gpu.Profiler.rows timeline
+
+let filter_us s which =
+  let label = match which with `H -> "H. Filter" | `V -> "V. Filter" in
+  let timeline = run_once s in
+  let per_frame =
+    List.fold_left
+      (fun acc (e : Gpu.Timeline.event) ->
+        if e.Gpu.Timeline.kind = Gpu.Timeline.Kernel
+           && e.Gpu.Timeline.label = label
+        then acc +. e.Gpu.Timeline.us
+        else acc)
+      0.0
+      (Gpu.Timeline.events timeline)
+  in
+  per_frame *. float_of_int s.Scale.frames
+
+let total_us s = Gpu.Profiler.total_us (profile s)

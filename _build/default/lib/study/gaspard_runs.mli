@@ -1,0 +1,16 @@
+(** Timings for the Gaspard2/OpenCL implementation (Table I).
+
+    Runs the generated downscaler program once per frame in timing-only
+    mode (uploads the three colour planes, launches the six generated
+    kernels, downloads the three results) and extrapolates to the
+    requested frame count. *)
+
+val profile : Scale.t -> Gpu.Profiler.row list
+(** Rows in the paper's Table I format: "H. Filter (3 kernels)",
+    "V. Filter (3 kernels)", both copy directions. *)
+
+val filter_us : Scale.t -> [ `H | `V ] -> float
+(** Kernel time attributed to one filter across all frames (for the
+    Figure 12 comparison). *)
+
+val total_us : Scale.t -> float

@@ -1,0 +1,161 @@
+(* A horizontal bar scaled to the column maximum, recalling the paper's
+   bar charts. *)
+let bar ~max_value ~width value =
+  let n =
+    if max_value <= 0.0 then 0
+    else
+      int_of_float (Float.round (float_of_int width *. value /. max_value))
+  in
+  String.make (max 0 (min width n)) '#'
+
+let fig9 rows =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "Figure 9: Execution Time of Horizontal and Vertical Filters\n";
+  Buffer.add_string buf
+    (Printf.sprintf "%-24s %22s %22s\n" "" "Horizontal Filter (s)"
+       "Vertical Filter (s)");
+  List.iter
+    (fun (r : Experiments.fig9_row) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-24s %22.2f %22.2f\n"
+           (Sac_runs.variant_name r.Experiments.variant)
+           r.Experiments.h_seconds r.Experiments.v_seconds))
+    rows;
+  let max_value =
+    List.fold_left
+      (fun m (r : Experiments.fig9_row) ->
+        Float.max m (Float.max r.Experiments.h_seconds r.Experiments.v_seconds))
+      0.0 rows
+  in
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (r : Experiments.fig9_row) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-24s H |%-40s| %5.2f s\n"
+           (Sac_runs.variant_name r.Experiments.variant)
+           (bar ~max_value ~width:40 r.Experiments.h_seconds)
+           r.Experiments.h_seconds);
+      Buffer.add_string buf
+        (Printf.sprintf "%-24s V |%-40s| %5.2f s\n" ""
+           (bar ~max_value ~width:40 r.Experiments.v_seconds)
+           r.Experiments.v_seconds))
+    rows;
+  Buffer.contents buf
+
+let table ~title rows = Gpu.Profiler.to_string ~title rows
+
+let fig12 rows =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "Figure 12: Kernel Execution and Data Transfer Time\n";
+  Buffer.add_string buf
+    (Printf.sprintf "%-20s %12s %12s\n" "" "SAC (s)" "Gaspard2 (s)");
+  List.iter
+    (fun (r : Experiments.fig12_row) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-20s %12.2f %12.2f\n" r.Experiments.operation
+           r.Experiments.sac_seconds r.Experiments.gaspard_seconds))
+    rows;
+  let max_value =
+    List.fold_left
+      (fun m (r : Experiments.fig12_row) ->
+        Float.max m
+          (Float.max r.Experiments.sac_seconds r.Experiments.gaspard_seconds))
+      0.0 rows
+  in
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (r : Experiments.fig12_row) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-20s SAC      |%-40s| %5.2f s\n"
+           r.Experiments.operation
+           (bar ~max_value ~width:40 r.Experiments.sac_seconds)
+           r.Experiments.sac_seconds);
+      Buffer.add_string buf
+        (Printf.sprintf "%-20s Gaspard2 |%-40s| %5.2f s\n" ""
+           (bar ~max_value ~width:40 r.Experiments.gaspard_seconds)
+           r.Experiments.gaspard_seconds))
+    rows;
+  Buffer.contents buf
+
+let claims (c : Experiments.claims) =
+  String.concat "\n"
+    [
+      "Conclusion claims (Section IX):";
+      Printf.sprintf "  Gaspard2 total: %.2f s   SAC total: %.2f s"
+        c.Experiments.gaspard_total_s c.Experiments.sac_total_s;
+      Printf.sprintf
+        "  relative performance: %.1f%% of the best (paper: within 85%%) -> %s"
+        (100.0 *. c.Experiments.relative)
+        (if c.Experiments.within_85_pct then "HOLDS" else "VIOLATED");
+      Printf.sprintf "  sequential H+V: %.2f s, best GPU kernels: %.2f s"
+        c.Experiments.seq_seconds c.Experiments.best_gpu_kernel_seconds;
+      Printf.sprintf
+        "  GPU vs sequential speedup: %.1fx (paper: \"as much as 11x\")"
+        c.Experiments.speedup;
+      Printf.sprintf
+        "  real-time 25 fps playback (12 s for 300 frames): %s"
+        (if c.Experiments.realtime_ok then "suitable (paper: suitable)"
+         else "NOT suitable");
+      "";
+    ]
+
+let validation checks =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "Cross-pipeline validation (reduced scale):\n";
+  List.iter
+    (fun (v : Experiments.validation) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  [%s] %s\n"
+           (if v.Experiments.ok then "OK" else "FAIL")
+           v.Experiments.name))
+    checks;
+  Buffer.contents buf
+
+let paper_table1_reference =
+  [
+    ("H. Filter (3 kernels)", 300, 844185.0, 29.51);
+    ("V. Filter (3 kernels)", 300, 424223.0, 14.83);
+    ("memcpyHtoDasync", 900, 1391670.0, 48.74);
+    ("memcpyDtoHasync", 900, 197057.0, 6.89);
+  ]
+
+let paper_table2_reference =
+  [
+    ("H. Filter (5 kernels)", 300, 1015137.0, 29.60);
+    ("V. Filter (7 kernels)", 300, 762270.0, 22.22);
+    ("memcpyHtoDasync", 900, 1454400.0, 42.40);
+    ("memcpyDtoHasync", 900, 198000.0, 5.77);
+  ]
+
+let side_by_side ~title ~paper ~ours =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (title ^ "\n");
+  Buffer.add_string buf
+    (Printf.sprintf "%-26s %8s | %14s %8s | %14s %8s\n" "Operation" "#calls"
+       "paper (usec)" "paper %" "ours (usec)" "ours %");
+  let paper_total = List.fold_left (fun a (_, _, us, _) -> a +. us) 0.0 paper in
+  let our_total = Gpu.Profiler.total_us ours in
+  List.iter
+    (fun (op, calls, us, pct) ->
+      let our =
+        List.find_opt
+          (fun (r : Gpu.Profiler.row) -> r.Gpu.Profiler.operation = op)
+          ours
+      in
+      match our with
+      | Some r ->
+          Buffer.add_string buf
+            (Printf.sprintf "%-26s %8d | %14.0f %8.2f | %14.0f %8.2f\n" op
+               calls us pct r.Gpu.Profiler.gpu_time_us
+               r.Gpu.Profiler.share_pct)
+      | None ->
+          Buffer.add_string buf
+            (Printf.sprintf "%-26s %8d | %14.0f %8.2f | %14s %8s\n" op calls
+               us pct "missing" "-"))
+    paper;
+  Buffer.add_string buf
+    (Printf.sprintf "%-26s %8s | %13.2fs %8s | %13.2fs %8s\n" "Total" "-"
+       (paper_total /. 1e6) "100.00" (our_total /. 1e6) "100.00");
+  Buffer.contents buf

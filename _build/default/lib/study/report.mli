@@ -1,0 +1,25 @@
+(** Text rendering of the experiments, in the paper's layout. *)
+
+val fig9 : Experiments.fig9_row list -> string
+
+val table : title:string -> Gpu.Profiler.row list -> string
+
+val fig12 : Experiments.fig12_row list -> string
+
+val claims : Experiments.claims -> string
+
+val validation : Experiments.validation list -> string
+
+val paper_table1_reference : (string * int * float * float) list
+(** The published Table I rows (operation, #calls, usec, %) for
+    side-by-side comparison in EXPERIMENTS.md. *)
+
+val paper_table2_reference : (string * int * float * float) list
+
+val side_by_side :
+  title:string ->
+  paper:(string * int * float * float) list ->
+  ours:Gpu.Profiler.row list ->
+  string
+(** Paper numbers next to simulated numbers, row-matched by operation
+    name. *)

@@ -1,0 +1,141 @@
+type variant = Seq_generic | Seq_nongeneric | Cuda_generic | Cuda_nongeneric
+
+type filter = H | V
+
+let variant_name = function
+  | Seq_generic -> "SAC-Seq Generic"
+  | Seq_nongeneric -> "SAC-Seq Non-Generic"
+  | Cuda_generic -> "SAC-CUDA Generic"
+  | Cuda_nongeneric -> "SAC-CUDA Non-Generic"
+
+let filter_name = function H -> "Horizontal Filter" | V -> "Vertical Filter"
+
+(* The vertical filter operates on the horizontal filter's output
+   geometry (1080x720 for HD input), as in the paper's pipeline. *)
+let filter_geometry filter (s : Scale.t) =
+  match filter with
+  | H -> (s.Scale.rows, s.Scale.cols)
+  | V -> (s.Scale.rows, Scale.h_out_cols s)
+
+let source_of ~generic filter (s : Scale.t) =
+  let rows, cols = filter_geometry filter s in
+  match filter with
+  | H -> Sac.Programs.horizontal ~generic ~rows ~cols
+  | V -> Sac.Programs.vertical ~generic ~rows ~cols
+
+let source variant filter s =
+  let generic =
+    match variant with
+    | Seq_generic | Cuda_generic -> true
+    | Seq_nongeneric | Cuda_nongeneric -> false
+  in
+  source_of ~generic filter s
+
+(* A geometry-compatible reduced plane for operation counting: the
+   per-pixel work of both filters is constant, so counts scale exactly
+   with the pixel count. *)
+let counting_scale (s : Scale.t) =
+  if Scale.pixels s <= Scale.pixels Scale.validation then s
+  else { s with Scale.rows = 72; cols = 64 }
+
+let dummy_plane_of_geometry (rows, cols) =
+  Ndarray.Tensor.init [| rows; cols |] (fun idx ->
+      (idx.(0) + (2 * idx.(1))) mod 251)
+
+let dummy_plane filter (s : Scale.t) =
+  dummy_plane_of_geometry (filter_geometry filter s)
+
+let seq_ops_per_plane ~generic filter (s : Scale.t) =
+  let small = counting_scale s in
+  let src = source_of ~generic filter small in
+  let fd, _ = Sac.Pipeline.optimize_source src ~entry:"main" in
+  Sac.Interp.ops_counter := 0;
+  ignore
+    (Sac.Interp.run [ fd ] ~entry:"main"
+       ~args:[ Sac.Value.Varr (dummy_plane filter small) ]);
+  let ops_small = float_of_int !Sac.Interp.ops_counter in
+  let pixels scale =
+    let r, c = filter_geometry filter scale in
+    r * c
+  in
+  ops_small *. (float_of_int (pixels s) /. float_of_int (pixels small))
+
+let seq_us ~generic filter (s : Scale.t) =
+  let per_plane = seq_ops_per_plane ~generic filter s in
+  Gpu.Perf_model.host_loop_time_us ~ops:per_plane
+  *. float_of_int Scale.planes
+  *. float_of_int s.Scale.frames
+
+(* Run a compiled plan once in timing-only mode; classify the events. *)
+let cuda_events ~generic filter (s : Scale.t) =
+  let src = source_of ~generic filter s in
+  let plan, _ = Sac_cuda.Compile.plan_of_source src ~entry:"main" in
+  let rt = Cuda.Runtime.init ~mode:Gpu.Context.Timing_only () in
+  let outcome =
+    Sac_cuda.Exec.run ~host_mode:`Estimate rt plan
+      ~args:[ ("frame", dummy_plane filter s) ]
+  in
+  let events =
+    Gpu.Timeline.events (Gpu.Context.timeline (Cuda.Runtime.context rt))
+  in
+  (plan, events, outcome.Sac_cuda.Exec.host_us)
+
+(* Filter time: kernels + transfers *internal* to the filter (e.g. the
+   generic variant's intermediate download) + host tiler time; the
+   frame upload and result download are common to every variant and
+   belong to the end-to-end profile (Table II), not the per-filter
+   comparison of Figure 9. *)
+let cuda_us ~generic filter (s : Scale.t) =
+  let plan, events, host_us = cuda_events ~generic filter s in
+  let result_buffer = Sac_cuda.Kernelize.sanitize plan.Sac_cuda.Plan.result in
+  let device_us =
+    List.fold_left
+      (fun acc (e : Gpu.Timeline.event) ->
+        match e.Gpu.Timeline.kind with
+        | Gpu.Timeline.Kernel -> acc +. e.Gpu.Timeline.us
+        | Gpu.Timeline.Memcpy_h2d ->
+            if e.Gpu.Timeline.detail = "frame" then acc
+            else acc +. e.Gpu.Timeline.us
+        | Gpu.Timeline.Memcpy_d2h ->
+            if e.Gpu.Timeline.detail = result_buffer then acc
+            else acc +. e.Gpu.Timeline.us)
+      0.0 events
+  in
+  (device_us +. host_us)
+  *. float_of_int Scale.planes
+  *. float_of_int s.Scale.frames
+
+let time_us variant filter s =
+  match variant with
+  | Seq_generic -> seq_us ~generic:true filter s
+  | Seq_nongeneric -> seq_us ~generic:false filter s
+  | Cuda_generic -> cuda_us ~generic:true filter s
+  | Cuda_nongeneric -> cuda_us ~generic:false filter s
+
+let full_pipeline_profile ~generic (s : Scale.t) =
+  let src =
+    Sac.Programs.downscaler ~generic ~rows:s.Scale.rows ~cols:s.Scale.cols
+  in
+  let labels = ref [ "H. Filter"; "V. Filter" ] in
+  let label_of _ =
+    match !labels with
+    | l :: rest ->
+        labels := rest;
+        l
+    | [] -> "Kernel"
+  in
+  let plan, _ = Sac_cuda.Compile.plan_of_source ~label_of src ~entry:"main" in
+  let rt = Cuda.Runtime.init ~mode:Gpu.Context.Timing_only () in
+  let plane = dummy_plane H s in
+  let host = ref 0.0 in
+  List.iter
+    (fun tag ->
+      let outcome =
+        Sac_cuda.Exec.run ~host_mode:`Estimate ~plane_tag:tag rt plan
+          ~args:[ ("frame", plane) ]
+      in
+      host := !host +. outcome.Sac_cuda.Exec.host_us)
+    [ "r"; "g"; "b" ];
+  let timeline = Gpu.Context.timeline (Cuda.Runtime.context rt) in
+  Gpu.Timeline.replay timeline ~times:s.Scale.frames;
+  (Gpu.Profiler.rows timeline, !host *. float_of_int s.Scale.frames)

@@ -1,0 +1,1 @@
+lib/video/colorspace.ml: Frame Ndarray Tensor

@@ -1,0 +1,1 @@
+lib/video/colorspace.mli: Frame Ndarray

@@ -1,0 +1,1 @@
+lib/video/downscaler.ml: Array Format Frame Linalg Ndarray Printf Shape Tensor Tiler

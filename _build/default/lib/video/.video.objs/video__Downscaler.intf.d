@@ -1,0 +1,1 @@
+lib/video/downscaler.mli: Format Frame Ndarray Tensor Tiler

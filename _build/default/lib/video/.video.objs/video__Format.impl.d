@@ -1,0 +1,1 @@
+lib/video/format.ml: Stdlib

@@ -1,0 +1,1 @@
+lib/video/format.mli: Ndarray Stdlib

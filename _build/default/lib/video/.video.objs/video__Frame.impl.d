@@ -1,0 +1,1 @@
+lib/video/frame.ml: Format Int List Ndarray Tensor

@@ -1,0 +1,1 @@
+lib/video/frame_io.ml: Array Char Format Frame Fun List Ndarray Printf Stdlib String Tensor

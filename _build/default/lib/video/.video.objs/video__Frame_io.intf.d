@@ -1,0 +1,1 @@
+lib/video/frame_io.mli: Frame Ndarray

@@ -1,0 +1,1 @@
+lib/video/framegen.ml: Array Frame Seq

@@ -1,0 +1,1 @@
+lib/video/framegen.mli: Format Frame Seq

@@ -1,0 +1,1 @@
+lib/video/quality.ml: Float Frame List Ndarray Tensor

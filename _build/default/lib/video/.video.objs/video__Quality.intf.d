@@ -1,0 +1,1 @@
+lib/video/quality.mli: Frame Ndarray Tensor

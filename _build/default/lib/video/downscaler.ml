@@ -1,0 +1,109 @@
+open Ndarray
+
+let h_pack_in = 8
+
+let h_pack_out = 3
+
+let h_pattern = 11
+
+let v_pack_in = 9
+
+let v_pack_out = 4
+
+let v_pattern = 14
+
+let window_len = 6
+
+let h_window_offsets = [| 0; 2; 5 |]
+
+let v_window_offsets = [| 0; 2; 5; 8 |]
+
+let interpolate sum = (sum / window_len) - (sum mod window_len)
+
+let check_divisible name extent packet =
+  if extent <= 0 || extent mod packet <> 0 then
+    invalid_arg
+      (Printf.sprintf "Downscaler.%s: extent %d not a positive multiple of %d"
+         name extent packet)
+
+(* Horizontal: out[i, pack_out*r + k] interpolates the window of 6 input
+   columns starting at 8r + offsets[k], wrapping modulo the width. *)
+let horizontal plane =
+  let shape = Tensor.shape plane in
+  if Shape.rank shape <> 2 then invalid_arg "Downscaler.horizontal: rank";
+  let rows = shape.(0) and cols = shape.(1) in
+  check_divisible "horizontal" cols h_pack_in;
+  let out_cols = cols / h_pack_in * h_pack_out in
+  Tensor.init [| rows; out_cols |] (fun idx ->
+      let i = idx.(0) and j = idx.(1) in
+      let r = j / h_pack_out and k = j mod h_pack_out in
+      let base = (r * h_pack_in) + h_window_offsets.(k) in
+      let sum = ref 0 in
+      for t = 0 to window_len - 1 do
+        sum := !sum + Tensor.get plane [| i; (base + t) mod cols |]
+      done;
+      interpolate !sum)
+
+(* Vertical: same along rows, packets of 9 rows to 4. *)
+let vertical plane =
+  let shape = Tensor.shape plane in
+  if Shape.rank shape <> 2 then invalid_arg "Downscaler.vertical: rank";
+  let rows = shape.(0) and cols = shape.(1) in
+  check_divisible "vertical" rows v_pack_in;
+  let out_rows = rows / v_pack_in * v_pack_out in
+  Tensor.init [| out_rows; cols |] (fun idx ->
+      let i = idx.(0) and j = idx.(1) in
+      let r = i / v_pack_out and k = i mod v_pack_out in
+      let base = (r * v_pack_in) + v_window_offsets.(k) in
+      let sum = ref 0 in
+      for t = 0 to window_len - 1 do
+        sum := !sum + Tensor.get plane [| (base + t) mod rows; j |]
+      done;
+      interpolate !sum)
+
+let plane p = vertical (horizontal p)
+
+let frame f = Frame.map_planes (fun _ p -> plane p) f
+
+let input_tilers fmt =
+  let rows = fmt.Format.rows and cols = fmt.Format.cols in
+  check_divisible "input_tilers (cols)" cols h_pack_in;
+  let h =
+    Tiler.spec ~origin:[| 0; 0 |]
+      ~fitting:(Linalg.of_lists [ [ 0 ]; [ 1 ] ])
+      ~paving:(Linalg.of_lists [ [ 1; 0 ]; [ 0; h_pack_in ] ])
+      ~array_shape:[| rows; cols |] ~pattern_shape:[| h_pattern |]
+      ~repetition_shape:[| rows; cols / h_pack_in |]
+  in
+  let h_cols = cols / h_pack_in * h_pack_out in
+  check_divisible "input_tilers (rows)" rows v_pack_in;
+  let v =
+    Tiler.spec ~origin:[| 0; 0 |]
+      ~fitting:(Linalg.of_lists [ [ 1 ]; [ 0 ] ])
+      ~paving:(Linalg.of_lists [ [ v_pack_in; 0 ]; [ 0; 1 ] ])
+      ~array_shape:[| rows; h_cols |] ~pattern_shape:[| v_pattern |]
+      ~repetition_shape:[| rows / v_pack_in; h_cols |]
+  in
+  (h, v)
+
+let output_tilers fmt =
+  let rows = fmt.Format.rows and cols = fmt.Format.cols in
+  check_divisible "output_tilers (cols)" cols h_pack_in;
+  check_divisible "output_tilers (rows)" rows v_pack_in;
+  let h_cols = cols / h_pack_in * h_pack_out in
+  let h =
+    Tiler.spec ~origin:[| 0; 0 |]
+      ~fitting:(Linalg.of_lists [ [ 0 ]; [ 1 ] ])
+      ~paving:(Linalg.of_lists [ [ 1; 0 ]; [ 0; h_pack_out ] ])
+      ~array_shape:[| rows; h_cols |] ~pattern_shape:[| h_pack_out |]
+      ~repetition_shape:[| rows; cols / h_pack_in |]
+  in
+  let v_rows = rows / v_pack_in * v_pack_out in
+  let v =
+    Tiler.spec ~origin:[| 0; 0 |]
+      ~fitting:(Linalg.of_lists [ [ 1 ]; [ 0 ] ])
+      ~paving:(Linalg.of_lists [ [ v_pack_out; 0 ]; [ 0; 1 ] ])
+      ~array_shape:[| v_rows; h_cols |] ~pattern_shape:[| v_pack_out |]
+      ~repetition_shape:[| rows / v_pack_in; h_cols |]
+  in
+  (h, v)

@@ -1,0 +1,81 @@
+open Ndarray
+
+let ppm_string f =
+  let shape = Frame.format_shape f in
+  let rows = shape.(0) and cols = shape.(1) in
+  let buf = Stdlib.Buffer.create ((rows * cols * 3) + 32) in
+  Printf.bprintf buf "P6\n%d %d\n255\n" cols rows;
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      List.iter
+        (fun c ->
+          Stdlib.Buffer.add_char buf
+            (Char.chr (Frame.clamp8 (Tensor.get (Frame.plane f c) [| i; j |]))))
+        Frame.channels
+    done
+  done;
+  Stdlib.Buffer.contents buf
+
+let write_ppm path f =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (ppm_string f))
+
+let write_pgm path plane =
+  let shape = Tensor.shape plane in
+  let rows = shape.(0) and cols = shape.(1) in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "P5\n%d %d\n255\n" cols rows;
+      for i = 0 to rows - 1 do
+        for j = 0 to cols - 1 do
+          output_char oc (Char.chr (Frame.clamp8 (Tensor.get plane [| i; j |])))
+        done
+      done)
+
+let read_ppm path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let next_token () =
+        (* Skip whitespace and '#' comments between header tokens. *)
+        let buf = Stdlib.Buffer.create 8 in
+        let rec skip () =
+          match input_char ic with
+          | ' ' | '\t' | '\n' | '\r' -> skip ()
+          | '#' ->
+              let rec to_eol () =
+                if input_char ic <> '\n' then to_eol ()
+              in
+              to_eol ();
+              skip ()
+          | c -> c
+        in
+        let rec collect c =
+          match c with
+          | ' ' | '\t' | '\n' | '\r' -> Stdlib.Buffer.contents buf
+          | c ->
+              Stdlib.Buffer.add_char buf c;
+              collect (input_char ic)
+        in
+        collect (skip ())
+      in
+      let magic = next_token () in
+      if magic <> "P6" then failwith "read_ppm: not a P6 file";
+      let cols = int_of_string (next_token ()) in
+      let rows = int_of_string (next_token ()) in
+      let maxval = int_of_string (next_token ()) in
+      if maxval <> 255 then failwith "read_ppm: unsupported max value";
+      let fmt = { Format.name = "ppm"; rows; cols } in
+      let data = really_input_string ic (rows * cols * 3) in
+      let get c i j =
+        let off = (((i * cols) + j) * 3) + c in
+        Char.code data.[off]
+      in
+      Frame.init fmt (fun channel idx ->
+          let c = match channel with Frame.R -> 0 | Frame.G -> 1 | Frame.B -> 2 in
+          get c idx.(0) idx.(1)))

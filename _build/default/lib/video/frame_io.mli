@@ -1,0 +1,18 @@
+(** Frame file I/O.
+
+    Substitutes for the Gaspard2 FrameConstructor IP (OpenCV display or
+    file output): frames are written as binary PPM (P6) and planes as
+    PGM (P5), the simplest formats any image viewer opens. *)
+
+val write_ppm : string -> Frame.t -> unit
+(** Pixel values are clamped to 0..255. *)
+
+val read_ppm : string -> Frame.t
+(** Reads a P6 file produced by {!write_ppm}.  Raises [Failure] on
+    malformed input. *)
+
+val write_pgm : string -> int Ndarray.Tensor.t -> unit
+(** One plane as greyscale. *)
+
+val ppm_string : Frame.t -> string
+(** The P6 bytes without touching the filesystem. *)

@@ -1,0 +1,20 @@
+(** Synthetic video source.
+
+    Substitutes for the Gaspard2 FrameGenerator IP, which read frames
+    from a file or camera with OpenCV: we have neither in this
+    environment, so frames are synthesised deterministically from the
+    frame number.  The content (moving diagonal gradients plus a
+    deterministic hash texture, different per channel) exercises the
+    same code paths and defeats accidental symmetry in filter bugs. *)
+
+val frame : Format.t -> int -> Frame.t
+(** [frame fmt n] is the [n]-th frame of the synthetic sequence;
+    pixel values are in 0..255 and depend on position, channel and
+    [n]. *)
+
+val sequence : Format.t -> count:int -> Frame.t Seq.t
+(** The first [count] frames, generated lazily. *)
+
+val pixel : channel:Frame.channel -> frame_no:int -> row:int -> col:int -> int
+(** The pure pixel function behind {!frame} (useful to re-derive
+    expected values in tests). *)

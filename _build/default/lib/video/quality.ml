@@ -1,0 +1,15 @@
+open Ndarray
+
+let mse a b =
+  let diff = Tensor.map2 (fun x y -> (x - y) * (x - y)) a b in
+  let total = Tensor.fold ( + ) 0 diff in
+  float_of_int total /. float_of_int (max 1 (Tensor.size a))
+
+let psnr a b =
+  let e = mse a b in
+  if e = 0.0 then infinity else 10.0 *. Float.log10 (255.0 *. 255.0 /. e)
+
+let frame_psnr a b =
+  List.fold_left
+    (fun acc c -> Float.min acc (psnr (Frame.plane a c) (Frame.plane b c)))
+    infinity Frame.channels

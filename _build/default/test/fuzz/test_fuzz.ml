@@ -1,0 +1,256 @@
+(* Differential fuzzing of the SAC pipeline.
+
+   Random single-input pipelines of 1-D with-loops (dense producers,
+   stepped partitions, width>1 lattices, modarray bases, wrapped affine
+   reads) are run through four routes that must agree bit-exactly:
+
+     1. the reference interpreter on the source program;
+     2. the interpreter on the optimised (inlined/folded/DCE'd) program;
+     3. the compiled plan executed on the simulated device;
+     4. the same plan compiled without Figure 8 generator splitting;
+
+   and the printed program must re-parse to something equivalent. *)
+
+(* ------------------------------------------------------------------ *)
+(* Program generator                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type stage =
+  | Dense of (int * int * int)
+      (** cell = a[(i*c1 + c2) mod n] * m + i, one full generator *)
+  | Partition of int * (int * int) list
+      (** step k; per offset: (c1, c2) for the read of that class *)
+  | Widened of (int * int)
+      (** two width-2 generators with step 4 covering offsets 0-3 *)
+  | Mod_patch of (int * int * int)
+      (** modarray over the previous array, patching every [step]-th
+          element from a wrapped read *)
+
+type fuzz_program = { n : int; stages : stage list }
+
+let gen_stage n =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 3,
+          map3
+            (fun c1 c2 m -> Dense (c1, c2, m))
+            (int_range 1 3) (int_range 0 (n - 1)) (int_range 1 4) );
+        ( 2,
+          int_range 2 3 >>= fun k ->
+          list_repeat k (pair (int_range 1 3) (int_range 0 (n - 1)))
+          >|= fun reads -> Partition (k, reads) );
+        (1, pair (int_range 1 2) (int_range 0 (n - 1)) >|= fun p -> Widened p);
+        ( 2,
+          map3
+            (fun s c1 c2 -> Mod_patch (s, c1, c2))
+            (int_range 2 4) (int_range 1 3) (int_range 0 (n - 1)) );
+      ])
+
+let gen_program =
+  QCheck.Gen.(
+    oneofl [ 12; 24 ] >>= fun n ->
+    int_range 1 4 >>= fun depth ->
+    list_repeat depth (gen_stage n) >|= fun stages -> { n; stages })
+
+let show_stage = function
+  | Dense (c1, c2, m) -> Printf.sprintf "Dense(%d,%d,%d)" c1 c2 m
+  | Partition (k, reads) ->
+      Printf.sprintf "Partition(%d,[%s])" k
+        (String.concat ";"
+           (List.map (fun (a, b) -> Printf.sprintf "%d,%d" a b) reads))
+  | Widened (c1, c2) -> Printf.sprintf "Widened(%d,%d)" c1 c2
+  | Mod_patch (s, c1, c2) -> Printf.sprintf "ModPatch(%d,%d,%d)" s c1 c2
+
+let show_program p =
+  Printf.sprintf "n=%d [%s]" p.n
+    (String.concat "; " (List.map show_stage p.stages))
+
+let arb_program = QCheck.make ~print:show_program gen_program
+
+(* ------------------------------------------------------------------ *)
+(* AST construction                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let num n = Sac.Ast.Num n
+
+let vec l = Sac.Ast.Vec (List.map num l)
+
+let read src ~c1 ~c2 ~n iv_var =
+  (* src[[(iv*c1 + c2) mod n]] *)
+  Sac.Ast.Select
+    ( Sac.Ast.Var src,
+      Sac.Ast.Vec
+        [
+          Sac.Ast.Bin
+            ( Sac.Ast.Mod,
+              Sac.Ast.Bin
+                ( Sac.Ast.Add,
+                  Sac.Ast.Bin (Sac.Ast.Mul, Sac.Ast.Var iv_var, num c1),
+                  num c2 ),
+              num n );
+        ] )
+
+let gen_of ~lb ~ub ?step ?width ~cell () =
+  {
+    Sac.Ast.lb = Sac.Ast.Bexpr (vec [ lb ]);
+    lb_incl = true;
+    pat = Sac.Ast.Pvec [ "i" ];
+    ub = Sac.Ast.Bexpr (vec [ ub ]);
+    ub_incl = false;
+    step = Option.map (fun s -> vec [ s ]) step;
+    width = Option.map (fun w -> vec [ w ]) width;
+    locals = [];
+    cell;
+  }
+
+let with_of ~gens ~op = Sac.Ast.With { Sac.Ast.gens; op }
+
+let stage_expr n src = function
+  | Dense (c1, c2, m) ->
+      with_of
+        ~gens:
+          [
+            gen_of ~lb:0 ~ub:n
+              ~cell:
+                (Sac.Ast.Bin
+                   ( Sac.Ast.Add,
+                     Sac.Ast.Bin
+                       (Sac.Ast.Mul, read src ~c1 ~c2 ~n "i", num m),
+                     Sac.Ast.Var "i" ))
+              ();
+          ]
+        ~op:(Sac.Ast.Genarray (vec [ n ], None))
+  | Partition (k, reads) ->
+      with_of
+        ~gens:
+          (List.mapi
+             (fun off (c1, c2) ->
+               gen_of ~lb:off ~ub:n ~step:k
+                 ~cell:
+                   (Sac.Ast.Bin (Sac.Ast.Add, read src ~c1 ~c2 ~n "i", num off))
+                 ())
+             reads)
+        ~op:(Sac.Ast.Genarray (vec [ n ], Some (num 7)))
+  | Widened (c1, c2) ->
+      with_of
+        ~gens:
+          [
+            gen_of ~lb:0 ~ub:n ~step:4 ~width:2
+              ~cell:(read src ~c1 ~c2 ~n "i") ();
+            gen_of ~lb:2 ~ub:n ~step:4 ~width:2
+              ~cell:
+                (Sac.Ast.Bin (Sac.Ast.Add, read src ~c1 ~c2 ~n "i", num 1))
+              ();
+          ]
+        ~op:(Sac.Ast.Genarray (vec [ n ], None))
+  | Mod_patch (s, c1, c2) ->
+      with_of
+        ~gens:
+          [ gen_of ~lb:0 ~ub:n ~step:s ~cell:(read src ~c1 ~c2 ~n "i") () ]
+        ~op:(Sac.Ast.Modarray (Sac.Ast.Var src))
+
+let build_program (p : fuzz_program) =
+  let stmts =
+    List.concat
+      (List.mapi
+         (fun i stage ->
+           let src = if i = 0 then "a" else Printf.sprintf "x%d" i in
+           let dst = Printf.sprintf "x%d" (i + 1) in
+           [ Sac.Ast.Assign (dst, stage_expr p.n src stage) ])
+         p.stages)
+  in
+  let last = Printf.sprintf "x%d" (List.length p.stages) in
+  [
+    {
+      Sac.Ast.fname = "main";
+      params = [ (Sac.Ast.Tarray (Sac.Ast.Fixed [ p.n ]), "a") ];
+      ret = Sac.Ast.Tarray (Sac.Ast.Fixed [ p.n ]);
+      body = stmts @ [ Sac.Ast.Return (Sac.Ast.Var last) ];
+    };
+  ]
+
+let input_of p =
+  Sac.Value.of_vector (Array.init p.n (fun i -> ((i * 37) + 11) mod 97))
+
+(* ------------------------------------------------------------------ *)
+(* Differential checks                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let interp prog v = Sac.Interp.run prog ~entry:"main" ~args:[ v ]
+
+let exec_plan ?split_generators prog v =
+  let plan = Sac_cuda.Compile.plan ?split_generators (List.hd prog) in
+  let rt = Cuda.Runtime.init () in
+  let outcome =
+    Sac_cuda.Exec.run rt plan ~args:[ ("a", Sac.Value.tensor_exn v) ]
+  in
+  Sac.Value.Varr outcome.Sac_cuda.Exec.result
+
+let prop_optimizer_preserves =
+  QCheck.Test.make ~name:"interp(optimize p) = interp(p)" ~count:120
+    arb_program (fun p ->
+      let prog = build_program p in
+      let v = input_of p in
+      let reference = interp prog v in
+      let fd, _ = Sac.Pipeline.optimize prog ~entry:"main" in
+      Sac.Value.equal reference (interp [ fd ] v))
+
+let prop_backend_matches_interp =
+  QCheck.Test.make ~name:"exec(compile p) = interp(p)" ~count:80 arb_program
+    (fun p ->
+      let prog = build_program p in
+      let v = input_of p in
+      let fd, _ = Sac.Pipeline.optimize prog ~entry:"main" in
+      Sac.Value.equal (interp prog v) (exec_plan [ fd ] v))
+
+let prop_split_invariant =
+  QCheck.Test.make ~name:"split and unsplit plans agree" ~count:60 arb_program
+    (fun p ->
+      let prog = build_program p in
+      let v = input_of p in
+      let fd, _ = Sac.Pipeline.optimize prog ~entry:"main" in
+      Sac.Value.equal
+        (exec_plan ~split_generators:true [ fd ] v)
+        (exec_plan ~split_generators:false [ fd ] v))
+
+let prop_print_parse_roundtrip =
+  QCheck.Test.make ~name:"interp(parse(print p)) = interp(p)" ~count:80
+    arb_program (fun p ->
+      let prog = build_program p in
+      let v = input_of p in
+      let printed = Sac.Ast.program_to_string prog in
+      let reparsed = Sac.Parser.program printed in
+      Sac.Value.equal (interp prog v) (interp reparsed v))
+
+let prop_emitted_cuda_wellformed =
+  QCheck.Test.make ~name:"emitted CUDA contains every kernel" ~count:40
+    arb_program (fun p ->
+      let prog = build_program p in
+      let fd, _ = Sac.Pipeline.optimize prog ~entry:"main" in
+      let plan = Sac_cuda.Compile.plan fd in
+      let src = Sac_cuda.Emit_cu.source ~name:"fuzz" plan in
+      let count_occurrences needle =
+        let nl = String.length needle in
+        let rec go i acc =
+          if i + nl > String.length src then acc
+          else if String.sub src i nl = needle then go (i + 1) (acc + 1)
+          else go (i + 1) acc
+        in
+        go 0 0
+      in
+      count_occurrences "__global__ void" = Sac_cuda.Plan.kernel_count plan)
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "pipeline",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_optimizer_preserves;
+            prop_backend_matches_interp;
+            prop_split_invariant;
+            prop_print_parse_roundtrip;
+            prop_emitted_cuda_wellformed;
+          ] );
+    ]

@@ -1,0 +1,823 @@
+open Gpu
+
+(* A 1-d vector-add kernel: out[i] = a[i] + b[i]. *)
+let vadd =
+  Kir.
+    {
+      kname = "vadd";
+      params =
+        [
+          { pname = "a"; kind = In_buffer };
+          { pname = "b"; kind = In_buffer };
+          { pname = "out"; kind = Out_buffer };
+        ];
+      grid_rank = 1;
+      body =
+        [
+          Let ("x", Read ("a", Gid 0));
+          Let ("y", Read ("b", Gid 0));
+          Store ("out", Gid 0, Bin (Add, Var "x", Var "y"));
+        ];
+    }
+
+(* Column-walking kernel: each thread reads [w] elements with a large
+   constant stride. *)
+let col_walk ~w ~stride =
+  Kir.
+    {
+      kname = "col_walk";
+      params =
+        [
+          { pname = "src"; kind = In_buffer };
+          { pname = "dst"; kind = Out_buffer };
+        ];
+      grid_rank = 1;
+      body =
+        [
+          Let ("acc0", Read ("src", Gid 0));
+          Let
+            ( "acc1",
+              Bin
+                ( Add,
+                  Var "acc0",
+                  Read ("src", Bin (Add, Gid 0, Int stride)) ) );
+          Let
+            ( "acc2",
+              Bin
+                ( Add,
+                  Var "acc1",
+                  Read ("src", Bin (Add, Gid 0, Int (2 * stride))) ) );
+          Store ("dst", Gid 0, Var "acc2");
+        ];
+    }
+  |> fun k ->
+  ignore w;
+  k
+
+let ctx () = Context.create Device.gtx480
+
+(* ---------- Kir validation ---------- *)
+
+let ok_or_fail = function
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "unexpected validation error: %s" m
+
+let test_validate_ok () = ok_or_fail (Kir.validate vadd)
+
+let test_validate_unbound_var () =
+  let k =
+    Kir.
+      {
+        kname = "bad";
+        params = [ { pname = "o"; kind = Out_buffer } ];
+        grid_rank = 1;
+        body = [ Store ("o", Gid 0, Var "nope") ];
+      }
+  in
+  Alcotest.(check bool) "unbound var rejected" true
+    (Result.is_error (Kir.validate k))
+
+let test_validate_store_to_input () =
+  let k =
+    Kir.
+      {
+        kname = "bad";
+        params = [ { pname = "i"; kind = In_buffer } ];
+        grid_rank = 1;
+        body = [ Store ("i", Gid 0, Int 1) ];
+      }
+  in
+  Alcotest.(check bool) "store to In_buffer rejected" true
+    (Result.is_error (Kir.validate k))
+
+let test_validate_gid_rank () =
+  let k =
+    Kir.
+      {
+        kname = "bad";
+        params = [ { pname = "o"; kind = Out_buffer } ];
+        grid_rank = 1;
+        body = [ Store ("o", Gid 1, Int 1) ];
+      }
+  in
+  Alcotest.(check bool) "gid beyond rank rejected" true
+    (Result.is_error (Kir.validate k))
+
+let test_validate_scalar_as_buffer () =
+  let k =
+    Kir.
+      {
+        kname = "bad";
+        params =
+          [ { pname = "n"; kind = Scalar }; { pname = "o"; kind = Out_buffer } ];
+        grid_rank = 1;
+        body = [ Store ("o", Gid 0, Read ("n", Int 0)) ];
+      }
+  in
+  Alcotest.(check bool) "scalar read as buffer rejected" true
+    (Result.is_error (Kir.validate k))
+
+let test_validate_dup_params () =
+  let k =
+    Kir.
+      {
+        kname = "bad";
+        params =
+          [ { pname = "o"; kind = Out_buffer }; { pname = "o"; kind = Scalar } ];
+        grid_rank = 1;
+        body = [];
+      }
+  in
+  Alcotest.(check bool) "duplicate params rejected" true
+    (Result.is_error (Kir.validate k))
+
+(* ---------- Execution ---------- *)
+
+let test_vadd_executes () =
+  let c = ctx () in
+  let n = 100 in
+  let a = Context.alloc c ~name:"a" n in
+  let b = Context.alloc c ~name:"b" n in
+  let out = Context.alloc c ~name:"out" n in
+  Context.h2d c a (Array.init n (fun i -> i));
+  Context.h2d c b (Array.init n (fun i -> 2 * i));
+  Context.launch c vadd ~grid:[| n |]
+    ~args:
+      [ ("a", Kir.Buffer_arg a); ("b", Kir.Buffer_arg b);
+        ("out", Kir.Buffer_arg out) ];
+  let host = Array.make n 0 in
+  Context.d2h c out host;
+  Alcotest.(check (array int)) "out = a + b" (Array.init n (fun i -> 3 * i))
+    host
+
+let test_parallel_matches_sequential () =
+  let n = 1000 in
+  let run mode =
+    let c = Context.create ~mode Device.gtx480 in
+    let a = Context.alloc c ~name:"a" n in
+    let b = Context.alloc c ~name:"b" n in
+    let out = Context.alloc c ~name:"out" n in
+    Context.h2d c a (Array.init n (fun i -> (i * 7) mod 13));
+    Context.h2d c b (Array.init n (fun i -> (i * 3) mod 17));
+    Context.launch c vadd ~grid:[| n |]
+      ~args:
+        [ ("a", Kir.Buffer_arg a); ("b", Kir.Buffer_arg b);
+          ("out", Kir.Buffer_arg out) ];
+    let host = Array.make n 0 in
+    Context.d2h c out host;
+    host
+  in
+  Alcotest.(check (array int))
+    "parallel = sequential"
+    (run Context.Sequential)
+    (run (Context.Parallel 4))
+
+let test_if_and_select () =
+  let k =
+    Kir.
+      {
+        kname = "clamp";
+        params =
+          [ { pname = "src"; kind = In_buffer }; { pname = "dst"; kind = Out_buffer } ];
+        grid_rank = 1;
+        body =
+          [
+            Let ("v", Read ("src", Gid 0));
+            If
+              ( Bin (Lt, Var "v", Int 0),
+                [ Store ("dst", Gid 0, Int 0) ],
+                [ Store ("dst", Gid 0, Select (Bin (Gt, Var "v", Int 9), Int 9, Var "v")) ]
+              );
+          ];
+      }
+  in
+  let c = ctx () in
+  let src = Context.alloc c ~name:"src" 5 in
+  let dst = Context.alloc c ~name:"dst" 5 in
+  Context.h2d c src [| -3; 0; 5; 12; 9 |];
+  Context.launch c k ~grid:[| 5 |]
+    ~args:[ ("src", Kir.Buffer_arg src); ("dst", Kir.Buffer_arg dst) ];
+  let host = Array.make 5 0 in
+  Context.d2h c dst host;
+  Alcotest.(check (array int)) "clamped" [| 0; 0; 5; 9; 9 |] host
+
+let test_for_loop_kernel () =
+  (* The Figure 11 tiler pattern: one thread gathers w consecutive
+     elements into its private tile slice of the output. *)
+  let w = 4 in
+  let k =
+    Kir.
+      {
+        kname = "gather_tile";
+        params =
+          [ { pname = "src"; kind = In_buffer }; { pname = "dst"; kind = Out_buffer } ];
+        grid_rank = 1;
+        body =
+          [
+            For
+              {
+                var = "t";
+                lo = Int 0;
+                hi = Int w;
+                body =
+                  [
+                    Store
+                      ( "dst",
+                        Bin (Add, Bin (Mul, Gid 0, Int w), Var "t"),
+                        Read ("src", Bin (Add, Bin (Mul, Gid 0, Int w), Var "t"))
+                      );
+                  ];
+              };
+          ];
+      }
+  in
+  let c = ctx () in
+  let n = 3 in
+  let src = Context.alloc c ~name:"src" (n * w) in
+  let dst = Context.alloc c ~name:"dst" (n * w) in
+  Context.h2d c src (Array.init (n * w) (fun i -> 100 + i));
+  Context.launch c k ~grid:[| n |]
+    ~args:[ ("src", Kir.Buffer_arg src); ("dst", Kir.Buffer_arg dst) ];
+  let host = Array.make (n * w) 0 in
+  Context.d2h c dst host;
+  Alcotest.(check (array int)) "identity via tiles"
+    (Array.init (n * w) (fun i -> 100 + i))
+    host
+
+let test_division_by_zero () =
+  let k =
+    Kir.
+      {
+        kname = "div0";
+        params = [ { pname = "o"; kind = Out_buffer } ];
+        grid_rank = 1;
+        body = [ Store ("o", Gid 0, Bin (Div, Int 1, Int 0)) ];
+      }
+  in
+  let c = ctx () in
+  let o = Context.alloc c ~name:"o" 1 in
+  Alcotest.(check bool) "raises" true
+    (try
+       Context.launch c k ~grid:[| 1 |] ~args:[ ("o", Kir.Buffer_arg o) ];
+       false
+     with Kir.Kernel_error _ | Invalid_argument _ -> true)
+
+(* ---------- Cost profiling ---------- *)
+
+let dummy_buffers c len =
+  (Context.alloc c ~name:"src" len, Context.alloc c ~name:"dst" len)
+
+let test_cost_counts () =
+  let c = ctx () in
+  let src, dst = dummy_buffers c 256 in
+  let cost =
+    Kir.profile_threads vadd
+      ~args:
+        [ ("a", Kir.Buffer_arg src); ("b", Kir.Buffer_arg src);
+          ("out", Kir.Buffer_arg dst) ]
+      ~grid:[| 128 |]
+  in
+  Alcotest.(check (float 0.01)) "2 reads" 2.0 cost.Kir.reads_per_thread;
+  Alcotest.(check (float 0.01)) "1 write" 1.0 cost.Kir.writes_per_thread;
+  Alcotest.(check bool) "some ops" true (cost.Kir.ops_per_thread >= 1.0)
+
+let test_access_classification_row () =
+  let c = ctx () in
+  let src, dst = dummy_buffers c 4096 in
+  let k =
+    Kir.
+      {
+        kname = "rows";
+        params =
+          [ { pname = "src"; kind = In_buffer }; { pname = "dst"; kind = Out_buffer } ];
+        grid_rank = 1;
+        body =
+          [
+            Let ("base", Bin (Mul, Gid 0, Int 8));
+            Let ("s0", Read ("src", Var "base"));
+            Let ("s1", Bin (Add, Var "s0", Read ("src", Bin (Add, Var "base", Int 1))));
+            Let ("s2", Bin (Add, Var "s1", Read ("src", Bin (Add, Var "base", Int 2))));
+            Store ("dst", Gid 0, Var "s2");
+          ];
+      }
+  in
+  let cost =
+    Kir.profile_threads k
+      ~args:[ ("src", Kir.Buffer_arg src); ("dst", Kir.Buffer_arg dst) ]
+      ~grid:[| 256 |]
+  in
+  Alcotest.(check bool) "classified Row" true (cost.Kir.access = `Row)
+
+let test_access_classification_column () =
+  let c = ctx () in
+  let src, dst = dummy_buffers c 8192 in
+  let k = col_walk ~w:3 ~stride:720 in
+  let cost =
+    Kir.profile_threads k
+      ~args:[ ("src", Kir.Buffer_arg src); ("dst", Kir.Buffer_arg dst) ]
+      ~grid:[| 512 |]
+  in
+  Alcotest.(check bool) "classified Column" true (cost.Kir.access = `Column)
+
+(* ---------- Perf model ---------- *)
+
+let test_perf_monotone_in_bytes () =
+  let d = Device.gtx480 in
+  let cost r =
+    Kir.
+      {
+        reads_per_thread = r;
+        writes_per_thread = 1.0;
+        ops_per_thread = 5.0;
+        access = `Row;
+        read_burst = 1.0;
+      }
+  in
+  let t1 = Perf_model.kernel_time_us d ~threads:10000 ~cost:(cost 2.0) ~split:1 in
+  let t2 = Perf_model.kernel_time_us d ~threads:10000 ~cost:(cost 20.0) ~split:1 in
+  Alcotest.(check bool) "more reads, more time" true (t2 > t1)
+
+let test_perf_split_penalty () =
+  let d = Device.gtx480 in
+  let cost =
+    Kir.
+      {
+        reads_per_thread = 6.0;
+        writes_per_thread = 1.0;
+        ops_per_thread = 10.0;
+        access = `Row;
+        read_burst = 1.0;
+      }
+  in
+  (* With the default calibration the residual split factor is 1 (the
+     cost of splitting is the extra launches and re-read traffic, both
+     counted explicitly): five launches covering the same work cost
+     strictly more than one. *)
+  let t1 = Perf_model.kernel_time_us d ~threads:100000 ~cost ~split:1 in
+  let t5 =
+    5.0 *. Perf_model.kernel_time_us d ~threads:20000 ~cost ~split:5
+  in
+  Alcotest.(check bool) "five launches cost more than one" true (t5 > t1);
+  Alcotest.(check bool) "split factor is monotone" true
+    (Calibration.split_factor 5 <= Calibration.split_factor 1)
+
+let test_perf_burst_effect () =
+  let d = Device.gtx480 in
+  let cost burst =
+    Kir.
+      {
+        reads_per_thread = 6.0;
+        writes_per_thread = 1.0;
+        ops_per_thread = 10.0;
+        access = `Row;
+        read_burst = burst;
+      }
+  in
+  let short = Perf_model.kernel_time_us d ~threads:100000 ~cost:(cost 6.0) ~split:1 in
+  let long = Perf_model.kernel_time_us d ~threads:100000 ~cost:(cost 11.0) ~split:1 in
+  Alcotest.(check bool) "longer bursts coalesce worse" true (long > short)
+
+let test_perf_launch_floor () =
+  let d = Device.gtx480 in
+  let cost =
+    Kir.
+      { reads_per_thread = 1.0; writes_per_thread = 1.0; ops_per_thread = 1.0;
+        access = `Row; read_burst = 1.0 }
+  in
+  let t = Perf_model.kernel_time_us d ~threads:1 ~cost ~split:1 in
+  Alcotest.(check bool) "at least the launch overhead" true
+    (t >= Calibration.kernel_launch_us)
+
+let test_memcpy_times_calibrated () =
+  let d = Device.gtx480 in
+  (* One 1080x1920 int plane host->device should take ~1546 us, the
+     Table I figure the model is calibrated on. *)
+  let t = Perf_model.memcpy_time_us d ~bytes:(1080 * 1920 * 4) ~dir:`H2d in
+  Alcotest.(check bool) "h2d within 5% of Table I" true
+    (Float.abs (t -. 1546.3) /. 1546.3 < 0.05);
+  let t = Perf_model.memcpy_time_us d ~bytes:(480 * 720 * 4) ~dir:`D2h in
+  Alcotest.(check bool) "d2h within 5% of Table I" true
+    (Float.abs (t -. 219.0) /. 219.0 < 0.08)
+
+(* ---------- Memory accounting ---------- *)
+
+let test_alloc_accounting () =
+  let c = ctx () in
+  let b1 = Context.alloc c ~name:"b1" 1000 in
+  Alcotest.(check int) "4 bytes per int" 4000 (Context.allocated_bytes c);
+  let b2 = Context.alloc c ~name:"b2" 500 in
+  Alcotest.(check int) "cumulative" 6000 (Context.allocated_bytes c);
+  Context.free c b1;
+  Alcotest.(check int) "freed" 2000 (Context.allocated_bytes c);
+  Context.free c b2;
+  Context.free c b2;
+  Alcotest.(check int) "double free is idempotent" 0
+    (Context.allocated_bytes c)
+
+let test_out_of_memory () =
+  let c = ctx () in
+  Alcotest.(check bool) "allocation beyond 1.5 GB rejected" true
+    (try
+       ignore (Context.alloc c ~name:"huge" (500 * 1024 * 1024));
+       false
+     with Context.Out_of_memory _ -> true)
+
+(* ---------- Timeline & profiler ---------- *)
+
+let test_timeline_events () =
+  let c = ctx () in
+  let a = Context.alloc c ~name:"a" 10 in
+  Context.h2d c a (Array.make 10 1);
+  let out = Context.alloc c ~name:"o" 10 in
+  Context.launch c vadd ~grid:[| 10 |]
+    ~args:
+      [ ("a", Kir.Buffer_arg a); ("b", Kir.Buffer_arg a);
+        ("out", Kir.Buffer_arg out) ];
+  let host = Array.make 10 0 in
+  Context.d2h c out host;
+  Alcotest.(check int) "3 events" 3 (Timeline.count (Context.timeline c));
+  Alcotest.(check bool) "time accumulated" true (Context.elapsed_us c > 0.0)
+
+let test_timeline_replay () =
+  let t = Timeline.create () in
+  Timeline.record t
+    { Timeline.label = "k"; detail = "k"; kind = Timeline.Kernel; us = 5.0;
+      bytes = 0; threads = 1 };
+  Timeline.replay t ~times:300;
+  Alcotest.(check int) "300 events" 300 (Timeline.count t);
+  Alcotest.(check (float 0.001)) "300x time" 1500.0 (Timeline.total_us t)
+
+let test_profiler_grouping () =
+  let t = Timeline.create () in
+  let kernel name =
+    { Timeline.label = "H. Filter"; detail = name; kind = Timeline.Kernel;
+      us = 10.0; bytes = 0; threads = 1 }
+  in
+  (* 2 distinct kernels launched 3 rounds = 6 events, #calls must be 3. *)
+  for _ = 1 to 3 do
+    Timeline.record t (kernel "k_r");
+    Timeline.record t (kernel "k_g")
+  done;
+  Timeline.record t
+    { Timeline.label = "memcpyHtoDasync"; detail = "frame";
+      kind = Timeline.Memcpy_h2d; us = 40.0; bytes = 100; threads = 0 };
+  let rows = Profiler.rows t in
+  Alcotest.(check int) "2 rows" 2 (List.length rows);
+  let kr = List.hd rows in
+  Alcotest.(check string) "kernel group name" "H. Filter (2 kernels)"
+    kr.Profiler.operation;
+  Alcotest.(check int) "#calls = rounds" 3 kr.Profiler.calls;
+  Alcotest.(check (float 0.01)) "kernel share" 60.0 kr.Profiler.share_pct;
+  let copy = List.nth rows 1 in
+  Alcotest.(check string) "copy row" "memcpyHtoDasync" copy.Profiler.operation;
+  Alcotest.(check int) "copy calls" 1 copy.Profiler.calls
+
+(* ---------- Overlap model ---------- *)
+
+let test_overlap_makespan () =
+  (* 3 stages of 2/5/1 over 4 rounds: 8 + 3*5 = 23. *)
+  Alcotest.(check (float 0.001)) "makespan" 23.0
+    (Overlap.makespan_us ~stages:[ 2.0; 5.0; 1.0 ] ~rounds:4);
+  Alcotest.(check (float 0.001)) "serial" 32.0
+    (Overlap.serial_us ~stages:[ 2.0; 5.0; 1.0 ] ~rounds:4);
+  Alcotest.(check (float 0.001)) "one round is just the sum" 8.0
+    (Overlap.makespan_us ~stages:[ 2.0; 5.0; 1.0 ] ~rounds:1)
+
+let test_overlap_never_worse () =
+  List.iter
+    (fun stages ->
+      List.iter
+        (fun rounds ->
+          Alcotest.(check bool) "pipelined <= serial" true
+            (Overlap.makespan_us ~stages ~rounds
+            <= Overlap.serial_us ~stages ~rounds +. 1e-9))
+        [ 1; 2; 7; 300 ])
+    [ [ 1.0 ]; [ 3.0; 3.0 ]; [ 2.0; 5.0; 1.0 ]; [ 0.0; 4.0 ] ]
+
+let test_overlap_of_timeline () =
+  let t = Timeline.create () in
+  let ev kind us =
+    { Timeline.label = "x"; detail = "x"; kind; us; bytes = 0; threads = 0 }
+  in
+  Timeline.record t (ev Timeline.Memcpy_h2d 10.0);
+  Timeline.record t (ev Timeline.Kernel 4.0);
+  Timeline.record t (ev Timeline.Kernel 6.0);
+  Timeline.record t (ev Timeline.Memcpy_d2h 2.0);
+  let s = Overlap.of_timeline t ~rounds:10 in
+  (* serial 220 us; pipelined 22 + 9*10 = 112 us. *)
+  Alcotest.(check (float 1e-9)) "serial" 0.00022 s.Overlap.serial_s;
+  Alcotest.(check (float 1e-9)) "pipelined" 0.000112 s.Overlap.pipelined_s;
+  Alcotest.(check bool) "saving ~49%" true
+    (Float.abs (s.Overlap.saving_pct -. 49.09) < 0.1)
+
+let test_overlap_invalid () =
+  Alcotest.(check bool) "empty stages rejected" true
+    (try
+       ignore (Overlap.makespan_us ~stages:[] ~rounds:3);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "zero rounds rejected" true
+    (try
+       ignore (Overlap.makespan_us ~stages:[ 1.0 ] ~rounds:0);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- Emitters ---------- *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let vadd_2d =
+  Kir.
+    {
+      kname = "vadd2d";
+      params =
+        [
+          { pname = "a"; kind = In_buffer };
+          { pname = "out"; kind = Out_buffer };
+        ];
+      grid_rank = 2;
+      body =
+        [
+          Let ("lin", Bin (Add, Bin (Mul, Gid 0, Int 720), Gid 1));
+          Store ("out", Var "lin", Read ("a", Var "lin"));
+        ];
+    }
+
+let test_cuda_emit () =
+  let src = Cuda.Emit.kernel ~grid:[| 1080; 720 |] vadd_2d in
+  Alcotest.(check bool) "__global__" true (contains ~needle:"__global__ void" src);
+  Alcotest.(check bool) "guard" true (contains ~needle:"gid0 >= 1080" src);
+  Alcotest.(check bool) "threadIdx" true (contains ~needle:"threadIdx.x" src)
+
+let test_opencl_emit () =
+  let src = Opencl.Emit.kernel ~grid:[| 1080; 720 |] vadd_2d in
+  Alcotest.(check bool) "__kernel" true (contains ~needle:"__kernel void" src);
+  Alcotest.(check bool) "iGID" true
+    (contains ~needle:"int iGID = get_global_id(0);" src);
+  Alcotest.(check bool) "gid decomposition" true
+    (contains ~needle:"iGID % 720" src);
+  Alcotest.(check bool) "guard" true
+    (contains ~needle:(Printf.sprintf "iGID >= %d" (1080 * 720)) src)
+
+let test_cuda_program_shape () =
+  let src =
+    Cuda.Emit.program ~name:"downscaler"
+      ~kernels:[ (vadd, [| 64 |]) ]
+      ~steps:
+        [
+          Cuda.Emit.Comment "transfer in";
+          Cuda.Emit.Alloc { dst = "d_a"; len = 64 };
+          Cuda.Emit.Memcpy_h2d { dst = "d_a"; src = "h_a"; len = 64 };
+          Cuda.Emit.Launch
+            {
+              kernel = vadd;
+              grid = [| 64 |];
+              args = [ ("a", "d_a"); ("b", "d_a"); ("out", "d_a") ];
+            };
+          Cuda.Emit.Memcpy_d2h { dst = "h_a"; src = "d_a"; len = 64 };
+          Cuda.Emit.Free { name = "d_a" };
+        ]
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true (contains ~needle src))
+    [
+      "cudaMalloc";
+      "cudaMemcpyHostToDevice";
+      "cudaMemcpyDeviceToHost";
+      "vadd<<<grid, block>>>";
+      "cudaFree(d_a);";
+      "cudaDeviceSynchronize";
+    ]
+
+let test_opencl_host_shape () =
+  let src =
+    Opencl.Emit.host_program ~name:"downscaler"
+      ~steps:
+        [
+          Opencl.Emit.Create_buffer { dst = "d_in"; len = 128 };
+          Opencl.Emit.Write_buffer { dst = "d_in"; src = "h_in"; len = 128 };
+          Opencl.Emit.Enqueue_kernel
+            {
+              kernel = vadd;
+              grid = [| 128 |];
+              args = [ ("a", "d_in"); ("b", "d_in"); ("out", "d_in") ];
+            };
+          Opencl.Emit.Read_buffer { dst = "h_in"; src = "d_in"; len = 128 };
+          Opencl.Emit.Release { name = "d_in" };
+        ]
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true (contains ~needle src))
+    [
+      "clCreateBuffer";
+      "clEnqueueWriteBuffer";
+      "clEnqueueNDRangeKernel";
+      "clEnqueueReadBuffer";
+      "clReleaseMemObject(d_in);";
+    ]
+
+let test_makefile () =
+  let src = Opencl.Emit.makefile ~name:"downscaler" in
+  Alcotest.(check bool) "links OpenCL" true (contains ~needle:"-lOpenCL" src)
+
+(* ---------- OpenCL runtime facade ---------- *)
+
+let test_opencl_facade_roundtrip () =
+  let open Opencl.Runtime in
+  let c = create_context () in
+  let q = create_command_queue c in
+  let prog = create_program_with_source c ~name:"p" [ vadd ] in
+  (match build_program prog with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "build failed: %s" m);
+  let k = create_kernel prog "vadd" in
+  let a = create_buffer c ~name:"a" 16 in
+  let out = create_buffer c ~name:"out" 16 in
+  enqueue_write_buffer q a (Array.init 16 (fun i -> i));
+  set_args k
+    [ ("a", Gpu.Kir.Buffer_arg a); ("b", Gpu.Kir.Buffer_arg a);
+      ("out", Gpu.Kir.Buffer_arg out) ];
+  enqueue_nd_range_kernel q k ~global_work_size:[| 16 |];
+  finish q;
+  let host = Array.make 16 0 in
+  enqueue_read_buffer q out host;
+  Alcotest.(check (array int)) "doubled" (Array.init 16 (fun i -> 2 * i)) host
+
+let test_opencl_missing_args () =
+  let open Opencl.Runtime in
+  let c = create_context () in
+  let q = create_command_queue c in
+  let prog = create_program_with_source c ~name:"p" [ vadd ] in
+  let k = create_kernel prog "vadd" in
+  Alcotest.(check bool) "enqueue without args rejected" true
+    (try
+       enqueue_nd_range_kernel q k ~global_work_size:[| 4 |];
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- CUDA runtime facade ---------- *)
+
+let test_cuda_facade_roundtrip () =
+  let open Cuda.Runtime in
+  let rt = init () in
+  let a = malloc rt ~name:"a" 16 in
+  let out = malloc rt ~name:"out" 16 in
+  memcpy_h2d rt ~dst:a ~src:(Array.init 16 (fun i -> i));
+  launch rt vadd ~grid:[| 16 |]
+    ~args:
+      [ ("a", Gpu.Kir.Buffer_arg a); ("b", Gpu.Kir.Buffer_arg a);
+        ("out", Gpu.Kir.Buffer_arg out) ];
+  device_synchronize rt;
+  let host = Array.make 16 0 in
+  memcpy_d2h rt ~dst:host ~src:out;
+  Alcotest.(check (array int)) "doubled" (Array.init 16 (fun i -> 2 * i)) host;
+  Alcotest.(check int) "profile has rows" 3 (List.length (profile rt))
+
+let test_blocks_for () =
+  let open Cuda.Runtime in
+  let b = blocks_for ~grid:[| 1080; 720 |] ~block:(dim3 ~y:8 32) in
+  (* x covers the fastest dimension (720), y the slow one (1080). *)
+  Alcotest.(check int) "x blocks" ((720 + 31) / 32) b.x;
+  Alcotest.(check int) "y blocks" ((1080 + 7) / 8) b.y
+
+(* ---------- Property: compiled = interpreted ---------- *)
+
+let prop_compile_matches_interpretation =
+  (* Random affine kernels: out[i] = c0 + c1*i + src[(i*c2 + c3) mod n]. *)
+  let arb =
+    QCheck.make
+      ~print:(fun (c0, c1, c2, c3) ->
+        Printf.sprintf "c0=%d c1=%d c2=%d c3=%d" c0 c1 c2 c3)
+      QCheck.Gen.(
+        quad (int_range (-9) 9) (int_range (-9) 9) (int_range 0 5)
+          (int_range 0 31))
+  in
+  QCheck.Test.make ~name:"launch result matches direct evaluation" ~count:100
+    arb (fun (c0, c1, c2, c3) ->
+      let n = 32 in
+      let k =
+        Kir.
+          {
+            kname = "affine";
+            params =
+              [ { pname = "src"; kind = In_buffer };
+                { pname = "dst"; kind = Out_buffer } ];
+            grid_rank = 1;
+            body =
+              [
+                Let
+                  ( "addr",
+                    Bin
+                      ( Mod,
+                        Bin (Add, Bin (Mul, Gid 0, Int c2), Int c3),
+                        Int n ) );
+                Store
+                  ( "dst",
+                    Gid 0,
+                    Bin
+                      ( Add,
+                        Bin (Add, Int c0, Bin (Mul, Int c1, Gid 0)),
+                        Read ("src", Var "addr") ) );
+              ];
+          }
+      in
+      let c = ctx () in
+      let src = Context.alloc c ~name:"src" n in
+      let dst = Context.alloc c ~name:"dst" n in
+      let data = Array.init n (fun i -> (i * 31) mod 7) in
+      Context.h2d c src data;
+      Context.launch c k ~grid:[| n |]
+        ~args:[ ("src", Kir.Buffer_arg src); ("dst", Kir.Buffer_arg dst) ];
+      let got = Array.make n 0 in
+      Context.d2h c dst got;
+      let expected =
+        Array.init n (fun i -> c0 + (c1 * i) + data.(((i * c2) + c3) mod n))
+      in
+      got = expected)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest [ prop_compile_matches_interpretation ]
+
+let () =
+  Alcotest.run "gpu"
+    [
+      ( "kir-validate",
+        [
+          Alcotest.test_case "ok kernel" `Quick test_validate_ok;
+          Alcotest.test_case "unbound var" `Quick test_validate_unbound_var;
+          Alcotest.test_case "store to input" `Quick
+            test_validate_store_to_input;
+          Alcotest.test_case "gid rank" `Quick test_validate_gid_rank;
+          Alcotest.test_case "scalar as buffer" `Quick
+            test_validate_scalar_as_buffer;
+          Alcotest.test_case "dup params" `Quick test_validate_dup_params;
+        ] );
+      ( "execution",
+        [
+          Alcotest.test_case "vadd" `Quick test_vadd_executes;
+          Alcotest.test_case "parallel domains" `Quick
+            test_parallel_matches_sequential;
+          Alcotest.test_case "if/select" `Quick test_if_and_select;
+          Alcotest.test_case "for-loop tiler" `Quick test_for_loop_kernel;
+          Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "counts" `Quick test_cost_counts;
+          Alcotest.test_case "row classification" `Quick
+            test_access_classification_row;
+          Alcotest.test_case "column classification" `Quick
+            test_access_classification_column;
+        ] );
+      ( "perf-model",
+        [
+          Alcotest.test_case "monotone in bytes" `Quick
+            test_perf_monotone_in_bytes;
+          Alcotest.test_case "split penalty" `Quick test_perf_split_penalty;
+          Alcotest.test_case "burst effect" `Quick test_perf_burst_effect;
+          Alcotest.test_case "launch floor" `Quick test_perf_launch_floor;
+          Alcotest.test_case "memcpy calibration" `Quick
+            test_memcpy_times_calibrated;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "accounting" `Quick test_alloc_accounting;
+          Alcotest.test_case "out of memory" `Quick test_out_of_memory;
+        ] );
+      ( "timeline",
+        [
+          Alcotest.test_case "events" `Quick test_timeline_events;
+          Alcotest.test_case "replay" `Quick test_timeline_replay;
+          Alcotest.test_case "profiler grouping" `Quick test_profiler_grouping;
+        ] );
+      ( "overlap",
+        [
+          Alcotest.test_case "makespan" `Quick test_overlap_makespan;
+          Alcotest.test_case "never worse" `Quick test_overlap_never_worse;
+          Alcotest.test_case "from timeline" `Quick test_overlap_of_timeline;
+          Alcotest.test_case "invalid" `Quick test_overlap_invalid;
+        ] );
+      ( "emit",
+        [
+          Alcotest.test_case "cuda kernel" `Quick test_cuda_emit;
+          Alcotest.test_case "opencl kernel" `Quick test_opencl_emit;
+          Alcotest.test_case "cuda program" `Quick test_cuda_program_shape;
+          Alcotest.test_case "opencl host" `Quick test_opencl_host_shape;
+          Alcotest.test_case "makefile" `Quick test_makefile;
+        ] );
+      ( "facades",
+        [
+          Alcotest.test_case "opencl roundtrip" `Quick
+            test_opencl_facade_roundtrip;
+          Alcotest.test_case "opencl missing args" `Quick
+            test_opencl_missing_args;
+          Alcotest.test_case "cuda roundtrip" `Quick test_cuda_facade_roundtrip;
+          Alcotest.test_case "blocks_for" `Quick test_blocks_for;
+        ] );
+      ("properties", props);
+    ]

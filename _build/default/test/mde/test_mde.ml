@@ -1,0 +1,284 @@
+open Ndarray
+
+let rows = 18
+
+let cols = 16
+
+let tensor_eq = Tensor.equal Int.equal
+
+let frame_of n = Video.Framegen.frame { Video.Format.name = "s"; rows; cols } n
+
+let model () = Mde.Chain.downscaler_model ~rows ~cols
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = (i + nl <= hl) && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* ---------- MARTE ---------- *)
+
+let test_platform () =
+  Alcotest.(check bool) "has a GPU" true
+    (List.exists
+       (fun (r : Mde.Marte.resource) -> r.Mde.Marte.kind = Mde.Marte.Gpu)
+       Mde.Marte.default_platform.Mde.Marte.presources)
+
+let test_allocation () =
+  let m = model () in
+  (* Six repetitive parts allocated to the GPU. *)
+  Alcotest.(check int) "6 allocations" 6 (List.length m.Mde.Marte.allocations);
+  List.iter
+    (fun inst ->
+      match Mde.Marte.allocation_of m inst with
+      | Some r -> Alcotest.(check bool) (inst ^ " on GPU") true (r.Mde.Marte.kind = Mde.Marte.Gpu)
+      | None -> Alcotest.failf "%s not allocated" inst)
+    [ "rhf"; "ghf"; "bhf"; "rvf"; "gvf"; "bvf" ]
+
+let test_stereotypes () =
+  let m = model () in
+  let st = Mde.Marte.stereotypes_of m "rhf" in
+  Alcotest.(check bool) "SwResource" true (List.mem Mde.Marte.Sw_resource st);
+  Alcotest.(check bool) "RSM shaped" true (List.mem Mde.Marte.Shaped st);
+  Alcotest.(check bool) "allocated" true
+    (List.exists (function Mde.Marte.Allocate _ -> true | _ -> false) st);
+  let hw = Mde.Marte.stereotypes_of m "gpu0" in
+  Alcotest.(check bool) "HwResource" true
+    (List.mem (Mde.Marte.Hw_resource Mde.Marte.Gpu) hw)
+
+(* ---------- Transformation chain ---------- *)
+
+let test_transform_trace () =
+  match Mde.Chain.transform (model ()) with
+  | Error m -> Alcotest.failf "chain failed: %s" m
+  | Ok (gen, trace) ->
+      Alcotest.(check int) "four passes" 4 (List.length trace);
+      Alcotest.(check int) "six kernels" 6
+        (List.length gen.Mde.Codegen.kernel_tasks)
+
+let test_transform_rejects_invalid () =
+  let bad =
+    Mde.Marte.make
+      (Arrayol.Model.Elementary
+         {
+           name = "bad";
+           ip = "DoesNotExist";
+           inputs = [];
+           outputs = [];
+         })
+  in
+  Alcotest.(check bool) "invalid model rejected" true
+    (Result.is_error (Mde.Chain.transform bad))
+
+(* ---------- Generated kernels ---------- *)
+
+let test_kernel_structure () =
+  let gen = Mde.Chain.transform_exn (model ()) in
+  let kt =
+    List.find
+      (fun kt -> kt.Mde.Codegen.instance = "rhf")
+      gen.Mde.Codegen.kernel_tasks
+  in
+  Alcotest.(check (list int)) "grid = repetition space" [ rows; cols / 8 ]
+    (Array.to_list kt.Mde.Codegen.grid);
+  (* 11 gathers + 3 tmp lets + 3 stores *)
+  Alcotest.(check int) "body size" (11 + 3 + 3)
+    (List.length kt.Mde.Codegen.kernel.Gpu.Kir.body)
+
+let test_cl_source_shape () =
+  let gen = Mde.Chain.transform_exn (model ()) in
+  let src = gen.Mde.Codegen.cl_source in
+  List.iter
+    (fun needle -> Alcotest.(check bool) needle true (contains src needle))
+    [
+      "__kernel void rhf_HorizontalFilter";
+      "__kernel void bvf_VerticalFilter";
+      "get_global_id(0)";
+      "% 16";  (* the mod of the tiler formula on the 16-wide test frame *)
+    ];
+  Alcotest.(check bool) "host program emitted" true
+    (contains gen.Mde.Codegen.host_source "clEnqueueNDRangeKernel");
+  Alcotest.(check bool) "makefile emitted" true
+    (contains gen.Mde.Codegen.makefile "-lOpenCL")
+
+(* ---------- Execution ---------- *)
+
+let run_frame gen frame =
+  let ctx = Opencl.Runtime.create_context () in
+  let outs =
+    Mde.Chain.run ctx gen
+      ~label_of:(function
+        | "HorizontalFilter" -> "H. Filter"
+        | "VerticalFilter" -> "V. Filter"
+        | other -> other)
+      ~inputs:
+        [
+          ("r_in", Video.Frame.plane frame Video.Frame.R);
+          ("g_in", Video.Frame.plane frame Video.Frame.G);
+          ("b_in", Video.Frame.plane frame Video.Frame.B);
+        ]
+  in
+  (ctx, outs)
+
+let test_run_matches_reference () =
+  let gen = Mde.Chain.transform_exn (model ()) in
+  let frame = frame_of 0 in
+  let _, outs = run_frame gen frame in
+  let expected = Video.Downscaler.frame frame in
+  List.iter
+    (fun (port, ch) ->
+      Alcotest.(check bool) (port ^ " matches reference") true
+        (tensor_eq (List.assoc port outs) (Video.Frame.plane expected ch)))
+    [ ("r_out", Video.Frame.R); ("g_out", Video.Frame.G); ("b_out", Video.Frame.B) ]
+
+let test_run_event_profile () =
+  let gen = Mde.Chain.transform_exn (model ()) in
+  let ctx, _ = run_frame gen (frame_of 1) in
+  let events = Gpu.Timeline.events (Gpu.Context.timeline (Opencl.Runtime.gpu_context ctx)) in
+  let count kind =
+    List.length (List.filter (fun (e : Gpu.Timeline.event) -> e.Gpu.Timeline.kind = kind) events)
+  in
+  (* Per frame: 3 plane uploads, 3 H kernels, 3 V kernels, 3 downloads —
+     the per-frame rates behind Table I's 900/900 copies and
+     "(3 kernels)" rows. *)
+  Alcotest.(check int) "3 uploads" 3 (count Gpu.Timeline.Memcpy_h2d);
+  Alcotest.(check int) "3 downloads" 3 (count Gpu.Timeline.Memcpy_d2h);
+  Alcotest.(check int) "6 kernel launches" 6 (count Gpu.Timeline.Kernel);
+  let rows = Gpu.Profiler.rows (Gpu.Context.timeline (Opencl.Runtime.gpu_context ctx)) in
+  let find op = List.find_opt (fun (r : Gpu.Profiler.row) -> r.Gpu.Profiler.operation = op) rows in
+  Alcotest.(check bool) "H. Filter (3 kernels) row" true
+    (find "H. Filter (3 kernels)" <> None);
+  Alcotest.(check bool) "V. Filter (3 kernels) row" true
+    (find "V. Filter (3 kernels)" <> None)
+
+let test_run_missing_input () =
+  let gen = Mde.Chain.transform_exn (model ()) in
+  let ctx = Opencl.Runtime.create_context () in
+  Alcotest.(check bool) "missing input raises" true
+    (try
+       ignore (Mde.Chain.run ctx gen ~inputs:[]);
+       false
+     with Mde.Chain.Run_error _ -> true)
+
+(* ---------- Model serialisation ---------- *)
+
+let test_sexp_parser () =
+  let s = Mde.Sexp.parse "(a (b 1 2) ; comment\n c)" in
+  Alcotest.(check string) "roundtrip" "(a (b 1 2) c)" (Mde.Sexp.to_string s);
+  Alcotest.(check bool) "unclosed rejected" true
+    (try
+       ignore (Mde.Sexp.parse "(a (b)");
+       false
+     with Mde.Sexp.Parse_error _ -> true);
+  Alcotest.(check bool) "trailing rejected" true
+    (try
+       ignore (Mde.Sexp.parse "(a) (b)");
+       false
+     with Mde.Sexp.Parse_error _ -> true)
+
+let test_model_io_roundtrip () =
+  let m = model () in
+  let text = Mde.Model_io.to_string m in
+  let m' = Mde.Model_io.of_string text in
+  Alcotest.(check string) "same name" m.Mde.Marte.mname m'.Mde.Marte.mname;
+  Alcotest.(check int) "same allocations"
+    (List.length m.Mde.Marte.allocations)
+    (List.length m'.Mde.Marte.allocations);
+  (* Strongest check: the reloaded model transforms and computes the
+     same frames. *)
+  let gen = Mde.Chain.transform_exn m' in
+  let frame = frame_of 7 in
+  let ctx = Opencl.Runtime.create_context () in
+  let outs =
+    Mde.Chain.run ctx gen
+      ~inputs:
+        [
+          ("r_in", Video.Frame.plane frame Video.Frame.R);
+          ("g_in", Video.Frame.plane frame Video.Frame.G);
+          ("b_in", Video.Frame.plane frame Video.Frame.B);
+        ]
+  in
+  let expected = Video.Downscaler.frame frame in
+  Alcotest.(check bool) "reloaded model computes the reference" true
+    (tensor_eq (List.assoc "r_out" outs)
+       (Video.Frame.plane expected Video.Frame.R))
+
+let test_model_io_file () =
+  let m = model () in
+  let path = Filename.temp_file "model" ".aol" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Mde.Model_io.save path m;
+      let m' = Mde.Model_io.load path in
+      Alcotest.(check string) "file roundtrip" (Mde.Model_io.to_string m)
+        (Mde.Model_io.to_string m'))
+
+let test_model_io_rejects_garbage () =
+  Alcotest.(check bool) "not a model" true
+    (try
+       ignore (Mde.Model_io.of_string "(banana)");
+       false
+     with Mde.Model_io.Format_error _ -> true)
+
+(* ---------- Properties ---------- *)
+
+let prop_chain_matches_semantics =
+  QCheck.Test.make
+    ~name:"generated OpenCL = ArrayOL reference semantics" ~count:6
+    (QCheck.int_range 0 400) (fun n ->
+      let gen = Mde.Chain.transform_exn (model ()) in
+      let frame = frame_of n in
+      let _, outs = run_frame gen frame in
+      let direct =
+        Arrayol.Semantics.run
+          (Arrayol.Downscaler_model.frame ~rows ~cols)
+          ~inputs:
+            [
+              ("r_in", Video.Frame.plane frame Video.Frame.R);
+              ("g_in", Video.Frame.plane frame Video.Frame.G);
+              ("b_in", Video.Frame.plane frame Video.Frame.B);
+            ]
+      in
+      List.for_all
+        (fun port -> tensor_eq (List.assoc port outs) (List.assoc port direct))
+        [ "r_out"; "g_out"; "b_out" ])
+
+let props = List.map QCheck_alcotest.to_alcotest [ prop_chain_matches_semantics ]
+
+let () =
+  Alcotest.run "mde"
+    [
+      ( "marte",
+        [
+          Alcotest.test_case "platform" `Quick test_platform;
+          Alcotest.test_case "allocation" `Quick test_allocation;
+          Alcotest.test_case "stereotypes" `Quick test_stereotypes;
+        ] );
+      ( "transform",
+        [
+          Alcotest.test_case "trace" `Quick test_transform_trace;
+          Alcotest.test_case "rejects invalid" `Quick
+            test_transform_rejects_invalid;
+        ] );
+      ( "codegen",
+        [
+          Alcotest.test_case "kernel structure" `Quick test_kernel_structure;
+          Alcotest.test_case "sources" `Quick test_cl_source_shape;
+        ] );
+      ( "model-io",
+        [
+          Alcotest.test_case "sexp parser" `Quick test_sexp_parser;
+          Alcotest.test_case "roundtrip" `Quick test_model_io_roundtrip;
+          Alcotest.test_case "file roundtrip" `Quick test_model_io_file;
+          Alcotest.test_case "rejects garbage" `Quick
+            test_model_io_rejects_garbage;
+        ] );
+      ( "run",
+        [
+          Alcotest.test_case "matches reference" `Quick
+            test_run_matches_reference;
+          Alcotest.test_case "event profile" `Quick test_run_event_profile;
+          Alcotest.test_case "missing input" `Quick test_run_missing_input;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,579 @@
+open Ndarray
+
+let value = Alcotest.testable Sac.Value.pp Sac.Value.equal
+
+let varr_of_tensor t = Sac.Value.Varr t
+
+let run_main src arg =
+  let prog = Sac.Parser.program src in
+  Sac.Interp.run prog ~entry:"main" ~args:[ arg ]
+
+let eval src =
+  let e = Sac.Parser.expr src in
+  Sac.Interp.eval_expr [] (Sac.Interp.env_of_list []) e
+
+(* ---------- Lexer ---------- *)
+
+let test_lexer_tokens () =
+  let toks = Sac.Lexer.tokenize "with { (. <= iv <= .) : 1; } /* c */ ++" in
+  let texts = List.map (fun t -> Sac.Lexer.token_text t.Sac.Lexer.token) toks in
+  Alcotest.(check (list string))
+    "token stream"
+    [ "with"; "{"; "("; "."; "<="; "iv"; "<="; "."; ")"; ":"; "1"; ";"; "}";
+      "++"; "<eof>" ]
+    texts
+
+let test_lexer_positions () =
+  let toks = Sac.Lexer.tokenize "a\n  b" in
+  match toks with
+  | [ a; b; _eof ] ->
+      Alcotest.(check (pair int int)) "a at 1:1" (1, 1)
+        (a.Sac.Lexer.line, a.Sac.Lexer.col);
+      Alcotest.(check (pair int int)) "b at 2:3" (2, 3)
+        (b.Sac.Lexer.line, b.Sac.Lexer.col)
+  | _ -> Alcotest.fail "expected three tokens"
+
+let test_lexer_comments () =
+  let toks = Sac.Lexer.tokenize "1 // line\n 2 /* block\n */ 3" in
+  Alcotest.(check int) "three ints + eof" 4 (List.length toks)
+
+let test_lexer_error () =
+  Alcotest.(check bool) "illegal char" true
+    (try
+       ignore (Sac.Lexer.tokenize "a $ b");
+       false
+     with Sac.Lexer.Lex_error _ -> true)
+
+(* ---------- Parser ---------- *)
+
+let test_parse_expr_precedence () =
+  (* tmp0 / 6 - tmp0 % 6 must parse as (tmp0/6) - (tmp0%6). *)
+  match Sac.Parser.expr "x / 6 - x % 6" with
+  | Sac.Ast.Bin (Sac.Ast.Sub, Sac.Ast.Bin (Sac.Ast.Div, _, _),
+                 Sac.Ast.Bin (Sac.Ast.Mod, _, _)) ->
+      ()
+  | e -> Alcotest.failf "unexpected parse: %s" (Sac.Ast.expr_to_string e)
+
+let test_parse_chained_select () =
+  match Sac.Parser.expr "input[rep][0]" with
+  | Sac.Ast.Select (Sac.Ast.Select (Sac.Ast.Var "input", Sac.Ast.Var "rep"),
+                    Sac.Ast.Num 0) ->
+      ()
+  | e -> Alcotest.failf "unexpected parse: %s" (Sac.Ast.expr_to_string e)
+
+let test_parse_double_bracket () =
+  match Sac.Parser.expr "input[[i, j, k]]" with
+  | Sac.Ast.Select (Sac.Ast.Var "input", Sac.Ast.Vec [ _; _; _ ]) -> ()
+  | e -> Alcotest.failf "unexpected parse: %s" (Sac.Ast.expr_to_string e)
+
+let test_parse_concat () =
+  match Sac.Parser.expr "rep ++ pat" with
+  | Sac.Ast.Bin (Sac.Ast.Concat, Sac.Ast.Var "rep", Sac.Ast.Var "pat") -> ()
+  | e -> Alcotest.failf "unexpected parse: %s" (Sac.Ast.expr_to_string e)
+
+let test_parse_figures () =
+  (* All four published listings parse. *)
+  List.iter
+    (fun src -> ignore (Sac.Parser.program src))
+    [
+      Sac.Programs.input_tiler;
+      Sac.Programs.generic_output_tiler;
+      Sac.Programs.task_h;
+      Sac.Programs.nongeneric_output_tiler_h;
+    ]
+
+let test_parse_with_step_width () =
+  let src = "int[*] f(int[*] a) { x = with { ([0,0] <= [i,j] <= . step [1,3] width [1,1]) : 1; } : modarray( a); return( x); }" in
+  match Sac.Parser.program src with
+  | [ { Sac.Ast.body = [ Sac.Ast.Assign (_, Sac.Ast.With w); _ ]; _ } ] ->
+      let g = List.hd w.Sac.Ast.gens in
+      Alcotest.(check bool) "has step" true (g.Sac.Ast.step <> None);
+      Alcotest.(check bool) "has width" true (g.Sac.Ast.width <> None);
+      Alcotest.(check bool) "vector pattern" true
+        (match g.Sac.Ast.pat with Sac.Ast.Pvec [ "i"; "j" ] -> true | _ -> false)
+  | _ -> Alcotest.fail "unexpected program shape"
+
+let test_parse_roundtrip () =
+  (* Printing then re-parsing is stable. *)
+  let p1 = Sac.Parser.program (Sac.Programs.horizontal ~generic:false ~rows:9 ~cols:16) in
+  let printed = Sac.Ast.program_to_string p1 in
+  let p2 = Sac.Parser.program printed in
+  Alcotest.(check string) "pp . parse . pp = pp"
+    printed (Sac.Ast.program_to_string p2)
+
+let test_parse_error_position () =
+  Alcotest.(check bool) "error mentions position" true
+    (try
+       ignore (Sac.Parser.program "int[*] f(int a) { return( ; }");
+       false
+     with Sac.Parser.Parse_error m ->
+       (* must carry a line number *)
+       let contains_line =
+         let needle = "line" in
+         let nl = String.length needle and hl = String.length m in
+         let rec go i =
+           i + nl <= hl && (String.sub m i nl = needle || go (i + 1))
+         in
+         go 0
+       in
+       contains_line)
+
+(* ---------- Interpreter basics ---------- *)
+
+let test_eval_arith () =
+  Alcotest.check value "scalar arith" (Sac.Value.Vint 7) (eval "1 + 2 * 3");
+  Alcotest.check value "division truncates" (Sac.Value.Vint 2) (eval "7 / 3");
+  Alcotest.check value "modulo" (Sac.Value.Vint 1) (eval "7 % 3")
+
+let test_eval_vector_ops () =
+  Alcotest.check value "vector add"
+    (Sac.Value.of_vector [| 5; 7 |])
+    (eval "[1,2] + [4,5]");
+  Alcotest.check value "scalar broadcast"
+    (Sac.Value.of_vector [| 2; 4 |])
+    (eval "[1,2] * 2");
+  Alcotest.check value "vector mod"
+    (Sac.Value.of_vector [| 1; 0 |])
+    (eval "[5,4] % [2,2]");
+  Alcotest.check value "concat"
+    (Sac.Value.of_vector [| 1; 2; 3 |])
+    (eval "[1,2] ++ [3]")
+
+let test_eval_builtins () =
+  Alcotest.check value "MV"
+    (Sac.Value.of_vector [| 3; 40 |])
+    (eval "MV([[1,0],[0,8]], [3,5])");
+  Alcotest.check value "CAT . vec = paving.rep + fitting.pat"
+    (Sac.Value.of_vector [| 3; 47 |])
+    (eval "MV(CAT([[1,0],[0,8]], [[0],[1]]), [3,5] ++ [7])");
+  Alcotest.check value "shape"
+    (Sac.Value.of_vector [| 2; 3 |])
+    (eval "shape([[1,2,3],[4,5,6]])");
+  Alcotest.check value "dim" (Sac.Value.Vint 2) (eval "dim([[1,2],[3,4]])");
+  Alcotest.check value "genarray expr"
+    (Sac.Value.Varr (Tensor.create [| 3 |] 9))
+    (eval "genarray([3], 9)")
+
+let test_eval_select_partial () =
+  Alcotest.check value "full select" (Sac.Value.Vint 6)
+    (eval "[[1,2,3],[4,5,6]][[1,2]]");
+  Alcotest.check value "partial select"
+    (Sac.Value.of_vector [| 4; 5; 6 |])
+    (eval "[[1,2,3],[4,5,6]][[1]]")
+
+let test_eval_out_of_bounds () =
+  Alcotest.(check bool) "oob select raises" true
+    (try
+       ignore (eval "[1,2,3][[7]]");
+       false
+     with Sac.Value.Value_error _ -> true)
+
+let test_simple_function () =
+  let src =
+    "int main(int x) { y = x * x; return( y + 1); }"
+  in
+  Alcotest.check value "square plus one" (Sac.Value.Vint 26)
+    (run_main src (Sac.Value.Vint 5))
+
+let test_for_loop_and_update () =
+  let src =
+    {|
+int[*] main(int[*] a)
+{
+    for( i = 0; i < shape(a)[[0]]; i++) {
+        a[[i]] = a[[i]] * 2;
+    }
+    return( a);
+}
+|}
+  in
+  Alcotest.check value "doubled"
+    (Sac.Value.of_vector [| 2; 4; 6 |])
+    (run_main src (Sac.Value.of_vector [| 1; 2; 3 |]))
+
+let test_genarray_with_loop () =
+  let src =
+    {|
+int[*] main(int n)
+{
+    out = with {
+        ([0] <= iv < [6]) : iv[[0]] * n;
+    } : genarray([6]);
+    return( out);
+}
+|}
+  in
+  Alcotest.check value "iota*n"
+    (Sac.Value.of_vector [| 0; 3; 6; 9; 12; 15 |])
+    (run_main src (Sac.Value.Vint 3))
+
+let test_genarray_default () =
+  let src =
+    {|
+int[*] main(int n)
+{
+    out = with {
+        ([2] <= iv < [4]) : n;
+    } : genarray([6], 9);
+    return( out);
+}
+|}
+  in
+  Alcotest.check value "partial coverage uses default"
+    (Sac.Value.of_vector [| 9; 9; 1; 1; 9; 9 |])
+    (run_main src (Sac.Value.Vint 1))
+
+let test_modarray_step () =
+  let src =
+    {|
+int[*] main(int[*] a)
+{
+    out = with {
+        ([0] <= iv <= . step [2]) : 0;
+    } : modarray( a);
+    return( out);
+}
+|}
+  in
+  Alcotest.check value "every other zeroed"
+    (Sac.Value.of_vector [| 0; 2; 0; 4; 0 |])
+    (run_main src (Sac.Value.of_vector [| 1; 2; 3; 4; 5 |]))
+
+let test_nested_with_builds_tiles () =
+  let src =
+    {|
+int[*] main(int n)
+{
+    out = with {
+        (. <= rep <= .) {
+            tile = with {
+                (. <= pat <= .) : rep[[0]] * 10 + pat[[0]];
+            } : genarray([2], 0);
+        } : tile;
+    } : genarray([3]);
+    return( out);
+}
+|}
+  in
+  Alcotest.check value "shape is rep ++ pattern"
+    (varr_of_tensor (Tensor.of_list_2d [ [ 0; 1 ]; [ 10; 11 ]; [ 20; 21 ] ]))
+    (run_main src (Sac.Value.Vint 0))
+
+let test_value_semantics_no_aliasing () =
+  let src =
+    {|
+int[*] helper(int[*] a)
+{
+    a[[0]] = 99;
+    return( a);
+}
+
+int[*] main(int[*] a)
+{
+    b = helper(a);
+    return( a);
+}
+|}
+  in
+  (* helper mutates its copy; the caller's array is unchanged. *)
+  Alcotest.check value "call by value"
+    (Sac.Value.of_vector [| 1; 2 |])
+    (run_main src (Sac.Value.of_vector [| 1; 2 |]))
+
+let test_missing_return () =
+  Alcotest.(check bool) "missing return raises" true
+    (try
+       ignore (run_main "int main(int x) { y = x; }" (Sac.Value.Vint 1));
+       false
+     with Sac.Ast.Sac_error _ -> true)
+
+let test_unbound_variable () =
+  Alcotest.(check bool) "unbound var raises" true
+    (try
+       ignore (run_main "int main(int x) { return( zz); }" (Sac.Value.Vint 1));
+       false
+     with Sac.Ast.Sac_error _ -> true)
+
+(* ---------- Operation counters ---------- *)
+
+let test_value_op_counters () =
+  Sac.Value.ops := 0;
+  Sac.Value.updates := 0;
+  ignore (Sac.Value.binop Sac.Ast.Add (Sac.Value.Vint 1) (Sac.Value.Vint 2));
+  Alcotest.(check int) "scalar op counts 1" 1 !Sac.Value.ops;
+  ignore
+    (Sac.Value.binop Sac.Ast.Mul
+       (Sac.Value.of_vector [| 1; 2; 3; 4 |])
+       (Sac.Value.Vint 2));
+  Alcotest.(check int) "vector op counts its length" 5 !Sac.Value.ops;
+  ignore
+    (Sac.Value.update
+       (Sac.Value.of_vector [| 1; 2 |])
+       (Sac.Value.Vint 0) (Sac.Value.Vint 9));
+  Alcotest.(check int) "update increments updates" 1 !Sac.Value.updates
+
+let test_builtin_op_charges () =
+  Sac.Value.ops := 0;
+  ignore
+    (Sac.Builtins.apply "MV"
+       [
+         Sac.Value.Varr (Tensor.of_list_2d [ [ 1; 0 ]; [ 0; 8 ] ]);
+         Sac.Value.of_vector [| 3; 5 |];
+       ]);
+  (* 2x2 matrix-vector = 8 scalar operations. *)
+  Alcotest.(check int) "MV charges rows*cols*2" 8 !Sac.Value.ops
+
+(* ---------- Static checker ---------- *)
+
+let issues src = Sac.Check.program (Sac.Parser.program src)
+
+let has_issue src needle =
+  List.exists
+    (fun (i : Sac.Check.issue) ->
+      let m = i.Sac.Check.message in
+      let nl = String.length needle and hl = String.length m in
+      let rec go j = (j + nl <= hl) && (String.sub m j nl = needle || go (j + 1)) in
+      go 0)
+    (issues src)
+
+let test_check_clean_programs () =
+  List.iter
+    (fun src ->
+      match issues src with
+      | [] -> ()
+      | l ->
+          Alcotest.failf "unexpected issues: %s"
+            (String.concat "; "
+               (List.map (Format.asprintf "%a" Sac.Check.pp_issue) l)))
+    [
+      Sac.Programs.downscaler ~generic:false ~rows:18 ~cols:16;
+      Sac.Programs.downscaler ~generic:true ~rows:18 ~cols:16;
+    ]
+
+let test_check_unbound () =
+  Alcotest.(check bool) "unbound reported" true
+    (has_issue "int main(int x) { return( y); }" "unbound variable y")
+
+let test_check_unknown_function () =
+  Alcotest.(check bool) "unknown call reported" true
+    (has_issue "int main(int x) { z = nope(x); return( z); }"
+       "unknown function nope")
+
+let test_check_arity () =
+  Alcotest.(check bool) "arity reported" true
+    (has_issue
+       "int f(int a, int b) { return( a + b); } int main(int x) { z = f(x); return( z); }"
+       "expects 2 argument")
+
+let test_check_missing_return () =
+  Alcotest.(check bool) "missing return reported" true
+    (has_issue "int main(int x) { y = x; }" "does not end with a return")
+
+let test_check_pattern_rank () =
+  Alcotest.(check bool) "pattern rank reported" true
+    (has_issue
+       {|
+int[*] main(int[*] a)
+{
+    out = with {
+        ([0, 0] <= [i] < [4, 4]) : 0;
+    } : modarray( a);
+    return( out);
+}
+|}
+       "does not match bound rank")
+
+let test_check_step_rank () =
+  Alcotest.(check bool) "step rank reported" true
+    (has_issue
+       {|
+int[*] main(int[*] a)
+{
+    out = with {
+        ([0, 0] <= [i, j] < [4, 4] step [2]) : 0;
+    } : modarray( a);
+    return( out);
+}
+|}
+       "step has rank 1")
+
+let test_check_duplicate_function () =
+  Alcotest.(check bool) "duplicate reported" true
+    (has_issue
+       "int f(int x) { return( x); } int f(int y) { return( y); } int main(int x) { return( x); }"
+       "defined more than once")
+
+let test_check_wired_into_pipeline () =
+  Alcotest.(check bool) "optimize rejects ill-formed programs" true
+    (try
+       ignore
+         (Sac.Pipeline.optimize_source "int main(int x) { return( zz); }"
+            ~entry:"main");
+       false
+     with Sac.Ast.Sac_error _ -> true)
+
+(* ---------- The paper's downscaler vs the golden reference ---------- *)
+
+let plane_of_frame fmt n = Video.Frame.plane (Video.Framegen.frame fmt n) Video.Frame.R
+
+let check_against_reference ~generic ~filter ~fmt n =
+  let plane = plane_of_frame fmt n in
+  let rows = fmt.Video.Format.rows and cols = fmt.Video.Format.cols in
+  let src, expected =
+    match filter with
+    | `H -> (Sac.Programs.horizontal ~generic ~rows ~cols,
+             Video.Downscaler.horizontal plane)
+    | `V -> (Sac.Programs.vertical ~generic ~rows ~cols,
+             Video.Downscaler.vertical plane)
+    | `Both -> (Sac.Programs.downscaler ~generic ~rows ~cols,
+                Video.Downscaler.plane plane)
+  in
+  let got = run_main src (varr_of_tensor plane) in
+  Alcotest.check value
+    (Printf.sprintf "%s filter (%s) matches reference"
+       (match filter with `H -> "horizontal" | `V -> "vertical" | `Both -> "both")
+       (if generic then "generic" else "non-generic"))
+    (varr_of_tensor expected) got
+
+let small = { Video.Format.name = "small"; rows = 18; cols = 16 }
+
+let test_downscaler_h_generic () =
+  check_against_reference ~generic:true ~filter:`H ~fmt:small 0
+
+let test_downscaler_h_nongeneric () =
+  check_against_reference ~generic:false ~filter:`H ~fmt:small 1
+
+let test_downscaler_v_generic () =
+  check_against_reference ~generic:true ~filter:`V ~fmt:small 2
+
+let test_downscaler_v_nongeneric () =
+  check_against_reference ~generic:false ~filter:`V ~fmt:small 3
+
+let test_downscaler_full_nongeneric () =
+  check_against_reference ~generic:false ~filter:`Both ~fmt:small 4
+
+let test_downscaler_full_generic () =
+  check_against_reference ~generic:true ~filter:`Both ~fmt:small 5
+
+let test_generic_equals_nongeneric () =
+  (* Section VIII-A: sequential results agree between variants. *)
+  let plane = plane_of_frame small 6 in
+  let g =
+    run_main (Sac.Programs.downscaler ~generic:true ~rows:18 ~cols:16)
+      (varr_of_tensor plane)
+  in
+  let n =
+    run_main (Sac.Programs.downscaler ~generic:false ~rows:18 ~cols:16)
+      (varr_of_tensor plane)
+  in
+  Alcotest.check value "variants agree" g n
+
+(* ---------- Properties ---------- *)
+
+let prop_interp_matches_reference =
+  QCheck.Test.make ~name:"non-generic downscaler = reference on random frames"
+    ~count:10 (QCheck.int_range 0 500) (fun n ->
+      let plane = plane_of_frame small n in
+      let got =
+        run_main (Sac.Programs.horizontal ~generic:false ~rows:18 ~cols:16)
+          (varr_of_tensor plane)
+      in
+      Sac.Value.equal got (varr_of_tensor (Video.Downscaler.horizontal plane)))
+
+let prop_genarray_covers =
+  QCheck.Test.make ~name:"genarray coverage: element = generator value"
+    ~count:50
+    (QCheck.pair (QCheck.int_range 1 10) (QCheck.int_range 0 20))
+    (fun (len, c) ->
+      let src =
+        Printf.sprintf
+          "int[*] main(int n) { x = with { ([0] <= iv < [%d]) : iv[[0] ] + n; } : genarray([%d]); return( x); }"
+          len len
+      in
+      match run_main src (Sac.Value.Vint c) with
+      | Sac.Value.Varr t ->
+          Tensor.size t = len
+          && List.for_all
+               (fun i -> Tensor.get t [| i |] = i + c)
+               (List.init len Fun.id)
+      | _ -> false)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_interp_matches_reference; prop_genarray_covers ]
+
+let () =
+  Alcotest.run "sac-frontend"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "tokens" `Quick test_lexer_tokens;
+          Alcotest.test_case "positions" `Quick test_lexer_positions;
+          Alcotest.test_case "comments" `Quick test_lexer_comments;
+          Alcotest.test_case "errors" `Quick test_lexer_error;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "precedence" `Quick test_parse_expr_precedence;
+          Alcotest.test_case "chained select" `Quick test_parse_chained_select;
+          Alcotest.test_case "double bracket" `Quick test_parse_double_bracket;
+          Alcotest.test_case "concat" `Quick test_parse_concat;
+          Alcotest.test_case "paper figures" `Quick test_parse_figures;
+          Alcotest.test_case "step/width" `Quick test_parse_with_step_width;
+          Alcotest.test_case "roundtrip" `Quick test_parse_roundtrip;
+          Alcotest.test_case "error positions" `Quick test_parse_error_position;
+        ] );
+      ( "interp",
+        [
+          Alcotest.test_case "arith" `Quick test_eval_arith;
+          Alcotest.test_case "vector ops" `Quick test_eval_vector_ops;
+          Alcotest.test_case "builtins" `Quick test_eval_builtins;
+          Alcotest.test_case "partial select" `Quick test_eval_select_partial;
+          Alcotest.test_case "out of bounds" `Quick test_eval_out_of_bounds;
+          Alcotest.test_case "function call" `Quick test_simple_function;
+          Alcotest.test_case "for/update" `Quick test_for_loop_and_update;
+          Alcotest.test_case "genarray" `Quick test_genarray_with_loop;
+          Alcotest.test_case "genarray default" `Quick test_genarray_default;
+          Alcotest.test_case "modarray step" `Quick test_modarray_step;
+          Alcotest.test_case "nested with" `Quick test_nested_with_builds_tiles;
+          Alcotest.test_case "value semantics" `Quick
+            test_value_semantics_no_aliasing;
+          Alcotest.test_case "missing return" `Quick test_missing_return;
+          Alcotest.test_case "unbound variable" `Quick test_unbound_variable;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "value ops" `Quick test_value_op_counters;
+          Alcotest.test_case "builtin charges" `Quick test_builtin_op_charges;
+        ] );
+      ( "check",
+        [
+          Alcotest.test_case "clean programs" `Quick test_check_clean_programs;
+          Alcotest.test_case "unbound" `Quick test_check_unbound;
+          Alcotest.test_case "unknown function" `Quick
+            test_check_unknown_function;
+          Alcotest.test_case "arity" `Quick test_check_arity;
+          Alcotest.test_case "missing return" `Quick test_check_missing_return;
+          Alcotest.test_case "pattern rank" `Quick test_check_pattern_rank;
+          Alcotest.test_case "step rank" `Quick test_check_step_rank;
+          Alcotest.test_case "duplicate function" `Quick
+            test_check_duplicate_function;
+          Alcotest.test_case "wired into pipeline" `Quick
+            test_check_wired_into_pipeline;
+        ] );
+      ( "downscaler",
+        [
+          Alcotest.test_case "H generic" `Quick test_downscaler_h_generic;
+          Alcotest.test_case "H non-generic" `Quick
+            test_downscaler_h_nongeneric;
+          Alcotest.test_case "V generic" `Quick test_downscaler_v_generic;
+          Alcotest.test_case "V non-generic" `Quick
+            test_downscaler_v_nongeneric;
+          Alcotest.test_case "full non-generic" `Quick
+            test_downscaler_full_nongeneric;
+          Alcotest.test_case "full generic" `Quick test_downscaler_full_generic;
+          Alcotest.test_case "variants agree" `Quick
+            test_generic_equals_nongeneric;
+        ] );
+      ("properties", props);
+    ]

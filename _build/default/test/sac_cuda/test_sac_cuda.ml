@@ -1,0 +1,322 @@
+open Ndarray
+
+let rows = 18
+
+let cols = 16
+
+let plane_of n =
+  Video.Frame.plane
+    (Video.Framegen.frame { Video.Format.name = "s"; rows; cols } n)
+    Video.Frame.R
+
+let compile ?split_generators ~generic ~filter () =
+  let src =
+    match filter with
+    | `H -> Sac.Programs.horizontal ~generic ~rows ~cols
+    | `V -> Sac.Programs.vertical ~generic ~rows ~cols
+    | `Both -> Sac.Programs.downscaler ~generic ~rows ~cols
+  in
+  Sac_cuda.Compile.plan_of_source ?split_generators src ~entry:"main"
+
+let execute plan plane =
+  let rt = Cuda.Runtime.init () in
+  let outcome =
+    Sac_cuda.Exec.run rt plan ~args:[ ("frame", plane) ]
+  in
+  (rt, outcome)
+
+let events rt kind =
+  List.filter
+    (fun (e : Gpu.Timeline.event) -> e.Gpu.Timeline.kind = kind)
+    (Gpu.Timeline.events (Gpu.Context.timeline (Cuda.Runtime.context rt)))
+
+(* ---------- Plan structure ---------- *)
+
+let test_plan_nongeneric_h () =
+  let plan, _ = compile ~generic:false ~filter:`H () in
+  Alcotest.(check int) "one device with-loop" 1
+    (Sac_cuda.Plan.device_withloop_count plan);
+  (* Figure 8 / Table II: 5 kernels for the horizontal filter. *)
+  Alcotest.(check int) "5 kernels" 5 (Sac_cuda.Plan.kernel_count plan);
+  Alcotest.(check int) "no host blocks" 0
+    (Sac_cuda.Plan.host_block_count plan)
+
+let test_plan_nongeneric_v () =
+  let plan, _ = compile ~generic:false ~filter:`V () in
+  (* Table II: 7 kernels for the vertical filter. *)
+  Alcotest.(check int) "7 kernels" 7 (Sac_cuda.Plan.kernel_count plan)
+
+let test_plan_nongeneric_full () =
+  let plan, _ = compile ~generic:false ~filter:`Both () in
+  Alcotest.(check int) "5 + 7 kernels" 12 (Sac_cuda.Plan.kernel_count plan);
+  Alcotest.(check int) "two device with-loops" 2
+    (Sac_cuda.Plan.device_withloop_count plan)
+
+let test_plan_generic_h () =
+  let plan, _ = compile ~generic:true ~filter:`H () in
+  (* The generic output tiler's for-nest stays on the host. *)
+  Alcotest.(check bool) "has host block" true
+    (Sac_cuda.Plan.host_block_count plan >= 1);
+  Alcotest.(check int) "one device with-loop" 1
+    (Sac_cuda.Plan.device_withloop_count plan)
+
+let test_plan_without_split () =
+  let plan, _ =
+    compile ~split_generators:false ~generic:false ~filter:`H ()
+  in
+  Alcotest.(check int) "3 kernels without Figure 8 splitting" 3
+    (Sac_cuda.Plan.kernel_count plan)
+
+(* ---------- Execution correctness ---------- *)
+
+let tensor_eq = Tensor.equal Int.equal
+
+let test_exec_nongeneric_h () =
+  let plan, _ = compile ~generic:false ~filter:`H () in
+  let plane = plane_of 0 in
+  let _, outcome = execute plan plane in
+  Alcotest.(check bool) "bit-exact vs reference" true
+    (tensor_eq outcome.Sac_cuda.Exec.result (Video.Downscaler.horizontal plane));
+  Alcotest.(check int) "5 launches" 5 outcome.Sac_cuda.Exec.kernel_launches
+
+let test_exec_nongeneric_v () =
+  let plan, _ = compile ~generic:false ~filter:`V () in
+  let plane = plane_of 1 in
+  let _, outcome = execute plan plane in
+  Alcotest.(check bool) "bit-exact vs reference" true
+    (tensor_eq outcome.Sac_cuda.Exec.result (Video.Downscaler.vertical plane));
+  Alcotest.(check int) "7 launches" 7 outcome.Sac_cuda.Exec.kernel_launches
+
+let test_exec_nongeneric_full () =
+  let plan, _ = compile ~generic:false ~filter:`Both () in
+  let plane = plane_of 2 in
+  let _, outcome = execute plan plane in
+  Alcotest.(check bool) "bit-exact vs reference" true
+    (tensor_eq outcome.Sac_cuda.Exec.result (Video.Downscaler.plane plane))
+
+let test_exec_generic_h () =
+  let plan, _ = compile ~generic:true ~filter:`H () in
+  let plane = plane_of 3 in
+  let rt, outcome = execute plan plane in
+  Alcotest.(check bool) "bit-exact vs reference" true
+    (tensor_eq outcome.Sac_cuda.Exec.result (Video.Downscaler.horizontal plane));
+  (* The host tiler forces an intermediate device->host transfer
+     (Section VIII-A) and charges host time. *)
+  Alcotest.(check bool) "device->host for intermediate" true
+    (List.length (events rt Gpu.Timeline.Memcpy_d2h) >= 1);
+  Alcotest.(check bool) "host time charged" true
+    (outcome.Sac_cuda.Exec.host_us > 0.0)
+
+let test_exec_generic_full () =
+  let plan, _ = compile ~generic:true ~filter:`Both () in
+  let plane = plane_of 4 in
+  let _, outcome = execute plan plane in
+  Alcotest.(check bool) "bit-exact vs reference" true
+    (tensor_eq outcome.Sac_cuda.Exec.result (Video.Downscaler.plane plane))
+
+let test_transfer_counts_nongeneric () =
+  let plan, _ = compile ~generic:false ~filter:`Both () in
+  let plane = plane_of 5 in
+  let rt, _ = execute plan plane in
+  (* One frame upload, one result download per plane run -- matches the
+     3-per-frame (R,G,B) rate of Tables I/II when run per plane. *)
+  Alcotest.(check int) "one h2d" 1 (List.length (events rt Gpu.Timeline.Memcpy_h2d));
+  Alcotest.(check int) "one d2h" 1 (List.length (events rt Gpu.Timeline.Memcpy_d2h))
+
+let test_exec_missing_arg () =
+  let plan, _ = compile ~generic:false ~filter:`H () in
+  let rt = Cuda.Runtime.init () in
+  Alcotest.(check bool) "missing argument rejected" true
+    (try
+       ignore (Sac_cuda.Exec.run rt plan ~args:[]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_exec_wrong_shape () =
+  let plan, _ = compile ~generic:false ~filter:`H () in
+  let rt = Cuda.Runtime.init () in
+  Alcotest.(check bool) "wrong shape rejected" true
+    (try
+       ignore
+         (Sac_cuda.Exec.run rt plan
+            ~args:[ ("frame", Tensor.create [| 4; 4 |] 0) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_split_vs_unsplit_same_result () =
+  let plane = plane_of 6 in
+  let plan_a, _ = compile ~generic:false ~filter:`H () in
+  let plan_b, _ =
+    compile ~split_generators:false ~generic:false ~filter:`H ()
+  in
+  let _, a = execute plan_a plane in
+  let _, b = execute plan_b plane in
+  Alcotest.(check bool) "same pixels" true
+    (tensor_eq a.Sac_cuda.Exec.result b.Sac_cuda.Exec.result)
+
+(* ---------- Timing model behaviour ---------- *)
+
+let test_split_is_slower () =
+  (* More kernels for the same work must cost more simulated time:
+     launch overhead plus lost reuse (Section VIII-C). *)
+  let plane = plane_of 7 in
+  let time plan =
+    let rt, _ = execute plan plane in
+    Cuda.Runtime.elapsed_us rt
+  in
+  let t_split = time (fst (compile ~generic:false ~filter:`H ())) in
+  let t_unsplit =
+    time (fst (compile ~split_generators:false ~generic:false ~filter:`H ()))
+  in
+  Alcotest.(check bool) "5 kernels slower than 3" true (t_split > t_unsplit)
+
+(* ---------- Emission ---------- *)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = (i + nl <= hl) && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_emit_nongeneric () =
+  let plan, _ = compile ~generic:false ~filter:`H () in
+  let src = Sac_cuda.Emit_cu.source ~name:"downscaler_h" plan in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true (contains src needle))
+    [
+      "__global__ void";
+      "cudaMalloc";
+      "cudaMemcpyHostToDevice";
+      "cudaMemcpyDeviceToHost";
+      "<<<grid, block>>>";
+    ];
+  (* 5 kernels in the translation unit. *)
+  let count_occurrences s needle =
+    let nl = String.length needle in
+    let rec go i acc =
+      if i + nl > String.length s then acc
+      else if String.sub s i nl = needle then go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "5 __global__ kernels" 5
+    (count_occurrences src "__global__ void")
+
+let test_emit_generic_has_host_code () =
+  let plan, _ = compile ~generic:true ~filter:`H () in
+  let src = Sac_cuda.Emit_cu.source ~name:"downscaler_h_generic" plan in
+  Alcotest.(check bool) "host-resident code marked" true
+    (contains src "host-resident SAC code")
+
+(* ---------- Host-cost estimator ---------- *)
+
+let test_estimator_accuracy () =
+  (* The sampled estimate of the generic host tiler must track full
+     interpretation closely (loop bodies are uniform). *)
+  let plan, _ = compile ~generic:true ~filter:`H () in
+  let plane = plane_of 9 in
+  let host_us mode =
+    let rt = Cuda.Runtime.init () in
+    (Sac_cuda.Exec.run ~host_mode:mode rt plan ~args:[ ("frame", plane) ])
+      .Sac_cuda.Exec.host_us
+  in
+  let exact = host_us `Execute in
+  let estimated = host_us `Estimate in
+  Alcotest.(check bool)
+    (Printf.sprintf "estimate %.1f within 10%% of exact %.1f" estimated exact)
+    true
+    (exact > 0.0 && Float.abs (estimated -. exact) /. exact < 0.10)
+
+let test_plane_tag_in_profile () =
+  let plan, _ = compile ~generic:false ~filter:`H () in
+  let rt = Cuda.Runtime.init () in
+  List.iter
+    (fun tag ->
+      ignore
+        (Sac_cuda.Exec.run ~plane_tag:tag rt plan
+           ~args:[ ("frame", plane_of 1) ]))
+    [ "r"; "g"; "b" ];
+  let rows = Cuda.Runtime.profile rt in
+  let kernel_row =
+    List.find
+      (fun (r : Gpu.Profiler.row) ->
+        String.length r.Gpu.Profiler.operation >= 6
+        && String.sub r.Gpu.Profiler.operation 0 6 = "output")
+      rows
+  in
+  (* 3 plane runs x 5 kernels = 15 launches; 15 tagged clones of 5 base
+     kernels => 1 round per clone, displayed as 5 kernels. *)
+  Alcotest.(check bool) "(5 kernels) in the row label" true
+    (let needle = "(5 kernels)" in
+     let hay = kernel_row.Gpu.Profiler.operation in
+     let nl = String.length needle and hl = String.length hay in
+     let rec go i = (i + nl <= hl) && (String.sub hay i nl = needle || go (i + 1)) in
+     go 0);
+  Alcotest.(check int) "one round per plane" 1 kernel_row.Gpu.Profiler.calls
+
+(* ---------- Properties ---------- *)
+
+let prop_backend_matches_interpreter =
+  QCheck.Test.make
+    ~name:"compiled plan = interpreter on random frames" ~count:6
+    (QCheck.pair (QCheck.int_range 0 400) QCheck.bool)
+    (fun (n, generic) ->
+      let plane = plane_of n in
+      let src = Sac.Programs.downscaler ~generic ~rows ~cols in
+      let plan, _ = Sac_cuda.Compile.plan_of_source src ~entry:"main" in
+      let _, outcome = execute plan plane in
+      let interpreted =
+        Sac.Interp.run (Sac.Parser.program src) ~entry:"main"
+          ~args:[ Sac.Value.Varr plane ]
+      in
+      Sac.Value.equal (Sac.Value.Varr outcome.Sac_cuda.Exec.result) interpreted)
+
+let props = List.map QCheck_alcotest.to_alcotest [ prop_backend_matches_interpreter ]
+
+let () =
+  Alcotest.run "sac-cuda"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "non-generic H: 5 kernels" `Quick
+            test_plan_nongeneric_h;
+          Alcotest.test_case "non-generic V: 7 kernels" `Quick
+            test_plan_nongeneric_v;
+          Alcotest.test_case "full chain: 12 kernels" `Quick
+            test_plan_nongeneric_full;
+          Alcotest.test_case "generic H: host block" `Quick test_plan_generic_h;
+          Alcotest.test_case "no splitting: 3 kernels" `Quick
+            test_plan_without_split;
+        ] );
+      ( "exec",
+        [
+          Alcotest.test_case "non-generic H" `Quick test_exec_nongeneric_h;
+          Alcotest.test_case "non-generic V" `Quick test_exec_nongeneric_v;
+          Alcotest.test_case "non-generic full" `Quick
+            test_exec_nongeneric_full;
+          Alcotest.test_case "generic H" `Quick test_exec_generic_h;
+          Alcotest.test_case "generic full" `Quick test_exec_generic_full;
+          Alcotest.test_case "transfer counts" `Quick
+            test_transfer_counts_nongeneric;
+          Alcotest.test_case "missing arg" `Quick test_exec_missing_arg;
+          Alcotest.test_case "wrong shape" `Quick test_exec_wrong_shape;
+          Alcotest.test_case "split = unsplit pixels" `Quick
+            test_split_vs_unsplit_same_result;
+        ] );
+      ( "timing",
+        [ Alcotest.test_case "splitting costs time" `Quick test_split_is_slower ] );
+      ( "host-cost",
+        [
+          Alcotest.test_case "estimator accuracy" `Quick
+            test_estimator_accuracy;
+          Alcotest.test_case "plane tags" `Quick test_plane_tag_in_profile;
+        ] );
+      ( "emit",
+        [
+          Alcotest.test_case "non-generic .cu" `Quick test_emit_nongeneric;
+          Alcotest.test_case "generic host code" `Quick
+            test_emit_generic_has_host_code;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,128 @@
+open Ndarray
+
+let rows = 18
+
+let cols = 16
+
+let plane_of n =
+  Video.Frame.plane
+    (Video.Framegen.frame { Video.Format.name = "s"; rows; cols } n)
+    Video.Frame.R
+
+let tensor_eq = Tensor.equal Int.equal
+
+let plan_of ~generic =
+  fst
+    (Sac_cuda.Compile.plan_of_source
+       (Sac.Programs.downscaler ~generic ~rows ~cols)
+       ~entry:"main")
+
+let run_opencl plan plane =
+  let ctx = Opencl.Runtime.create_context () in
+  let outcome = Sac_opencl.Backend.run ctx plan ~args:[ ("frame", plane) ] in
+  (ctx, outcome)
+
+let test_opencl_matches_reference () =
+  let plan = plan_of ~generic:false in
+  let plane = plane_of 0 in
+  let _, outcome = run_opencl plan plane in
+  Alcotest.(check bool) "bit-exact vs reference" true
+    (tensor_eq outcome.Sac_cuda.Exec.result (Video.Downscaler.plane plane))
+
+let test_opencl_matches_cuda () =
+  let plan = plan_of ~generic:false in
+  let plane = plane_of 1 in
+  let _, ocl = run_opencl plan plane in
+  let rt = Cuda.Runtime.init () in
+  let cuda = Sac_cuda.Exec.run rt plan ~args:[ ("frame", plane) ] in
+  Alcotest.(check bool) "OpenCL = CUDA" true
+    (tensor_eq ocl.Sac_cuda.Exec.result cuda.Sac_cuda.Exec.result);
+  Alcotest.(check int) "same launch count" cuda.Sac_cuda.Exec.kernel_launches
+    ocl.Sac_cuda.Exec.kernel_launches
+
+let test_opencl_generic_variant () =
+  let plan = plan_of ~generic:true in
+  let plane = plane_of 2 in
+  let _, outcome = run_opencl plan plane in
+  Alcotest.(check bool) "generic variant bit-exact" true
+    (tensor_eq outcome.Sac_cuda.Exec.result (Video.Downscaler.plane plane))
+
+let test_opencl_events () =
+  let plan = plan_of ~generic:false in
+  let ctx, _ = run_opencl plan (plane_of 3) in
+  let events =
+    Gpu.Timeline.events (Gpu.Context.timeline (Opencl.Runtime.gpu_context ctx))
+  in
+  let count kind =
+    List.length
+      (List.filter
+         (fun (e : Gpu.Timeline.event) -> e.Gpu.Timeline.kind = kind)
+         events)
+  in
+  Alcotest.(check int) "12 kernel enqueues" 12 (count Gpu.Timeline.Kernel);
+  Alcotest.(check int) "1 write buffer" 1 (count Gpu.Timeline.Memcpy_h2d);
+  Alcotest.(check int) "1 read buffer" 1 (count Gpu.Timeline.Memcpy_d2h)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = (i + nl <= hl) && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_sources () =
+  let plan = plan_of ~generic:false in
+  let src = Sac_opencl.Backend.sources ~name:"downscaler" plan in
+  List.iter
+    (fun (what, text, needle) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s contains %s" what needle)
+        true (contains text needle))
+    [
+      ("cl", src.Sac_opencl.Backend.cl, "__kernel void");
+      ("cl", src.Sac_opencl.Backend.cl, "get_global_id(0)");
+      ("host", src.Sac_opencl.Backend.host, "clEnqueueNDRangeKernel");
+      ("host", src.Sac_opencl.Backend.host, "clEnqueueWriteBuffer");
+      ("host", src.Sac_opencl.Backend.host, "clEnqueueReadBuffer");
+      ("makefile", src.Sac_opencl.Backend.makefile, "-lOpenCL");
+    ];
+  (* 12 kernels in the .cl file. *)
+  let count_occurrences s needle =
+    let nl = String.length needle in
+    let rec go i acc =
+      if i + nl > String.length s then acc
+      else if String.sub s i nl = needle then go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "12 __kernel functions" 12
+    (count_occurrences src.Sac_opencl.Backend.cl "__kernel void")
+
+let prop_backends_agree =
+  QCheck.Test.make ~name:"OpenCL backend = CUDA backend (random frames)"
+    ~count:8
+    (QCheck.pair (QCheck.int_range 0 300) QCheck.bool)
+    (fun (n, generic) ->
+      let plan = plan_of ~generic in
+      let plane = plane_of n in
+      let _, ocl = run_opencl plan plane in
+      let rt = Cuda.Runtime.init () in
+      let cuda = Sac_cuda.Exec.run rt plan ~args:[ ("frame", plane) ] in
+      tensor_eq ocl.Sac_cuda.Exec.result cuda.Sac_cuda.Exec.result)
+
+let () =
+  Alcotest.run "sac-opencl"
+    [
+      ( "run",
+        [
+          Alcotest.test_case "matches reference" `Quick
+            test_opencl_matches_reference;
+          Alcotest.test_case "matches CUDA backend" `Quick
+            test_opencl_matches_cuda;
+          Alcotest.test_case "generic variant" `Quick
+            test_opencl_generic_variant;
+          Alcotest.test_case "event profile" `Quick test_opencl_events;
+        ] );
+      ("emit", [ Alcotest.test_case "sources" `Quick test_sources ]);
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_backends_agree ] );
+    ]
