@@ -12,7 +12,14 @@
    3. {b Microbenchmarks} — one Bechamel [Test.make] per table/figure
       (at a reduced scale so the statistics converge quickly) plus the
       main compiler components, measuring the *implementation's* wall
-      clock. *)
+      clock.
+
+   Flags:
+     --smoke        reduced scale + tiny Bechamel quota; fast enough to
+                    run under `dune runtest`.
+     --json [PATH]  also write the per-section wall-clock times as JSON
+                    (default: BENCH_<yyyy-mm-dd>.json).
+     --domains N    resize the shared domain pool (1 = sequential). *)
 
 open Bechamel
 
@@ -23,42 +30,41 @@ let section title =
 (* 1. Reproduction at paper scale                                      *)
 (* ------------------------------------------------------------------ *)
 
-let reproduction () =
-  section "Reproduction (1080x1920, 300 frames, simulated GTX480)";
+let reproduction ~scale () =
+  let s = scale in
+  section
+    (Printf.sprintf "Reproduction (%dx%d, %d frames, simulated GTX480)"
+       s.Study.Scale.rows s.Study.Scale.cols s.Study.Scale.frames);
   print_newline ();
-  print_string (Study.Report.fig9 (Study.Experiments.fig9 ()));
+  print_string (Study.Report.fig9 (Study.Experiments.fig9 ~scale ()));
   print_newline ();
   print_string
     (Study.Report.side_by_side ~title:"Table I (paper vs simulated)"
        ~paper:Study.Report.paper_table1_reference
-       ~ours:(Study.Experiments.table1 ()));
+       ~ours:(Study.Experiments.table1 ~scale ()));
   print_newline ();
   print_string
     (Study.Report.side_by_side ~title:"Table II (paper vs simulated)"
        ~paper:Study.Report.paper_table2_reference
-       ~ours:(Study.Experiments.table2 ()));
+       ~ours:(Study.Experiments.table2 ~scale ()));
   print_newline ();
-  print_string (Study.Report.fig12 (Study.Experiments.fig12 ()));
+  print_string (Study.Report.fig12 (Study.Experiments.fig12 ~scale ()));
   print_newline ();
-  print_string (Study.Report.claims (Study.Experiments.claims ()))
+  print_string (Study.Report.claims (Study.Experiments.claims ~scale ()))
 
 (* ------------------------------------------------------------------ *)
 (* 2. Ablations (simulated time)                                       *)
 (* ------------------------------------------------------------------ *)
 
-let scale = Study.Scale.paper
+let dummy_plane (scale : Study.Scale.t) =
+  Ndarray.Tensor.init
+    [| scale.Study.Scale.rows; scale.Study.Scale.cols |]
+    (fun idx -> (idx.(0) + (2 * idx.(1))) mod 251)
 
-let plane =
-  lazy
-    (Ndarray.Tensor.init
-       [| scale.Study.Scale.rows; scale.Study.Scale.cols |]
-       (fun idx -> (idx.(0) + (2 * idx.(1))) mod 251))
-
-let simulate_plan plan =
+let simulate_plan ~scale ~plane plan =
   let rt = Cuda.Runtime.init ~mode:Gpu.Context.Timing_only () in
   let outcome =
-    Sac_cuda.Exec.run ~host_mode:`Estimate rt plan
-      ~args:[ ("frame", Lazy.force plane) ]
+    Sac_cuda.Exec.run ~host_mode:`Estimate rt plan ~args:[ ("frame", plane) ]
   in
   let dev = Cuda.Runtime.elapsed_us rt in
   ( (dev +. outcome.Sac_cuda.Exec.host_us)
@@ -66,7 +72,7 @@ let simulate_plan plan =
     /. 1e6,
     outcome.Sac_cuda.Exec.kernel_launches )
 
-let ablation_wlf () =
+let ablation_wlf ~scale ~plane () =
   section "Ablation: WITH-loop folding (non-generic H+V pipeline)";
   let src =
     Sac.Programs.downscaler ~generic:false ~rows:scale.Study.Scale.rows
@@ -81,8 +87,8 @@ let ablation_wlf () =
          (Sac.Simplify.fundef
             (Sac.Inline.program (Sac.Parser.program src) ~entry:"main")))
   in
-  let t_fused, k_fused = simulate_plan fused in
-  let t_unfused, k_unfused = simulate_plan unfused in
+  let t_fused, k_fused = simulate_plan ~scale ~plane fused in
+  let t_unfused, k_unfused = simulate_plan ~scale ~plane unfused in
   Printf.printf "  with WLF:    %2d kernel launches/plane, %6.2f s simulated\n"
     k_fused t_fused;
   Printf.printf "  without WLF: %2d kernel launches/plane, %6.2f s simulated\n"
@@ -90,7 +96,7 @@ let ablation_wlf () =
   Printf.printf "  folding saves %.0f%% of device time\n"
     (100.0 *. (1.0 -. (t_fused /. t_unfused)))
 
-let ablation_split () =
+let ablation_split ~scale ~plane () =
   section "Ablation: Figure 8 generator splitting (non-generic H filter)";
   let src =
     Sac.Programs.horizontal ~generic:false ~rows:scale.Study.Scale.rows
@@ -101,20 +107,21 @@ let ablation_split () =
       let plan, _ =
         Sac_cuda.Compile.plan_of_source ~split_generators src ~entry:"main"
       in
-      let t, k = simulate_plan plan in
+      let t, k = simulate_plan ~scale ~plane plan in
       Printf.printf "  %-22s %2d kernels, %6.2f s simulated\n" label k t)
     [ ("split (as Figure 8):", true); ("unsplit:", false) ]
 
-let ablation_transfers () =
+let ablation_transfers ~scale () =
   section "Ablation: transfer batching (300 frames, host->device)";
   let d = Gpu.Device.gtx480 in
+  let frames = float_of_int scale.Study.Scale.frames in
   let plane_bytes = scale.Study.Scale.rows * scale.Study.Scale.cols * 4 in
   let per_plane =
-    3. *. 300.
+    3. *. frames
     *. Gpu.Perf_model.memcpy_time_us d ~bytes:plane_bytes ~dir:`H2d
   in
   let batched =
-    300. *. Gpu.Perf_model.memcpy_time_us d ~bytes:(3 * plane_bytes) ~dir:`H2d
+    frames *. Gpu.Perf_model.memcpy_time_us d ~bytes:(3 * plane_bytes) ~dir:`H2d
   in
   Printf.printf "  per-plane copies (as both papers' backends): %6.2f s\n"
     (per_plane /. 1e6);
@@ -123,7 +130,7 @@ let ablation_transfers () =
   Printf.printf "  batching would save %.1f%% of upload time\n"
     (100.0 *. (1.0 -. (batched /. per_plane)))
 
-let ablation_overlap () =
+let ablation_overlap ~scale () =
   section "Ablation: stream overlap (what both backends leave on the table)";
   (* One Gaspard2 frame's events, pipelined over 300 frames with
      double-buffered streams. *)
@@ -148,7 +155,7 @@ let ablation_overlap () =
   in
   Format.printf "  Gaspard2 pipeline: %a@." Gpu.Overlap.pp_summary summary
 
-let ablation_generic () =
+let ablation_generic ~scale () =
   section "Ablation: abstraction tax (generic vs non-generic, simulated)";
   List.iter
     (fun filter ->
@@ -163,7 +170,7 @@ let ablation_generic () =
         name (g /. 1e6) (n /. 1e6) (g /. n))
     [ Study.Sac_runs.H; Study.Sac_runs.V ]
 
-let ablation_devices () =
+let ablation_devices ~scale ~plane () =
   section "Ablation: device sensitivity (non-generic SAC pipeline)";
   let src =
     Sac.Programs.downscaler ~generic:false ~rows:scale.Study.Scale.rows
@@ -172,12 +179,10 @@ let ablation_devices () =
   let plan, _ = Sac_cuda.Compile.plan_of_source src ~entry:"main" in
   List.iter
     (fun device ->
-      let rt =
-        Cuda.Runtime.init ~mode:Gpu.Context.Timing_only ~device ()
-      in
+      let rt = Cuda.Runtime.init ~mode:Gpu.Context.Timing_only ~device () in
       ignore
         (Sac_cuda.Exec.run ~host_mode:`Estimate rt plan
-           ~args:[ ("frame", Lazy.force plane) ]);
+           ~args:[ ("frame", plane) ]);
       let t =
         Cuda.Runtime.elapsed_us rt
         *. float_of_int (Study.Scale.planes * scale.Study.Scale.frames)
@@ -269,9 +274,12 @@ let tests =
       (Staged.stage (fun () -> Video.Downscaler.plane (Lazy.force tiny_frame)));
   ]
 
-let run_benchmarks () =
+let run_benchmarks ~smoke () =
   section "Microbenchmarks (wall clock of this implementation)";
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None () in
+  let cfg =
+    if smoke then Benchmark.cfg ~limit:10 ~quota:(Time.second 0.01) ~kde:None ()
+    else Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None ()
+  in
   let instance = Toolkit.Instance.monotonic_clock in
   let analysis =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| "run" |]
@@ -309,13 +317,114 @@ let run_benchmarks () =
         (Test.names test))
     tests
 
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type options = {
+  smoke : bool;
+  json : string option;  (** output path when [--json] was given *)
+  domains : int;  (** 0 = machine default *)
+}
+
+let today () =
+  let tm = Unix.localtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+    tm.Unix.tm_mday
+
+let parse_options () =
+  let opts = ref { smoke = false; json = None; domains = 0 } in
+  let args = Array.to_list Sys.argv in
+  let rec go = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+        opts := { !opts with smoke = true };
+        go rest
+    | "--json" :: path :: rest when String.length path > 0 && path.[0] <> '-' ->
+        opts := { !opts with json = Some path };
+        go rest
+    | "--json" :: rest ->
+        opts := { !opts with json = Some (Printf.sprintf "BENCH_%s.json" (today ())) };
+        go rest
+    | "--domains" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n -> opts := { !opts with domains = n }; go rest
+        | None ->
+            Printf.eprintf "bench: --domains expects an integer, got %s\n" n;
+            exit 2)
+    | arg :: rest ->
+        if arg <> Sys.argv.(0) then
+          Printf.eprintf "bench: ignoring unknown argument %s\n" arg;
+        go rest
+  in
+  go args;
+  !opts
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json path ~opts ~scale ~timings =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"date\": \"%s\",\n" (today ());
+  p "  \"smoke\": %b,\n" opts.smoke;
+  p "  \"domains\": %d,\n"
+    (if opts.domains > 0 then opts.domains else Gpu.Pool.default_domains ());
+  p "  \"scale\": { \"rows\": %d, \"cols\": %d, \"frames\": %d },\n"
+    scale.Study.Scale.rows scale.Study.Scale.cols scale.Study.Scale.frames;
+  p "  \"sections\": [\n";
+  List.iteri
+    (fun i (name, seconds) ->
+      p "    { \"name\": \"%s\", \"seconds\": %.3f }%s\n" (json_escape name)
+        seconds
+        (if i = List.length timings - 1 then "" else ","))
+    timings;
+  p "  ],\n";
+  p "  \"total_seconds\": %.3f\n"
+    (List.fold_left (fun acc (_, s) -> acc +. s) 0.0 timings);
+  p "}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
+
 let () =
-  reproduction ();
-  ablation_wlf ();
-  ablation_split ();
-  ablation_transfers ();
-  ablation_overlap ();
-  ablation_generic ();
-  ablation_devices ();
-  run_benchmarks ();
-  print_newline ()
+  let opts = parse_options () in
+  if opts.domains > 0 then begin
+    Gpu.Pool.set_default_domains opts.domains;
+    Gpu.Context.set_default_mode
+      (if opts.domains <= 1 then Gpu.Context.Sequential
+       else Gpu.Context.Parallel opts.domains)
+  end;
+  let scale = if opts.smoke then small else Study.Scale.paper in
+  let plane = dummy_plane scale in
+  let timings = ref [] in
+  let timed name f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    timings := (name, Unix.gettimeofday () -. t0) :: !timings
+  in
+  timed "reproduction" (reproduction ~scale);
+  timed "ablation/wlf" (ablation_wlf ~scale ~plane);
+  timed "ablation/split" (ablation_split ~scale ~plane);
+  timed "ablation/transfers" (ablation_transfers ~scale);
+  timed "ablation/overlap" (ablation_overlap ~scale);
+  timed "ablation/generic" (ablation_generic ~scale);
+  timed "ablation/devices" (ablation_devices ~scale ~plane);
+  timed "microbenchmarks" (run_benchmarks ~smoke:opts.smoke);
+  print_newline ();
+  let timings = List.rev !timings in
+  Printf.printf "Section wall-clock (host):\n";
+  List.iter
+    (fun (name, s) -> Printf.printf "  %-22s %7.2f s\n" name s)
+    timings;
+  Option.iter
+    (fun path -> write_json path ~opts ~scale ~timings)
+    opts.json

@@ -21,6 +21,26 @@ let scale_args =
   in
   Term.(const scale_of $ rows $ cols $ frames)
 
+(* --domains N resizes the shared pool and makes functional kernel
+   execution run on it; 0 (the default) keeps the pool at the
+   machine's recommended domain count with sequential execution. *)
+let apply_domains n =
+  if n > 0 then begin
+    Gpu.Pool.set_default_domains n;
+    Gpu.Context.set_default_mode
+      (if n <= 1 then Gpu.Context.Sequential else Gpu.Context.Parallel n)
+  end
+
+let domains_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "domains" ]
+        ~doc:
+          "OCaml domains used for the study's plane/measurement \
+           parallelism and for functional kernel execution (1 forces \
+           fully sequential runs; 0 keeps the machine default).")
+
 let run_fig2 scale =
   let open Study.Scale in
   Printf.printf
@@ -103,13 +123,18 @@ let run_all scale =
   print_newline ();
   run_validate ()
 
+let with_domains f domains scale =
+  apply_domains domains;
+  f scale
+
 let cmd_of name doc f =
-  Cmd.v (Cmd.info name ~doc) Term.(const f $ scale_args)
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const (with_domains f) $ domains_arg $ scale_args)
 
 let () =
   let doc = "Reproduce the evaluation of the SAC/ArrayOL GPU study" in
   let default =
-    Term.(const run_all $ scale_args)
+    Term.(const (with_domains run_all) $ domains_arg $ scale_args)
   in
   let cmd =
     Cmd.group ~default (Cmd.info "repro" ~doc)
@@ -125,7 +150,9 @@ let () =
         cmd_of "compare" "Paper vs simulated tables" run_side_by_side;
         Cmd.v
           (Cmd.info "validate" ~doc:"Cross-pipeline functional validation")
-          Term.(const run_validate $ const ());
+          Term.(
+            const (fun n () -> apply_domains n; run_validate ())
+            $ domains_arg $ const ());
       ]
   in
   exit (Cmd.eval cmd)

@@ -1,5 +1,12 @@
 type exec_mode = Sequential | Parallel of int | Timing_only
 
+type cache_stats = {
+  compiles : int;
+  compile_hits : int;
+  cost_profiles : int;
+  cost_hits : int;
+}
+
 type t = {
   spec : Device.t;
   timeline : Timeline.t;
@@ -7,18 +14,46 @@ type t = {
   mutable allocated : int;
   mutable next_id : int;
   live : (int, Buffer.t) Hashtbl.t;
+  (* Per-context kernel caches.  A context belongs to one thread of the
+     driver, so these tables need no locking; the process-wide second
+     levels in [Kir.shared_prepare] and [global_costs] are what make
+     short-lived per-plane/per-frame contexts cheap. *)
+  prepared : (Kir.t, Kir.prepared) Hashtbl.t;
+  costs : (cost_key, Kir.cost) Hashtbl.t;
+  mutable stats : cache_stats;
+}
+
+and cost_key = {
+  ck_kernel : Kir.t;
+  ck_grid : int list;
+  ck_scalars : (string * int) list;
+  ck_lengths : (string * int) list;  (** buffer arg lengths (bounds checks) *)
 }
 
 exception Out_of_memory of string
 
-let create ?(mode = Sequential) spec =
+let no_stats = { compiles = 0; compile_hits = 0; cost_profiles = 0; cost_hits = 0 }
+
+(* The mode new contexts start in when [create] gets no explicit
+   [?mode]; the CLI --domains flag raises it to [Parallel n] so every
+   functional execution in the process lands on the domain pool. *)
+let default_mode_ref = ref Sequential
+
+let set_default_mode m = default_mode_ref := m
+
+let default_mode () = !default_mode_ref
+
+let create ?mode spec =
   {
     spec;
     timeline = Timeline.create ();
-    mode;
+    mode = (match mode with Some m -> m | None -> !default_mode_ref);
     allocated = 0;
     next_id = 0;
     live = Hashtbl.create 16;
+    prepared = Hashtbl.create 16;
+    costs = Hashtbl.create 16;
+    stats = no_stats;
   }
 
 let device t = t.spec
@@ -28,6 +63,8 @@ let timeline t = t.timeline
 let allocated_bytes t = t.allocated
 
 let set_mode t mode = t.mode <- mode
+
+let cache_stats t = t.stats
 
 let alloc t ~name len =
   if len < 0 then invalid_arg "Context.alloc";
@@ -75,6 +112,72 @@ let d2h ?(label = "memcpyDtoHasync") t (buf : Buffer.t) dst =
   Array.blit buf.Buffer.data 0 dst 0 (Array.length dst);
   copy_event t Timeline.Memcpy_d2h label buf.Buffer.name (4 * Array.length dst)
 
+(* ------------------------------------------------------------------ *)
+(* Kernel caches                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let prepared_of t kernel =
+  match Hashtbl.find_opt t.prepared kernel with
+  | Some p ->
+      t.stats <- { t.stats with compile_hits = t.stats.compile_hits + 1 };
+      p
+  | None ->
+      let p = Kir.shared_prepare kernel in
+      Hashtbl.add t.prepared kernel p;
+      t.stats <- { t.stats with compiles = t.stats.compiles + 1 };
+      p
+
+let global_costs_lock = Mutex.create ()
+
+let global_costs : (cost_key, Kir.cost) Hashtbl.t = Hashtbl.create 64
+
+let cost_key_of kernel ~grid ~args =
+  {
+    ck_kernel = kernel;
+    ck_grid = Array.to_list grid;
+    ck_scalars =
+      List.filter_map
+        (function n, Kir.Scalar_arg v -> Some (n, v) | _ -> None)
+        args;
+    ck_lengths =
+      List.filter_map
+        (function
+          | n, Kir.Buffer_arg b -> Some (n, Buffer.length b) | _ -> None)
+        args;
+  }
+
+let cost_of t kernel ~grid ~args =
+  if not (Kir.cost_data_independent kernel) then
+    Kir.profile_threads kernel ~args ~grid
+  else begin
+    let key = cost_key_of kernel ~grid ~args in
+    match Hashtbl.find_opt t.costs key with
+    | Some c ->
+        t.stats <- { t.stats with cost_hits = t.stats.cost_hits + 1 };
+        c
+    | None ->
+        let c =
+          Mutex.lock global_costs_lock;
+          let cached = Hashtbl.find_opt global_costs key in
+          Mutex.unlock global_costs_lock;
+          match cached with
+          | Some c -> c
+          | None ->
+              (* Profiled outside the lock: profiling is pure for
+                 data-independent kernels, so a racing duplicate just
+                 recomputes the same value. *)
+              let c = Kir.profile_threads kernel ~args ~grid in
+              Mutex.lock global_costs_lock;
+              if not (Hashtbl.mem global_costs key) then
+                Hashtbl.add global_costs key c;
+              Mutex.unlock global_costs_lock;
+              c
+        in
+        Hashtbl.add t.costs key c;
+        t.stats <- { t.stats with cost_profiles = t.stats.cost_profiles + 1 };
+        c
+  end
+
 let launch ?label ?(split = 1) t kernel ~grid ~args =
   let label = Option.value label ~default:kernel.Kir.kname in
   if Ndarray.Shape.rank grid <> kernel.Kir.grid_rank then
@@ -82,10 +185,11 @@ let launch ?label ?(split = 1) t kernel ~grid ~args =
       (Printf.sprintf "Context.launch %s: grid rank %d <> kernel rank %d"
          kernel.Kir.kname (Ndarray.Shape.rank grid) kernel.Kir.grid_rank);
   let threads = Ndarray.Shape.size grid in
-  let cost = Kir.profile_threads kernel ~args ~grid in
+  let cost = cost_of t kernel ~grid ~args in
   (match t.mode with
-  | Sequential -> Kir.run_grid (Kir.compile kernel ~args) grid
-  | Parallel domains -> Kir.run_grid ~domains (Kir.compile kernel ~args) grid
+  | Sequential -> Kir.run_grid (Kir.bind (prepared_of t kernel) ~args) grid
+  | Parallel domains ->
+      Kir.run_grid ~domains (Kir.bind (prepared_of t kernel) ~args) grid
   | Timing_only -> ());
   let us = Perf_model.kernel_time_us t.spec ~threads ~cost ~split in
   let bytes =

@@ -15,6 +15,14 @@ type exec_mode =
 
 type t
 
+val set_default_mode : exec_mode -> unit
+(** The mode {!create} uses when no explicit [?mode] is given
+    (initially [Sequential]).  The CLI [--domains N] flags set
+    [Parallel n] here so every functional execution in the process
+    runs on the shared {!Pool}. *)
+
+val default_mode : unit -> exec_mode
+
 val create : ?mode:exec_mode -> Device.t -> t
 
 val device : t -> Device.t
@@ -54,6 +62,18 @@ val launch :
     duration comes from {!Perf_model}.  [label] is the profiling group
     (defaults to the kernel name); [split] is the number of kernels the
     originating task was divided into (defaults to 1). *)
+
+type cache_stats = {
+  compiles : int;  (** launches that had to prepare their kernel *)
+  compile_hits : int;  (** launches served from this context's cache *)
+  cost_profiles : int;  (** cost profiles computed (or fetched globally) *)
+  cost_hits : int;  (** launches whose cost profile was already cached *)
+}
+
+val cache_stats : t -> cache_stats
+(** Counters for this context's kernel-compilation and cost-profile
+    caches.  With caching, [compiles] is once per distinct kernel
+    rather than once per launch. *)
 
 val elapsed_us : t -> float
 (** Total modelled time accumulated on the timeline. *)

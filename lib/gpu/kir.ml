@@ -175,31 +175,60 @@ let check_args kernel args =
 (* Compilation to closures                                             *)
 (* ------------------------------------------------------------------ *)
 
-(* Variables are resolved to slots of a per-thread scratch array; buffer
-   and scalar arguments are resolved to OCaml values at compile time, so
-   running a thread allocates only the scratch array. *)
+(* Compilation is split in two so the expensive part can be cached:
+
+   - {!prepare} resolves variables to slots of a per-thread scratch
+     array and parameters to positions of an argument environment, and
+     builds the closure tree — once per kernel;
+   - {!bind} packs the actual scalar values and buffer arrays into that
+     environment — once per launch, a few array writes.
+
+   Running a thread then allocates only the scratch array. *)
+
+type env = { scalars : int array; buffers : int array array }
+
+type prepared = {
+  p_kernel : t;
+  p_scratch : int;
+  p_run : env -> int array -> int array -> unit;  (* [run env scratch gid] *)
+}
 
 type compiled = { scratch_size : int; run : int array -> int array -> unit }
 (* [run scratch gid] *)
 
 exception Kernel_error of string
 
-let compile kernel ~args =
+let param_positions kernel =
+  (* Scalars and buffers get independent position spaces so [bind] can
+     pack each into a flat array. *)
+  let scalars = ref 0 and buffers = ref 0 in
+  List.map
+    (fun p ->
+      match p.kind with
+      | Scalar ->
+          let i = !scalars in
+          incr scalars;
+          (p.pname, `Scalar i)
+      | In_buffer | Out_buffer ->
+          let i = !buffers in
+          incr buffers;
+          (p.pname, `Buffer i))
+    kernel.params
+
+let prepare kernel =
   (match validate kernel with
   | Ok () -> ()
-  | Error m -> invalid_arg (Printf.sprintf "Kir.compile: %s" m));
-  (match check_args kernel args with
-  | Ok () -> ()
-  | Error m -> invalid_arg (Printf.sprintf "Kir.compile: %s" m));
-  let scalar name =
-    match List.assoc name args with
-    | Scalar_arg v -> v
-    | Buffer_arg _ -> assert false
+  | Error m -> invalid_arg (Printf.sprintf "Kir.prepare: %s" m));
+  let positions = param_positions kernel in
+  let scalar_pos name =
+    match List.assoc name positions with
+    | `Scalar i -> i
+    | `Buffer _ -> assert false
   in
-  let buffer name =
-    match List.assoc name args with
-    | Buffer_arg b -> b.Buffer.data
-    | Scalar_arg _ -> assert false
+  let buffer_pos name =
+    match List.assoc name positions with
+    | `Buffer i -> i
+    | `Scalar _ -> assert false
   in
   let next_slot = ref 0 in
   let fresh_slot () =
@@ -210,122 +239,228 @@ let compile kernel ~args =
   (* Scope: variable name -> slot.  Scoping is lexical; shadowing binds a
      fresh slot. *)
   let rec comp_expr scope = function
-    | Int n -> fun _ _ -> n
-    | Gid d -> fun _ gid -> gid.(d)
+    | Int n -> fun _ _ _ -> n
+    | Gid d -> fun _ _ gid -> gid.(d)
     | Param name ->
-        let v = scalar name in
-        fun _ _ -> v
+        let i = scalar_pos name in
+        fun env _ _ -> env.scalars.(i)
     | Var name ->
         let slot = List.assoc name scope in
-        fun scratch _ -> scratch.(slot)
+        fun _ scratch _ -> scratch.(slot)
     | Read (buf, idx) ->
-        let data = buffer buf in
+        let bi = buffer_pos buf in
         let idx = comp_expr scope idx in
-        fun scratch gid -> data.(idx scratch gid)
+        fun env scratch gid -> env.buffers.(bi).(idx env scratch gid)
     | Bin (op, a, b) -> (
         let a = comp_expr scope a and b = comp_expr scope b in
         match op with
-        | Add -> fun s g -> a s g + b s g
-        | Sub -> fun s g -> a s g - b s g
-        | Mul -> fun s g -> a s g * b s g
+        | Add -> fun e s g -> a e s g + b e s g
+        | Sub -> fun e s g -> a e s g - b e s g
+        | Mul -> fun e s g -> a e s g * b e s g
         | Div ->
-            fun s g ->
-              let d = b s g in
+            fun e s g ->
+              let d = b e s g in
               if d = 0 then raise (Kernel_error "division by zero")
-              else a s g / d
+              else a e s g / d
         | Mod ->
-            fun s g ->
-              let d = b s g in
+            fun e s g ->
+              let d = b e s g in
               if d = 0 then raise (Kernel_error "modulo by zero")
-              else a s g mod d
-        | Min -> fun s g -> min (a s g) (b s g)
-        | Max -> fun s g -> max (a s g) (b s g)
-        | Lt -> fun s g -> int_of_bool (a s g < b s g)
-        | Le -> fun s g -> int_of_bool (a s g <= b s g)
-        | Gt -> fun s g -> int_of_bool (a s g > b s g)
-        | Ge -> fun s g -> int_of_bool (a s g >= b s g)
-        | Eq -> fun s g -> int_of_bool (a s g = b s g)
-        | Ne -> fun s g -> int_of_bool (a s g <> b s g)
-        | And -> fun s g -> int_of_bool (a s g <> 0 && b s g <> 0)
-        | Or -> fun s g -> int_of_bool (a s g <> 0 || b s g <> 0))
+              else a e s g mod d
+        | Min -> fun e s g -> min (a e s g) (b e s g)
+        | Max -> fun e s g -> max (a e s g) (b e s g)
+        | Lt -> fun e s g -> int_of_bool (a e s g < b e s g)
+        | Le -> fun e s g -> int_of_bool (a e s g <= b e s g)
+        | Gt -> fun e s g -> int_of_bool (a e s g > b e s g)
+        | Ge -> fun e s g -> int_of_bool (a e s g >= b e s g)
+        | Eq -> fun e s g -> int_of_bool (a e s g = b e s g)
+        | Ne -> fun e s g -> int_of_bool (a e s g <> b e s g)
+        | And -> fun e s g -> int_of_bool (a e s g <> 0 && b e s g <> 0)
+        | Or -> fun e s g -> int_of_bool (a e s g <> 0 || b e s g <> 0))
     | Select (c, a, b) ->
         let c = comp_expr scope c
         and a = comp_expr scope a
         and b = comp_expr scope b in
-        fun s g -> if c s g <> 0 then a s g else b s g
+        fun e s g -> if c e s g <> 0 then a e s g else b e s g
   in
   let rec comp_stmts scope = function
-    | [] -> (scope, fun _ _ -> ())
+    | [] -> (scope, fun _ _ _ -> ())
     | stmt :: rest ->
         let scope, head = comp_stmt scope stmt in
         let scope, tail = comp_stmts scope rest in
         ( scope,
-          fun s g ->
-            head s g;
-            tail s g )
+          fun e s g ->
+            head e s g;
+            tail e s g )
   and comp_stmt scope = function
     | Let (name, e) ->
         let e = comp_expr scope e in
         let slot = fresh_slot () in
         ( (name, slot) :: scope,
-          fun s g -> s.(slot) <- e s g )
+          fun env s g -> s.(slot) <- e env s g )
     | Store (buf, idx, v) ->
-        let data = buffer buf in
+        let bi = buffer_pos buf in
         let idx = comp_expr scope idx and v = comp_expr scope v in
-        (scope, fun s g -> data.(idx s g) <- v s g)
+        (scope, fun e s g -> e.buffers.(bi).(idx e s g) <- v e s g)
     | If (c, then_, else_) ->
         let c = comp_expr scope c in
         let _, then_ = comp_stmts scope then_ in
         let _, else_ = comp_stmts scope else_ in
-        (scope, fun s g -> if c s g <> 0 then then_ s g else else_ s g)
+        (scope, fun e s g -> if c e s g <> 0 then then_ e s g else else_ e s g)
     | For { var; lo; hi; body } ->
         let lo = comp_expr scope lo and hi = comp_expr scope hi in
         let slot = fresh_slot () in
         let _, body = comp_stmts ((var, slot) :: scope) body in
         ( scope,
-          fun s g ->
-            let stop = hi s g in
-            let i = ref (lo s g) in
+          fun e s g ->
+            let stop = hi e s g in
+            let i = ref (lo e s g) in
             while !i < stop do
               s.(slot) <- !i;
-              body s g;
+              body e s g;
               incr i
             done )
   in
   let _, run = comp_stmts [] kernel.body in
-  { scratch_size = max 1 !next_slot; run }
+  { p_kernel = kernel; p_scratch = max 1 !next_slot; p_run = run }
+
+let bind prepared ~args =
+  let kernel = prepared.p_kernel in
+  (match check_args kernel args with
+  | Ok () -> ()
+  | Error m -> invalid_arg (Printf.sprintf "Kir.bind: %s" m));
+  let scalars = ref [] and buffers = ref [] in
+  List.iter
+    (fun p ->
+      match (p.kind, List.assoc p.pname args) with
+      | Scalar, Scalar_arg v -> scalars := v :: !scalars
+      | (In_buffer | Out_buffer), Buffer_arg b ->
+          buffers := b.Buffer.data :: !buffers
+      | _ -> assert false (* check_args *))
+    kernel.params;
+  let env =
+    {
+      scalars = Array.of_list (List.rev !scalars);
+      buffers = Array.of_list (List.rev !buffers);
+    }
+  in
+  let p_run = prepared.p_run in
+  { scratch_size = prepared.p_scratch; run = (fun s g -> p_run env s g) }
+
+(* Process-wide memo of prepared kernels, so short-lived contexts (one
+   per plane or frame in the pooled drivers) still compile each kernel
+   only once.  Kernels are immutable structural data: they make sound
+   hash keys, and prepared closures are safe to share across domains. *)
+let shared_lock = Mutex.create ()
+
+let shared : (t, prepared) Hashtbl.t = Hashtbl.create 64
+
+let shared_prepare kernel =
+  Mutex.lock shared_lock;
+  let cached = Hashtbl.find_opt shared kernel in
+  Mutex.unlock shared_lock;
+  match cached with
+  | Some p -> p
+  | None ->
+      (* Prepared outside the lock: preparation is pure, so a racing
+         duplicate is only a little wasted work. *)
+      let p = prepare kernel in
+      Mutex.lock shared_lock;
+      if not (Hashtbl.mem shared kernel) then Hashtbl.add shared kernel p;
+      Mutex.unlock shared_lock;
+      p
+
+let compile kernel ~args = bind (prepare kernel) ~args
+
+(* ------------------------------------------------------------------ *)
+(* Data-independence of the cost profile                               *)
+(* ------------------------------------------------------------------ *)
+
+(* {!profile_threads} is cacheable across launches when the address
+   trace and operation count of a thread cannot depend on buffer
+   contents: every control expression (If/Select condition, For bound),
+   every Read/Store index, and every Div/Mod divisor must be free of
+   values loaded from buffers.  A taint analysis over let-bound
+   variables decides this conservatively. *)
+
+exception Data_dependent
+
+let cost_data_independent kernel =
+  let rec taint tainted = function
+    | Int _ | Gid _ | Param _ -> false
+    | Var v -> Sset.mem v tainted
+    | Read (_, idx) ->
+        if taint tainted idx then raise Data_dependent;
+        true
+    | Bin ((Div | Mod), a, b) ->
+        if taint tainted b then raise Data_dependent;
+        taint tainted a
+    | Bin (_, a, b) ->
+        let ta = taint tainted a in
+        taint tainted b || ta
+    | Select (c, a, b) ->
+        if taint tainted c then raise Data_dependent;
+        let ta = taint tainted a in
+        taint tainted b || ta
+  in
+  let untainted tainted e = if taint tainted e then raise Data_dependent in
+  let rec stmts tainted = function
+    | [] -> tainted
+    | Let (name, e) :: rest ->
+        let tainted =
+          if taint tainted e then Sset.add name tainted
+          else Sset.remove name tainted
+        in
+        stmts tainted rest
+    | Store (_, idx, v) :: rest ->
+        untainted tainted idx;
+        ignore (taint tainted v);
+        stmts tainted rest
+    | If (c, t_, e_) :: rest ->
+        untainted tainted c;
+        ignore (stmts tainted t_);
+        ignore (stmts tainted e_);
+        stmts tainted rest
+    | For { var; lo; hi; body } :: rest ->
+        untainted tainted lo;
+        untainted tainted hi;
+        ignore (stmts (Sset.remove var tainted) body);
+        stmts tainted rest
+  in
+  match stmts Sset.empty kernel.body with
+  | _ -> true
+  | exception Data_dependent -> false
+
+(* ------------------------------------------------------------------ *)
+(* Grid execution                                                      *)
+(* ------------------------------------------------------------------ *)
 
 let run_thread compiled gid =
   let scratch = Array.make compiled.scratch_size 0 in
   compiled.run scratch gid
 
+(* Execute the linearised work-items [lo, hi).  One unravel per range,
+   then in-place increments: the per-item [Index.unravel] allocation of
+   the old parallel path dominated small kernels. *)
+let run_range compiled grid lo hi =
+  if lo < hi then begin
+    let scratch = Array.make compiled.scratch_size 0 in
+    let gid = Ndarray.Index.unravel grid lo in
+    compiled.run scratch gid;
+    for _ = lo + 1 to hi - 1 do
+      ignore (Ndarray.Index.next_in_place grid gid);
+      compiled.run scratch gid
+    done
+  end
+
 let run_grid ?(domains = 1) compiled grid =
   let total = Ndarray.Shape.size grid in
   if total > 0 then
-    if domains <= 1 then begin
-      let gid = Ndarray.Index.zeros (Ndarray.Shape.rank grid) in
-      let scratch = Array.make compiled.scratch_size 0 in
-      let continue = ref true in
-      while !continue do
-        compiled.run scratch gid;
-        continue := Ndarray.Index.next_in_place grid gid
-      done
-    end
-    else begin
-      let chunk = (total + domains - 1) / domains in
-      let worker d () =
-        let scratch = Array.make compiled.scratch_size 0 in
-        let lo = d * chunk and hi = min total ((d + 1) * chunk) in
-        for lin = lo to hi - 1 do
-          compiled.run scratch (Ndarray.Index.unravel grid lin)
-        done
-      in
-      let spawned =
-        List.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1)))
-      in
-      worker 0 ();
-      List.iter Domain.join spawned
-    end
+    let domains = if domains <= 0 then Pool.default_domains () else domains in
+    if domains <= 1 then run_range compiled grid 0 total
+    else
+      Pool.parallel_for ~chunks:domains (Pool.get ()) ~lo:0 ~hi:total
+        (run_range compiled grid)
 
 (* ------------------------------------------------------------------ *)
 (* Instrumented interpretation for cost profiling                      *)

@@ -72,11 +72,36 @@ exception Kernel_error of string
 (** Raised during execution on division/modulo by zero or out-of-bounds
     buffer access (the latter only under interpretation). *)
 
+type prepared
+(** A kernel compiled to closures but not yet bound to arguments: the
+    expensive half of {!compile}, reusable across launches.  Prepared
+    kernels are immutable and safe to share between domains. *)
+
 type compiled
 
+val prepare : t -> prepared
+(** Resolve variables to scratch slots and parameters to environment
+    positions, building the closure tree.  Raises [Invalid_argument]
+    if {!validate} fails. *)
+
+val shared_prepare : t -> prepared
+(** [prepare] through a process-wide memo table (thread-safe), so
+    short-lived contexts still compile each distinct kernel once. *)
+
+val bind : prepared -> args:(string * arg) list -> compiled
+(** Pack the actual argument values into the prepared kernel — a few
+    array writes per launch.  Raises [Invalid_argument] if
+    {!check_args} fails. *)
+
 val compile : t -> args:(string * arg) list -> compiled
-(** Resolve variables to slots and arguments to values.  Raises
-    [Invalid_argument] if {!validate} or {!check_args} fail. *)
+(** [bind (prepare t) ~args]. *)
+
+val cost_data_independent : t -> bool
+(** True when a thread's address trace and operation count cannot
+    depend on buffer contents (no value loaded from a buffer flows
+    into an If/Select condition, For bound, Read/Store index, or
+    Div/Mod divisor), so a {!profile_threads} result is valid for any
+    buffer data of the same lengths and may be cached. *)
 
 val run_thread : compiled -> Ndarray.Index.t -> unit
 (** Execute one work-item.  Buffer stores land in the bound
@@ -84,9 +109,11 @@ val run_thread : compiled -> Ndarray.Index.t -> unit
 
 val run_grid : ?domains:int -> compiled -> Ndarray.Shape.t -> unit
 (** Execute every work-item of the grid, row-major.  With [domains > 1]
-    the linearised grid is chunked across that many OCaml domains;
+    the linearised grid is chunked across the persistent {!Pool} (a
+    [domains] of 0 or less means the pool's configured default);
     kernels produced by the two backends write disjoint output elements
-    per thread, so this is race-free. *)
+    per thread, so this is race-free and bit-identical to sequential
+    execution. *)
 
 (** Per-thread cost profile, averaged over sampled threads. *)
 type cost = {

@@ -1,0 +1,186 @@
+type t = {
+  queue : (unit -> unit) Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let size t = 1 + List.length t.workers
+
+(* Each batch of submitted tasks carries its own completion latch so
+   unrelated batches can share the queue. *)
+type batch = {
+  b_lock : Mutex.t;
+  b_done : Condition.t;
+  mutable pending : int;
+  mutable failure : exn option;
+}
+
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.lock;
+    let rec take () =
+      match Queue.take_opt t.queue with
+      | Some task -> Some task
+      | None ->
+          if t.stopping then None
+          else begin
+            Condition.wait t.nonempty t.lock;
+            take ()
+          end
+    in
+    let task = take () in
+    Mutex.unlock t.lock;
+    match task with
+    | None -> ()
+    | Some task ->
+        task ();
+        loop ()
+  in
+  loop ()
+
+let create ?workers () =
+  let workers =
+    match workers with
+    | Some n -> max 0 n
+    | None -> max 0 (Domain.recommended_domain_count () - 1)
+  in
+  let t =
+    {
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      stopping = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init workers (fun _ -> Domain.spawn (worker t));
+  t
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stopping <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.lock;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let submit t batch f =
+  (* Wrapped tasks never raise: the queue and workers survive any task
+     failure; the first exception is re-raised by the waiting caller. *)
+  let task () =
+    let outcome = try f (); None with e -> Some e in
+    Mutex.lock batch.b_lock;
+    (match outcome with
+    | Some e when batch.failure = None -> batch.failure <- Some e
+    | _ -> ());
+    batch.pending <- batch.pending - 1;
+    if batch.pending = 0 then Condition.broadcast batch.b_done;
+    Mutex.unlock batch.b_lock
+  in
+  Mutex.lock t.lock;
+  Queue.add task t.queue;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.lock
+
+(* Wait for [batch], executing queued tasks (ours or anyone's) while
+   there are any: the caller only sleeps once the queue is empty, at
+   which point every task of its batch is finished or running in a
+   worker, so waiting on the latch cannot deadlock. *)
+let finish t batch =
+  let rec help () =
+    Mutex.lock t.lock;
+    let task = Queue.take_opt t.queue in
+    Mutex.unlock t.lock;
+    match task with
+    | Some task ->
+        task ();
+        help ()
+    | None ->
+        Mutex.lock batch.b_lock;
+        while batch.pending > 0 do
+          Condition.wait batch.b_done batch.b_lock
+        done;
+        Mutex.unlock batch.b_lock
+  in
+  help ();
+  match batch.failure with Some e -> raise e | None -> ()
+
+let run_batch t fs =
+  match fs with
+  | [] -> ()
+  | [ f ] -> f ()
+  | fs when size t <= 1 -> List.iter (fun f -> f ()) fs
+  | fs ->
+      let batch =
+        {
+          b_lock = Mutex.create ();
+          b_done = Condition.create ();
+          pending = List.length fs;
+          failure = None;
+        }
+      in
+      List.iter (fun f -> submit t batch f) fs;
+      finish t batch
+
+let run_all = run_batch
+
+let map_list t fs =
+  let out = Array.make (List.length fs) None in
+  run_batch t
+    (List.mapi (fun i f -> fun () -> out.(i) <- Some (f ())) fs);
+  Array.to_list
+    (Array.map
+       (function Some v -> v | None -> assert false (* run_batch waited *))
+       out)
+
+let parallel_for ?chunks t ~lo ~hi f =
+  let n = hi - lo in
+  if n > 0 then begin
+    let chunks = min n (max 1 (match chunks with Some c -> c | None -> size t)) in
+    if chunks = 1 || size t <= 1 then f lo hi
+    else begin
+      let per = (n + chunks - 1) / chunks in
+      run_batch t
+        (List.init chunks (fun c ->
+             let clo = lo + (c * per) and chi = min hi (lo + ((c + 1) * per)) in
+             fun () -> if clo < chi then f clo chi))
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Global pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let configured = ref None (* None = recommended_domain_count *)
+
+let global : t option ref = ref None
+
+let global_lock = Mutex.create ()
+
+let default_domains () =
+  match !configured with
+  | Some n -> n
+  | None -> max 1 (Domain.recommended_domain_count ())
+
+let get () =
+  Mutex.lock global_lock;
+  let pool =
+    match !global with
+    | Some p -> p
+    | None ->
+        let p = create ~workers:(default_domains () - 1) () in
+        global := Some p;
+        p
+  in
+  Mutex.unlock global_lock;
+  pool
+
+let set_default_domains n =
+  Mutex.lock global_lock;
+  configured := Some (max 1 n);
+  let old = !global in
+  global := None;
+  Mutex.unlock global_lock;
+  Option.iter shutdown old

@@ -27,6 +27,8 @@ let total_us t = List.fold_left (fun acc e -> acc +. e.us) 0.0 t.rev_events
 
 let count t = t.n
 
+let append dst src = List.iter (record dst) (events src)
+
 let replay t ~times =
   if times < 1 then invalid_arg "Timeline.replay";
   let base = events t in

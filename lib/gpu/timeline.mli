@@ -30,6 +30,12 @@ val total_us : t -> float
 
 val count : t -> int
 
+val append : t -> t -> unit
+(** [append dst src] records all of [src]'s events onto [dst] in
+    order.  The pooled drivers run planes/frames on per-worker
+    timelines and append them in plane/frame order, so the merged
+    timeline is bit-identical to a sequential run. *)
+
 val replay : t -> times:int -> unit
 (** Re-record the current event list [times - 1] more times; used to
     extrapolate one simulated frame to the paper's 300 iterations

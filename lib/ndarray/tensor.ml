@@ -14,18 +14,25 @@ let init shape f =
   let n = Shape.size shape in
   if n = 0 then { shape; data = [||] }
   else begin
+    (* One index array for the whole traversal, advanced in place; [f]
+       must not retain it (see the .mli contract).  The previous
+       per-cell [Array.copy] dominated large-plane initialisation. *)
     let idx = Index.zeros (Shape.rank shape) in
-    let first = f (Array.copy idx) in
+    let first = f idx in
     let data = Array.make n first in
     let i = ref 0 in
     let continue = ref true in
     while !continue do
-      if !i > 0 then data.(!i) <- f (Array.copy idx);
+      if !i > 0 then data.(!i) <- f idx;
       incr i;
       continue := Index.next_in_place shape idx
     done;
     { shape; data }
   end
+
+let init_lin shape f =
+  if not (Shape.is_valid shape) then invalid_arg "Tensor.init_lin";
+  { shape; data = Array.init (Shape.size shape) f }
 
 let scalar v = { shape = Shape.scalar; data = [| v |] }
 

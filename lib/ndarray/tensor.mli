@@ -11,7 +11,15 @@ val create : Shape.t -> 'a -> 'a t
 (** [create shape v] is a tensor filled with [v]. *)
 
 val init : Shape.t -> (Index.t -> 'a) -> 'a t
-(** Elements computed in row-major order. *)
+(** Elements computed in row-major order.  The index array passed to
+    the callback is reused (advanced in place) across cells: read it,
+    but do not retain or mutate it.  Callbacks that need to keep the
+    index must copy it themselves. *)
+
+val init_lin : Shape.t -> (int -> 'a) -> 'a t
+(** [init_lin shape f] fills the tensor from the row-major linear
+    offset: [f] receives [0 .. size-1].  The allocation-free variant
+    for hot loops that can do their own index arithmetic. *)
 
 val scalar : 'a -> 'a t
 
@@ -46,6 +54,7 @@ val copy : 'a t -> 'a t
 val map : ('a -> 'b) -> 'a t -> 'b t
 
 val mapi : (Index.t -> 'a -> 'b) -> 'a t -> 'b t
+(** Same reused-index contract as {!init}. *)
 
 val map2 : ('a -> 'b -> 'c) -> 'a t -> 'b t -> 'c t
 

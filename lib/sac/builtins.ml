@@ -32,23 +32,22 @@ let apply name args =
              (Printf.sprintf "MV: matrix has %d columns, vector has %d"
                 (Array.length m.(0)) (Array.length vec)))
       else begin
-        Value.ops := !Value.ops + (Array.length m * Array.length vec * 2);
+        Value.charge (Array.length m * Array.length vec * 2);
         Value.of_vector (Linalg.mv m vec)
       end
   | "CAT", [ a; b ] ->
       let a = matrix_exn a and b = matrix_exn b in
-      Value.ops :=
-        !Value.ops
-        + Array.fold_left (fun n r -> n + Array.length r) 0 a
-        + Array.fold_left (fun n r -> n + Array.length r) 0 b;
+      Value.charge
+        (Array.fold_left (fun n r -> n + Array.length r) 0 a
+        + Array.fold_left (fun n r -> n + Array.length r) 0 b);
       of_matrix (Linalg.cat_cols a b)
   | "genarray", [ shp ] ->
       let frame = Value.vector_exn shp in
-      Value.ops := !Value.ops + Shape.size frame;
+      Value.charge (Shape.size frame);
       Value.Varr (Tensor.create frame 0)
   | "genarray", [ shp; default ] ->
       let frame = Value.vector_exn shp in
-      Value.ops := !Value.ops + Shape.size frame;
+      Value.charge (Shape.size frame);
       if Value.rank default = 0 then
         Value.Varr (Tensor.create frame (Value.scalar_exn default))
       else begin

@@ -9,7 +9,9 @@ let env_of_list bindings =
 
 exception Return_exc of Value.t
 
-let ops_counter = Value.ops
+let ops () = Value.ops ()
+
+let reset_ops () = Value.reset_counters ()
 
 let lookup env name =
   match Hashtbl.find_opt env name with

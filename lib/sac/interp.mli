@@ -21,8 +21,12 @@ val eval_expr : Ast.program -> env -> Ast.expr -> Value.t
 val exec_stmts : Ast.program -> env -> Ast.stmt list -> Value.t option
 (** Execute statements; [Some v] when a [return] was reached. *)
 
-val ops_counter : int ref
+val ops : unit -> int
 (** Abstract operation counter: incremented per arithmetic operation,
     selection and indexed update.  The CUDA backend charges host-side
     segments (for-loop tilers) by the operations they actually execute;
-    reset and read it around the segment. *)
+    reset and read it around the segment.  Domain-local (see
+    {!Value.ops}), so concurrent interpreters count independently. *)
+
+val reset_ops : unit -> unit
+(** Zero this domain's {!ops} counter. *)

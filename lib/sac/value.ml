@@ -6,11 +6,27 @@ exception Value_error of string
 
 let error fmt = Format.kasprintf (fun m -> raise (Value_error m)) fmt
 
-let ops = ref 0
+(* The abstract operation counters are domain-local: planes interpreted
+   on different pool workers profile their host segments independently,
+   so parallel Study runs count exactly what a sequential run would. *)
+type counters = { mutable c_ops : int; mutable c_updates : int }
 
-let updates = ref 0
+let counters_key = Domain.DLS.new_key (fun () -> { c_ops = 0; c_updates = 0 })
 
-let charge n = ops := !ops + n
+let counters () = Domain.DLS.get counters_key
+
+let ops () = (counters ()).c_ops
+
+let updates () = (counters ()).c_updates
+
+let reset_counters () =
+  let c = counters () in
+  c.c_ops <- 0;
+  c.c_updates <- 0
+
+let charge n =
+  let c = counters () in
+  c.c_ops <- c.c_ops + n
 
 let of_vector a = Varr (Tensor.of_array [| Array.length a |] (Array.copy a))
 
@@ -121,7 +137,7 @@ let select a iv =
 
 let update a iv v =
   charge 1;
-  incr updates;
+  (counters ()).c_updates <- (counters ()).c_updates + 1;
   match a with
   | Vint _ -> error "cannot update a scalar by index"
   | Varr t ->

@@ -12,16 +12,26 @@ type t = Vint of int | Varr of int Tensor.t
 
 exception Value_error of string
 
-val ops : int ref
+val ops : unit -> int
 (** Abstract scalar-operation counter: every element-wise operation,
     selection and update increments it by the number of scalar
     operations performed (vector ops count their length).  The host
-    CPU cost model reads it; reset it around the region of interest. *)
+    CPU cost model reads it; reset it around the region of interest.
+    Counters are domain-local, so interpreters running on different
+    pool workers profile independently. *)
 
-val updates : int ref
-(** Indexed-update counter ({!update} calls).  Scattered stores into
-    arrays that were just downloaded from the device are charged a
-    cold-memory penalty by the host cost model. *)
+val updates : unit -> int
+(** Indexed-update counter ({!update} calls, same domain-local
+    storage).  Scattered stores into arrays that were just downloaded
+    from the device are charged a cold-memory penalty by the host cost
+    model. *)
+
+val reset_counters : unit -> unit
+(** Zero this domain's {!ops} and {!updates}. *)
+
+val charge : int -> unit
+(** Add to this domain's {!ops}; used by {!Builtins} to charge the
+    work done inside primitive functions. *)
 
 val of_vector : int array -> t
 

@@ -157,14 +157,13 @@ let run_with ?(host_mode = `Execute) ?plane_tag (ops : device_ops)
           in
           let env = Sac.Interp.env_of_list bindings in
           let interpret_fully () =
-            Sac.Value.ops := 0;
-            Sac.Value.updates := 0;
+            Sac.Value.reset_counters ();
             (match Sac.Interp.exec_stmts [] env stmts with
             | None -> ()
             | Some _ -> invalid_arg "sac_cuda exec: return inside host block");
             {
-              Host_cost.ops = float_of_int !Sac.Value.ops;
-              updates = float_of_int !Sac.Value.updates;
+              Host_cost.ops = float_of_int (Sac.Value.ops ());
+              updates = float_of_int (Sac.Value.updates ());
             }
           in
           let counts =

@@ -9,11 +9,11 @@ let add a b = { ops = a.ops +. b.ops; updates = a.updates +. b.updates }
 let scale k a = { ops = k *. a.ops; updates = k *. a.updates }
 
 let measured f =
-  let ops0 = !Sac.Value.ops and upd0 = !Sac.Value.updates in
+  let ops0 = Sac.Value.ops () and upd0 = Sac.Value.updates () in
   f ();
   {
-    ops = float_of_int (!Sac.Value.ops - ops0);
-    updates = float_of_int (!Sac.Value.updates - upd0);
+    ops = float_of_int (Sac.Value.ops () - ops0);
+    updates = float_of_int (Sac.Value.updates () - upd0);
   }
 
 let rec sampled env stmts =

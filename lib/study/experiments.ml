@@ -7,19 +7,35 @@ type fig9_row = {
 }
 
 let fig9 ?(scale = Scale.paper) () =
-  List.map
-    (fun variant ->
-      {
-        variant;
-        h_seconds = Sac_runs.time_us variant Sac_runs.H scale /. 1e6;
-        v_seconds = Sac_runs.time_us variant Sac_runs.V scale /. 1e6;
-      })
+  let variants =
     [
       Sac_runs.Seq_generic;
       Sac_runs.Seq_nongeneric;
       Sac_runs.Cuda_generic;
       Sac_runs.Cuda_nongeneric;
     ]
+  in
+  (* All eight (variant, filter) measurements are independent; run them
+     on the pool and reassemble rows in variant order. *)
+  let times =
+    Gpu.Pool.map_list (Gpu.Pool.get ())
+      (List.concat_map
+         (fun variant ->
+           [
+             (fun () -> Sac_runs.time_us variant Sac_runs.H scale);
+             (fun () -> Sac_runs.time_us variant Sac_runs.V scale);
+           ])
+         variants)
+  in
+  let rec rows vs ts =
+    match (vs, ts) with
+    | [], [] -> []
+    | v :: vs, h :: vt :: ts ->
+        { variant = v; h_seconds = h /. 1e6; v_seconds = vt /. 1e6 }
+        :: rows vs ts
+    | _ -> assert false
+  in
+  rows variants times
 
 let table1 ?(scale = Scale.paper) () = Gaspard_runs.profile scale
 
@@ -206,14 +222,11 @@ let validate ?(scale = Scale.validation) () =
   let plane = Video.Frame.plane frame Video.Frame.R in
   let reference = Video.Downscaler.plane plane in
   let tensor_eq = Tensor.equal Int.equal in
-  let check name f =
-    {
-      name;
-      ok = (try f () with _ -> false);
-    }
-  in
-  [
-    check "SAC interpreter (generic) = reference" (fun () ->
+  (* The seven cross-checks are independent functional executions; run
+     them on the pool, keeping the report in declaration order. *)
+  let checks = ref [] in
+  let check name f = checks := (name, f) :: !checks in
+  check "SAC interpreter (generic) = reference" (fun () ->
         let src = Sac.Programs.downscaler ~generic:true ~rows ~cols in
         Sac.Value.equal
           (Sac.Interp.run (Sac.Parser.program src) ~entry:"main"
@@ -274,4 +287,7 @@ let validate ?(scale = Scale.validation) () =
             ("g_out", Video.Frame.G);
             ("b_out", Video.Frame.B);
           ]);
-  ]
+  Gpu.Pool.map_list (Gpu.Pool.get ())
+    (List.rev_map
+       (fun (name, f) -> fun () -> { name; ok = (try f () with _ -> false) })
+       !checks)

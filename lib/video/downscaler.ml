@@ -34,13 +34,14 @@ let horizontal plane =
   let rows = shape.(0) and cols = shape.(1) in
   check_divisible "horizontal" cols h_pack_in;
   let out_cols = cols / h_pack_in * h_pack_out in
-  Tensor.init [| rows; out_cols |] (fun idx ->
-      let i = idx.(0) and j = idx.(1) in
+  Tensor.init_lin [| rows; out_cols |] (fun lin ->
+      let i = lin / out_cols and j = lin mod out_cols in
       let r = j / h_pack_out and k = j mod h_pack_out in
       let base = (r * h_pack_in) + h_window_offsets.(k) in
+      let row = i * cols in
       let sum = ref 0 in
       for t = 0 to window_len - 1 do
-        sum := !sum + Tensor.get plane [| i; (base + t) mod cols |]
+        sum := !sum + Tensor.get_lin plane (row + ((base + t) mod cols))
       done;
       interpolate !sum)
 
@@ -51,13 +52,13 @@ let vertical plane =
   let rows = shape.(0) and cols = shape.(1) in
   check_divisible "vertical" rows v_pack_in;
   let out_rows = rows / v_pack_in * v_pack_out in
-  Tensor.init [| out_rows; cols |] (fun idx ->
-      let i = idx.(0) and j = idx.(1) in
+  Tensor.init_lin [| out_rows; cols |] (fun lin ->
+      let i = lin / cols and j = lin mod cols in
       let r = i / v_pack_out and k = i mod v_pack_out in
       let base = (r * v_pack_in) + v_window_offsets.(k) in
       let sum = ref 0 in
       for t = 0 to window_len - 1 do
-        sum := !sum + Tensor.get plane [| (base + t) mod rows; j |]
+        sum := !sum + Tensor.get_lin plane ((((base + t) mod rows) * cols) + j)
       done;
       interpolate !sum)
 

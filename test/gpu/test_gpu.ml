@@ -687,6 +687,246 @@ let test_blocks_for () =
 
 (* ---------- Property: compiled = interpreted ---------- *)
 
+(* ---------- Domain pool ---------- *)
+
+let test_pool_parallel_for () =
+  let pool = Pool.create ~workers:3 () in
+  let n = 10_000 in
+  let out = Array.make n 0 in
+  Pool.parallel_for ~chunks:8 pool ~lo:0 ~hi:n (fun lo hi ->
+      for i = lo to hi - 1 do
+        out.(i) <- 2 * i
+      done);
+  Pool.shutdown pool;
+  Alcotest.(check (array int)) "every index covered exactly once"
+    (Array.init n (fun i -> 2 * i))
+    out
+
+let test_pool_map_list_order () =
+  let pool = Pool.create ~workers:2 () in
+  let got = Pool.map_list pool (List.init 50 (fun i -> fun () -> i * i)) in
+  Pool.shutdown pool;
+  Alcotest.(check (list int))
+    "results in submission order"
+    (List.init 50 (fun i -> i * i))
+    got
+
+let test_pool_nested () =
+  (* A pooled task that itself submits a batch: the caller helps drain
+     the queue, so this must not deadlock even with few workers. *)
+  let pool = Pool.create ~workers:1 () in
+  let got =
+    Pool.map_list pool
+      (List.init 4 (fun outer ->
+           fun () ->
+             List.fold_left ( + ) 0
+               (Pool.map_list pool
+                  (List.init 4 (fun j -> fun () -> (10 * outer) + j)))))
+  in
+  Pool.shutdown pool;
+  Alcotest.(check (list int)) "nested batches" [ 6; 46; 86; 126 ] got
+
+let test_pool_exception () =
+  let pool = Pool.create ~workers:2 () in
+  let raised =
+    try
+      Pool.run_all pool
+        (List.init 8 (fun i -> fun () -> if i = 5 then failwith "boom"));
+      false
+    with Failure m -> m = "boom"
+  in
+  let alive = Pool.map_list pool (List.init 3 (fun i -> fun () -> i)) in
+  Pool.shutdown pool;
+  Alcotest.(check bool) "task failure re-raised to the caller" true raised;
+  Alcotest.(check (list int)) "pool survives the failure" [ 0; 1; 2 ] alive
+
+(* ---------- Kernel-compilation and cost caches ---------- *)
+
+let test_compile_cache_counters () =
+  let c = ctx () in
+  let n = 256 in
+  let a = Context.alloc c ~name:"a" n in
+  let b = Context.alloc c ~name:"b" n in
+  let out = Context.alloc c ~name:"out" n in
+  Context.h2d c a (Array.init n (fun i -> i mod 19));
+  Context.h2d c b (Array.init n (fun i -> i mod 23));
+  let launches = 10 in
+  for _ = 1 to launches do
+    Context.launch c vadd ~grid:[| n |]
+      ~args:
+        [ ("a", Kir.Buffer_arg a); ("b", Kir.Buffer_arg b);
+          ("out", Kir.Buffer_arg out) ]
+  done;
+  let s = Context.cache_stats c in
+  Alcotest.(check int) "compiled once per kernel" 1 s.Context.compiles;
+  Alcotest.(check int)
+    "every other launch hits the compile cache" (launches - 1)
+    s.Context.compile_hits;
+  Alcotest.(check int) "cost profiled once" 1 s.Context.cost_profiles;
+  Alcotest.(check int)
+    "every other launch hits the cost cache" (launches - 1)
+    s.Context.cost_hits
+
+let test_cost_cache_data_dependent_not_cached () =
+  (* A kernel whose read address depends on buffer contents must be
+     re-profiled on every launch: its cost can change when the data
+     changes even though kernel, grid and shapes are identical. *)
+  let k =
+    Kir.
+      {
+        kname = "gather";
+        params =
+          [ { pname = "idx"; kind = In_buffer };
+            { pname = "src"; kind = In_buffer };
+            { pname = "dst"; kind = Out_buffer } ];
+        grid_rank = 1;
+        body = [ Store ("dst", Gid 0, Read ("src", Read ("idx", Gid 0))) ];
+      }
+  in
+  Alcotest.(check bool)
+    "taint analysis rejects data-dependent addressing" false
+    (Kir.cost_data_independent k);
+  Alcotest.(check bool)
+    "vadd is data-independent" true
+    (Kir.cost_data_independent vadd);
+  let c = ctx () in
+  let n = 64 in
+  let idx = Context.alloc c ~name:"idx" n in
+  let src = Context.alloc c ~name:"src" n in
+  let dst = Context.alloc c ~name:"dst" n in
+  Context.h2d c idx (Array.init n (fun i -> (n - 1) - i));
+  Context.h2d c src (Array.init n (fun i -> i * 3));
+  for _ = 1 to 5 do
+    Context.launch c k ~grid:[| n |]
+      ~args:
+        [ ("idx", Kir.Buffer_arg idx); ("src", Kir.Buffer_arg src);
+          ("dst", Kir.Buffer_arg dst) ]
+  done;
+  let s = Context.cache_stats c in
+  Alcotest.(check int) "no cost-cache entries" 0 s.Context.cost_profiles;
+  Alcotest.(check int) "no cost-cache hits" 0 s.Context.cost_hits
+
+(* ---------- Pooled execution = sequential (paper's filter kernels) --- *)
+
+(* The downscaler's filters as hand-written 2-D kernels (the same
+   window arithmetic as [Video.Downscaler]); used to check that pooled
+   execution is bit-identical to sequential at several pool sizes. *)
+let h_filter_kernel ~cols =
+  let out_cols = cols / 8 * 3 in
+  let read t =
+    Kir.Read
+      ( "src",
+        Kir.Bin
+          ( Kir.Add,
+            Kir.Var "row",
+            Kir.Bin
+              (Kir.Mod, Kir.Bin (Kir.Add, Kir.Var "base", Kir.Int t), Kir.Int cols)
+          ) )
+  in
+  let sum = List.fold_left (fun acc t -> Kir.Bin (Kir.Add, acc, read t)) (read 0) [ 1; 2; 3; 4; 5 ] in
+  Kir.
+    {
+      kname = "h_filter";
+      params =
+        [ { pname = "src"; kind = In_buffer }; { pname = "dst"; kind = Out_buffer } ];
+      grid_rank = 2;
+      body =
+        [
+          Let ("k", Bin (Mod, Gid 1, Int 3));
+          Let
+            ( "off",
+              Select
+                ( Bin (Eq, Var "k", Int 0),
+                  Int 0,
+                  Select (Bin (Eq, Var "k", Int 1), Int 2, Int 5) ) );
+          Let
+            ( "base",
+              Bin (Add, Bin (Mul, Bin (Div, Gid 1, Int 3), Int 8), Var "off") );
+          Let ("row", Bin (Mul, Gid 0, Int cols));
+          Let ("s", sum);
+          Store
+            ( "dst",
+              Bin (Add, Bin (Mul, Gid 0, Int out_cols), Gid 1),
+              Bin (Sub, Bin (Div, Var "s", Int 6), Bin (Mod, Var "s", Int 6)) );
+        ];
+    }
+
+let v_filter_kernel ~rows ~cols =
+  let read t =
+    Kir.Read
+      ( "src",
+        Kir.Bin
+          ( Kir.Add,
+            Kir.Bin
+              ( Kir.Mul,
+                Kir.Bin
+                  ( Kir.Mod,
+                    Kir.Bin (Kir.Add, Kir.Var "base", Kir.Int t),
+                    Kir.Int rows ),
+                Kir.Int cols ),
+            Kir.Gid 1 ) )
+  in
+  let sum = List.fold_left (fun acc t -> Kir.Bin (Kir.Add, acc, read t)) (read 0) [ 1; 2; 3; 4; 5 ] in
+  Kir.
+    {
+      kname = "v_filter";
+      params =
+        [ { pname = "src"; kind = In_buffer }; { pname = "dst"; kind = Out_buffer } ];
+      grid_rank = 2;
+      body =
+        [
+          Let ("k", Bin (Mod, Gid 0, Int 4));
+          Let
+            ( "off",
+              Select
+                ( Bin (Eq, Var "k", Int 0),
+                  Int 0,
+                  Select
+                    ( Bin (Eq, Var "k", Int 1),
+                      Int 2,
+                      Select (Bin (Eq, Var "k", Int 2), Int 5, Int 8) ) ) );
+          Let
+            ( "base",
+              Bin (Add, Bin (Mul, Bin (Div, Gid 0, Int 4), Int 9), Var "off") );
+          Let ("s", sum);
+          Store
+            ( "dst",
+              Bin (Add, Bin (Mul, Gid 0, Int cols), Gid 1),
+              Bin (Sub, Bin (Div, Var "s", Int 6), Bin (Mod, Var "s", Int 6)) );
+        ];
+    }
+
+let test_pooled_filters_match_sequential () =
+  let rows = 27 and cols = 32 in
+  let out_cols = cols / 8 * 3 in
+  let out_rows = rows / 9 * 4 in
+  let input = Array.init (rows * cols) (fun i -> ((i * 37) + (i / cols)) mod 251) in
+  let run mode =
+    let c = Context.create ~mode Device.gtx480 in
+    let src = Context.alloc c ~name:"src" (rows * cols) in
+    let mid = Context.alloc c ~name:"mid" (rows * out_cols) in
+    let dst = Context.alloc c ~name:"dst" (out_rows * out_cols) in
+    Context.h2d c src input;
+    Context.launch c (h_filter_kernel ~cols) ~grid:[| rows; out_cols |]
+      ~args:[ ("src", Kir.Buffer_arg src); ("dst", Kir.Buffer_arg mid) ];
+    Context.launch c
+      (v_filter_kernel ~rows ~cols:out_cols)
+      ~grid:[| out_rows; out_cols |]
+      ~args:[ ("src", Kir.Buffer_arg mid); ("dst", Kir.Buffer_arg dst) ];
+    let host = Array.make (out_rows * out_cols) 0 in
+    Context.d2h c dst host;
+    (host, Context.elapsed_us c, Timeline.count (Context.timeline c))
+  in
+  let seq_out, seq_us, seq_events = run Context.Sequential in
+  List.iter
+    (fun domains ->
+      let out, us, events = run (Context.Parallel domains) in
+      let name fmt = Printf.sprintf fmt domains in
+      Alcotest.(check (array int)) (name "%d domains: bit-identical") seq_out out;
+      Alcotest.(check (float 0.0)) (name "%d domains: same modelled time") seq_us us;
+      Alcotest.(check int) (name "%d domains: same event count") seq_events events)
+    [ 1; 2; 4 ]
+
 let prop_compile_matches_interpretation =
   (* Random affine kernels: out[i] = c0 + c1*i + src[(i*c2 + c3) mod n]. *)
   let arb =
@@ -765,6 +1005,24 @@ let () =
           Alcotest.test_case "if/select" `Quick test_if_and_select;
           Alcotest.test_case "for-loop tiler" `Quick test_for_loop_kernel;
           Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+          Alcotest.test_case "pooled H/V filters = sequential" `Quick
+            test_pooled_filters_match_sequential;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "parallel_for covers range" `Quick
+            test_pool_parallel_for;
+          Alcotest.test_case "map_list order" `Quick test_pool_map_list_order;
+          Alcotest.test_case "nested submission" `Quick test_pool_nested;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_exception;
+        ] );
+      ( "caching",
+        [
+          Alcotest.test_case "compile and cost hit counters" `Quick
+            test_compile_cache_counters;
+          Alcotest.test_case "data-dependent cost not cached" `Quick
+            test_cost_cache_data_dependent_not_cached;
         ] );
       ( "cost",
         [

@@ -297,23 +297,22 @@ let test_unbound_variable () =
 (* ---------- Operation counters ---------- *)
 
 let test_value_op_counters () =
-  Sac.Value.ops := 0;
-  Sac.Value.updates := 0;
+  Sac.Value.reset_counters ();
   ignore (Sac.Value.binop Sac.Ast.Add (Sac.Value.Vint 1) (Sac.Value.Vint 2));
-  Alcotest.(check int) "scalar op counts 1" 1 !Sac.Value.ops;
+  Alcotest.(check int) "scalar op counts 1" 1 (Sac.Value.ops ());
   ignore
     (Sac.Value.binop Sac.Ast.Mul
        (Sac.Value.of_vector [| 1; 2; 3; 4 |])
        (Sac.Value.Vint 2));
-  Alcotest.(check int) "vector op counts its length" 5 !Sac.Value.ops;
+  Alcotest.(check int) "vector op counts its length" 5 (Sac.Value.ops ());
   ignore
     (Sac.Value.update
        (Sac.Value.of_vector [| 1; 2 |])
        (Sac.Value.Vint 0) (Sac.Value.Vint 9));
-  Alcotest.(check int) "update increments updates" 1 !Sac.Value.updates
+  Alcotest.(check int) "update increments updates" 1 (Sac.Value.updates ())
 
 let test_builtin_op_charges () =
-  Sac.Value.ops := 0;
+  Sac.Value.reset_counters ();
   ignore
     (Sac.Builtins.apply "MV"
        [
@@ -321,7 +320,7 @@ let test_builtin_op_charges () =
          Sac.Value.of_vector [| 3; 5 |];
        ]);
   (* 2x2 matrix-vector = 8 scalar operations. *)
-  Alcotest.(check int) "MV charges rows*cols*2" 8 !Sac.Value.ops
+  Alcotest.(check int) "MV charges rows*cols*2" 8 (Sac.Value.ops ())
 
 (* ---------- Static checker ---------- *)
 

@@ -229,6 +229,34 @@ let test_validation () =
         v.Study.Experiments.ok)
     (Study.Experiments.validate ~scale:Study.Scale.tiny ())
 
+(* ---------- Pool-size determinism ---------- *)
+
+let test_profile_deterministic_across_pool_sizes () =
+  (* The plane-parallel pipeline profile must not depend on how many
+     domains the shared pool has: timelines are merged in plane order. *)
+  let scale = Study.Scale.validation in
+  let rows_at domains =
+    Gpu.Pool.set_default_domains domains;
+    fst (Study.Sac_runs.full_pipeline_profile ~generic:false scale)
+  in
+  let reference = rows_at 1 in
+  List.iter
+    (fun domains ->
+      let rows = rows_at domains in
+      Alcotest.(check int)
+        (Printf.sprintf "%d domains: same row count" domains)
+        (List.length reference) (List.length rows);
+      List.iter2
+        (fun (a : Gpu.Profiler.row) (b : Gpu.Profiler.row) ->
+          Alcotest.(check string) "operation" a.Gpu.Profiler.operation
+            b.Gpu.Profiler.operation;
+          Alcotest.(check int) "calls" a.Gpu.Profiler.calls b.Gpu.Profiler.calls;
+          Alcotest.(check (float 0.0)) "gpu_time_us" a.Gpu.Profiler.gpu_time_us
+            b.Gpu.Profiler.gpu_time_us)
+        reference rows)
+    [ 2; 4 ];
+  Gpu.Pool.set_default_domains 1
+
 let () =
   Alcotest.run "study"
     [
@@ -261,4 +289,9 @@ let () =
       ("cif", [ Alcotest.test_case "section III workload" `Quick test_cif_scenario ]);
       ( "validation",
         [ Alcotest.test_case "all pipelines" `Quick test_validation ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "profile invariant in pool size" `Quick
+            test_profile_deterministic_across_pool_sizes;
+        ] );
     ]
