@@ -15,11 +15,17 @@
       clock.
 
    Flags:
-     --smoke        reduced scale + tiny Bechamel quota; fast enough to
-                    run under `dune runtest`.
-     --json [PATH]  also write the per-section wall-clock times as JSON
-                    (default: BENCH_<yyyy-mm-dd>.json).
-     --domains N    resize the shared domain pool (1 = sequential). *)
+     --smoke          reduced scale + tiny Bechamel quota; fast enough to
+                      run under `dune runtest`.
+     --json [PATH]    also write the per-section wall-clock times as JSON
+                      (default: BENCH_<yyyy-mm-dd>.json), with the kernel
+                      cache statistics and pool counters embedded.
+     --domains N      resize the shared domain pool (1 = sequential).
+     --trace [PATH]   write a Chrome trace-event JSON file (default:
+                      bench_trace.json) with modelled-device tracks and
+                      host wall-clock spans.
+     --metrics [PATH] dump the metrics registry (default:
+                      bench_metrics.json; .json selects JSON). *)
 
 open Bechamel
 
@@ -325,6 +331,8 @@ type options = {
   smoke : bool;
   json : string option;  (** output path when [--json] was given *)
   domains : int;  (** 0 = machine default *)
+  trace : string option;  (** Chrome trace output when [--trace] was given *)
+  metrics : string option;  (** metrics dump when [--metrics] was given *)
 }
 
 let today () =
@@ -333,7 +341,10 @@ let today () =
     tm.Unix.tm_mday
 
 let parse_options () =
-  let opts = ref { smoke = false; json = None; domains = 0 } in
+  let opts =
+    ref
+      { smoke = false; json = None; domains = 0; trace = None; metrics = None }
+  in
   let args = Array.to_list Sys.argv in
   let rec go = function
     | [] -> ()
@@ -345,6 +356,19 @@ let parse_options () =
         go rest
     | "--json" :: rest ->
         opts := { !opts with json = Some (Printf.sprintf "BENCH_%s.json" (today ())) };
+        go rest
+    | "--trace" :: path :: rest when String.length path > 0 && path.[0] <> '-' ->
+        opts := { !opts with trace = Some path };
+        go rest
+    | "--trace" :: rest ->
+        opts := { !opts with trace = Some "bench_trace.json" };
+        go rest
+    | "--metrics" :: path :: rest
+      when String.length path > 0 && path.[0] <> '-' ->
+        opts := { !opts with metrics = Some path };
+        go rest
+    | "--metrics" :: rest ->
+        opts := { !opts with metrics = Some "bench_metrics.json" };
         go rest
     | "--domains" :: n :: rest -> (
         match int_of_string_opt n with
@@ -389,6 +413,26 @@ let write_json path ~opts ~scale ~timings =
         (if i = List.length timings - 1 then "" else ","))
     timings;
   p "  ],\n";
+  let m name = Option.value ~default:0 (Obs.Metrics.find name) in
+  p
+    "  \"cache_stats\": { \"compiles\": %d, \"compile_hits\": %d, \
+     \"cost_profiles\": %d, \"cost_hits\": %d },\n"
+    (m "gpu.compiles") (m "gpu.compile_hits") (m "gpu.cost_profiles")
+    (m "gpu.cost_hits");
+  p
+    "  \"gpu\": { \"launches\": %d, \"h2d_copies\": %d, \"h2d_bytes\": %d, \
+     \"d2h_copies\": %d, \"d2h_bytes\": %d, \"alloc_high_water_bytes\": %d },\n"
+    (m "gpu.launches") (m "gpu.h2d_copies") (m "gpu.h2d_bytes")
+    (m "gpu.d2h_copies") (m "gpu.d2h_bytes") (m "gpu.alloc_high_water_bytes");
+  p
+    "  \"pool\": { \"size\": %d, \"tasks\": %d, \"worker_tasks\": %d, \
+     \"helped_tasks\": %d, \"batches\": %d, \"queue_high_water\": %d, \
+     \"peak_parallelism\": %d },\n"
+    (Gpu.Pool.size (Gpu.Pool.get ()))
+    (m "pool.tasks") (m "pool.worker_tasks") (m "pool.helped_tasks")
+    (m "pool.batches")
+    (m "pool.queue_high_water")
+    (m "pool.peak_parallelism");
   p "  \"total_seconds\": %.3f\n"
     (List.fold_left (fun acc (_, s) -> acc +. s) 0.0 timings);
   p "}\n";
@@ -403,12 +447,13 @@ let () =
       (if opts.domains <= 1 then Gpu.Context.Sequential
        else Gpu.Context.Parallel opts.domains)
   end;
+  if opts.trace <> None then Obs.Tracer.set_enabled true;
   let scale = if opts.smoke then small else Study.Scale.paper in
   let plane = dummy_plane scale in
   let timings = ref [] in
   let timed name f =
     let t0 = Unix.gettimeofday () in
-    f ();
+    Obs.Tracer.with_span ~cat:"bench" name f;
     timings := (name, Unix.gettimeofday () -. t0) :: !timings
   in
   timed "reproduction" (reproduction ~scale);
@@ -427,4 +472,14 @@ let () =
     timings;
   Option.iter
     (fun path -> write_json path ~opts ~scale ~timings)
-    opts.json
+    opts.json;
+  Option.iter
+    (fun path ->
+      Gpu.Trace_export.write path;
+      Printf.printf "wrote %s\n" path)
+    opts.trace;
+  Option.iter
+    (fun path ->
+      Obs.Metrics.write_file path;
+      Printf.printf "wrote %s\n" path)
+    opts.metrics

@@ -1,0 +1,68 @@
+(* validate_obs -- sanity-check the artefacts of `bench --trace
+   --metrics` (run by the dune runtest smoke rule).
+
+   Checks that the trace parses as JSON and contains complete ("X")
+   events on both clock domains (a device track and a host span), and
+   that the metrics dump parses and carries the core gpu.* and pool.*
+   series. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let parse what path =
+  match Obs.Json.parse (read_file path) with
+  | Ok j -> j
+  | Error m -> fail "%s %s: invalid JSON: %s" what path m
+
+let () =
+  let trace_path, metrics_path =
+    match Sys.argv with
+    | [| _; t; m |] -> (t, m)
+    | _ -> fail "usage: validate_obs TRACE.json METRICS.json"
+  in
+  let trace = parse "trace" trace_path in
+  let events =
+    match Obs.Json.member "traceEvents" trace with
+    | Some (Obs.Json.Arr evs) -> evs
+    | _ -> fail "trace %s: no traceEvents array" trace_path
+  in
+  let cat_of e =
+    match Obs.Json.member "cat" e with Some (Obs.Json.Str c) -> c | _ -> ""
+  in
+  let complete =
+    List.filter
+      (fun e -> Obs.Json.member "ph" e = Some (Obs.Json.Str "X"))
+      events
+  in
+  let device = List.filter (fun e -> cat_of e = "device") complete in
+  let host = List.filter (fun e -> cat_of e <> "device") complete in
+  if device = [] then fail "trace %s: no modelled-device events" trace_path;
+  if host = [] then fail "trace %s: no host wall-clock spans" trace_path;
+  let metrics = parse "metrics" metrics_path in
+  let series =
+    match Obs.Json.member "metrics" metrics with
+    | Some obj -> obj
+    | None -> fail "metrics %s: no metrics object" metrics_path
+  in
+  let get name =
+    match Obs.Json.member name series with
+    | Some (Obs.Json.Num v) -> int_of_float v
+    | _ -> fail "metrics %s: missing series %s" metrics_path name
+  in
+  if get "gpu.launches" <= 0 then
+    fail "metrics %s: no kernel launches recorded" metrics_path;
+  List.iter
+    (fun name -> ignore (get name))
+    [
+      "gpu.compiles"; "gpu.compile_hits"; "gpu.cost_profiles"; "gpu.cost_hits";
+      "gpu.h2d_bytes"; "gpu.d2h_bytes"; "gpu.alloc_high_water_bytes";
+      "pool.tasks"; "pool.batches"; "pool.size";
+    ];
+  Printf.printf
+    "observability artefacts ok: %d device events, %d host spans, %d launches\n"
+    (List.length device) (List.length host) (get "gpu.launches")

@@ -75,12 +75,13 @@ let apply_domains n =
       (if n <= 1 then Gpu.Context.Sequential else Gpu.Context.Parallel n)
   end
 
-let main rows cols frames pipeline out_dir domains =
+let main rows cols frames pipeline out_dir domains trace metrics =
   if cols mod 8 <> 0 || rows mod 9 <> 0 then begin
     Printf.eprintf "rows must be a multiple of 9 and cols of 8\n";
     exit 2
   end;
   apply_domains domains;
+  if trace <> None then Obs.Tracer.set_enabled true;
   let fmt = { Video.Format.name = "synthetic"; rows; cols } in
   let run =
     match pipeline with
@@ -130,6 +131,9 @@ let main rows cols frames pipeline out_dir domains =
       print_string
         (Gpu.Profiler.to_string ~title:"\nDevice profile:"
            (Gpu.Profiler.rows timeline)));
+  Gpu.Trace_export.register ~name:"downscale (merged frames)" timeline;
+  Option.iter Gpu.Trace_export.write trace;
+  Option.iter Obs.Metrics.write_file metrics;
   0
 
 let () =
@@ -156,8 +160,28 @@ let () =
             "OCaml domains for frame-level parallelism (1 forces a \
              sequential run; 0 keeps the machine default).")
   in
+  let trace =
+    Arg.(
+      value
+      & opt ~vopt:(Some "trace.json") (some string) None
+      & info [ "trace" ] ~docv:"PATH"
+          ~doc:
+            "Write a Chrome trace-event JSON file (Perfetto-loadable) \
+             with the merged device timeline and host spans.")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt ~vopt:(Some "metrics.txt") (some string) None
+      & info [ "metrics" ] ~docv:"PATH"
+          ~doc:
+            "Dump the metrics registry to $(docv) (JSON when the path \
+             ends in .json).")
+  in
   let term =
-    Term.(const main $ rows $ cols $ frames $ pipeline $ out $ domains)
+    Term.(
+      const main $ rows $ cols $ frames $ pipeline $ out $ domains $ trace
+      $ metrics)
   in
   exit
     (Cmd.eval'

@@ -6,7 +6,13 @@
 
 open Cmdliner
 
-let main rows cols out_dir show_model load save_model =
+let main rows cols out_dir show_model load save_model trace metrics =
+  if trace <> None then Obs.Tracer.set_enabled true;
+  let finish code =
+    Option.iter Gpu.Trace_export.write trace;
+    Option.iter Obs.Metrics.write_file metrics;
+    code
+  in
   let model =
     match load with
     | Some path -> Mde.Marte.allocate_data_parallel (Mde.Model_io.load path)
@@ -21,7 +27,7 @@ let main rows cols out_dir show_model load save_model =
   match Mde.Chain.transform model with
   | Error m ->
       Printf.eprintf "transformation chain failed: %s\n" m;
-      1
+      finish 1
   | Ok (gen, trace) ->
       List.iter
         (fun (t : Mde.Chain.trace) ->
@@ -45,7 +51,7 @@ let main rows cols out_dir show_model load save_model =
           write "downscaler.cl" gen.Mde.Codegen.cl_source;
           write "downscaler.cpp" gen.Mde.Codegen.host_source;
           write "Makefile" gen.Mde.Codegen.makefile);
-      0
+      finish 0
 
 let () =
   let rows = Arg.(value & opt int 1080 & info [ "rows" ]) in
@@ -71,8 +77,28 @@ let () =
       & opt (some string) None
       & info [ "save-model" ] ~doc:"Serialise the model before running.")
   in
+  let trace =
+    Arg.(
+      value
+      & opt ~vopt:(Some "trace.json") (some string) None
+      & info [ "trace" ] ~docv:"PATH"
+          ~doc:
+            "Write a Chrome trace-event JSON file with host spans for \
+             each transformation pass.")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt ~vopt:(Some "metrics.txt") (some string) None
+      & info [ "metrics" ] ~docv:"PATH"
+          ~doc:
+            "Dump the metrics registry to $(docv) (JSON when the path \
+             ends in .json).")
+  in
   let term =
-    Term.(const main $ rows $ cols $ out $ show_model $ load $ save_model)
+    Term.(
+      const main $ rows $ cols $ out $ show_model $ load $ save_model $ trace
+      $ metrics)
   in
   exit
     (Cmd.eval'

@@ -41,6 +41,36 @@ let domains_arg =
            parallelism and for functional kernel execution (1 forces \
            fully sequential runs; 0 keeps the machine default).")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "trace.json") (some string) None
+    & info [ "trace" ] ~docv:"PATH"
+        ~doc:
+          "Write a Chrome trace-event JSON file (load it at \
+           https://ui.perfetto.dev) to $(docv): modelled-device track \
+           groups plus host wall-clock spans, one track per domain.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "metrics.txt") (some string) None
+    & info [ "metrics" ] ~docv:"PATH"
+        ~doc:
+          "Dump the metrics registry (cache hit rates, pool counters, \
+           transfer volumes) to $(docv); a .json suffix selects JSON \
+           rendering instead of text.")
+
+(* Tracing must be enabled before any instrumented work runs; artefacts
+   are written after, even if the run fails part-way. *)
+let with_obs ~trace ~metrics f =
+  if trace <> None then Obs.Tracer.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter Gpu.Trace_export.write trace;
+      Option.iter Obs.Metrics.write_file metrics)
+    f
+
 let run_fig2 scale =
   let open Study.Scale in
   Printf.printf
@@ -123,18 +153,22 @@ let run_all scale =
   print_newline ();
   run_validate ()
 
-let with_domains f domains scale =
+let with_domains f domains trace metrics scale =
   apply_domains domains;
-  f scale
+  with_obs ~trace ~metrics (fun () -> f scale)
 
 let cmd_of name doc f =
   Cmd.v (Cmd.info name ~doc)
-    Term.(const (with_domains f) $ domains_arg $ scale_args)
+    Term.(
+      const (with_domains f) $ domains_arg $ trace_arg $ metrics_arg
+      $ scale_args)
 
 let () =
   let doc = "Reproduce the evaluation of the SAC/ArrayOL GPU study" in
   let default =
-    Term.(const (with_domains run_all) $ domains_arg $ scale_args)
+    Term.(
+      const (with_domains run_all) $ domains_arg $ trace_arg $ metrics_arg
+      $ scale_args)
   in
   let cmd =
     Cmd.group ~default (Cmd.info "repro" ~doc)
@@ -151,8 +185,10 @@ let () =
         Cmd.v
           (Cmd.info "validate" ~doc:"Cross-pipeline functional validation")
           Term.(
-            const (fun n () -> apply_domains n; run_validate ())
-            $ domains_arg $ const ());
+            const (fun n trace metrics () ->
+                apply_domains n;
+                with_obs ~trace ~metrics run_validate)
+            $ domains_arg $ trace_arg $ metrics_arg $ const ());
       ]
   in
   exit (Cmd.eval cmd)

@@ -27,7 +27,12 @@ let builtin_source name rows cols =
       Some (Sac.Programs.vertical ~generic:true ~rows ~cols)
   | _ -> None
 
-let main input builtin from_model generic rows cols emit entry =
+let main input builtin from_model generic rows cols emit entry trace metrics =
+  if trace <> None then Obs.Tracer.set_enabled true;
+  Fun.protect ~finally:(fun () ->
+      Option.iter Gpu.Trace_export.write trace;
+      Option.iter Obs.Metrics.write_file metrics)
+  @@ fun () ->
   try
     let source =
       match (input, builtin, from_model) with
@@ -91,6 +96,8 @@ let main input builtin from_model generic rows cols emit entry =
           outcome.Sac_cuda.Exec.kernel_launches
           (Ndarray.Shape.to_string
              (Ndarray.Tensor.shape outcome.Sac_cuda.Exec.result));
+        Gpu.Trace_export.register ~name:"sacc run"
+          (Gpu.Context.timeline (Cuda.Runtime.context rt));
         print_string
           (Gpu.Profiler.to_string ~title:"Simulated device profile:"
              (Cuda.Runtime.profile rt)));
@@ -149,10 +156,28 @@ let () =
           ~doc:"What to produce: ast, optimized, plan, cuda, opencl, run.")
   in
   let entry = Arg.(value & opt string "main" & info [ "entry" ]) in
+  let trace =
+    Arg.(
+      value
+      & opt ~vopt:(Some "trace.json") (some string) None
+      & info [ "trace" ] ~docv:"PATH"
+          ~doc:
+            "Write a Chrome trace-event JSON file with compilation and \
+             (for --emit run) device-timeline tracks.")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt ~vopt:(Some "metrics.txt") (some string) None
+      & info [ "metrics" ] ~docv:"PATH"
+          ~doc:
+            "Dump the metrics registry to $(docv) (JSON when the path \
+             ends in .json).")
+  in
   let term =
     Term.(
       const main $ input $ builtin $ from_model $ generic $ rows $ cols
-      $ emit $ entry)
+      $ emit $ entry $ trace $ metrics)
   in
   let info =
     Cmd.info "sacc" ~doc:"SAC to CUDA compiler (simulated device)"

@@ -34,6 +34,33 @@ exception Out_of_memory of string
 
 let no_stats = { compiles = 0; compile_hits = 0; cost_profiles = 0; cost_hits = 0 }
 
+(* Process-wide mirrors of the per-context counters, plus traffic and
+   allocation metrics.  Atomic increments only: collection stays on at
+   near-zero cost and [--metrics] just renders the registry. *)
+let m_launches = Obs.Metrics.counter "gpu.launches"
+
+let m_kernel_us = Obs.Metrics.histogram "gpu.kernel_us"
+
+let m_compiles = Obs.Metrics.counter "gpu.compiles"
+
+let m_compile_hits = Obs.Metrics.counter "gpu.compile_hits"
+
+let m_cost_profiles = Obs.Metrics.counter "gpu.cost_profiles"
+
+let m_cost_hits = Obs.Metrics.counter "gpu.cost_hits"
+
+let m_h2d_copies = Obs.Metrics.counter "gpu.h2d_copies"
+
+let m_h2d_bytes = Obs.Metrics.counter "gpu.h2d_bytes"
+
+let m_d2h_copies = Obs.Metrics.counter "gpu.d2h_copies"
+
+let m_d2h_bytes = Obs.Metrics.counter "gpu.d2h_bytes"
+
+let m_alloc_bytes = Obs.Metrics.counter "gpu.alloc_bytes"
+
+let m_alloc_high_water = Obs.Metrics.gauge "gpu.alloc_high_water_bytes"
+
 (* The mode new contexts start in when [create] gets no explicit
    [?mode]; the CLI --domains flag raises it to [Parallel n] so every
    functional execution in the process lands on the domain pool. *)
@@ -79,6 +106,8 @@ let alloc t ~name len =
   let buf = { Buffer.id = t.next_id; name; data = Array.make len 0 } in
   t.next_id <- t.next_id + 1;
   t.allocated <- t.allocated + bytes;
+  Obs.Metrics.add m_alloc_bytes bytes;
+  Obs.Metrics.set_max m_alloc_high_water t.allocated;
   Hashtbl.add t.live buf.Buffer.id buf;
   buf
 
@@ -90,12 +119,20 @@ let free t (buf : Buffer.t) =
 
 let copy_event t kind label detail bytes =
   let dir = match kind with Timeline.Memcpy_h2d -> `H2d | _ -> `D2h in
+  (match dir with
+  | `H2d ->
+      Obs.Metrics.incr m_h2d_copies;
+      Obs.Metrics.add m_h2d_bytes bytes
+  | `D2h ->
+      Obs.Metrics.incr m_d2h_copies;
+      Obs.Metrics.add m_d2h_bytes bytes);
   Timeline.record t.timeline
     {
       Timeline.label;
       detail;
       kind;
       us = Perf_model.memcpy_time_us t.spec ~bytes ~dir;
+      start_us = 0.0;
       bytes;
       threads = 0;
     }
@@ -120,11 +157,15 @@ let prepared_of t kernel =
   match Hashtbl.find_opt t.prepared kernel with
   | Some p ->
       t.stats <- { t.stats with compile_hits = t.stats.compile_hits + 1 };
+      Obs.Metrics.incr m_compile_hits;
       p
   | None ->
+      let t0 = Obs.Tracer.start () in
       let p = Kir.shared_prepare kernel in
+      Obs.Tracer.finish ~cat:"gpu" "kernel.prepare" t0;
       Hashtbl.add t.prepared kernel p;
       t.stats <- { t.stats with compiles = t.stats.compiles + 1 };
+      Obs.Metrics.incr m_compiles;
       p
 
 let global_costs_lock = Mutex.create ()
@@ -146,14 +187,21 @@ let cost_key_of kernel ~grid ~args =
         args;
   }
 
+let profile_with_span kernel ~args ~grid =
+  let t0 = Obs.Tracer.start () in
+  let c = Kir.profile_threads kernel ~args ~grid in
+  Obs.Tracer.finish ~cat:"gpu" "kernel.cost_profile" t0;
+  c
+
 let cost_of t kernel ~grid ~args =
   if not (Kir.cost_data_independent kernel) then
-    Kir.profile_threads kernel ~args ~grid
+    profile_with_span kernel ~args ~grid
   else begin
     let key = cost_key_of kernel ~grid ~args in
     match Hashtbl.find_opt t.costs key with
     | Some c ->
         t.stats <- { t.stats with cost_hits = t.stats.cost_hits + 1 };
+        Obs.Metrics.incr m_cost_hits;
         c
     | None ->
         let c =
@@ -166,7 +214,7 @@ let cost_of t kernel ~grid ~args =
               (* Profiled outside the lock: profiling is pure for
                  data-independent kernels, so a racing duplicate just
                  recomputes the same value. *)
-              let c = Kir.profile_threads kernel ~args ~grid in
+              let c = profile_with_span kernel ~args ~grid in
               Mutex.lock global_costs_lock;
               if not (Hashtbl.mem global_costs key) then
                 Hashtbl.add global_costs key c;
@@ -175,6 +223,7 @@ let cost_of t kernel ~grid ~args =
         in
         Hashtbl.add t.costs key c;
         t.stats <- { t.stats with cost_profiles = t.stats.cost_profiles + 1 };
+        Obs.Metrics.incr m_cost_profiles;
         c
   end
 
@@ -186,11 +235,13 @@ let launch ?label ?(split = 1) t kernel ~grid ~args =
          kernel.Kir.kname (Ndarray.Shape.rank grid) kernel.Kir.grid_rank);
   let threads = Ndarray.Shape.size grid in
   let cost = cost_of t kernel ~grid ~args in
+  let t0 = Obs.Tracer.start () in
   (match t.mode with
   | Sequential -> Kir.run_grid (Kir.bind (prepared_of t kernel) ~args) grid
   | Parallel domains ->
       Kir.run_grid ~domains (Kir.bind (prepared_of t kernel) ~args) grid
   | Timing_only -> ());
+  Obs.Tracer.finish ~cat:"gpu" label t0;
   let us = Perf_model.kernel_time_us t.spec ~threads ~cost ~split in
   let bytes =
     int_of_float
@@ -198,10 +249,14 @@ let launch ?label ?(split = 1) t kernel ~grid ~args =
       *. (cost.Kir.reads_per_thread +. cost.Kir.writes_per_thread)
       *. 4.0)
   in
+  Obs.Metrics.incr m_launches;
+  Obs.Metrics.observe m_kernel_us (int_of_float us);
   Timeline.record t.timeline
     { Timeline.label; detail = kernel.Kir.kname; kind = Timeline.Kernel; us;
-      bytes; threads }
+      start_us = 0.0; bytes; threads }
 
 let elapsed_us t = Timeline.total_us t.timeline
 
-let reset t = Timeline.clear t.timeline
+let reset t =
+  Timeline.clear t.timeline;
+  t.stats <- no_stats

@@ -79,4 +79,6 @@ val elapsed_us : t -> float
 (** Total modelled time accumulated on the timeline. *)
 
 val reset : t -> unit
-(** Clear the timeline (buffers survive). *)
+(** Clear the timeline and the cache statistics (buffers and the
+    kernel caches themselves survive, so a reset context keeps serving
+    compile/cost hits). *)

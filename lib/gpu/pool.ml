@@ -8,6 +8,36 @@ type t = {
 
 let size t = 1 + List.length t.workers
 
+(* Pool observability.  Counters are process-wide (they survive pool
+   reconfiguration via [set_default_domains]); the busy gauge tracks
+   peak task parallelism across workers and helping callers. *)
+let m_tasks = Obs.Metrics.counter "pool.tasks"
+
+let m_worker_tasks = Obs.Metrics.counter "pool.worker_tasks"
+
+let m_helped_tasks = Obs.Metrics.counter "pool.helped_tasks"
+
+let m_batches = Obs.Metrics.counter "pool.batches"
+
+let m_queue_high_water = Obs.Metrics.gauge "pool.queue_high_water"
+
+let m_size = Obs.Metrics.gauge "pool.size"
+
+let m_peak_parallelism = Obs.Metrics.gauge "pool.peak_parallelism"
+
+let busy = Atomic.make 0
+
+let run_task counter task =
+  Obs.Metrics.incr counter;
+  let n = 1 + Atomic.fetch_and_add busy 1 in
+  Obs.Metrics.set_max m_peak_parallelism n;
+  let t0 = Obs.Tracer.start () in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Tracer.finish ~cat:"pool" "pool.task" t0;
+      ignore (Atomic.fetch_and_add busy (-1)))
+    task
+
 (* Each batch of submitted tasks carries its own completion latch so
    unrelated batches can share the queue. *)
 type batch = {
@@ -35,7 +65,7 @@ let worker t () =
     match task with
     | None -> ()
     | Some task ->
-        task ();
+        run_task m_worker_tasks task;
         loop ()
   in
   loop ()
@@ -56,6 +86,7 @@ let create ?workers () =
     }
   in
   t.workers <- List.init workers (fun _ -> Domain.spawn (worker t));
+  Obs.Metrics.set m_size (size t);
   t
 
 let shutdown t =
@@ -81,8 +112,11 @@ let submit t batch f =
   in
   Mutex.lock t.lock;
   Queue.add task t.queue;
+  let depth = Queue.length t.queue in
   Condition.signal t.nonempty;
-  Mutex.unlock t.lock
+  Mutex.unlock t.lock;
+  Obs.Metrics.incr m_tasks;
+  Obs.Metrics.set_max m_queue_high_water depth
 
 (* Wait for [batch], executing queued tasks (ours or anyone's) while
    there are any: the caller only sleeps once the queue is empty, at
@@ -95,7 +129,7 @@ let finish t batch =
     Mutex.unlock t.lock;
     match task with
     | Some task ->
-        task ();
+        run_task m_helped_tasks task;
         help ()
     | None ->
         Mutex.lock batch.b_lock;
@@ -121,6 +155,7 @@ let run_batch t fs =
           failure = None;
         }
       in
+      Obs.Metrics.incr m_batches;
       List.iter (fun f -> submit t batch f) fs;
       finish t batch
 

@@ -14,7 +14,13 @@
 
     Results are deterministic whenever tasks write to disjoint state:
     the pool affects only {e when} tasks run, never what they compute,
-    and all combinators preserve submission order in their results. *)
+    and all combinators preserve submission order in their results.
+
+    Observability: the pool feeds the [pool.*] metrics in
+    {!Obs.Metrics} (tasks split into worker- and caller-executed,
+    batches, queue high-water, configured size, peak task parallelism)
+    and emits a ["pool.task"] span per executed task when the
+    {!Obs.Tracer} is enabled. *)
 
 type t
 

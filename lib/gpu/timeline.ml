@@ -5,25 +5,33 @@ type event = {
   detail : string;
   kind : kind;
   us : float;
+  start_us : float;
   bytes : int;
   threads : int;
 }
 
-type t = { mutable rev_events : event list; mutable n : int }
+type t = {
+  mutable rev_events : event list;
+  mutable n : int;
+  mutable clock : float;  (* modelled time accumulated so far = next start *)
+}
 
-let create () = { rev_events = []; n = 0 }
+let create () = { rev_events = []; n = 0; clock = 0.0 }
 
 let record t e =
+  let e = { e with start_us = t.clock } in
   t.rev_events <- e :: t.rev_events;
-  t.n <- t.n + 1
+  t.n <- t.n + 1;
+  t.clock <- t.clock +. e.us
 
 let events t = List.rev t.rev_events
 
 let clear t =
   t.rev_events <- [];
-  t.n <- 0
+  t.n <- 0;
+  t.clock <- 0.0
 
-let total_us t = List.fold_left (fun acc e -> acc +. e.us) 0.0 t.rev_events
+let total_us t = t.clock
 
 let count t = t.n
 

@@ -1,0 +1,66 @@
+(* Bridge from modelled-device timelines to the Chrome trace exporter.
+
+   Drivers register the timelines worth seeing (one per study run /
+   CLI invocation) under a stable group name; [write] renders them
+   together with whatever host spans the tracer collected.  The
+   registry only fills up when tracing is enabled, so the disabled
+   path costs one atomic load per registration attempt. *)
+
+let lock = Mutex.create ()
+
+let groups : (string * Timeline.t) list ref = ref []
+
+let register ~name timeline =
+  if Obs.Tracer.enabled () then begin
+    Mutex.lock lock;
+    if List.mem_assoc name !groups then
+      groups :=
+        List.map
+          (fun (n, tl) -> if n = name then (n, timeline) else (n, tl))
+          !groups
+    else groups := !groups @ [ (name, timeline) ];
+    Mutex.unlock lock
+  end
+
+let clear () =
+  Mutex.lock lock;
+  groups := [];
+  Mutex.unlock lock
+
+let track_of = function
+  | Timeline.Kernel -> "kernels"
+  | Timeline.Memcpy_h2d -> "h2d"
+  | Timeline.Memcpy_d2h -> "d2h"
+
+let device_events_of timeline =
+  List.map
+    (fun (e : Timeline.event) ->
+      {
+        Obs.Trace.de_track = track_of e.kind;
+        de_name = e.label;
+        de_cat = "device";
+        de_ts_us = e.start_us;
+        de_dur_us = e.us;
+        de_args =
+          (("detail", Obs.Trace.S e.detail) :: ("bytes", Obs.Trace.I e.bytes)
+          ::
+          (if e.kind = Timeline.Kernel then [ ("threads", Obs.Trace.I e.threads) ]
+           else []));
+      })
+    (Timeline.events timeline)
+
+let device_groups () =
+  Mutex.lock lock;
+  let gs = !groups in
+  Mutex.unlock lock;
+  List.map (fun (name, tl) -> (name, device_events_of tl)) gs
+
+let render () =
+  Obs.Trace.render ~device:(device_groups ()) ~spans:(Obs.Tracer.dump ()) ()
+
+let device_only_json () = Obs.Trace.render ~device:(device_groups ()) ()
+
+let write path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (render ()))

@@ -7,7 +7,10 @@ let transform model =
   let trace = ref [] in
   let record pass detail = trace := { pass; detail } :: !trace in
   let* () =
-    match Arrayol.Validate.check model.Marte.application with
+    match
+      Obs.Tracer.with_span ~cat:"mde" "mde.validate" (fun () ->
+          Arrayol.Validate.check model.Marte.application)
+    with
     | [] ->
         record "uml2marte: application validation" "ok";
         Ok ()
@@ -20,18 +23,27 @@ let transform model =
                    i.Arrayol.Validate.where ^ ": " ^ i.Arrayol.Validate.what)
                  issues))
   in
-  let model = Marte.allocate_data_parallel model in
+  let model =
+    Obs.Tracer.with_span ~cat:"mde" "mde.allocate" (fun () ->
+        Marte.allocate_data_parallel model)
+  in
   record "marte2deployed: allocation"
     (Printf.sprintf "%d parts allocated" (List.length model.Marte.allocations));
   let* schedule =
-    try Ok (Arrayol.Schedule.compute model.Marte.application)
+    try
+      Ok
+        (Obs.Tracer.with_span ~cat:"mde" "mde.schedule" (fun () ->
+             Arrayol.Schedule.compute model.Marte.application))
     with Invalid_argument m -> Error m
   in
   record "deployed2scheduled: scheduling"
     (Printf.sprintf "%d levels, parallelism %d" (List.length schedule)
        (Arrayol.Schedule.total_parallelism schedule));
   let* generated =
-    try Ok (Codegen.generate model)
+    try
+      Ok
+        (Obs.Tracer.with_span ~cat:"mde" "mde.codegen" (fun () ->
+             Codegen.generate model))
     with Codegen.Codegen_error m -> Error m
   in
   record "scheduled2opencl: code generation"
@@ -51,6 +63,7 @@ let fail fmt = Format.kasprintf (fun m -> raise (Run_error m)) fmt
 
 let run ?(label_of = fun task_name -> task_name) ctx
     (gen : Codegen.generated) ~inputs =
+  Obs.Tracer.with_span ~cat:"mde" "mde.run" @@ fun () ->
   let queue = Opencl.Runtime.create_command_queue ctx in
   let program =
     Opencl.Runtime.create_program_with_source ctx

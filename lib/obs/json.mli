@@ -1,0 +1,24 @@
+(** Minimal JSON support for the observability layer.
+
+    The exporters print JSON directly into buffers (via {!escape});
+    {!parse} is a validating reader used by the tests and the bench
+    smoke rule to check that the written artefacts are well-formed,
+    without pulling in an external JSON dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** [escape s] is [s] as a quoted JSON string literal. *)
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document.  [\u] escapes above ASCII are
+    replaced by ['?'] (the exporters never emit them). *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on other constructors. *)

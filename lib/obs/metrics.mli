@@ -1,0 +1,61 @@
+(** Process-wide metrics registry: counters, gauges and histograms.
+
+    Instrumentation sites create their metrics once (module
+    initialisation) and update them with lock-free atomic arithmetic,
+    so collection is always on and costs a few machine instructions per
+    event — no allocation, no locks.  Rendering (text or JSON) is the
+    only operation that walks the registry, and its output is sorted by
+    metric name so repeated runs diff cleanly. *)
+
+type counter
+
+type gauge
+
+type histogram
+
+val counter : string -> counter
+(** Get or create the counter [name].  Raises [Invalid_argument] if
+    [name] is already registered as a different metric type. *)
+
+val add : counter -> int -> unit
+
+val incr : counter -> unit
+
+val value : counter -> int
+
+val gauge : string -> gauge
+
+val set : gauge -> int -> unit
+
+val set_max : gauge -> int -> unit
+(** Monotone update: keep the maximum of the current value and [v]
+    (high-water marks). *)
+
+val gauge_value : gauge -> int
+
+val default_bounds : int array
+(** [10; 100; 1k; 10k; 100k; 1M] — microsecond/byte friendly. *)
+
+val histogram : ?bounds:int array -> string -> histogram
+(** Get or create a histogram with ascending integer bucket upper
+    bounds (plus an implicit overflow bucket). *)
+
+val observe : histogram -> int -> unit
+
+val find : string -> int option
+(** Value of a registered counter or gauge (count for a histogram) by
+    name; [None] when unregistered. *)
+
+val render_text : unit -> string
+(** One [name value] line per metric; histograms expand to
+    [.count]/[.sum]/[.le.<bound>] lines. *)
+
+val render_json : unit -> string
+
+val write_file : string -> unit
+(** Render to a file: JSON when the path ends in [.json], text
+    otherwise. *)
+
+val reset : unit -> unit
+(** Zero every registered metric (registrations survive).  Used between
+    back-to-back experiments and by tests. *)

@@ -27,6 +27,7 @@ type device_ops = {
 
 let run_with ?(host_mode = `Execute) ?plane_tag (ops : device_ops)
     (plan : Plan.t) ~args =
+  Obs.Tracer.with_span ~cat:"sac" "sac.exec_plan" @@ fun () ->
   let tag_kernel (k : Gpu.Kir.t) =
     match plane_tag with
     | None -> k
@@ -167,6 +168,7 @@ let run_with ?(host_mode = `Execute) ?plane_tag (ops : device_ops)
             }
           in
           let counts =
+            Obs.Tracer.with_span ~cat:"sac" "sac.host_block" @@ fun () ->
             match host_mode with
             | `Estimate -> (
                 match Host_cost.sampled_counts env stmts with

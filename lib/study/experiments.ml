@@ -7,6 +7,7 @@ type fig9_row = {
 }
 
 let fig9 ?(scale = Scale.paper) () =
+  Obs.Tracer.with_span ~cat:"study" "study.fig9" @@ fun () ->
   let variants =
     [
       Sac_runs.Seq_generic;
@@ -37,10 +38,13 @@ let fig9 ?(scale = Scale.paper) () =
   in
   rows variants times
 
-let table1 ?(scale = Scale.paper) () = Gaspard_runs.profile scale
+let table1 ?(scale = Scale.paper) () =
+  Obs.Tracer.with_span ~cat:"study" "study.table1" (fun () ->
+      Gaspard_runs.profile scale)
 
 let table2 ?(scale = Scale.paper) () =
-  fst (Sac_runs.full_pipeline_profile ~generic:false scale)
+  Obs.Tracer.with_span ~cat:"study" "study.table2" (fun () ->
+      fst (Sac_runs.full_pipeline_profile ~generic:false scale))
 
 type fig12_row = {
   operation : string;
@@ -60,6 +64,7 @@ let row_time rows prefix =
     0.0 rows
 
 let fig12 ?(scale = Scale.paper) () =
+  Obs.Tracer.with_span ~cat:"study" "study.fig12" @@ fun () ->
   let sac = table2 ~scale () in
   let gaspard = table1 ~scale () in
   List.map
@@ -77,6 +82,7 @@ let fig12 ?(scale = Scale.paper) () =
     ]
 
 let fig8 ?(scale = Scale.paper) () =
+  Obs.Tracer.with_span ~cat:"study" "study.fig8" @@ fun () ->
   let src =
     Sac.Programs.horizontal ~generic:false ~rows:scale.Scale.rows
       ~cols:scale.Scale.cols
@@ -134,6 +140,7 @@ type claims = {
 }
 
 let claims ?(scale = Scale.paper) () =
+  Obs.Tracer.with_span ~cat:"study" "study.claims" @@ fun () ->
   let sac_rows = table2 ~scale () in
   let gaspard_rows = table1 ~scale () in
   let sac_total_s = Gpu.Profiler.total_us sac_rows /. 1e6 in
@@ -194,6 +201,7 @@ type scenario = {
 }
 
 let cif_scenario () =
+  Obs.Tracer.with_span ~cat:"study" "study.cif_scenario" @@ fun () ->
   let scale = { Scale.rows = 288; cols = 352; frames = 2000 } in
   let gaspard_s = Gaspard_runs.total_us scale /. 1e6 in
   let sac_s =
@@ -216,6 +224,7 @@ let cif_scenario () =
 type validation = { name : string; ok : bool }
 
 let validate ?(scale = Scale.validation) () =
+  Obs.Tracer.with_span ~cat:"study" "study.validate" @@ fun () ->
   let rows = scale.Scale.rows and cols = scale.Scale.cols in
   let fmt = { Video.Format.name = "validation"; rows; cols } in
   let frame = Video.Framegen.frame fmt 0 in

@@ -50,6 +50,9 @@ let run_once (s : Scale.t) =
 let profile s =
   let timeline = run_once s in
   Gpu.Timeline.replay timeline ~times:s.Scale.frames;
+  Gpu.Trace_export.register
+    ~name:(Printf.sprintf "gaspard-opencl %dx%d" s.Scale.rows s.Scale.cols)
+    timeline;
   Gpu.Profiler.rows timeline
 
 let filter_us s which =

@@ -174,4 +174,10 @@ let full_pipeline_profile ~generic (s : Scale.t) =
   List.iter (fun (tl, _) -> Gpu.Timeline.append timeline tl) per_plane;
   let host = List.fold_left (fun acc (_, h) -> acc +. h) 0.0 per_plane in
   Gpu.Timeline.replay timeline ~times:s.Scale.frames;
+  Gpu.Trace_export.register
+    ~name:
+      (Printf.sprintf "sac-cuda %s %dx%d"
+         (if generic then "generic" else "non-generic")
+         s.Scale.rows s.Scale.cols)
+    timeline;
   (Gpu.Profiler.rows timeline, host *. float_of_int s.Scale.frames)

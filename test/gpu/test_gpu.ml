@@ -56,6 +56,20 @@ let col_walk ~w ~stride =
 
 let ctx () = Context.create Device.gtx480
 
+let launch_vadd c n (a, b, out) =
+  Context.launch c vadd ~grid:[| n |]
+    ~args:
+      [ ("a", Kir.Buffer_arg a); ("b", Kir.Buffer_arg b);
+        ("out", Kir.Buffer_arg out) ]
+
+let vadd_buffers c n =
+  let a = Context.alloc c ~name:"a" n in
+  let b = Context.alloc c ~name:"b" n in
+  let out = Context.alloc c ~name:"out" n in
+  Context.h2d c a (Array.init n (fun i -> i mod 19));
+  Context.h2d c b (Array.init n (fun i -> i mod 23));
+  (a, b, out)
+
 (* ---------- Kir validation ---------- *)
 
 let ok_or_fail = function
@@ -442,16 +456,86 @@ let test_timeline_replay () =
   let t = Timeline.create () in
   Timeline.record t
     { Timeline.label = "k"; detail = "k"; kind = Timeline.Kernel; us = 5.0;
-      bytes = 0; threads = 1 };
+      start_us = 0.0; bytes = 0; threads = 1 };
   Timeline.replay t ~times:300;
   Alcotest.(check int) "300 events" 300 (Timeline.count t);
   Alcotest.(check (float 0.001)) "300x time" 1500.0 (Timeline.total_us t)
+
+let test_timeline_start_offsets () =
+  let t = Timeline.create () in
+  let ev us =
+    { Timeline.label = "k"; detail = "k"; kind = Timeline.Kernel; us;
+      (* deliberately bogus: record must overwrite it *)
+      start_us = 99.0; bytes = 0; threads = 1 }
+  in
+  List.iter (Timeline.record t) [ ev 5.0; ev 10.0; ev 2.0 ];
+  Alcotest.(check (list (float 1e-9))) "serial starts" [ 0.0; 5.0; 15.0 ]
+    (List.map (fun (e : Timeline.event) -> e.Timeline.start_us)
+       (Timeline.events t));
+  Alcotest.(check (float 1e-9)) "clock = last start + dur" 17.0
+    (Timeline.total_us t);
+  (* append re-assigns offsets on the destination's clock. *)
+  let src = Timeline.create () in
+  Timeline.record src (ev 4.0);
+  Timeline.append t src;
+  Alcotest.(check (float 1e-9)) "appended start" 17.0
+    ((List.nth (Timeline.events t) 3).Timeline.start_us);
+  (* replay continues the clock rather than restarting it. *)
+  Timeline.replay t ~times:2;
+  Alcotest.(check int) "8 events" 8 (Timeline.count t);
+  Alcotest.(check (float 1e-9)) "replayed first start" 21.0
+    ((List.nth (Timeline.events t) 4).Timeline.start_us);
+  Alcotest.(check (float 1e-9)) "total doubled" 42.0 (Timeline.total_us t)
+
+let test_trace_export_device_tracks () =
+  Obs.Tracer.set_enabled true;
+  Trace_export.clear ();
+  let c = ctx () in
+  let n = 32 in
+  let bufs = vadd_buffers c n in
+  launch_vadd c n bufs;
+  launch_vadd c n bufs;
+  let _, _, out = bufs in
+  Context.d2h c out (Array.make n 0);
+  Trace_export.register ~name:"test device" (Context.timeline c);
+  let doc = Trace_export.device_only_json () in
+  let count = Timeline.count (Context.timeline c) in
+  Obs.Tracer.set_enabled false;
+  Trace_export.clear ();
+  Alcotest.(check int) "one slice per timeline event" count
+    (List.length (Trace_export.device_events_of (Context.timeline c)));
+  match Obs.Json.parse doc with
+  | Error m -> Alcotest.failf "trace is not valid JSON: %s" m
+  | Ok j -> (
+      match Obs.Json.member "traceEvents" j with
+      | Some (Obs.Json.Arr evs) ->
+          Alcotest.(check int) "device slices in the document" count
+            (List.length
+               (List.filter
+                  (fun e ->
+                    Obs.Json.member "ph" e = Some (Obs.Json.Str "X"))
+                  evs))
+      | _ -> Alcotest.fail "no traceEvents array")
+
+let test_trace_export_mode_independent () =
+  (* The modelled event stream (and hence the exported device track) is
+     identical whether kernels execute sequentially or on domains. *)
+  let run mode =
+    let c = Context.create ~mode Device.gtx480 in
+    let n = 128 in
+    let bufs = vadd_buffers c n in
+    launch_vadd c n bufs;
+    launch_vadd c n bufs;
+    Trace_export.device_events_of (Context.timeline c)
+  in
+  Alcotest.(check bool) "sequential = parallel device slices" true
+    (run Context.Sequential = run (Context.Parallel 4))
 
 let test_profiler_grouping () =
   let t = Timeline.create () in
   let kernel name =
     { Timeline.label = "H. Filter"; detail = name; kind = Timeline.Kernel;
-      us = 10.0; bytes = 0; threads = 1 }
+      us = 10.0; start_us = 0.0; bytes = 0; threads = 1 }
   in
   (* 2 distinct kernels launched 3 rounds = 6 events, #calls must be 3. *)
   for _ = 1 to 3 do
@@ -460,7 +544,8 @@ let test_profiler_grouping () =
   done;
   Timeline.record t
     { Timeline.label = "memcpyHtoDasync"; detail = "frame";
-      kind = Timeline.Memcpy_h2d; us = 40.0; bytes = 100; threads = 0 };
+      kind = Timeline.Memcpy_h2d; us = 40.0; start_us = 0.0; bytes = 100;
+      threads = 0 };
   let rows = Profiler.rows t in
   Alcotest.(check int) "2 rows" 2 (List.length rows);
   let kr = List.hd rows in
@@ -497,7 +582,8 @@ let test_overlap_never_worse () =
 let test_overlap_of_timeline () =
   let t = Timeline.create () in
   let ev kind us =
-    { Timeline.label = "x"; detail = "x"; kind; us; bytes = 0; threads = 0 }
+    { Timeline.label = "x"; detail = "x"; kind; us; start_us = 0.0; bytes = 0;
+      threads = 0 }
   in
   Timeline.record t (ev Timeline.Memcpy_h2d 10.0);
   Timeline.record t (ev Timeline.Kernel 4.0);
@@ -806,6 +892,43 @@ let test_cost_cache_data_dependent_not_cached () =
   Alcotest.(check int) "no cost-cache entries" 0 s.Context.cost_profiles;
   Alcotest.(check int) "no cost-cache hits" 0 s.Context.cost_hits
 
+let test_context_reset_clears_stats () =
+  let c = ctx () in
+  let n = 64 in
+  let bufs = vadd_buffers c n in
+  launch_vadd c n bufs;
+  launch_vadd c n bufs;
+  let zero =
+    { Context.compiles = 0; compile_hits = 0; cost_profiles = 0; cost_hits = 0 }
+  in
+  Alcotest.(check bool) "stats accumulated" true (Context.cache_stats c <> zero);
+  Context.reset c;
+  Alcotest.(check int) "timeline cleared" 0
+    (Timeline.count (Context.timeline c));
+  Alcotest.(check bool) "stats cleared" true (Context.cache_stats c = zero);
+  (* The caches themselves survive: the next launch is a hit, not a
+     recompile. *)
+  launch_vadd c n bufs;
+  let s = Context.cache_stats c in
+  Alcotest.(check int) "no recompile after reset" 0 s.Context.compiles;
+  Alcotest.(check int) "compile cache survived reset" 1 s.Context.compile_hits
+
+let test_metrics_launch_invariant () =
+  (* Process-wide invariant over this test's launches: every launch in
+     a functional mode either compiles its kernel or hits the cache. *)
+  let m name = Option.value ~default:0 (Obs.Metrics.find name) in
+  let compiles0 = m "gpu.compiles" in
+  let hits0 = m "gpu.compile_hits" in
+  let launches0 = m "gpu.launches" in
+  let c = ctx () in
+  let n = 64 in
+  let bufs = vadd_buffers c n in
+  for _ = 1 to 7 do launch_vadd c n bufs done;
+  Alcotest.(check int) "7 launches counted" 7 (m "gpu.launches" - launches0);
+  Alcotest.(check int) "compiles + compile_hits = launches"
+    (m "gpu.launches" - launches0)
+    (m "gpu.compiles" - compiles0 + (m "gpu.compile_hits" - hits0))
+
 (* ---------- Pooled execution = sequential (paper's filter kernels) --- *)
 
 (* The downscaler's filters as hand-written 2-D kernels (the same
@@ -1023,6 +1146,10 @@ let () =
             test_compile_cache_counters;
           Alcotest.test_case "data-dependent cost not cached" `Quick
             test_cost_cache_data_dependent_not_cached;
+          Alcotest.test_case "reset clears stats" `Quick
+            test_context_reset_clears_stats;
+          Alcotest.test_case "compiles + hits = launches" `Quick
+            test_metrics_launch_invariant;
         ] );
       ( "cost",
         [
@@ -1051,6 +1178,12 @@ let () =
         [
           Alcotest.test_case "events" `Quick test_timeline_events;
           Alcotest.test_case "replay" `Quick test_timeline_replay;
+          Alcotest.test_case "start offsets" `Quick
+            test_timeline_start_offsets;
+          Alcotest.test_case "trace export device tracks" `Quick
+            test_trace_export_device_tracks;
+          Alcotest.test_case "trace export mode-independent" `Quick
+            test_trace_export_mode_independent;
           Alcotest.test_case "profiler grouping" `Quick test_profiler_grouping;
         ] );
       ( "overlap",

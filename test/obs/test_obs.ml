@@ -1,0 +1,217 @@
+(* Tests for the observability substrate: the JSON parser, the metrics
+   registry, the span tracer and the Chrome trace renderer. *)
+
+open Obs
+
+(* ---------- Json ---------- *)
+
+let test_json_parse () =
+  (match Json.parse {| { "a": [1, 2.5, -3e2], "b": "x\ny", "c": null } |} with
+  | Ok (Json.Obj fields) ->
+      Alcotest.(check int) "3 fields" 3 (List.length fields);
+      (match List.assoc "a" fields with
+      | Json.Arr [ Json.Num a; Json.Num b; Json.Num c ] ->
+          Alcotest.(check (float 1e-9)) "int" 1.0 a;
+          Alcotest.(check (float 1e-9)) "float" 2.5 b;
+          Alcotest.(check (float 1e-9)) "exponent" (-300.0) c
+      | _ -> Alcotest.fail "array shape");
+      Alcotest.(check bool) "string" true
+        (List.assoc "b" fields = Json.Str "x\ny");
+      Alcotest.(check bool) "null" true (List.assoc "c" fields = Json.Null)
+  | Ok _ -> Alcotest.fail "not an object"
+  | Error m -> Alcotest.failf "parse failed: %s" m);
+  List.iter
+    (fun garbage ->
+      match Json.parse garbage with
+      | Ok _ -> Alcotest.failf "accepted garbage %S" garbage
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\" 1}"; "tru"; "\"unterminated"; "{} trailing" ]
+
+let test_json_member () =
+  match Json.parse {| { "x": { "y": 42 } } |} with
+  | Ok j ->
+      (match Json.member "x" j with
+      | Some inner ->
+          Alcotest.(check bool) "nested" true
+            (Json.member "y" inner = Some (Json.Num 42.0))
+      | None -> Alcotest.fail "x missing");
+      Alcotest.(check bool) "absent" true (Json.member "z" j = None)
+  | Error m -> Alcotest.failf "parse failed: %s" m
+
+let test_json_escape () =
+  let s = Json.escape "a\"b\\c\nd" in
+  match Json.parse s with
+  | Ok (Json.Str v) -> Alcotest.(check string) "round trip" "a\"b\\c\nd" v
+  | _ -> Alcotest.fail "escape did not round-trip"
+
+(* ---------- Metrics ---------- *)
+
+let test_metrics_counter () =
+  let c = Metrics.counter "test.counter" in
+  let before = Metrics.value c in
+  Metrics.incr c;
+  Metrics.add c 41;
+  Alcotest.(check int) "accumulated" (before + 42) (Metrics.value c);
+  Alcotest.(check bool) "find sees it" true
+    (Metrics.find "test.counter" = Some (Metrics.value c));
+  Alcotest.(check bool) "interned" true (Metrics.counter "test.counter" == c)
+
+let test_metrics_gauge () =
+  let g = Metrics.gauge "test.gauge" in
+  Metrics.set g 7;
+  Metrics.set_max g 3;
+  Alcotest.(check int) "set_max keeps larger" 7 (Metrics.gauge_value g);
+  Metrics.set_max g 11;
+  Alcotest.(check int) "set_max raises" 11 (Metrics.gauge_value g)
+
+let test_metrics_histogram () =
+  let h = Metrics.histogram ~bounds:[| 10; 100 |] "test.histo" in
+  List.iter (Metrics.observe h) [ 5; 50; 500; 7 ];
+  Alcotest.(check bool) "count via find" true
+    (Metrics.find "test.histo" = Some 4);
+  let text = Metrics.render_text () in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) (Printf.sprintf "text has %S" line) true
+        (contains line text))
+    [
+      "test.histo.count 4"; "test.histo.sum 562"; "test.histo.le.10 2";
+      "test.histo.le.100 1"; "test.histo.le.inf 1";
+    ]
+
+let test_metrics_type_clash () =
+  ignore (Metrics.counter "test.clash");
+  Alcotest.(check bool) "gauge under a counter name rejected" true
+    (try
+       ignore (Metrics.gauge "test.clash");
+       false
+     with Invalid_argument _ -> true)
+
+let test_metrics_json_renders () =
+  ignore (Metrics.counter "test.json_render");
+  match Json.parse (Metrics.render_json ()) with
+  | Ok j -> (
+      match Json.member "metrics" j with
+      | Some series ->
+          Alcotest.(check bool) "series present" true
+            (Json.member "test.json_render" series <> None)
+      | None -> Alcotest.fail "no metrics object")
+  | Error m -> Alcotest.failf "render_json invalid: %s" m
+
+(* ---------- Tracer ---------- *)
+
+let test_tracer_disabled () =
+  Tracer.set_enabled false;
+  Tracer.clear ();
+  Alcotest.(check (float 0.0)) "start is 0" 0.0 (Tracer.start ());
+  Tracer.finish "ignored" 0.0;
+  Tracer.emit "ignored" ~start_us:1.0 ~dur_us:1.0;
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Tracer.dump ()))
+
+let test_tracer_records () =
+  Tracer.set_enabled true;
+  Tracer.clear ();
+  let r = Tracer.with_span ~cat:"t" "outer" (fun () -> 42) in
+  Alcotest.(check int) "thunk result" 42 r;
+  let t0 = Tracer.start () in
+  Alcotest.(check bool) "start is a timestamp" true (t0 > 0.0);
+  Tracer.finish ~cat:"t" "manual" t0;
+  let spans = Tracer.dump () in
+  Tracer.set_enabled false;
+  Tracer.clear ();
+  Alcotest.(check int) "2 spans" 2 (List.length spans);
+  Alcotest.(check (list string)) "sorted by start" [ "outer"; "manual" ]
+    (List.map (fun (s : Tracer.span) -> s.Tracer.sp_name) spans);
+  List.iter
+    (fun (s : Tracer.span) ->
+      Alcotest.(check string) "category" "t" s.Tracer.sp_cat;
+      Alcotest.(check bool) "non-negative duration" true
+        (s.Tracer.sp_dur_us >= 0.0))
+    spans
+
+let test_tracer_span_raises () =
+  Tracer.set_enabled true;
+  Tracer.clear ();
+  (try Tracer.with_span "failing" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  let spans = Tracer.dump () in
+  Tracer.set_enabled false;
+  Tracer.clear ();
+  Alcotest.(check int) "span recorded despite raise" 1 (List.length spans)
+
+(* ---------- Trace rendering ---------- *)
+
+let device_event i =
+  {
+    Trace.de_track = "kernels";
+    de_name = Printf.sprintf "k%d" i;
+    de_cat = "device";
+    de_ts_us = float_of_int (10 * i);
+    de_dur_us = 10.0;
+    de_args = [ ("bytes", Trace.I (100 * i)); ("tag", Trace.S "x") ];
+  }
+
+let count_complete_events doc =
+  match Json.parse doc with
+  | Error m -> Alcotest.failf "trace invalid: %s" m
+  | Ok j -> (
+      match Json.member "traceEvents" j with
+      | Some (Json.Arr evs) ->
+          List.length
+            (List.filter
+               (fun e -> Json.member "ph" e = Some (Json.Str "X"))
+               evs)
+      | _ -> Alcotest.fail "no traceEvents")
+
+let test_trace_render () =
+  let device = [ ("dev", List.init 5 device_event) ] in
+  let spans =
+    [
+      {
+        Tracer.sp_name = "host";
+        sp_cat = "h";
+        sp_tid = 0;
+        sp_start_us = 1000.0;
+        sp_dur_us = 5.0;
+      };
+    ]
+  in
+  let doc = Trace.render ~device ~spans () in
+  Alcotest.(check int) "device + host events" 6 (count_complete_events doc);
+  Alcotest.(check int) "device-only count" 5
+    (count_complete_events (Trace.render ~device ()));
+  Alcotest.(check string) "device rendering is deterministic"
+    (Trace.render ~device ())
+    (Trace.render ~device ())
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "parse" `Quick test_json_parse;
+          Alcotest.test_case "member" `Quick test_json_member;
+          Alcotest.test_case "escape" `Quick test_json_escape;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter" `Quick test_metrics_counter;
+          Alcotest.test_case "gauge" `Quick test_metrics_gauge;
+          Alcotest.test_case "histogram" `Quick test_metrics_histogram;
+          Alcotest.test_case "type clash" `Quick test_metrics_type_clash;
+          Alcotest.test_case "json" `Quick test_metrics_json_renders;
+        ] );
+      ( "tracer",
+        [
+          Alcotest.test_case "disabled" `Quick test_tracer_disabled;
+          Alcotest.test_case "records" `Quick test_tracer_records;
+          Alcotest.test_case "raises" `Quick test_tracer_span_raises;
+        ] );
+      ( "trace",
+        [ Alcotest.test_case "render" `Quick test_trace_render ] );
+    ]

@@ -257,6 +257,62 @@ let test_profile_deterministic_across_pool_sizes () =
     [ 2; 4 ];
   Gpu.Pool.set_default_domains 1
 
+(* Each in-process SAC compilation draws fresh uids for its buffer
+   names (e.g. [output_14484]); two back-to-back profiles therefore
+   differ in those labels even at the same pool size.  Rewrite
+   [output_<digits>] to [output_N] so the comparison below is over the
+   modelled schedule itself: event order, timestamps, durations, byte
+   counts and thread counts all stay byte-compared. *)
+let normalize_buffer_uids s =
+  let n = String.length s in
+  let b = Buffer.create n in
+  let i = ref 0 in
+  let prefix = "output_" in
+  let plen = String.length prefix in
+  while !i < n do
+    if
+      !i + plen <= n
+      && String.sub s !i plen = prefix
+      && !i + plen < n
+      && s.[!i + plen] >= '0'
+      && s.[!i + plen] <= '9'
+    then (
+      Buffer.add_string b "output_N";
+      i := !i + plen;
+      while !i < n && s.[!i] >= '0' && s.[!i] <= '9' do
+        incr i
+      done)
+    else (
+      Buffer.add_char b s.[!i];
+      incr i)
+  done;
+  Buffer.contents b
+
+let test_trace_deterministic_across_pool_sizes () =
+  (* The exported modelled-device tracks must be identical no matter
+     how many domains executed the run (the paper's Figure 9 timeline
+     is a property of the model, not of the host schedule). *)
+  Obs.Tracer.set_enabled true;
+  let doc_at domains =
+    Gpu.Pool.set_default_domains domains;
+    Gpu.Trace_export.clear ();
+    ignore
+      (Study.Sac_runs.full_pipeline_profile ~generic:false
+         Study.Scale.validation);
+    ignore (Study.Gaspard_runs.profile Study.Scale.validation);
+    Gpu.Trace_export.device_only_json ()
+  in
+  let reference = doc_at 1 in
+  let at4 = doc_at 4 in
+  Obs.Tracer.set_enabled false;
+  Gpu.Trace_export.clear ();
+  Gpu.Pool.set_default_domains 1;
+  Alcotest.(check bool) "trace has device slices" true
+    (String.length reference > 200);
+  Alcotest.(check string) "device tracks identical: 1 vs 4 domains"
+    (normalize_buffer_uids reference)
+    (normalize_buffer_uids at4)
+
 let () =
   Alcotest.run "study"
     [
@@ -293,5 +349,7 @@ let () =
         [
           Alcotest.test_case "profile invariant in pool size" `Quick
             test_profile_deterministic_across_pool_sizes;
+          Alcotest.test_case "device trace invariant in pool size" `Quick
+            test_trace_deterministic_across_pool_sizes;
         ] );
     ]
