@@ -433,6 +433,13 @@ let write_json path ~opts ~scale ~timings =
     (m "pool.batches")
     (m "pool.queue_high_water")
     (m "pool.peak_parallelism");
+  p
+    "  \"analysis\": { \"kernels_checked\": %d, \"plans_checked\": %d, \
+     \"findings\": %d, \"errors\": %d, \"warnings\": %d, \"notes\": %d },\n"
+    (m "analysis.kernels_checked")
+    (m "analysis.plans_checked")
+    (m "analysis.findings") (m "analysis.errors") (m "analysis.warnings")
+    (m "analysis.notes");
   p "  \"total_seconds\": %.3f\n"
     (List.fold_left (fun acc (_, s) -> acc +. s) 0.0 timings);
   p "}\n";

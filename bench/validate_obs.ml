@@ -56,6 +56,11 @@ let () =
   in
   if get "gpu.launches" <= 0 then
     fail "metrics %s: no kernel launches recorded" metrics_path;
+  (* The verification gates run inside both compilers (lint mode is the
+     default), so a bench run must have analyzed kernels. *)
+  if get "analysis.kernels_checked" <= 0 then
+    fail "metrics %s: no kernels statically analyzed" metrics_path;
+  ignore (get "analysis.plans_checked");
   List.iter
     (fun name -> ignore (get name))
     [

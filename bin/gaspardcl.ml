@@ -6,7 +6,7 @@
 
 open Cmdliner
 
-let main rows cols out_dir show_model load save_model trace metrics =
+let main rows cols out_dir show_model load save_model lint trace metrics =
   if trace <> None then Obs.Tracer.set_enabled true;
   let finish code =
     Option.iter Gpu.Trace_export.write trace;
@@ -34,7 +34,25 @@ let main rows cols out_dir show_model load save_model trace metrics =
           Printf.printf "[chain] %-40s %s\n" t.Mde.Chain.pass
             t.Mde.Chain.detail)
         trace;
+      let lint_failed =
+        lint
+        &&
+        let findings = Mde.Verify.check gen.Mde.Codegen.kernel_tasks in
+        List.iter
+          (fun f -> Format.printf "%a@." Analysis.Finding.pp_long f)
+          findings;
+        Printf.printf
+          "%d kernel(s) checked: %d finding(s) (%d error(s), %d \
+           warning(s), %d note(s))\n"
+          (List.length gen.Mde.Codegen.kernel_tasks)
+          (List.length findings)
+          (Analysis.Finding.errors findings)
+          (Analysis.Finding.warnings findings)
+          (Analysis.Finding.notes findings);
+        Analysis.Finding.errors findings > 0
+      in
       (match out_dir with
+      | None when lint -> ()
       | None ->
           print_newline ();
           print_string gen.Mde.Codegen.cl_source
@@ -51,7 +69,7 @@ let main rows cols out_dir show_model load save_model trace metrics =
           write "downscaler.cl" gen.Mde.Codegen.cl_source;
           write "downscaler.cpp" gen.Mde.Codegen.host_source;
           write "Makefile" gen.Mde.Codegen.makefile);
-      finish 0
+      finish (if lint_failed then 1 else 0)
 
 let () =
   let rows = Arg.(value & opt int 1080 & info [ "rows" ]) in
@@ -77,6 +95,15 @@ let () =
       & opt (some string) None
       & info [ "save-model" ] ~doc:"Serialise the model before running.")
   in
+  let lint =
+    Arg.(
+      value & flag
+      & info [ "lint" ]
+          ~doc:
+            "Print the static-analysis findings (kernel bounds, races, \
+             exact-cover) for the generated kernels instead of the .cl \
+             source; exit non-zero on error findings.")
+  in
   let trace =
     Arg.(
       value
@@ -97,8 +124,8 @@ let () =
   in
   let term =
     Term.(
-      const main $ rows $ cols $ out $ show_model $ load $ save_model $ trace
-      $ metrics)
+      const main $ rows $ cols $ out $ show_model $ load $ save_model $ lint
+      $ trace $ metrics)
   in
   exit
     (Cmd.eval'

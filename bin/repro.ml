@@ -123,6 +123,19 @@ let run_cif _scale =
 let run_validate () =
   print_string (Study.Report.validation (Study.Experiments.validate ()))
 
+(* Non-zero exit on error findings so the subcommand works as a CI
+   gate; set by run_lint, consumed at exit. *)
+let lint_errors = ref 0
+
+let run_lint scale =
+  let reports = Study.Experiments.lint ~scale () in
+  print_string (Study.Report.lint reports);
+  lint_errors :=
+    List.fold_left
+      (fun acc (r : Study.Experiments.lint_report) ->
+        acc + Analysis.Finding.errors r.Study.Experiments.findings)
+      0 reports
+
 let run_side_by_side scale =
   print_string
     (Study.Report.side_by_side ~title:"Table I (paper vs simulated)"
@@ -182,6 +195,11 @@ let () =
         cmd_of "claims" "Conclusion claims (Section IX)" run_claims;
         cmd_of "cif" "Section III CIF workload (2000 frames)" run_cif;
         cmd_of "compare" "Paper vs simulated tables" run_side_by_side;
+        cmd_of "kernel-lint"
+          "Static analysis of every kernel both pipelines generate \
+           (bounds, races, transfer residency); exits non-zero on \
+           error findings"
+          run_lint;
         Cmd.v
           (Cmd.info "validate" ~doc:"Cross-pipeline functional validation")
           Term.(
@@ -191,4 +209,5 @@ let () =
             $ domains_arg $ trace_arg $ metrics_arg $ const ());
       ]
   in
-  exit (Cmd.eval cmd)
+  let code = Cmd.eval cmd in
+  exit (if code = 0 && !lint_errors > 0 then 1 else code)

@@ -6,7 +6,7 @@
 
 open Cmdliner
 
-type emit = Ast | Optimized | Plan | Cuda | Opencl_src | Run
+type emit = Ast | Optimized | Plan | Cuda | Opencl_src | Run | Lint
 
 let read_file path =
   let ic = open_in_bin path in
@@ -27,12 +27,15 @@ let builtin_source name rows cols =
       Some (Sac.Programs.vertical ~generic:true ~rows ~cols)
   | _ -> None
 
-let main input builtin from_model generic rows cols emit entry trace metrics =
+let main input builtin from_model generic rows cols emit entry verify trace
+    metrics =
+  Analysis.Config.set_mode verify;
   if trace <> None then Obs.Tracer.set_enabled true;
   Fun.protect ~finally:(fun () ->
       Option.iter Gpu.Trace_export.write trace;
       Option.iter Obs.Metrics.write_file metrics)
   @@ fun () ->
+  let lint_code = ref 0 in
   try
     let source =
       match (input, builtin, from_model) with
@@ -78,6 +81,33 @@ let main input builtin from_model generic rows cols emit entry trace metrics =
         print_string src.Sac_opencl.Backend.cl;
         print_newline ();
         print_string src.Sac_opencl.Backend.host
+    | Lint ->
+        (* Front-end issues first; the plan-level analyzers need a
+           program that at least compiles. *)
+        let issues = Sac.Check.program (Sac.Parser.program source) in
+        List.iter
+          (fun i -> Format.printf "%a@." Sac.Check.pp_issue i)
+          issues;
+        if issues <> [] then lint_code := 1
+        else begin
+          (* The compile gate is off here so every kernel is analyzed
+             exactly once, below, whatever --verify says. *)
+          Analysis.Config.set_mode Analysis.Config.Off;
+          let plan, _ = Sac_cuda.Compile.plan_of_source source ~entry in
+          let findings = Sac_cuda.Verify.check plan in
+          List.iter
+            (fun f -> Format.printf "%a@." Analysis.Finding.pp_long f)
+            findings;
+          Printf.printf
+            "%d kernel(s) checked: %d finding(s) (%d error(s), %d \
+             warning(s), %d note(s))\n"
+            (Sac_cuda.Plan.kernel_count plan)
+            (List.length findings)
+            (Analysis.Finding.errors findings)
+            (Analysis.Finding.warnings findings)
+            (Analysis.Finding.notes findings);
+          if Analysis.Finding.errors findings > 0 then lint_code := 1
+        end
     | Run ->
         let plan, _ = Sac_cuda.Compile.plan_of_source source ~entry in
         let rt = Cuda.Runtime.init () in
@@ -101,7 +131,7 @@ let main input builtin from_model generic rows cols emit entry trace metrics =
         print_string
           (Gpu.Profiler.to_string ~title:"Simulated device profile:"
              (Cuda.Runtime.profile rt)));
-    0
+    !lint_code
   with
   | Sac.Lexer.Lex_error m | Sac.Parser.Parse_error m ->
       Printf.eprintf "syntax error: %s\n" m;
@@ -150,12 +180,30 @@ let () =
       & opt
           (enum
              [ ("ast", Ast); ("optimized", Optimized); ("plan", Plan);
-               ("cuda", Cuda); ("opencl", Opencl_src); ("run", Run) ])
+               ("cuda", Cuda); ("opencl", Opencl_src); ("run", Run);
+               ("lint", Lint) ])
           Cuda
       & info [ "emit" ]
-          ~doc:"What to produce: ast, optimized, plan, cuda, opencl, run.")
+          ~doc:
+            "What to produce: ast, optimized, plan, cuda, opencl, run, \
+             or lint (static-analysis findings; non-zero exit on \
+             errors).")
   in
   let entry = Arg.(value & opt string "main" & info [ "entry" ]) in
+  let verify =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("off", Analysis.Config.Off); ("lint", Analysis.Config.Lint);
+               ("strict", Analysis.Config.Strict) ])
+          Analysis.Config.Lint
+      & info [ "verify" ]
+          ~doc:
+            "Verification gate applied while compiling plans: off, \
+             lint (record findings as metrics/log entries) or strict \
+             (abort compilation on error findings).")
+  in
   let trace =
     Arg.(
       value
@@ -177,7 +225,7 @@ let () =
   let term =
     Term.(
       const main $ input $ builtin $ from_model $ generic $ rows $ cols
-      $ emit $ entry $ trace $ metrics)
+      $ emit $ entry $ verify $ trace $ metrics)
   in
   let info =
     Cmd.info "sacc" ~doc:"SAC to CUDA compiler (simulated device)"

@@ -1,0 +1,44 @@
+(** Strided (affine) shapes of kernel store addresses.
+
+    Recovers, per [Store] statement of a {!Gpu.Kir} kernel, the set of
+    linear addresses the launch writes as a strided set
+    [base + sum coeff_i * [0, count_i)] with one stride per (possibly
+    split) grid dimension — including zero-coefficient strides, which
+    record that several work-items write the same address.  Grid ids
+    divided or reduced by a literal width [w] are decomposed into
+    quotient/remainder variables, and [mod m] is dropped when the
+    operand interval already lies inside [0, m), which covers both the
+    SAC kernelizer's blocked index bindings and the MDE tiler
+    addresses. *)
+
+type sset = {
+  base : int;
+  strides : (int * int) list;  (** (coeff, count) per grid variable *)
+  events : int;  (** number of store events = product of counts *)
+  exact : bool;
+      (** the set equals the addresses written; inexact sets (truncated
+          split blocks, stores under [If]) over-approximate and must not
+          be used to claim definite races *)
+  lo : int;
+  hi : int;  (** value range *)
+}
+
+val store_sets : grid:int array -> Gpu.Kir.t -> (string * sset) list option
+(** One [(buffer, set)] per [Store] statement in program order, or
+    [None] when some store address is not recognisably affine (the
+    race checker then falls back to concrete enumeration). *)
+
+type verdict = Proved | Refuted of string | Unknown
+
+val self_injective : sset -> verdict
+(** Do distinct work-items write distinct addresses?  Decided by a
+    mixed-radix dominance test, with concrete enumeration as fallback
+    for small sets. *)
+
+val disjoint : sset -> sset -> verdict
+(** Are the two address sets disjoint?  Tries interval separation, a
+    gcd/residue test on the stride lattice, enumeration of residues
+    modulo each stride magnitude, then concrete enumeration for small
+    sets. *)
+
+val pp_sset : Format.formatter -> sset -> unit

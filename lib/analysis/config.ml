@@ -1,0 +1,22 @@
+(* Analyzer mode shared by every verification gate.
+
+   The gates in Sac_cuda.Compile and Mde.Chain consult this at the end
+   of compilation: [Off] skips analysis entirely, [Lint] records
+   findings in the metrics registry and the log without failing, and
+   [Strict] turns error-severity findings into compilation failures. *)
+
+type mode = Off | Lint | Strict
+
+let state = Atomic.make Lint
+
+let set_mode m = Atomic.set state m
+
+let mode () = Atomic.get state
+
+let mode_of_string = function
+  | "off" -> Some Off
+  | "lint" -> Some Lint
+  | "strict" -> Some Strict
+  | _ -> None
+
+let mode_to_string = function Off -> "off" | Lint -> "lint" | Strict -> "strict"

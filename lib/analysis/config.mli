@@ -1,0 +1,15 @@
+(** Process-wide analyzer mode for the verification gates. *)
+
+type mode =
+  | Off  (** skip analysis *)
+  | Lint  (** analyse, record metrics and log findings, never fail *)
+  | Strict  (** like [Lint] but error findings fail the compilation *)
+
+val set_mode : mode -> unit
+
+val mode : unit -> mode
+(** Defaults to [Lint]. *)
+
+val mode_of_string : string -> mode option
+
+val mode_to_string : mode -> string

@@ -1,0 +1,115 @@
+(* Analyzer findings: one shared record for all three checkers, so the
+   kernel verifier, the race detector and the residency pass print in
+   the same [file:where: what] format as Sac.Check and
+   Arrayol.Validate issues. *)
+
+type severity = Error | Warning | Note
+
+type kind =
+  | Oob_read
+  | Oob_write
+  | Div_by_zero
+  | Mod_by_zero
+  | Unused_param
+  | Race
+  | Unproven_disjoint
+  | Bad_cover
+  | Unproven_cover
+  | Undefined_use
+  | Missing_d2h
+  | Redundant_transfer
+  | Dead_item
+  | Bad_kernel
+  | Analysis_skipped
+
+type t = {
+  kind : kind;
+  severity : severity;
+  file : string;
+  where : string;
+  what : string;
+}
+
+let v kind severity ~file ~where fmt =
+  Format.kasprintf (fun what -> { kind; severity; file; where; what }) fmt
+
+let kind_label = function
+  | Oob_read -> "oob-read"
+  | Oob_write -> "oob-write"
+  | Div_by_zero -> "div-by-zero"
+  | Mod_by_zero -> "mod-by-zero"
+  | Unused_param -> "unused-param"
+  | Race -> "race"
+  | Unproven_disjoint -> "unproven-disjoint"
+  | Bad_cover -> "bad-cover"
+  | Unproven_cover -> "unproven-cover"
+  | Undefined_use -> "undefined-use"
+  | Missing_d2h -> "missing-d2h"
+  | Redundant_transfer -> "redundant-transfer"
+  | Dead_item -> "dead-item"
+  | Bad_kernel -> "bad-kernel"
+  | Analysis_skipped -> "analysis-skipped"
+
+let severity_label = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Note -> "note"
+
+let pp ppf f = Format.fprintf ppf "%s:%s: %s" f.file f.where f.what
+
+let pp_long ppf f =
+  Format.fprintf ppf "%s:%s: %s[%s]: %s" f.file f.where (severity_label f.severity)
+    (kind_label f.kind) f.what
+
+let count sev findings =
+  List.length (List.filter (fun f -> f.severity = sev) findings)
+
+let errors = count Error
+let warnings = count Warning
+let notes = count Note
+
+let src = Logs.Src.create "analysis" ~doc:"kernel/plan static analysis"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let m_findings = "analysis.findings"
+let m_errors = "analysis.errors"
+let m_warnings = "analysis.warnings"
+let m_notes = "analysis.notes"
+let m_kernels = "analysis.kernels_checked"
+let m_plans = "analysis.plans_checked"
+
+let record findings =
+  List.iter
+    (fun f ->
+      Obs.Metrics.incr (Obs.Metrics.counter m_findings);
+      (match f.severity with
+      | Error -> Obs.Metrics.incr (Obs.Metrics.counter m_errors)
+      | Warning -> Obs.Metrics.incr (Obs.Metrics.counter m_warnings)
+      | Note -> Obs.Metrics.incr (Obs.Metrics.counter m_notes));
+      let log_level =
+        match f.severity with
+        | Error -> Logs.Error
+        | Warning -> Logs.Warning
+        | Note -> Logs.Info
+      in
+      Log.msg log_level (fun k -> k "%a" pp_long f))
+    findings
+
+let kernels_checked n = Obs.Metrics.add (Obs.Metrics.counter m_kernels) n
+let plan_checked () = Obs.Metrics.incr (Obs.Metrics.counter m_plans)
+
+let gate ~what findings =
+  match Config.mode () with
+  | Config.Off -> Ok ()
+  | Config.Lint ->
+      record findings;
+      Ok ()
+  | Config.Strict ->
+      record findings;
+      let errs = List.filter (fun f -> f.severity = Error) findings in
+      if errs = [] then Ok ()
+      else
+        Error
+          (Format.asprintf "verification of %s failed: %d error(s); first: %a"
+             what (List.length errs) pp (List.hd errs))

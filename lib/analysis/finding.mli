@@ -1,0 +1,73 @@
+(** Findings reported by the static analyzers.
+
+    Every checker (kernel verifier, race detector, residency pass)
+    produces a flat list of these; the printers use the same
+    [file:where: what] shape as [Sac.Check.pp_issue] and
+    [Arrayol.Validate.pp_issue], so lint output from all three
+    front ends lines up. *)
+
+type severity = Error | Warning | Note
+
+type kind =
+  | Oob_read  (** buffer read index may or must fall outside the buffer *)
+  | Oob_write  (** buffer store index may or must fall outside the buffer *)
+  | Div_by_zero
+  | Mod_by_zero
+  | Unused_param  (** kernel parameter (scalar or buffer) never referenced *)
+  | Race  (** two work-items provably write the same address *)
+  | Unproven_disjoint  (** disjointness could not be established *)
+  | Bad_cover  (** [full_cover] claim provably wrong *)
+  | Unproven_cover  (** [full_cover] claim not established *)
+  | Undefined_use  (** plan item reads a name no earlier item defines *)
+  | Missing_d2h  (** host code reads a device-only array without a transfer *)
+  | Redundant_transfer  (** declared read (forces d2h) that is never used *)
+  | Dead_item  (** Copy/Const_array whose target is never consumed *)
+  | Bad_kernel  (** kernel fails structural validation *)
+  | Analysis_skipped  (** problem too large for the configured budget *)
+
+type t = {
+  kind : kind;
+  severity : severity;
+  file : string;  (** pipeline / source context, e.g. ["sac"] or ["mde"] *)
+  where : string;  (** kernel or plan-item name *)
+  what : string;
+}
+
+val v :
+  kind ->
+  severity ->
+  file:string ->
+  where:string ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+
+val kind_label : kind -> string
+
+val severity_label : severity -> string
+
+val pp : Format.formatter -> t -> unit
+(** [file:where: what]. *)
+
+val pp_long : Format.formatter -> t -> unit
+(** [file:where: severity[kind]: what]. *)
+
+val errors : t list -> int
+
+val warnings : t list -> int
+
+val notes : t list -> int
+
+val record : t list -> unit
+(** Count the findings into the [analysis.*] metrics and log each one
+    on the [analysis] log source. *)
+
+val kernels_checked : int -> unit
+(** Bump the [analysis.kernels_checked] counter by [n]. *)
+
+val plan_checked : unit -> unit
+(** Bump the [analysis.plans_checked] counter. *)
+
+val gate : what:string -> t list -> (unit, string) result
+(** Apply the configured {!Config.mode}: [Off] ignores the findings,
+    [Lint] records them and succeeds, [Strict] records them and fails
+    when any has [Error] severity. *)

@@ -1,11 +1,19 @@
 open Ndarray
 
-type issue = { where : string; what : string }
+type issue = { loc : string; where : string; what : string }
 
-let issue where fmt = Format.kasprintf (fun what -> { where; what }) fmt
+let log_src = Logs.Src.create "analysis" ~doc:"Static-analysis findings"
 
-let check_tiling task acc ~output tiling =
+module Log = (val Logs.src_log log_src)
+
+let issue loc where fmt =
+  Format.kasprintf (fun what -> { loc; where; what }) fmt
+
+let default_exact_cover_limit = 1_000_000
+
+let check_tiling ~loc ~exact_cover_limit task acc ~output tiling =
   let where = Model.name task in
+  let issue where fmt = issue loc where fmt in
   try
     let spec =
       if output then Model.out_tiler_spec task tiling
@@ -17,7 +25,7 @@ let check_tiling task acc ~output tiling =
       | Error m ->
           issue where "tiler on port %s: %s" tiling.Model.inner_port m :: acc
     in
-    if Shape.size spec.Tiler.array_shape <= 1_000_000 then begin
+    if Shape.size spec.Tiler.array_shape <= exact_cover_limit then begin
       if output && not (Tiler.is_exact_cover spec) then
         issue where
           "output tiler on port %s is not an exact cover (single \
@@ -30,10 +38,21 @@ let check_tiling task acc ~output tiling =
         :: acc
       else acc
     end
-    else acc
+    else begin
+      (* Not silent: the skipped cover analysis is visible in the log
+         even though it produces no issue. *)
+      Log.info (fun k ->
+          k "%s:%s: analysis skipped: cover check on port %s (%d elements > limit %d)"
+            loc where tiling.Model.inner_port
+            (Shape.size spec.Tiler.array_shape)
+            exact_cover_limit);
+      acc
+    end
   with Invalid_argument m -> issue where "%s" m :: acc
 
-let rec check task =
+let rec check_task ~loc ~exact_cover_limit task =
+  let check = check_task ~loc ~exact_cover_limit in
+  let issue where fmt = issue loc where fmt in
   match task with
   | Model.Elementary { name; ip; inputs; outputs } ->
       let acc = [] in
@@ -91,12 +110,12 @@ let rec check task =
       in
       let acc =
         List.fold_left
-          (fun acc t -> check_tiling task acc ~output:false t)
+          (fun acc t -> check_tiling ~loc ~exact_cover_limit task acc ~output:false t)
           acc in_tilings
       in
       let acc =
         List.fold_left
-          (fun acc t -> check_tiling task acc ~output:true t)
+          (fun acc t -> check_tiling ~loc ~exact_cover_limit task acc ~output:true t)
           acc out_tilings
       in
       ignore inputs;
@@ -177,6 +196,10 @@ let rec check task =
       if topo [] (List.map fst parts) then acc
       else issue name "dependence cycle between parts" :: acc
 
+let check ?(loc = "model") ?(exact_cover_limit = default_exact_cover_limit)
+    task =
+  check_task ~loc ~exact_cover_limit task
+
 let check_exn task =
   match check task with
   | [] -> ()
@@ -185,4 +208,4 @@ let check_exn task =
         (String.concat "; "
            (List.map (fun i -> i.where ^ ": " ^ i.what) issues))
 
-let pp_issue ppf i = Format.fprintf ppf "%s: %s" i.where i.what
+let pp_issue ppf i = Format.fprintf ppf "%s:%s: %s" i.loc i.where i.what

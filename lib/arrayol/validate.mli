@@ -7,12 +7,17 @@
     output tilers (no element of an output array may be written twice,
     and all must be written). *)
 
-type issue = { where : string; what : string }
+type issue = { loc : string; where : string; what : string }
+(** [loc] names the analyzed artefact (model file or pipeline stage)
+    so lint output lines share the [loc:where: what] shape with
+    {!Sac.Check.pp_issue} and [Analysis.Finding.pp]. *)
 
-val check : Model.t -> issue list
-(** Empty list = valid model.  Exact-cover analysis is skipped for
-    arrays larger than [1_000_000] elements (it is exercised by the
-    tests at representative sizes). *)
+val check : ?loc:string -> ?exact_cover_limit:int -> Model.t -> issue list
+(** Empty list = valid model.  [loc] (default ["model"]) prefixes every
+    issue.  Exact-cover analysis is skipped for arrays larger than
+    [exact_cover_limit] elements (default [1_000_000]); the skip is
+    reported as an [Logs] info message on the ["analysis"] source
+    rather than silently. *)
 
 val check_exn : Model.t -> unit
 (** Raises [Invalid_argument] listing all issues. *)

@@ -9,7 +9,7 @@ let transform model =
   let* () =
     match
       Obs.Tracer.with_span ~cat:"mde" "mde.validate" (fun () ->
-          Arrayol.Validate.check model.Marte.application)
+          Arrayol.Validate.check ~loc:"mde" model.Marte.application)
     with
     | [] ->
         record "uml2marte: application validation" "ok";
@@ -19,8 +19,7 @@ let transform model =
           ("application validation failed: "
           ^ String.concat "; "
               (List.map
-                 (fun (i : Arrayol.Validate.issue) ->
-                   i.Arrayol.Validate.where ^ ": " ^ i.Arrayol.Validate.what)
+                 (Format.asprintf "%a" Arrayol.Validate.pp_issue)
                  issues))
   in
   let model =
@@ -50,6 +49,19 @@ let transform model =
     (Printf.sprintf "%d kernels, %d bytes of OpenCL"
        (List.length generated.Codegen.kernel_tasks)
        (String.length generated.Codegen.cl_source));
+  let* () =
+    match
+      Obs.Tracer.with_span ~cat:"mde" "mde.verify" (fun () ->
+          Verify.gate generated.Codegen.kernel_tasks)
+    with
+    | Ok () ->
+        record "opencl2verified: kernel verification"
+          (Printf.sprintf "%d kernels checked (%s mode)"
+             (List.length generated.Codegen.kernel_tasks)
+             (Analysis.Config.mode_to_string (Analysis.Config.mode ())));
+        Ok ()
+    | Error m -> Error m
+  in
   Ok (generated, List.rev !trace)
 
 let transform_exn model =

@@ -1,0 +1,37 @@
+(* Static verification of generated kernel tasks.
+
+   Every GPU-allocated repetitive task's kernel goes through the
+   interval bounds checker, and each output port through the
+   race/coverage checker with [full_cover = true]: ArrayOL semantics
+   require the output tiler to pave the port's array exactly once, so
+   an overlap is a race and a gap is a cover violation. *)
+
+open Ndarray
+
+let file = "mde"
+
+let check_task (kt : Codegen.kernel_task) =
+  let buffers =
+    List.map
+      (fun (n, shape) -> (Codegen.sanitize n, Shape.size shape))
+      (kt.Codegen.input_ports @ kt.Codegen.output_ports)
+  in
+  Analysis.Kir_check.check ~file ~buffers ~grid:kt.Codegen.grid
+    kt.Codegen.kernel
+  @ List.concat_map
+      (fun (n, shape) ->
+        Analysis.Race.check_group ~file ~out:(Codegen.sanitize n)
+          ~len:(Shape.size shape) ~full_cover:true
+          [ (kt.Codegen.kernel, kt.Codegen.grid) ])
+      kt.Codegen.output_ports
+
+let check tasks = List.concat_map check_task tasks
+
+let gate tasks =
+  match Analysis.Config.mode () with
+  | Analysis.Config.Off -> Ok ()
+  | Analysis.Config.Lint | Analysis.Config.Strict ->
+      let findings = check tasks in
+      Analysis.Finding.kernels_checked (List.length tasks);
+      Analysis.Finding.plan_checked ();
+      Analysis.Finding.gate ~what:"generated kernels" findings

@@ -1,0 +1,12 @@
+(** Static verification of generated kernel tasks.
+
+    [check] runs the interval bounds checker over each task's kernel
+    and the race/coverage checker over each output port with the
+    exact-pave claim ArrayOL semantics impose.  A correct code
+    generator yields []. *)
+
+val check : Codegen.kernel_task list -> Analysis.Finding.t list
+
+val gate : Codegen.kernel_task list -> (unit, string) result
+(** Verification gate applied by {!Chain.transform}, honouring
+    {!Analysis.Config.mode}. *)

@@ -1,8 +1,9 @@
 module Sset = Set.Make (String)
 
-type issue = { in_function : string; message : string }
+type issue = { loc : string; in_function : string; message : string }
 
 type st = {
+  loc : string;
   fname : string;
   arities : (string * int) list;
   mutable issues : issue list;
@@ -10,7 +11,9 @@ type st = {
 
 let report st fmt =
   Format.kasprintf
-    (fun message -> st.issues <- { in_function = st.fname; message } :: st.issues)
+    (fun message ->
+      st.issues <-
+        { loc = st.loc; in_function = st.fname; message } :: st.issues)
     fmt
 
 let literal_vector_length e =
@@ -156,7 +159,7 @@ let check_fundef st (fd : Ast.fundef) =
   | Ast.Return _ :: _ -> ()
   | _ -> report st "function does not end with a return statement"
 
-let program prog =
+let program ?(loc = "sac") prog =
   let arities =
     List.map (fun (f : Ast.fundef) -> (f.Ast.fname, List.length f.Ast.params)) prog
   in
@@ -166,22 +169,22 @@ let program prog =
     (fun n ->
       if List.length (List.filter (String.equal n) names) > 1 then
         issues :=
-          { in_function = n; message = "function defined more than once" }
+          { loc; in_function = n; message = "function defined more than once" }
           :: !issues)
     (List.sort_uniq compare names);
   List.iter
     (fun (fd : Ast.fundef) ->
-      let st = { fname = fd.Ast.fname; arities; issues = [] } in
+      let st = { loc; fname = fd.Ast.fname; arities; issues = [] } in
       check_fundef st fd;
       issues := st.issues @ !issues)
     prog;
   List.rev !issues
 
-let pp_issue ppf i =
-  Format.fprintf ppf "in %s: %s" i.in_function i.message
+let pp_issue ppf (i : issue) =
+  Format.fprintf ppf "%s:%s: %s" i.loc i.in_function i.message
 
-let program_exn prog =
-  match program prog with
+let program_exn ?loc prog =
+  match program ?loc prog with
   | [] -> prog
   | issues ->
       Ast.error "%s"

@@ -7,12 +7,16 @@
     (no generators, inconsistent literal bound ranks, step/width
     rank mismatches). *)
 
-type issue = { in_function : string; message : string }
+type issue = { loc : string; in_function : string; message : string }
+(** [loc] names the analyzed source (file name or pipeline stage) so
+    lint output lines share the [loc:where: what] shape with
+    [Arrayol.Validate.pp_issue] and [Analysis.Finding.pp]. *)
 
-val program : Ast.program -> issue list
-(** Empty list = statically well-formed. *)
+val program : ?loc:string -> Ast.program -> issue list
+(** Empty list = statically well-formed.  [loc] (default ["sac"])
+    prefixes every issue. *)
 
-val program_exn : Ast.program -> Ast.program
+val program_exn : ?loc:string -> Ast.program -> Ast.program
 (** Identity on well-formed programs; raises [Ast.Sac_error] listing
     every issue otherwise. *)
 

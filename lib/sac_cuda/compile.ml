@@ -130,7 +130,39 @@ let plan ?(label_of = Kernelize.sanitize) ?(split_generators = true)
     | Some s -> s
     | None -> fail "result %s has no statically known shape" result
   in
-  { Plan.params; items = List.rev !items; result; result_shape }
+  (* Dead-item elimination: a Const_array or Copy whose target no
+     later item consumes (a fully-covered with-loop never reads its
+     base) would only cost an allocation at execution time. *)
+  let reads_of = function
+    | Plan.Const_array _ -> []
+    | Plan.Copy { source; _ } -> [ source ]
+    | Plan.Host_block { reads; _ } -> reads
+    | Plan.Device_withloop { swith; full_cover; _ } -> (
+        let arrays = List.map fst swith.Sac.Scalarize.arrays in
+        match (full_cover, swith.Sac.Scalarize.base) with
+        | false, Sac.Scalarize.Base_array b -> b :: arrays
+        | _ -> arrays)
+  in
+  let rec sweep items =
+    let used = result :: List.concat_map reads_of items in
+    let items' =
+      List.filter
+        (fun item ->
+          match item with
+          | Plan.Const_array { target; _ } | Plan.Copy { target; _ } ->
+              List.mem target used
+          | Plan.Device_withloop _ | Plan.Host_block _ -> true)
+        items
+    in
+    if List.length items' = List.length items then items else sweep items'
+  in
+  let p =
+    { Plan.params; items = sweep (List.rev !items); result; result_shape }
+  in
+  (* Verification gate: in lint mode findings are recorded as metrics
+     and log entries; in strict mode error findings abort. *)
+  (match Verify.gate p with Ok () -> () | Error m -> fail "%s" m);
+  p
 
 let plan_of_source ?label_of ?split_generators src ~entry =
   let fd, report = Sac.Pipeline.optimize_source src ~entry in

@@ -1,0 +1,14 @@
+(** Static verification of compiled plans (the Section VII invariants).
+
+    [check] runs the three analyzers from [lib/analysis] over a plan:
+    interval bounds/div-by-zero/unused-param checking of every
+    generator-kernel, race and [full_cover] validation per
+    [Device_withloop], and the residency/transfer dataflow mirroring
+    {!Exec.run_with}.  A correct compiler output yields []. *)
+
+val check : Plan.t -> Analysis.Finding.t list
+
+val gate : Plan.t -> (unit, string) result
+(** Verification gate applied by {!Compile.plan}, honouring
+    {!Analysis.Config.mode}: [Off] skips, [Lint] records findings in
+    metrics/logs, [Strict] additionally fails on error findings. *)

@@ -300,3 +300,45 @@ let validate ?(scale = Scale.validation) () =
     (List.rev_map
        (fun (name, f) -> fun () -> { name; ok = (try f () with _ -> false) })
        !checks)
+
+type lint_report = {
+  pipeline : string;
+  kernels : int;
+  findings : Analysis.Finding.t list;
+}
+
+(* Static analysis over everything both pipelines generate at [scale]:
+   the SAC plans (both output-tiler variants) and the Gaspard2 kernel
+   tasks.  Runs with gates disabled so each kernel is analyzed exactly
+   once, here. *)
+let lint ?(scale = Scale.validation) () =
+  Obs.Tracer.with_span ~cat:"study" "study.lint" @@ fun () ->
+  let rows = scale.Scale.rows and cols = scale.Scale.cols in
+  let saved = Analysis.Config.mode () in
+  Fun.protect ~finally:(fun () -> Analysis.Config.set_mode saved) @@ fun () ->
+  Analysis.Config.set_mode Analysis.Config.Off;
+  let sac generic =
+    let src = Sac.Programs.downscaler ~generic ~rows ~cols in
+    let plan, _ = Sac_cuda.Compile.plan_of_source src ~entry:"main" in
+    let findings = Sac_cuda.Verify.check plan in
+    Analysis.Finding.record findings;
+    Analysis.Finding.kernels_checked (Sac_cuda.Plan.kernel_count plan);
+    Analysis.Finding.plan_checked ();
+    {
+      pipeline =
+        Printf.sprintf "SAC -> CUDA (%s)"
+          (if generic then "generic" else "non-generic");
+      kernels = Sac_cuda.Plan.kernel_count plan;
+      findings;
+    }
+  in
+  let mde =
+    let gen = Mde.Chain.transform_exn (Mde.Chain.downscaler_model ~rows ~cols) in
+    let tasks = gen.Mde.Codegen.kernel_tasks in
+    let findings = Mde.Verify.check tasks in
+    Analysis.Finding.record findings;
+    Analysis.Finding.kernels_checked (List.length tasks);
+    Analysis.Finding.plan_checked ();
+    { pipeline = "Gaspard2 -> OpenCL"; kernels = List.length tasks; findings }
+  in
+  [ sac false; sac true; mde ]

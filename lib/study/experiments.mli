@@ -70,3 +70,15 @@ val validate : ?scale:Scale.t -> unit -> validation list
     optimised interpreter, SAC-CUDA compiled plans (both variants),
     ArrayOL semantics and the generated OpenCL program all reproduce
     the golden reference downscaler bit-exactly. *)
+
+type lint_report = {
+  pipeline : string;
+  kernels : int;
+  findings : Analysis.Finding.t list;
+}
+
+val lint : ?scale:Scale.t -> unit -> lint_report list
+(** Static analysis (bounds, races, transfer residency) over every
+    kernel both pipelines generate at [scale]: the SAC plans for both
+    output-tiler variants and the Gaspard2 kernel tasks.  A correct
+    toolchain yields empty [findings] everywhere. *)

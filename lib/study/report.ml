@@ -159,3 +159,28 @@ let side_by_side ~title ~paper ~ours =
     (Printf.sprintf "%-26s %8s | %13.2fs %8s | %13.2fs %8s\n" "Total" "-"
        (paper_total /. 1e6) "100.00" (our_total /. 1e6) "100.00");
   Buffer.contents buf
+
+let lint (reports : Experiments.lint_report list) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "Static analysis: kernel bounds, races, transfer residency\n";
+  List.iter
+    (fun (r : Experiments.lint_report) ->
+      let n = List.length r.Experiments.findings in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-26s %2d kernel(s)  %s\n" r.Experiments.pipeline
+           r.Experiments.kernels
+           (if n = 0 then "verified: no findings"
+            else
+              Printf.sprintf "%d finding(s): %d error(s), %d warning(s), %d note(s)"
+                n
+                (Analysis.Finding.errors r.Experiments.findings)
+                (Analysis.Finding.warnings r.Experiments.findings)
+                (Analysis.Finding.notes r.Experiments.findings)));
+      List.iter
+        (fun f ->
+          Buffer.add_string buf
+            (Format.asprintf "    %a\n" Analysis.Finding.pp_long f))
+        r.Experiments.findings)
+    reports;
+  Buffer.contents buf

@@ -23,3 +23,7 @@ val side_by_side :
   string
 (** Paper numbers next to simulated numbers, row-matched by operation
     name. *)
+
+val lint : Experiments.lint_report list -> string
+(** One line per pipeline: kernel count and finding summary, followed
+    by the findings themselves in [file:where: what] format. *)

@@ -1,0 +1,585 @@
+(* Tests for the static analyzers: interval domain soundness, kernel
+   bounds/race/coverage checking, plan residency dataflow, and the
+   acceptance property that both pipelines' H.263 downscaler kernels
+   verify clean while seeded mutants produce the expected finding. *)
+
+open Gpu
+
+let rows = 18
+let cols = 16
+
+(* ---------- interval domain ---------- *)
+
+let itv lo hi = Analysis.Interval.make lo hi
+
+let test_interval_const () =
+  let i = Analysis.Interval.of_int 7 in
+  Alcotest.(check bool) "const" true (Analysis.Interval.is_const i);
+  Alcotest.(check (option int)) "value" (Some 7)
+    (Analysis.Interval.const_value i)
+
+(* Every concrete pair drawn from the operand intervals must land in
+   the abstract result — including negative operands for Div/Mod. *)
+let soundness_cases =
+  [ (-7, 5); (-3, -1); (0, 0); (1, 9); (-12, 12); (2, 2); (-5, 0) ]
+
+let check_sound name abs conc =
+  List.iter
+    (fun (alo, ahi) ->
+      List.iter
+        (fun (blo, bhi) ->
+          let ia = itv alo ahi and ib = itv blo bhi in
+          let ir = abs ia ib in
+          for x = alo to ahi do
+            for y = blo to bhi do
+              match conc x y with
+              | None -> ()
+              | Some v ->
+                  if not (Analysis.Interval.contains ir v) then
+                    Alcotest.failf "%s: %d op %d = %d outside %s" name x y v
+                      (Format.asprintf "%a" Analysis.Interval.pp ir)
+            done
+          done)
+        soundness_cases)
+    soundness_cases
+
+let test_interval_soundness () =
+  check_sound "add" Analysis.Interval.add (fun x y -> Some (x + y));
+  check_sound "sub" Analysis.Interval.sub (fun x y -> Some (x - y));
+  check_sound "mul" Analysis.Interval.mul (fun x y -> Some (x * y));
+  check_sound "div" Analysis.Interval.div_c (fun x y ->
+      if y = 0 then None else Some (x / y));
+  check_sound "mod" Analysis.Interval.mod_c (fun x y ->
+      if y = 0 then None else Some (x mod y));
+  check_sound "min" Analysis.Interval.min_ (fun x y -> Some (min x y));
+  check_sound "max" Analysis.Interval.max_ (fun x y -> Some (max x y))
+
+let test_interval_c_division () =
+  (* truncation towards zero, remainder sign follows the dividend *)
+  let d = Analysis.Interval.div_c (itv (-7) (-7)) (itv 2 2) in
+  Alcotest.(check (option int)) "-7/2 = -3" (Some (-3))
+    (Analysis.Interval.const_value d);
+  let m = Analysis.Interval.mod_c (itv (-7) (-7)) (itv 2 2) in
+  Alcotest.(check (option int)) "-7%2 = -1" (Some (-1))
+    (Analysis.Interval.const_value m);
+  let m2 = Analysis.Interval.mod_c (itv 7 7) (itv (-2) (-2)) in
+  Alcotest.(check (option int)) "7%-2 = 1" (Some 1)
+    (Analysis.Interval.const_value m2);
+  (* identity: dividend already inside [0, m) *)
+  let id = Analysis.Interval.mod_c (itv 0 7) (itv 8 8) in
+  Alcotest.(check bool) "mod identity" true
+    (id.Analysis.Interval.lo = 0 && id.Analysis.Interval.hi = 7)
+
+(* ---------- kernel verifier ---------- *)
+
+let vadd_kernel =
+  {
+    Kir.kname = "vadd";
+    params =
+      [
+        { Kir.pname = "a"; kind = Kir.In_buffer };
+        { Kir.pname = "b"; kind = Kir.In_buffer };
+        { Kir.pname = "out"; kind = Kir.Out_buffer };
+      ];
+    grid_rank = 1;
+    body =
+      [
+        Kir.Store
+          ( "out",
+            Kir.Gid 0,
+            Kir.Bin (Kir.Add, Kir.Read ("a", Kir.Gid 0), Kir.Read ("b", Kir.Gid 0))
+          );
+      ];
+  }
+
+let kinds fs = List.map (fun f -> f.Analysis.Finding.kind) fs
+
+let has_kind k fs = List.mem k (kinds fs)
+
+let test_kir_check_clean () =
+  let fs =
+    Analysis.Kir_check.check
+      ~buffers:[ ("a", 64); ("b", 64); ("out", 64) ]
+      ~grid:[| 64 |] vadd_kernel
+  in
+  Alcotest.(check int) "no findings" 0 (List.length fs)
+
+let test_kir_check_shrunk_buffer () =
+  (* mutant: buffer [b] one element too short for the launch *)
+  let fs =
+    Analysis.Kir_check.check
+      ~buffers:[ ("a", 64); ("b", 63); ("out", 64) ]
+      ~grid:[| 64 |] vadd_kernel
+  in
+  Alcotest.(check bool) "oob read" true (has_kind Analysis.Finding.Oob_read fs)
+
+let test_kir_check_oob_store () =
+  let k =
+    {
+      vadd_kernel with
+      Kir.kname = "oob";
+      body =
+        [
+          Kir.Store
+            ( "out",
+              Kir.Bin (Kir.Add, Kir.Gid 0, Kir.Int 1),
+              Kir.Read ("a", Kir.Gid 0) );
+        ];
+    }
+  in
+  let fs =
+    Analysis.Kir_check.check
+      ~buffers:[ ("a", 64); ("b", 64); ("out", 64) ]
+      ~grid:[| 64 |] k
+  in
+  Alcotest.(check bool) "oob write" true (has_kind Analysis.Finding.Oob_write fs);
+  (* the mutant also leaves [b] unused *)
+  Alcotest.(check bool) "unused param" true
+    (has_kind Analysis.Finding.Unused_param fs)
+
+let test_kir_check_mod_by_zero () =
+  (* mutant: a modulo whose divisor is the constant zero *)
+  let k =
+    {
+      vadd_kernel with
+      Kir.kname = "modzero";
+      body =
+        [
+          Kir.Store
+            ( "out",
+              Kir.Bin (Kir.Mod, Kir.Gid 0, Kir.Int 0),
+              Kir.Bin (Kir.Add, Kir.Read ("a", Kir.Gid 0),
+                       Kir.Read ("b", Kir.Gid 0)) );
+        ];
+    }
+  in
+  let fs =
+    Analysis.Kir_check.check
+      ~buffers:[ ("a", 64); ("b", 64); ("out", 64) ]
+      ~grid:[| 64 |] k
+  in
+  let errs =
+    List.filter
+      (fun f ->
+        f.Analysis.Finding.kind = Analysis.Finding.Mod_by_zero
+        && f.Analysis.Finding.severity = Analysis.Finding.Error)
+      fs
+  in
+  Alcotest.(check bool) "definite mod by zero" true (errs <> [])
+
+let test_kir_check_div_by_zero () =
+  let k =
+    {
+      vadd_kernel with
+      Kir.kname = "divzero";
+      body =
+        [
+          Kir.Store
+            ( "out",
+              Kir.Gid 0,
+              Kir.Bin (Kir.Div, Kir.Read ("a", Kir.Gid 0),
+                       Kir.Bin (Kir.Sub, Kir.Gid 0, Kir.Gid 0)) );
+        ];
+    }
+  in
+  let fs =
+    Analysis.Kir_check.check
+      ~buffers:[ ("a", 64); ("b", 64); ("out", 64) ]
+      ~grid:[| 64 |] k
+  in
+  Alcotest.(check bool) "div by zero" true
+    (has_kind Analysis.Finding.Div_by_zero fs)
+
+(* ---------- race / coverage ---------- *)
+
+let store_kernel name idx =
+  {
+    Kir.kname = name;
+    params = [ { Kir.pname = "out"; kind = Kir.Out_buffer } ];
+    grid_rank = 1;
+    body = [ Kir.Store ("out", idx, Kir.Int 1) ];
+  }
+
+let test_race_clean_strided () =
+  (* out[8*q + r] over a split grid: exact cover, race-free *)
+  let idx =
+    Kir.Bin
+      ( Kir.Add,
+        Kir.Bin (Kir.Mul, Kir.Int 8, Kir.Bin (Kir.Div, Kir.Gid 0, Kir.Int 8)),
+        Kir.Bin (Kir.Mod, Kir.Gid 0, Kir.Int 8) )
+  in
+  let fs =
+    Analysis.Race.check_group ~out:"out" ~len:64 ~full_cover:true
+      [ (store_kernel "blocked" idx, [| 64 |]) ]
+  in
+  Alcotest.(check int) "no findings" 0 (List.length fs)
+
+let test_race_overlapping_generators () =
+  (* mutant: the same generator twice — every address written by both *)
+  let k = store_kernel "gen" (Kir.Gid 0) in
+  let fs =
+    Analysis.Race.check_group ~out:"out" ~len:64 ~full_cover:false
+      [ (k, [| 64 |]); (k, [| 64 |]) ]
+  in
+  let errs =
+    List.filter
+      (fun f ->
+        f.Analysis.Finding.kind = Analysis.Finding.Race
+        && f.Analysis.Finding.severity = Analysis.Finding.Error)
+      fs
+  in
+  Alcotest.(check bool) "race reported" true (errs <> [])
+
+let test_race_within_launch () =
+  (* two work-items hit the same address: out[gid/2] *)
+  let k = store_kernel "half" (Kir.Bin (Kir.Div, Kir.Gid 0, Kir.Int 2)) in
+  let fs =
+    Analysis.Race.check_group ~out:"out" ~len:64 ~full_cover:false
+      [ (k, [| 64 |]) ]
+  in
+  Alcotest.(check bool) "race reported" true (has_kind Analysis.Finding.Race fs)
+
+let test_race_bad_cover () =
+  (* out[2*gid] claims full cover but writes only even addresses *)
+  let k = store_kernel "evens" (Kir.Bin (Kir.Mul, Kir.Int 2, Kir.Gid 0)) in
+  let fs =
+    Analysis.Race.check_group ~out:"out" ~len:64 ~full_cover:true
+      [ (k, [| 32 |]) ]
+  in
+  Alcotest.(check bool) "bad cover" true (has_kind Analysis.Finding.Bad_cover fs)
+
+let test_race_interleaved_disjoint () =
+  (* Figure-8-style split: generator k writes addresses = k (mod 4) *)
+  let gen k =
+    ( store_kernel
+        (Printf.sprintf "gen%d" k)
+        (Kir.Bin (Kir.Add, Kir.Int k, Kir.Bin (Kir.Mul, Kir.Int 4, Kir.Gid 0))),
+      [| 16 |] )
+  in
+  let fs =
+    Analysis.Race.check_group ~out:"out" ~len:64 ~full_cover:true
+      (List.map gen [ 0; 1; 2; 3 ])
+  in
+  Alcotest.(check int) "no findings" 0 (List.length fs)
+
+(* ---------- residency ---------- *)
+
+let test_residency_clean () =
+  let items =
+    [
+      Analysis.Residency.Launch
+        {
+          target = "t";
+          reads_device = [ "frame" ];
+          reads_host = [];
+          label = "item0";
+        };
+      Analysis.Residency.Host
+        {
+          declared = [ "t" ];
+          actual = [ "t" ];
+          writes = [ "res" ];
+          label = "item1";
+        };
+    ]
+  in
+  let fs = Analysis.Residency.check ~params:[ "frame" ] ~result:"res" items in
+  Alcotest.(check int) "no findings" 0 (List.length fs)
+
+let test_residency_missing_d2h () =
+  (* mutant: the forcing read of the device-only array was removed *)
+  let items =
+    [
+      Analysis.Residency.Launch
+        {
+          target = "t";
+          reads_device = [ "frame" ];
+          reads_host = [];
+          label = "item0";
+        };
+      Analysis.Residency.Host
+        { declared = []; actual = [ "t" ]; writes = [ "res" ]; label = "item1" };
+    ]
+  in
+  let fs = Analysis.Residency.check ~params:[ "frame" ] ~result:"res" items in
+  Alcotest.(check bool) "missing d2h" true
+    (has_kind Analysis.Finding.Missing_d2h fs)
+
+let test_residency_use_before_def () =
+  let items =
+    [
+      Analysis.Residency.Launch
+        {
+          target = "t";
+          reads_device = [ "ghost" ];
+          reads_host = [];
+          label = "item0";
+        };
+    ]
+  in
+  let fs = Analysis.Residency.check ~params:[ "frame" ] ~result:"t" items in
+  Alcotest.(check bool) "undefined use" true
+    (has_kind Analysis.Finding.Undefined_use fs)
+
+let test_residency_dead_copy () =
+  let items =
+    [
+      Analysis.Residency.Alias
+        { target = "unused"; source = "frame"; label = "item0" };
+      Analysis.Residency.Launch
+        {
+          target = "t";
+          reads_device = [ "frame" ];
+          reads_host = [];
+          label = "item1";
+        };
+    ]
+  in
+  let fs = Analysis.Residency.check ~params:[ "frame" ] ~result:"t" items in
+  Alcotest.(check bool) "dead item" true (has_kind Analysis.Finding.Dead_item fs)
+
+let test_residency_redundant_transfer () =
+  let items =
+    [
+      Analysis.Residency.Launch
+        {
+          target = "t";
+          reads_device = [ "frame" ];
+          reads_host = [];
+          label = "item0";
+        };
+      Analysis.Residency.Host
+        {
+          declared = [ "t" ];
+          actual = [];
+          writes = [ "res" ];
+          label = "item1";
+        };
+      Analysis.Residency.Host
+        {
+          declared = [];
+          actual = [ "res" ];
+          writes = [ "res" ];
+          label = "item2";
+        };
+    ]
+  in
+  let fs = Analysis.Residency.check ~params:[ "frame" ] ~result:"res" items in
+  Alcotest.(check bool) "redundant transfer" true
+    (has_kind Analysis.Finding.Redundant_transfer fs)
+
+(* ---------- the SAC pipeline ---------- *)
+
+let sac_plan ?(rows = rows) ?(cols = cols) ~generic () =
+  let src = Sac.Programs.downscaler ~generic ~rows ~cols in
+  fst (Sac_cuda.Compile.plan_of_source src ~entry:"main")
+
+let test_sac_downscaler_clean () =
+  List.iter
+    (fun generic ->
+      let plan = sac_plan ~generic () in
+      let fs = Sac_cuda.Verify.check plan in
+      Alcotest.(check (list string))
+        (Printf.sprintf "downscaler generic=%b verifies clean" generic)
+        []
+        (List.map (Format.asprintf "%a" Analysis.Finding.pp_long) fs))
+    [ false; true ]
+
+let test_sac_downscaler_paper_scale () =
+  (* 1080x1920: the proof must go through symbolically — enumeration
+     at this size would be visible in the test's runtime *)
+  let plan = sac_plan ~rows:1080 ~cols:1920 ~generic:false () in
+  let fs = Sac_cuda.Verify.check plan in
+  Alcotest.(check (list string))
+    "paper-scale downscaler verifies clean" []
+    (List.map (Format.asprintf "%a" Analysis.Finding.pp_long) fs)
+
+let test_sac_mutant_overlapping_generators () =
+  let plan = sac_plan ~generic:false () in
+  let mutated =
+    {
+      plan with
+      Sac_cuda.Plan.items =
+        List.map
+          (fun item ->
+            match item with
+            | Sac_cuda.Plan.Device_withloop
+                { target; swith; kernels; full_cover; label } ->
+                (* duplicate the first generator-kernel *)
+                let kernels =
+                  match kernels with k :: rest -> k :: k :: rest | [] -> []
+                in
+                Sac_cuda.Plan.Device_withloop
+                  { target; swith; kernels; full_cover; label }
+            | other -> other)
+          plan.Sac_cuda.Plan.items;
+    }
+  in
+  let fs = Sac_cuda.Verify.check mutated in
+  Alcotest.(check bool) "race reported" true
+    (has_kind Analysis.Finding.Race fs)
+
+let test_sac_mutant_removed_d2h () =
+  (* the generic plan pulls the with-loop result into a host block;
+     removing it from the declared read set loses the d2h *)
+  let plan = sac_plan ~generic:true () in
+  let device_targets =
+    List.filter_map
+      (function
+        | Sac_cuda.Plan.Device_withloop { target; _ } -> Some target
+        | _ -> None)
+      plan.Sac_cuda.Plan.items
+  in
+  let mutated =
+    {
+      plan with
+      Sac_cuda.Plan.items =
+        List.map
+          (fun item ->
+            match item with
+            | Sac_cuda.Plan.Host_block { stmts; reads; writes } ->
+                let reads =
+                  List.filter (fun r -> not (List.mem r device_targets)) reads
+                in
+                Sac_cuda.Plan.Host_block { stmts; reads; writes }
+            | other -> other)
+          plan.Sac_cuda.Plan.items;
+    }
+  in
+  let fs = Sac_cuda.Verify.check mutated in
+  Alcotest.(check bool) "missing d2h" true
+    (has_kind Analysis.Finding.Missing_d2h fs)
+
+let test_sac_strict_mode_rejects () =
+  (* a broken program fails compilation under strict mode *)
+  Analysis.Config.set_mode Analysis.Config.Strict;
+  Fun.protect ~finally:(fun () -> Analysis.Config.set_mode Analysis.Config.Lint)
+  @@ fun () ->
+  let plan = sac_plan ~generic:false () in
+  (* the clean plan passes the strict gate *)
+  (match Sac_cuda.Verify.gate plan with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "clean plan rejected: %s" m);
+  let mutated =
+    {
+      plan with
+      Sac_cuda.Plan.items =
+        List.map
+          (fun item ->
+            match item with
+            | Sac_cuda.Plan.Device_withloop
+                { target; swith; kernels; full_cover; label } ->
+                (* duplicate the first generator-kernel *)
+                let kernels =
+                  match kernels with k :: rest -> k :: k :: rest | [] -> []
+                in
+                Sac_cuda.Plan.Device_withloop
+                  { target; swith; kernels; full_cover; label }
+            | other -> other)
+          plan.Sac_cuda.Plan.items;
+    }
+  in
+  Alcotest.(check bool) "mutant rejected" true
+    (Result.is_error (Sac_cuda.Verify.gate mutated))
+
+(* ---------- the MDE pipeline ---------- *)
+
+let test_mde_downscaler_clean () =
+  let model = Mde.Chain.downscaler_model ~rows ~cols in
+  match Mde.Chain.transform model with
+  | Error m -> Alcotest.failf "chain failed: %s" m
+  | Ok (gen, _) ->
+      let fs = Mde.Verify.check gen.Mde.Codegen.kernel_tasks in
+      Alcotest.(check (list string))
+        "mde downscaler verifies clean" []
+        (List.map (Format.asprintf "%a" Analysis.Finding.pp_long) fs)
+
+let test_mde_downscaler_paper_scale () =
+  let model = Mde.Chain.downscaler_model ~rows:1080 ~cols:1920 in
+  match Mde.Chain.transform model with
+  | Error m -> Alcotest.failf "chain failed: %s" m
+  | Ok (gen, _) ->
+      let fs = Mde.Verify.check gen.Mde.Codegen.kernel_tasks in
+      Alcotest.(check (list string))
+        "paper-scale mde downscaler verifies clean" []
+        (List.map (Format.asprintf "%a" Analysis.Finding.pp_long) fs)
+
+let test_mde_mutant_shrunk_port () =
+  let model = Mde.Chain.downscaler_model ~rows ~cols in
+  match Mde.Chain.transform model with
+  | Error m -> Alcotest.failf "chain failed: %s" m
+  | Ok (gen, _) -> (
+      match gen.Mde.Codegen.kernel_tasks with
+      | kt :: _ ->
+          let shrink (n, shape) =
+            (n, Array.map (fun d -> max 1 (d - 1)) shape)
+          in
+          let mutated =
+            {
+              kt with
+              Mde.Codegen.input_ports =
+                List.map shrink kt.Mde.Codegen.input_ports;
+            }
+          in
+          let fs = Mde.Verify.check [ mutated ] in
+          Alcotest.(check bool) "oob read" true
+            (has_kind Analysis.Finding.Oob_read fs)
+      | [] -> Alcotest.fail "no kernel tasks")
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "interval",
+        [
+          Alcotest.test_case "const" `Quick test_interval_const;
+          Alcotest.test_case "soundness" `Quick test_interval_soundness;
+          Alcotest.test_case "c-division" `Quick test_interval_c_division;
+        ] );
+      ( "kir-check",
+        [
+          Alcotest.test_case "clean" `Quick test_kir_check_clean;
+          Alcotest.test_case "shrunk-buffer" `Quick test_kir_check_shrunk_buffer;
+          Alcotest.test_case "oob-store" `Quick test_kir_check_oob_store;
+          Alcotest.test_case "mod-by-zero" `Quick test_kir_check_mod_by_zero;
+          Alcotest.test_case "div-by-zero" `Quick test_kir_check_div_by_zero;
+        ] );
+      ( "race",
+        [
+          Alcotest.test_case "clean-strided" `Quick test_race_clean_strided;
+          Alcotest.test_case "overlapping-generators" `Quick
+            test_race_overlapping_generators;
+          Alcotest.test_case "within-launch" `Quick test_race_within_launch;
+          Alcotest.test_case "bad-cover" `Quick test_race_bad_cover;
+          Alcotest.test_case "interleaved-disjoint" `Quick
+            test_race_interleaved_disjoint;
+        ] );
+      ( "residency",
+        [
+          Alcotest.test_case "clean" `Quick test_residency_clean;
+          Alcotest.test_case "missing-d2h" `Quick test_residency_missing_d2h;
+          Alcotest.test_case "use-before-def" `Quick
+            test_residency_use_before_def;
+          Alcotest.test_case "dead-copy" `Quick test_residency_dead_copy;
+          Alcotest.test_case "redundant-transfer" `Quick
+            test_residency_redundant_transfer;
+        ] );
+      ( "sac-pipeline",
+        [
+          Alcotest.test_case "downscaler-clean" `Quick test_sac_downscaler_clean;
+          Alcotest.test_case "paper-scale" `Quick
+            test_sac_downscaler_paper_scale;
+          Alcotest.test_case "mutant-overlap" `Quick
+            test_sac_mutant_overlapping_generators;
+          Alcotest.test_case "mutant-removed-d2h" `Quick
+            test_sac_mutant_removed_d2h;
+          Alcotest.test_case "strict-mode" `Quick test_sac_strict_mode_rejects;
+        ] );
+      ( "mde-pipeline",
+        [
+          Alcotest.test_case "downscaler-clean" `Quick test_mde_downscaler_clean;
+          Alcotest.test_case "paper-scale" `Quick
+            test_mde_downscaler_paper_scale;
+          Alcotest.test_case "mutant-shrunk-port" `Quick
+            test_mde_mutant_shrunk_port;
+        ] );
+    ]

@@ -136,7 +136,27 @@ let test_validate_nonexact_output_tiler () =
          let nl = String.length needle and hl = String.length m in
          let rec go j = (j + nl <= hl) && (String.sub m j nl = needle || go (j + 1)) in
          go 0)
-       (Arrayol.Validate.check bad))
+       (Arrayol.Validate.check bad));
+  (* Below the exact-cover budget the analysis is skipped (visibly, via
+     the analysis log source) instead of reported. *)
+  Alcotest.(check bool) "cover analysis skippable" false
+    (List.exists
+       (fun (i : Arrayol.Validate.issue) ->
+         let needle = "exact cover" in
+         let m = i.Arrayol.Validate.what in
+         let nl = String.length needle and hl = String.length m in
+         let rec go j = (j + nl <= hl) && (String.sub m j nl = needle || go (j + 1)) in
+         go 0)
+       (Arrayol.Validate.check ~exact_cover_limit:4 bad));
+  (* Issues carry the caller's location in the shared file:where: what
+     shape. *)
+  (match Arrayol.Validate.check ~loc:"mean.aol" bad with
+  | i :: _ ->
+      Alcotest.(check string) "loc threaded" "mean.aol" i.Arrayol.Validate.loc;
+      Alcotest.(check bool) "pp prefixes loc" true
+        (let s = Format.asprintf "%a" Arrayol.Validate.pp_issue i in
+         String.length s > 9 && String.sub s 0 9 = "mean.aol:")
+  | [] -> Alcotest.fail "expected issues")
 
 let test_validate_cycle () =
   let dummy name =

@@ -632,6 +632,74 @@ let vadd_2d =
         ];
     }
 
+(* ---------- Div/Mod C semantics ---------- *)
+
+(* The IR documents C semantics for Div and Mod: quotients truncate
+   towards zero and the remainder's sign follows the dividend.  The
+   functional evaluator must implement exactly that, and both emitters
+   must render plain C [/] and [%] so the generated sources agree. *)
+
+let divmod_kernel =
+  Kir.
+    {
+      kname = "divmod";
+      params =
+        [
+          { pname = "a"; kind = Scalar };
+          { pname = "b"; kind = Scalar };
+          { pname = "out"; kind = Out_buffer };
+        ];
+      grid_rank = 1;
+      body =
+        [
+          Store ("out", Int 0, Bin (Div, Param "a", Param "b"));
+          Store ("out", Int 1, Bin (Mod, Param "a", Param "b"));
+        ];
+    }
+
+(* C-truncating reference, written out rather than leaning on OCaml's
+   operators so the test states the law it checks. *)
+let c_divmod a b =
+  let q = abs a / abs b in
+  let q = if (a < 0) <> (b < 0) then -q else q in
+  (q, a - (b * q))
+
+let test_divmod_c_semantics () =
+  let c = ctx () in
+  let out = Context.alloc c ~name:"out" 2 in
+  List.iter
+    (fun (a, b) ->
+      Context.launch c divmod_kernel ~grid:[| 1 |]
+        ~args:
+          [
+            ("a", Kir.Scalar_arg a); ("b", Kir.Scalar_arg b);
+            ("out", Kir.Buffer_arg out);
+          ];
+      let host = Array.make 2 0 in
+      Context.d2h c out host;
+      let q, r = c_divmod a b in
+      Alcotest.(check (pair int int))
+        (Printf.sprintf "%d div/mod %d" a b)
+        (q, r)
+        (host.(0), host.(1)))
+    [
+      (7, 2); (-7, 2); (7, -2); (-7, -2); (9, 4); (-9, 4); (9, -4);
+      (-9, -4); (1, 8); (-1, 8); (8, 8); (-8, 8); (0, 5); (0, -5);
+    ]
+
+let test_divmod_emitters_agree () =
+  (* Both backends must print the raw C operators (no floor-division
+     shims), so the device executes the same truncating semantics the
+     evaluator implements. *)
+  List.iter
+    (fun src ->
+      Alcotest.(check bool) "plain / emitted" true (contains ~needle:"a / b" src);
+      Alcotest.(check bool) "plain % emitted" true (contains ~needle:"a % b" src))
+    [
+      Cuda.Emit.kernel ~grid:[| 1 |] divmod_kernel;
+      Opencl.Emit.kernel ~grid:[| 1 |] divmod_kernel;
+    ]
+
 let test_cuda_emit () =
   let src = Cuda.Emit.kernel ~grid:[| 1080; 720 |] vadd_2d in
   Alcotest.(check bool) "__global__" true (contains ~needle:"__global__ void" src);
@@ -1195,6 +1263,10 @@ let () =
         ] );
       ( "emit",
         [
+          Alcotest.test_case "div/mod C semantics" `Quick
+            test_divmod_c_semantics;
+          Alcotest.test_case "div/mod emitters agree" `Quick
+            test_divmod_emitters_agree;
           Alcotest.test_case "cuda kernel" `Quick test_cuda_emit;
           Alcotest.test_case "opencl kernel" `Quick test_opencl_emit;
           Alcotest.test_case "cuda program" `Quick test_cuda_program_shape;
