@@ -1,0 +1,15 @@
+open Gpu
+let k body = { Kir.kname = "t"; grid_rank = 1; params = [ { Kir.pname = "out"; kind = Kir.Out_buffer } ]; body }
+let show tag fs =
+  Format.printf "== %s ==@." tag;
+  if fs = [] then Format.printf "(no findings)@."
+  else List.iter (fun f -> Format.printf "%a@." Analysis.Finding.pp_long f) fs
+let () =
+  (* A: two identical stores per thread (benign rewrite), grid 4, len 8:
+     only addresses 0..3 are ever written, yet full_cover is claimed. *)
+  let body = [ Kir.Store ("out", Kir.Gid 0, Kir.Int 1); Kir.Store ("out", Kir.Gid 0, Kir.Int 2) ] in
+  show "A: rewrite kernel, len=8 (under-covered: expect an error)"
+    (Analysis.Race.check_group ~out:"out" ~len:8 ~full_cover:true [ (k body, [|4|]) ]);
+  (* B: same kernel, len 4: genuinely fully covered, expect clean *)
+  show "B: rewrite kernel, len=4 (correct cover: expect clean)"
+    (Analysis.Race.check_group ~out:"out" ~len:4 ~full_cover:true [ (k body, [|4|]) ])
