@@ -21,6 +21,9 @@
                       (default: BENCH_<yyyy-mm-dd>.json), with the kernel
                       cache statistics and pool counters embedded.
      --domains N      resize the shared domain pool (1 = sequential).
+     --fuse on|off    plan-level kernel fusion + buffer liveness reuse in
+                      both GPU pipelines (default off; the fusion
+                      ablation always measures both settings).
      --trace [PATH]   write a Chrome trace-event JSON file (default:
                       bench_trace.json) with modelled-device tracks and
                       host wall-clock spans.
@@ -136,30 +139,23 @@ let ablation_transfers ~scale () =
   Printf.printf "  batching would save %.1f%% of upload time\n"
     (100.0 *. (1.0 -. (batched /. per_plane)))
 
+(* Results kept for the --json report. *)
+let overlap_summaries : (string * Gpu.Overlap.summary) list ref = ref []
+let fusion_rows : Study.Experiments.fusion_row list ref = ref []
+
 let ablation_overlap ~scale () =
   section "Ablation: stream overlap (what both backends leave on the table)";
-  (* One Gaspard2 frame's events, pipelined over 300 frames with
-     double-buffered streams. *)
-  let model =
-    Mde.Chain.downscaler_model ~rows:scale.Study.Scale.rows
-      ~cols:scale.Study.Scale.cols
-  in
-  let gen = Mde.Chain.transform_exn model in
-  let ctx = Opencl.Runtime.create_context ~mode:Gpu.Context.Timing_only () in
-  let plane c =
-    Ndarray.Tensor.init
-      [| scale.Study.Scale.rows; scale.Study.Scale.cols |]
-      (fun idx -> (idx.(0) + idx.(1) + c) mod 251)
-  in
-  ignore
-    (Mde.Chain.run ctx gen
-       ~inputs:[ ("r_in", plane 0); ("g_in", plane 1); ("b_in", plane 2) ]);
-  let summary =
-    Gpu.Overlap.of_timeline
-      (Gpu.Context.timeline (Opencl.Runtime.gpu_context ctx))
-      ~rounds:scale.Study.Scale.frames
-  in
-  Format.printf "  Gaspard2 pipeline: %a@." Gpu.Overlap.pp_summary summary
+  (* One frame's events per pipeline, pipelined over the run length
+     with double-buffered streams. *)
+  let summaries = Study.Experiments.overlap ~scale () in
+  overlap_summaries := summaries;
+  print_string (Study.Report.overlap summaries)
+
+let ablation_fusion ~scale () =
+  section "Ablation: plan-level kernel fusion + buffer liveness (--fuse)";
+  let rows = Study.Experiments.fusion ~scale () in
+  fusion_rows := rows;
+  print_string (Study.Report.fusion rows)
 
 let ablation_generic ~scale () =
   section "Ablation: abstraction tax (generic vs non-generic, simulated)";
@@ -331,6 +327,7 @@ type options = {
   smoke : bool;
   json : string option;  (** output path when [--json] was given *)
   domains : int;  (** 0 = machine default *)
+  fuse : bool;  (** kernel fusion + liveness reuse in both pipelines *)
   trace : string option;  (** Chrome trace output when [--trace] was given *)
   metrics : string option;  (** metrics dump when [--metrics] was given *)
 }
@@ -343,7 +340,14 @@ let today () =
 let parse_options () =
   let opts =
     ref
-      { smoke = false; json = None; domains = 0; trace = None; metrics = None }
+      {
+        smoke = false;
+        json = None;
+        domains = 0;
+        fuse = false;
+        trace = None;
+        metrics = None;
+      }
   in
   let args = Array.to_list Sys.argv in
   let rec go = function
@@ -369,6 +373,12 @@ let parse_options () =
         go rest
     | "--metrics" :: rest ->
         opts := { !opts with metrics = Some "bench_metrics.json" };
+        go rest
+    | "--fuse" :: v :: rest when v = "on" || v = "off" ->
+        opts := { !opts with fuse = (v = "on") };
+        go rest
+    | "--fuse" :: rest ->
+        opts := { !opts with fuse = true };
         go rest
     | "--domains" :: n :: rest -> (
         match int_of_string_opt n with
@@ -403,6 +413,7 @@ let write_json path ~opts ~scale ~timings =
   p "  \"smoke\": %b,\n" opts.smoke;
   p "  \"domains\": %d,\n"
     (if opts.domains > 0 then opts.domains else Gpu.Pool.default_domains ());
+  p "  \"fuse\": %b,\n" opts.fuse;
   p "  \"scale\": { \"rows\": %d, \"cols\": %d, \"frames\": %d },\n"
     scale.Study.Scale.rows scale.Study.Scale.cols scale.Study.Scale.frames;
   p "  \"sections\": [\n";
@@ -434,6 +445,42 @@ let write_json path ~opts ~scale ~timings =
     (m "pool.queue_high_water")
     (m "pool.peak_parallelism");
   p
+    "  \"fusion\": { \"kernels_eliminated\": %d, \"launches_saved\": %d, \
+     \"buffers_eliminated\": %d, \"bytes_saved\": %d, \"buffers_reused\": \
+     %d },\n"
+    (m "fusion.kernels_eliminated")
+    (m "fusion.launches_saved")
+    (m "fusion.buffers_eliminated")
+    (m "fusion.bytes_saved") (m "fusion.buffers_reused");
+  p "  \"fusion_ablation\": [\n";
+  let nrows = List.length !fusion_rows in
+  List.iteri
+    (fun i (r : Study.Experiments.fusion_row) ->
+      p
+        "    { \"pipeline\": \"%s\", \"fused\": %b, \"kernels\": %d, \
+         \"launches\": %d, \"intermediates\": %d, \"peak_bytes\": %d, \
+         \"modelled_us\": %.1f, \"bit_identical\": %b }%s\n"
+        (json_escape r.Study.Experiments.pipeline)
+        r.Study.Experiments.fused r.Study.Experiments.kernels
+        r.Study.Experiments.launches r.Study.Experiments.intermediates
+        r.Study.Experiments.peak_bytes r.Study.Experiments.modelled_us
+        r.Study.Experiments.bit_identical
+        (if i = nrows - 1 then "" else ","))
+    !fusion_rows;
+  p "  ],\n";
+  p "  \"overlap\": {\n";
+  let nsums = List.length !overlap_summaries in
+  List.iteri
+    (fun i (name, (s : Gpu.Overlap.summary)) ->
+      p
+        "    \"%s\": { \"serial_s\": %.3f, \"pipelined_s\": %.3f, \
+         \"bottleneck_share\": %.3f, \"saving_pct\": %.1f }%s\n"
+        (json_escape name) s.Gpu.Overlap.serial_s s.Gpu.Overlap.pipelined_s
+        s.Gpu.Overlap.bottleneck_share s.Gpu.Overlap.saving_pct
+        (if i = nsums - 1 then "" else ","))
+    !overlap_summaries;
+  p "  },\n";
+  p
     "  \"analysis\": { \"kernels_checked\": %d, \"plans_checked\": %d, \
      \"findings\": %d, \"errors\": %d, \"warnings\": %d, \"notes\": %d },\n"
     (m "analysis.kernels_checked")
@@ -454,6 +501,7 @@ let () =
       (if opts.domains <= 1 then Gpu.Context.Sequential
        else Gpu.Context.Parallel opts.domains)
   end;
+  Gpu.Fuse.set_enabled opts.fuse;
   if opts.trace <> None then Obs.Tracer.set_enabled true;
   let scale = if opts.smoke then small else Study.Scale.paper in
   let plane = dummy_plane scale in
@@ -468,6 +516,7 @@ let () =
   timed "ablation/split" (ablation_split ~scale ~plane);
   timed "ablation/transfers" (ablation_transfers ~scale);
   timed "ablation/overlap" (ablation_overlap ~scale);
+  timed "ablation/fusion" (ablation_fusion ~scale);
   timed "ablation/generic" (ablation_generic ~scale);
   timed "ablation/devices" (ablation_devices ~scale ~plane);
   timed "microbenchmarks" (run_benchmarks ~smoke:opts.smoke);

@@ -61,12 +61,18 @@ let () =
   if get "analysis.kernels_checked" <= 0 then
     fail "metrics %s: no kernels statically analyzed" metrics_path;
   ignore (get "analysis.plans_checked");
+  (* The fusion ablation always measures the fused arm, so a bench run
+     must have eliminated kernels (and recorded the companion series). *)
+  if get "fusion.kernels_eliminated" <= 0 then
+    fail "metrics %s: fusion ablation eliminated no kernels" metrics_path;
   List.iter
     (fun name -> ignore (get name))
     [
       "gpu.compiles"; "gpu.compile_hits"; "gpu.cost_profiles"; "gpu.cost_hits";
       "gpu.h2d_bytes"; "gpu.d2h_bytes"; "gpu.alloc_high_water_bytes";
       "pool.tasks"; "pool.batches"; "pool.size";
+      "fusion.launches_saved"; "fusion.buffers_eliminated";
+      "fusion.bytes_saved"; "fusion.buffers_reused";
     ];
   Printf.printf
     "observability artefacts ok: %d device events, %d host spans, %d launches\n"

@@ -75,12 +75,13 @@ let apply_domains n =
       (if n <= 1 then Gpu.Context.Sequential else Gpu.Context.Parallel n)
   end
 
-let main rows cols frames pipeline out_dir domains trace metrics =
+let main rows cols frames pipeline out_dir domains fuse trace metrics =
   if cols mod 8 <> 0 || rows mod 9 <> 0 then begin
     Printf.eprintf "rows must be a multiple of 9 and cols of 8\n";
     exit 2
   end;
   apply_domains domains;
+  Gpu.Fuse.set_enabled fuse;
   if trace <> None then Obs.Tracer.set_enabled true;
   let fmt = { Video.Format.name = "synthetic"; rows; cols } in
   let run =
@@ -160,6 +161,15 @@ let () =
             "OCaml domains for frame-level parallelism (1 forces a \
              sequential run; 0 keeps the machine default).")
   in
+  let fuse =
+    Arg.(
+      value
+      & opt (enum [ ("on", true); ("off", false) ]) false
+      & info [ "fuse" ]
+          ~doc:
+            "Plan-level kernel fusion and device-buffer liveness reuse \
+             in the sac and gaspard pipelines ($(b,on) or $(b,off)).")
+  in
   let trace =
     Arg.(
       value
@@ -180,8 +190,8 @@ let () =
   in
   let term =
     Term.(
-      const main $ rows $ cols $ frames $ pipeline $ out $ domains $ trace
-      $ metrics)
+      const main $ rows $ cols $ frames $ pipeline $ out $ domains $ fuse
+      $ trace $ metrics)
   in
   exit
     (Cmd.eval'

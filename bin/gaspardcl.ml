@@ -6,7 +6,9 @@
 
 open Cmdliner
 
-let main rows cols out_dir show_model load save_model lint trace metrics =
+let main rows cols out_dir show_model load save_model lint fuse trace metrics
+    =
+  Gpu.Fuse.set_enabled fuse;
   if trace <> None then Obs.Tracer.set_enabled true;
   let finish code =
     Option.iter Gpu.Trace_export.write trace;
@@ -104,6 +106,18 @@ let () =
              exact-cover) for the generated kernels instead of the .cl \
              source; exit non-zero on error findings.")
   in
+  let fuse =
+    Arg.(
+      value
+      & opt (enum [ ("on", true); ("off", false) ]) false
+      & info [ "fuse" ]
+          ~doc:
+            "Kernel fusion and buffer liveness in the chain: on adds \
+             the fusion pass (single-consumer kernels inlined, \
+             intermediate buffers dropped, per-level buffer release at \
+             run time); off (default) keeps one kernel per repetitive \
+             task.")
+  in
   let trace =
     Arg.(
       value
@@ -125,7 +139,7 @@ let () =
   let term =
     Term.(
       const main $ rows $ cols $ out $ show_model $ load $ save_model $ lint
-      $ trace $ metrics)
+      $ fuse $ trace $ metrics)
   in
   exit
     (Cmd.eval'

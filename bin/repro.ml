@@ -41,6 +41,15 @@ let domains_arg =
            parallelism and for functional kernel execution (1 forces \
            fully sequential runs; 0 keeps the machine default).")
 
+let fuse_arg =
+  Arg.(
+    value
+    & opt (enum [ ("on", true); ("off", false) ]) false
+    & info [ "fuse" ]
+        ~doc:
+          "Plan-level kernel fusion and device-buffer liveness reuse \
+           in both GPU pipelines ($(b,on) or $(b,off)).")
+
 let trace_arg =
   Arg.(
     value
@@ -136,6 +145,12 @@ let run_lint scale =
         acc + Analysis.Finding.errors r.Study.Experiments.findings)
       0 reports
 
+let run_fusion scale =
+  print_string (Study.Report.fusion (Study.Experiments.fusion ~scale ()))
+
+let run_overlap scale =
+  print_string (Study.Report.overlap (Study.Experiments.overlap ~scale ()))
+
 let run_side_by_side scale =
   print_string
     (Study.Report.side_by_side ~title:"Table I (paper vs simulated)"
@@ -164,24 +179,29 @@ let run_all scale =
   print_newline ();
   run_side_by_side scale;
   print_newline ();
+  run_fusion scale;
+  print_newline ();
+  run_overlap scale;
+  print_newline ();
   run_validate ()
 
-let with_domains f domains trace metrics scale =
+let with_domains f domains fuse trace metrics scale =
   apply_domains domains;
+  Gpu.Fuse.set_enabled fuse;
   with_obs ~trace ~metrics (fun () -> f scale)
 
 let cmd_of name doc f =
   Cmd.v (Cmd.info name ~doc)
     Term.(
-      const (with_domains f) $ domains_arg $ trace_arg $ metrics_arg
-      $ scale_args)
+      const (with_domains f) $ domains_arg $ fuse_arg $ trace_arg
+      $ metrics_arg $ scale_args)
 
 let () =
   let doc = "Reproduce the evaluation of the SAC/ArrayOL GPU study" in
   let default =
     Term.(
-      const (with_domains run_all) $ domains_arg $ trace_arg $ metrics_arg
-      $ scale_args)
+      const (with_domains run_all) $ domains_arg $ fuse_arg $ trace_arg
+      $ metrics_arg $ scale_args)
   in
   let cmd =
     Cmd.group ~default (Cmd.info "repro" ~doc)
@@ -195,6 +215,15 @@ let () =
         cmd_of "claims" "Conclusion claims (Section IX)" run_claims;
         cmd_of "cif" "Section III CIF workload (2000 frames)" run_cif;
         cmd_of "compare" "Paper vs simulated tables" run_side_by_side;
+        cmd_of "fusion"
+          "Kernel-fusion ablation: kernels, launches, intermediate \
+           buffers, peak device memory and bit-identity with --fuse \
+           off vs on"
+          run_fusion;
+        cmd_of "overlap"
+          "Stream-overlap model: what double-buffered transfers would \
+           recover in each pipeline"
+          run_overlap;
         cmd_of "kernel-lint"
           "Static analysis of every kernel both pipelines generate \
            (bounds, races, transfer residency); exits non-zero on \
@@ -203,10 +232,11 @@ let () =
         Cmd.v
           (Cmd.info "validate" ~doc:"Cross-pipeline functional validation")
           Term.(
-            const (fun n trace metrics () ->
+            const (fun n fuse trace metrics () ->
                 apply_domains n;
+                Gpu.Fuse.set_enabled fuse;
                 with_obs ~trace ~metrics run_validate)
-            $ domains_arg $ trace_arg $ metrics_arg $ const ());
+            $ domains_arg $ fuse_arg $ trace_arg $ metrics_arg $ const ());
       ]
   in
   let code = Cmd.eval cmd in

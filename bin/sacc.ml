@@ -27,9 +27,10 @@ let builtin_source name rows cols =
       Some (Sac.Programs.vertical ~generic:true ~rows ~cols)
   | _ -> None
 
-let main input builtin from_model generic rows cols emit entry verify trace
-    metrics =
+let main input builtin from_model generic rows cols emit entry verify fuse
+    trace metrics =
   Analysis.Config.set_mode verify;
+  Gpu.Fuse.set_enabled fuse;
   if trace <> None then Obs.Tracer.set_enabled true;
   Fun.protect ~finally:(fun () ->
       Option.iter Gpu.Trace_export.write trace;
@@ -204,6 +205,18 @@ let () =
              lint (record findings as metrics/log entries) or strict \
              (abort compilation on error findings).")
   in
+  let fuse =
+    Arg.(
+      value
+      & opt (enum [ ("on", true); ("off", false) ]) false
+      & info [ "fuse" ]
+          ~doc:
+            "Plan-level kernel fusion and buffer liveness: on inlines \
+             provably-safe producer kernels into their single consumer \
+             (fewer launches, no intermediate buffer) and frees device \
+             buffers after their last use; off (default) keeps the \
+             one-kernel-per-generator plan.")
+  in
   let trace =
     Arg.(
       value
@@ -225,7 +238,7 @@ let () =
   let term =
     Term.(
       const main $ input $ builtin $ from_model $ generic $ rows $ cols
-      $ emit $ entry $ verify $ trace $ metrics)
+      $ emit $ entry $ verify $ fuse $ trace $ metrics)
   in
   let info =
     Cmd.info "sacc" ~doc:"SAC to CUDA compiler (simulated device)"

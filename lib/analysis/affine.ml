@@ -240,8 +240,26 @@ let store_sets ~grid (k : Kir.t) : (string * sset) list option =
           let s = sset_of_form ~grid ~splits ~exact:(!exact && not guarded) f in
           stmts env ~guarded ((buf, s) :: acc) rest
       | Kir.If (_, t, f) :: rest ->
-          let acc = stmts env ~guarded:true acc t in
-          let acc = stmts env ~guarded:true acc f in
+          (* Branch-uniform stores: an if/else chain whose arms all
+             store the same (buffer, address) list executes exactly one
+             arm, so those stores happen unconditionally and stay
+             exact.  Fused kernels dispatch over producer branches this
+             way; recursion makes the check cascade down nested else
+             chains.  Anything else keeps the conservative inexact
+             treatment. *)
+          let branch_sets body =
+            match List.rev (stmts env ~guarded [] body) with
+            | sets -> Some sets
+            | exception Not_affine -> None
+          in
+          let acc =
+            match (branch_sets t, branch_sets f) with
+            | Some ts, Some fs when ts <> [] && ts = fs ->
+                List.rev_append ts acc
+            | _ ->
+                let acc = stmts env ~guarded:true acc t in
+                stmts env ~guarded:true acc f
+          in
           stmts env ~guarded acc rest
       | (Kir.For { body; _ } as s) :: rest ->
           (* a store inside a loop is outside the per-thread strided

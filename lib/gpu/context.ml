@@ -12,8 +12,14 @@ type t = {
   timeline : Timeline.t;
   mutable mode : exec_mode;
   mutable allocated : int;
+  mutable peak : int;
   mutable next_id : int;
   live : (int, Buffer.t) Hashtbl.t;
+  (* Reuse arena (--fuse on): freed backing stores keyed by length,
+     recycled by [alloc] instead of growing the heap.  Only the
+     liveness pass frees mid-plan, so the arena stays empty unless
+     fusion is enabled. *)
+  arena : (int, int array list) Hashtbl.t;
   (* Per-context kernel caches.  A context belongs to one thread of the
      driver, so these tables need no locking; the process-wide second
      levels in [Kir.shared_prepare] and [global_costs] are what make
@@ -61,6 +67,8 @@ let m_alloc_bytes = Obs.Metrics.counter "gpu.alloc_bytes"
 
 let m_alloc_high_water = Obs.Metrics.gauge "gpu.alloc_high_water_bytes"
 
+let m_buffers_reused = Obs.Metrics.counter "fusion.buffers_reused"
+
 (* The mode new contexts start in when [create] gets no explicit
    [?mode]; the CLI --domains flag raises it to [Parallel n] so every
    functional execution in the process lands on the domain pool. *)
@@ -76,8 +84,10 @@ let create ?mode spec =
     timeline = Timeline.create ();
     mode = (match mode with Some m -> m | None -> !default_mode_ref);
     allocated = 0;
+    peak = 0;
     next_id = 0;
     live = Hashtbl.create 16;
+    arena = Hashtbl.create 8;
     prepared = Hashtbl.create 16;
     costs = Hashtbl.create 16;
     stats = no_stats;
@@ -88,6 +98,8 @@ let device t = t.spec
 let timeline t = t.timeline
 
 let allocated_bytes t = t.allocated
+
+let peak_bytes t = t.peak
 
 let set_mode t mode = t.mode <- mode
 
@@ -103,19 +115,42 @@ let alloc t ~name len =
          (Printf.sprintf
             "allocating %d B for %s exceeds device memory (%d B in use of %d)"
             bytes name t.allocated budget));
-  let buf = { Buffer.id = t.next_id; name; data = Array.make len 0 } in
+  let data =
+    match Hashtbl.find_opt t.arena len with
+    | Some (a :: rest) ->
+        Hashtbl.replace t.arena len rest;
+        Array.fill a 0 len 0;
+        Obs.Metrics.incr m_buffers_reused;
+        a
+    | Some [] | None -> Array.make len 0
+  in
+  let buf = { Buffer.id = t.next_id; name; data } in
   t.next_id <- t.next_id + 1;
   t.allocated <- t.allocated + bytes;
+  if t.allocated > t.peak then t.peak <- t.allocated;
   Obs.Metrics.add m_alloc_bytes bytes;
   Obs.Metrics.set_max m_alloc_high_water t.allocated;
   Hashtbl.add t.live buf.Buffer.id buf;
   buf
 
+(* At most this many freed stores are retained per buffer length; the
+   H.263 plans cycle through a handful of shapes, so a short shelf
+   catches every reuse without hoarding the heap. *)
+let arena_depth = 4
+
 let free t (buf : Buffer.t) =
-  if Hashtbl.mem t.live buf.Buffer.id then begin
-    Hashtbl.remove t.live buf.Buffer.id;
-    t.allocated <- t.allocated - Buffer.bytes buf
-  end
+  if not (Hashtbl.mem t.live buf.Buffer.id) then
+    invalid_arg
+      (Printf.sprintf "Context.free: %s (id %d) is not live (double free?)"
+         buf.Buffer.name buf.Buffer.id);
+  Hashtbl.remove t.live buf.Buffer.id;
+  t.allocated <- t.allocated - Buffer.bytes buf;
+  let len = Buffer.length buf in
+  let shelf =
+    match Hashtbl.find_opt t.arena len with Some l -> l | None -> []
+  in
+  if List.length shelf < arena_depth then
+    Hashtbl.replace t.arena len (buf.Buffer.data :: shelf)
 
 let copy_event t kind label detail bytes =
   let dir = match kind with Timeline.Memcpy_h2d -> `H2d | _ -> `D2h in

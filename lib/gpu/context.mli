@@ -31,6 +31,12 @@ val timeline : t -> Timeline.t
 
 val allocated_bytes : t -> int
 
+val peak_bytes : t -> int
+(** High-water mark of {!allocated_bytes} over the context's lifetime.
+    With the fusion/liveness pass on, buffers are freed after their
+    last use, so this tracks the plan's working set rather than its
+    total footprint. *)
+
 val set_mode : t -> exec_mode -> unit
 
 exception Out_of_memory of string
@@ -41,6 +47,11 @@ val alloc : t -> name:string -> int -> Buffer.t
     budget would be exceeded. *)
 
 val free : t -> Buffer.t -> unit
+(** Return a buffer to the device allocator.  Raises [Invalid_argument]
+    if the buffer is not live in this context (double free, or a buffer
+    of another context).  Freed backing stores land on a small
+    size-indexed arena and are recycled by {!alloc} (counted as
+    [fusion.buffers_reused]). *)
 
 val h2d : ?label:string -> t -> Buffer.t -> int array -> unit
 (** Copy a host array into a device buffer, recording a

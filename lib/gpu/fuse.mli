@@ -1,0 +1,50 @@
+(** Producer/consumer kernel fusion over the shared kernel IR.
+
+    Inlines the store computation of a producer kernel group into its
+    single consumer's reads when the access relation is provably
+    invertible, eliminating the intermediate device buffer, its
+    store/reload traffic and one launch per producer kernel.  Both
+    GPU pipelines call this on their compiled representations (plan
+    items resp. kernel tasks); the analysis gates re-verify every
+    fused kernel, and callers refuse the rewrite on any finding. *)
+
+val set_enabled : bool -> unit
+(** Global [--fuse on|off] switch shared by all drivers (off by
+    default, like {!Context.set_default_mode}). *)
+
+val enabled : unit -> bool
+
+type stats = {
+  kernels_eliminated : int;
+  launches_saved : int;  (** per plan/chain execution *)
+  buffers_eliminated : int;  (** intermediate device buffers removed *)
+  bytes_saved : int;
+      (** device traffic no longer incurred: one store plus one reload
+          of each intermediate element, at 4 bytes each *)
+}
+
+val no_stats : stats
+
+val add_stats : stats -> stats -> stats
+
+val record : stats -> unit
+(** Bump the [fusion.*] metrics counters. *)
+
+type fusion = { fused : Kir.t; saved_launches : int }
+
+val fuse_kernel :
+  stores_to:string ->
+  len:int ->
+  producers:(Kir.t * int array) list ->
+  reads_from:string ->
+  consumer:Kir.t ->
+  grid:int array ->
+  (fusion, string) result
+(** [fuse_kernel ~stores_to ~len ~producers ~reads_from ~consumer
+    ~grid] fuses the producer kernels (each given with its launch
+    grid) of the intermediate buffer — named [stores_to] inside the
+    producers and [reads_from] inside the consumer — into [consumer]
+    launched on [grid].  Callers guarantee that parameters of equal
+    name across the kernels denote the same buffer (the MDE chain
+    renames producer ports first).  Returns the fused kernel or the
+    reason the access relation could not be proved. *)

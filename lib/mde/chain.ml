@@ -49,6 +49,23 @@ let transform model =
     (Printf.sprintf "%d kernels, %d bytes of OpenCL"
        (List.length generated.Codegen.kernel_tasks)
        (String.length generated.Codegen.cl_source));
+  let generated =
+    if not (Gpu.Fuse.enabled ()) then generated
+    else begin
+      let g, fstats =
+        Obs.Tracer.with_span ~cat:"mde" "mde.fuse" (fun () ->
+            Fuse_chain.optimize generated)
+      in
+      Gpu.Fuse.record fstats;
+      record "opencl2fused: kernel fusion"
+        (Printf.sprintf
+           "%d kernel(s) inlined, %d launch(es), %d buffer(s), %d B of \
+            traffic saved"
+           fstats.Gpu.Fuse.kernels_eliminated fstats.Gpu.Fuse.launches_saved
+           fstats.Gpu.Fuse.buffers_eliminated fstats.Gpu.Fuse.bytes_saved);
+      g
+    end
+  in
   let* () =
     match
       Obs.Tracer.with_span ~cat:"mde" "mde.verify" (fun () ->
@@ -116,9 +133,58 @@ let run ?(label_of = fun task_name -> task_name) ctx
     | Some c -> c.Arrayol.Model.cfrom
     | None -> fail "unconnected port"
   in
+  (* Buffer liveness (--fuse on): release each device buffer after the
+     last schedule level that reads it; boundary outputs stay live for
+     the read-back.  Mirrors the plan-level pass in [Sac_cuda.Exec]. *)
+  let last_use : (Arrayol.Model.endpoint, int) Hashtbl.t = Hashtbl.create 16 in
+  let liveness = Gpu.Fuse.enabled () in
+  if liveness then begin
+    List.iteri
+      (fun li level ->
+        List.iter
+          (fun inst ->
+            match
+              List.find_opt
+                (fun kt -> kt.Codegen.instance = inst)
+                gen.Codegen.kernel_tasks
+            with
+            | None -> ()
+            | Some kt ->
+                List.iter
+                  (fun (port, _) ->
+                    Hashtbl.replace last_use
+                      (source_of (Arrayol.Model.Part (inst, port)))
+                      li)
+                  kt.Codegen.input_ports)
+          level)
+      gen.Codegen.levels;
+    List.iter
+      (fun (p : Arrayol.Model.port) ->
+        Hashtbl.replace last_use
+          (source_of (Arrayol.Model.Boundary p.Arrayol.Model.pname))
+          max_int)
+      gen.Codegen.boundary_outputs
+  end;
+  let release_after li =
+    if liveness then begin
+      let dead =
+        Hashtbl.fold
+          (fun ep mem acc ->
+            match Hashtbl.find_opt last_use ep with
+            | Some l when l > li -> acc
+            | _ -> (ep, mem) :: acc)
+          buffers []
+      in
+      List.iter
+        (fun (ep, mem) ->
+          Hashtbl.remove buffers ep;
+          Opencl.Runtime.release_mem_object ctx mem)
+        dead
+    end
+  in
   (* Launch kernels in schedule order. *)
-  List.iter
-    (fun level ->
+  List.iteri
+    (fun level_index level ->
       List.iter
         (fun inst ->
           match
@@ -155,7 +221,8 @@ let run ?(label_of = fun task_name -> task_name) ctx
               Opencl.Runtime.enqueue_nd_range_kernel queue kernel
                 ~label:(label_of kt.Codegen.task_name)
                 ~global_work_size:kt.Codegen.grid)
-        level)
+        level;
+      release_after level_index)
     gen.Codegen.levels;
   Opencl.Runtime.finish queue;
   (* Read boundary outputs back. *)

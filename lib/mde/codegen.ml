@@ -182,6 +182,105 @@ let kernel_of_repetitive ~instance task =
       }
   | _ -> fail "%s: not a repetitive task" instance
 
+(* Model-to-text on an already-assembled task set: recomputed whenever
+   a pass (kernel fusion) rewrites [kernel_tasks] or [connections]. *)
+let render (g : generated) =
+  let name = sanitize g.model_name in
+  let kernel_tasks = g.kernel_tasks in
+  let connections = g.connections in
+  let cl_source =
+    Opencl.Emit.cl_file ~name
+      (List.map (fun kt -> (kt.kernel, kt.grid)) kernel_tasks)
+  in
+  let host_steps =
+    let buf_of inst port = "d_" ^ sanitize inst ^ "_" ^ sanitize port in
+    let source_buffer ep =
+      match ep with
+      | Arrayol.Model.Boundary p -> "d_in_" ^ sanitize p
+      | Arrayol.Model.Part (inst, p) -> buf_of inst p
+    in
+    let input_steps =
+      List.concat_map
+        (fun (p : Arrayol.Model.port) ->
+          let len = Shape.size p.Arrayol.Model.pshape in
+          let name = "d_in_" ^ sanitize p.Arrayol.Model.pname in
+          [
+            Opencl.Emit.Create_buffer { dst = name; len };
+            Opencl.Emit.Write_buffer
+              { dst = name; src = "h_" ^ sanitize p.Arrayol.Model.pname; len };
+          ])
+        g.boundary_inputs
+    in
+    let kernel_steps =
+      List.concat_map
+        (fun inst ->
+          match List.find_opt (fun kt -> kt.instance = inst) kernel_tasks with
+          | None -> []
+          | Some kt ->
+              let outs =
+                List.map
+                  (fun (port, shape) ->
+                    Opencl.Emit.Create_buffer
+                      { dst = buf_of inst port; len = Shape.size shape })
+                  kt.output_ports
+              in
+              let args =
+                List.map
+                  (fun (port, _) ->
+                    let src =
+                      match
+                        List.find_opt
+                          (fun (c : Arrayol.Model.connection) ->
+                            c.Arrayol.Model.cto
+                            = Arrayol.Model.Part (inst, port))
+                          connections
+                      with
+                      | Some c -> source_buffer c.Arrayol.Model.cfrom
+                      | None -> "d_unbound"
+                    in
+                    (sanitize port, src))
+                  kt.input_ports
+                @ List.map
+                    (fun (port, _) -> (sanitize port, buf_of inst port))
+                    kt.output_ports
+              in
+              outs
+              @ [
+                  Opencl.Emit.Enqueue_kernel
+                    { kernel = kt.kernel; grid = kt.grid; args };
+                ])
+        (List.concat g.levels)
+    in
+    let output_steps =
+      List.filter_map
+        (fun (p : Arrayol.Model.port) ->
+          match
+            List.find_opt
+              (fun (c : Arrayol.Model.connection) ->
+                c.Arrayol.Model.cto
+                = Arrayol.Model.Boundary p.Arrayol.Model.pname)
+              connections
+          with
+          | Some c ->
+              Some
+                (Opencl.Emit.Read_buffer
+                   {
+                     dst = "h_" ^ sanitize p.Arrayol.Model.pname;
+                     src = source_buffer c.Arrayol.Model.cfrom;
+                     len = Shape.size p.Arrayol.Model.pshape;
+                   })
+          | None -> None)
+        g.boundary_outputs
+    in
+    input_steps @ kernel_steps @ output_steps
+  in
+  {
+    g with
+    cl_source;
+    host_source = Opencl.Emit.host_program ~name ~steps:host_steps;
+    makefile = Opencl.Emit.makefile ~name;
+  }
+
 let generate (model : Marte.model) =
   let application =
     match model.Marte.application with
@@ -245,102 +344,15 @@ let generate (model : Marte.model) =
         List.map (fun (s : Arrayol.Schedule.step) -> s.Arrayol.Schedule.instance) level)
       schedule
   in
-  let cl_source =
-    Opencl.Emit.cl_file ~name:(sanitize model.Marte.mname)
-      (List.map (fun kt -> (kt.kernel, kt.grid)) kernel_tasks)
-  in
-  let host_steps =
-    let buf_of inst port = "d_" ^ sanitize inst ^ "_" ^ sanitize port in
-    let source_buffer ep =
-      match ep with
-      | Arrayol.Model.Boundary p -> "d_in_" ^ sanitize p
-      | Arrayol.Model.Part (inst, p) -> buf_of inst p
-    in
-    let input_steps =
-      List.concat_map
-        (fun (p : Arrayol.Model.port) ->
-          let len = Shape.size p.Arrayol.Model.pshape in
-          let name = "d_in_" ^ sanitize p.Arrayol.Model.pname in
-          [
-            Opencl.Emit.Create_buffer { dst = name; len };
-            Opencl.Emit.Write_buffer
-              { dst = name; src = "h_" ^ sanitize p.Arrayol.Model.pname; len };
-          ])
-        boundary_inputs
-    in
-    let kernel_steps =
-      List.concat_map
-        (fun inst ->
-          match List.find_opt (fun kt -> kt.instance = inst) kernel_tasks with
-          | None -> []
-          | Some kt ->
-              let outs =
-                List.map
-                  (fun (port, shape) ->
-                    Opencl.Emit.Create_buffer
-                      { dst = buf_of inst port; len = Shape.size shape })
-                  kt.output_ports
-              in
-              let args =
-                List.map
-                  (fun (port, _) ->
-                    let src =
-                      match
-                        List.find_opt
-                          (fun (c : Arrayol.Model.connection) ->
-                            c.Arrayol.Model.cto
-                            = Arrayol.Model.Part (inst, port))
-                          connections
-                      with
-                      | Some c -> source_buffer c.Arrayol.Model.cfrom
-                      | None -> "d_unbound"
-                    in
-                    (sanitize port, src))
-                  kt.input_ports
-                @ List.map
-                    (fun (port, _) -> (sanitize port, buf_of inst port))
-                    kt.output_ports
-              in
-              outs
-              @ [
-                  Opencl.Emit.Enqueue_kernel
-                    { kernel = kt.kernel; grid = kt.grid; args };
-                ])
-        (List.concat levels)
-    in
-    let output_steps =
-      List.filter_map
-        (fun (p : Arrayol.Model.port) ->
-          match
-            List.find_opt
-              (fun (c : Arrayol.Model.connection) ->
-                c.Arrayol.Model.cto
-                = Arrayol.Model.Boundary p.Arrayol.Model.pname)
-              connections
-          with
-          | Some c ->
-              Some
-                (Opencl.Emit.Read_buffer
-                   {
-                     dst = "h_" ^ sanitize p.Arrayol.Model.pname;
-                     src = source_buffer c.Arrayol.Model.cfrom;
-                     len = Shape.size p.Arrayol.Model.pshape;
-                   })
-          | None -> None)
-        boundary_outputs
-    in
-    input_steps @ kernel_steps @ output_steps
-  in
-  {
-    model_name = model.Marte.mname;
-    kernel_tasks;
-    levels;
-    connections;
-    boundary_inputs;
-    boundary_outputs;
-    cl_source;
-    host_source =
-      Opencl.Emit.host_program ~name:(sanitize model.Marte.mname)
-        ~steps:host_steps;
-    makefile = Opencl.Emit.makefile ~name:(sanitize model.Marte.mname);
-  }
+  render
+    {
+      model_name = model.Marte.mname;
+      kernel_tasks;
+      levels;
+      connections;
+      boundary_inputs;
+      boundary_outputs;
+      cl_source = "";
+      host_source = "";
+      makefile = "";
+    }

@@ -38,6 +38,11 @@ val kernel_of_repetitive :
 (** Raises {!Codegen_error} when the task is not repetitive, has a
     non-rank-1 pattern, or its IP has no registered fragment. *)
 
+val render : generated -> generated
+(** Recompute [cl_source], [host_source] and [makefile] from the task
+    set; used after a pass ({!Fuse_chain}) rewrites [kernel_tasks],
+    [levels] or [connections].  The other fields pass through. *)
+
 val generate : Marte.model -> generated
 (** The application must be a flat compound of repetitive parts (or a
     single repetitive task), fully allocated; GPU parts become kernels.

@@ -1,0 +1,14 @@
+(** Producer/consumer kernel fusion over generated kernel tasks.
+
+    Rewrites a {!Codegen.generated} program so that a kernel whose
+    single output port feeds exactly one other kernel is inlined into
+    its consumer via {!Gpu.Fuse.fuse_kernel}: the intermediate array's
+    device buffer, its store/reload traffic and the producer launch
+    disappear.  Producer input ports are renamed [pi ^ "_" ^ ip] and
+    rewired to the fused task; sources are re-rendered.  Runs to a
+    fixpoint; every fused task is re-checked with {!Verify.check} and
+    any finding vetoes that rewrite. *)
+
+val optimize : Codegen.generated -> Codegen.generated * Gpu.Fuse.stats
+(** Returns the (possibly) fused program and what the rewrite saved;
+    {!Gpu.Fuse.no_stats} when nothing fused. *)

@@ -159,6 +159,20 @@ let plan ?(label_of = Kernelize.sanitize) ?(split_generators = true)
   let p =
     { Plan.params; items = sweep (List.rev !items); result; result_shape }
   in
+  (* Producer/consumer kernel fusion (--fuse on): provably safe
+     rewrites only, each re-verified by the same analyses as the gate
+     below. *)
+  let p =
+    if Gpu.Fuse.enabled () then begin
+      let p, fstats =
+        Obs.Tracer.with_span ~cat:"sac" "sac.fuse_plan" (fun () ->
+            Fuse_plan.optimize p)
+      in
+      Gpu.Fuse.record fstats;
+      p
+    end
+    else p
+  in
   (* Verification gate: in lint mode findings are recorded as metrics
      and log entries; in strict mode error findings abort. *)
   (match Verify.gate p with Ok () -> () | Error m -> fail "%s" m);

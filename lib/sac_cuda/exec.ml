@@ -23,6 +23,7 @@ type device_ops = {
     grid:int array ->
     args:(string * Gpu.Kir.arg) list ->
     unit;
+  release : Gpu.Buffer.t -> unit;
 }
 
 let run_with ?(host_mode = `Execute) ?plane_tag (ops : device_ops)
@@ -36,6 +37,68 @@ let run_with ?(host_mode = `Execute) ?plane_tag (ops : device_ops)
   let vars : (string, residency) Hashtbl.t = Hashtbl.create 16 in
   let host_us = ref 0.0 in
   let launches = ref 0 in
+  (* Buffer liveness (--fuse on): free each device buffer right after
+     the last item that can read it, so peak device memory tracks the
+     working set instead of the whole plan.  Alias classes follow Copy
+     items (aliased names share one buffer); the plan result is pinned
+     until the end. *)
+  let liveness =
+    if not (Gpu.Fuse.enabled ()) then None
+    else begin
+      let rep : (string, string) Hashtbl.t = Hashtbl.create 16 in
+      let rec find n =
+        match Hashtbl.find_opt rep n with
+        | Some p when p <> n -> find p
+        | _ -> n
+      in
+      let union a b =
+        let ra = find a and rb = find b in
+        if ra <> rb then Hashtbl.replace rep ra rb
+      in
+      List.iter
+        (function
+          | Plan.Copy { target; source } -> union target source
+          | _ -> ())
+        plan.Plan.items;
+      let last : (string, int) Hashtbl.t = Hashtbl.create 16 in
+      let use i n = Hashtbl.replace last (find n) i in
+      List.iteri
+        (fun i item ->
+          match item with
+          | Plan.Device_withloop { swith; full_cover; _ } -> (
+              List.iter
+                (fun (a, _) -> use i a)
+                swith.Sac.Scalarize.arrays;
+              match (full_cover, swith.Sac.Scalarize.base) with
+              | false, Sac.Scalarize.Base_array b -> use i b
+              | _ -> ())
+          | Plan.Host_block { reads; writes; _ } ->
+              List.iter (use i) reads;
+              List.iter (use i) writes
+          | Plan.Copy { source; _ } -> use i source
+          | Plan.Const_array _ -> ())
+        plan.Plan.items;
+      Hashtbl.replace last (find plan.Plan.result) max_int;
+      Some (find, last)
+    end
+  in
+  let release_dead i =
+    match liveness with
+    | None -> ()
+    | Some (find, last) ->
+        (* Aliased names share one physical buffer: clear them all,
+           free each buffer once. *)
+        let dead = ref [] in
+        Hashtbl.iter
+          (fun name r ->
+            match r.device with
+            | Some buf when Hashtbl.find_opt last (find name) = Some i ->
+                r.device <- None;
+                if not (List.memq buf !dead) then dead := buf :: !dead
+            | _ -> ())
+          vars;
+        List.iter ops.release !dead
+  in
   let declare name shape = Hashtbl.replace vars name { host = None; device = None; shape } in
   let lookup name =
     match Hashtbl.find_opt vars name with
@@ -95,9 +158,9 @@ let run_with ?(host_mode = `Execute) ?plane_tag (ops : device_ops)
     | Some r -> r.device <- None
     | None -> ()
   in
-  List.iter
-    (fun item ->
-      match item with
+  List.iteri
+    (fun item_index item ->
+      (match item with
       | Plan.Const_array { target; shape; fill } ->
           declare target shape;
           (lookup target).host <- Some (Tensor.create shape fill)
@@ -194,7 +257,8 @@ let run_with ?(host_mode = `Execute) ?plane_tag (ops : device_ops)
                       (lookup name).host <- Some t)
               | Sac.Value.Vint _ -> ()
               | exception Sac.Ast.Sac_error _ -> ())
-            (List.sort_uniq compare writes))
+            (List.sort_uniq compare writes));
+      release_dead item_index)
     plan.Plan.items;
   let result = ensure_host plan.Plan.result in
   { result = Tensor.copy result; host_us = !host_us; kernel_launches = !launches }
@@ -207,6 +271,7 @@ let cuda_ops rt =
     launch =
       (fun ~label ~split kernel ~grid ~args ->
         Cuda.Runtime.launch rt ~label ~split kernel ~grid ~args);
+    release = (fun buf -> Cuda.Runtime.mem_free rt buf);
   }
 
 let run ?host_mode ?plane_tag rt plan ~args =

@@ -14,8 +14,10 @@ type outcome = {
 }
 
 (** Device operations a plan needs — plans are target-neutral, so any
-    runtime exposing these four operations can execute one (the CUDA
-    facade here, the OpenCL facade in [Sac_opencl]). *)
+    runtime exposing these five operations can execute one (the CUDA
+    facade here, the OpenCL facade in [Sac_opencl]).  [release] frees
+    a device buffer; the engine calls it only when the fusion/liveness
+    pass is enabled, after a buffer's last use in the plan. *)
 type device_ops = {
   alloc : name:string -> int -> Gpu.Buffer.t;
   upload : Gpu.Buffer.t -> int array -> unit;
@@ -27,6 +29,7 @@ type device_ops = {
     grid:int array ->
     args:(string * Gpu.Kir.arg) list ->
     unit;
+  release : Gpu.Buffer.t -> unit;
 }
 
 val run_with :

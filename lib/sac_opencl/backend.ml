@@ -20,6 +20,7 @@ let opencl_ops ctx =
         Opencl.Runtime.set_args k args;
         Opencl.Runtime.enqueue_nd_range_kernel queue k ~label ~split
           ~global_work_size:grid);
+    release = (fun buf -> Opencl.Runtime.release_mem_object ctx buf);
   }
 
 let run ?host_mode ?plane_tag ctx plan ~args =

@@ -301,6 +301,164 @@ let validate ?(scale = Scale.validation) () =
        (fun (name, f) -> fun () -> { name; ok = (try f () with _ -> false) })
        !checks)
 
+(* ------------------------------------------------------------------ *)
+(* Kernel fusion (--fuse on vs off)                                    *)
+(* ------------------------------------------------------------------ *)
+
+type fusion_row = {
+  pipeline : string;
+  fused : bool;
+  kernels : int;  (** compiled kernels in the plan / task set *)
+  launches : int;  (** observed launches for one frame *)
+  intermediates : int;  (** device buffers that only feed other kernels *)
+  peak_bytes : int;
+  modelled_us : float;
+  bit_identical : bool;  (** against the golden reference downscaler *)
+}
+
+let with_fuse flag f =
+  let saved = Gpu.Fuse.enabled () in
+  Gpu.Fuse.set_enabled flag;
+  Fun.protect ~finally:(fun () -> Gpu.Fuse.set_enabled saved) f
+
+(* Standalone runs on purpose: the memoised Sac_runs/Gaspard_runs
+   caches must stay mode-independent, and a fresh runtime per
+   configuration gives clean peak-memory and timeline readings.
+
+   The ablation executes functionally (the bit-identity column is the
+   point), so scales beyond the validation geometry are clamped to it,
+   as in {!Sac_runs.counting_scale}. *)
+let fusion ?(scale = Scale.validation) () =
+  Obs.Tracer.with_span ~cat:"study" "study.fusion" @@ fun () ->
+  let scale =
+    if Scale.pixels scale <= Scale.pixels Scale.validation then scale
+    else { scale with Scale.rows = 72; cols = 64 }
+  in
+  let rows = scale.Scale.rows and cols = scale.Scale.cols in
+  let fmt = { Video.Format.name = "fusion"; rows; cols } in
+  let frame = Video.Framegen.frame fmt 0 in
+  let plane = Video.Frame.plane frame Video.Frame.R in
+  let reference = Video.Downscaler.plane plane in
+  let tensor_eq = Tensor.equal Int.equal in
+  let sac fused =
+    with_fuse fused @@ fun () ->
+    let src = Sac.Programs.downscaler ~generic:false ~rows ~cols in
+    let plan, _ = Sac_cuda.Compile.plan_of_source src ~entry:"main" in
+    let rt = Cuda.Runtime.init () in
+    let outcome = Sac_cuda.Exec.run rt plan ~args:[ ("frame", plane) ] in
+    let ctx = Cuda.Runtime.context rt in
+    {
+      pipeline = "SAC -> CUDA (non-generic)";
+      fused;
+      kernels = Sac_cuda.Plan.kernel_count plan;
+      launches = outcome.Sac_cuda.Exec.kernel_launches;
+      intermediates =
+        List.length
+          (List.filter
+             (function
+               | Sac_cuda.Plan.Device_withloop { target; _ } ->
+                   target <> plan.Sac_cuda.Plan.result
+               | _ -> false)
+             plan.Sac_cuda.Plan.items);
+      peak_bytes = Gpu.Context.peak_bytes ctx;
+      modelled_us = Gpu.Context.elapsed_us ctx;
+      bit_identical = tensor_eq outcome.Sac_cuda.Exec.result reference;
+    }
+  in
+  let mde fused =
+    with_fuse fused @@ fun () ->
+    let gen = Mde.Chain.transform_exn (Mde.Chain.downscaler_model ~rows ~cols) in
+    let ctx = Opencl.Runtime.create_context () in
+    let outs =
+      Mde.Chain.run ctx gen
+        ~inputs:
+          [
+            ("r_in", Video.Frame.plane frame Video.Frame.R);
+            ("g_in", Video.Frame.plane frame Video.Frame.G);
+            ("b_in", Video.Frame.plane frame Video.Frame.B);
+          ]
+    in
+    let gctx = Opencl.Runtime.gpu_context ctx in
+    let launches =
+      List.length
+        (List.filter
+           (fun (e : Gpu.Timeline.event) ->
+             e.Gpu.Timeline.kind = Gpu.Timeline.Kernel)
+           (Gpu.Timeline.events (Gpu.Context.timeline gctx)))
+    in
+    let feeds_boundary inst port =
+      List.exists
+        (fun (c : Arrayol.Model.connection) ->
+          c.Arrayol.Model.cfrom = Arrayol.Model.Part (inst, port)
+          &&
+          match c.Arrayol.Model.cto with
+          | Arrayol.Model.Boundary _ -> true
+          | Arrayol.Model.Part _ -> false)
+        gen.Mde.Codegen.connections
+    in
+    let expected = Video.Downscaler.frame frame in
+    {
+      pipeline = "Gaspard2 -> OpenCL";
+      fused;
+      kernels = List.length gen.Mde.Codegen.kernel_tasks;
+      launches;
+      intermediates =
+        List.fold_left
+          (fun acc (kt : Mde.Codegen.kernel_task) ->
+            acc
+            + List.length
+                (List.filter
+                   (fun (port, _) ->
+                     not (feeds_boundary kt.Mde.Codegen.instance port))
+                   kt.Mde.Codegen.output_ports))
+          0 gen.Mde.Codegen.kernel_tasks;
+      peak_bytes = Gpu.Context.peak_bytes gctx;
+      modelled_us = Gpu.Context.elapsed_us gctx;
+      bit_identical =
+        List.for_all
+          (fun (port, ch) ->
+            tensor_eq (List.assoc port outs) (Video.Frame.plane expected ch))
+          [
+            ("r_out", Video.Frame.R);
+            ("g_out", Video.Frame.G);
+            ("b_out", Video.Frame.B);
+          ];
+    }
+  in
+  [ sac false; sac true; mde false; mde true ]
+
+(* ------------------------------------------------------------------ *)
+(* Stream overlap (Section VIII follow-up)                             *)
+(* ------------------------------------------------------------------ *)
+
+(* One frame's timeline per pipeline, pipelined over the run length
+   with double-buffered streams: what both backends leave on the table
+   by synchronising per frame. *)
+let overlap ?(scale = Scale.paper) () =
+  Obs.Tracer.with_span ~cat:"study" "study.overlap" @@ fun () ->
+  let rows = scale.Scale.rows and cols = scale.Scale.cols in
+  let sac =
+    let src = Sac.Programs.downscaler ~generic:false ~rows ~cols in
+    let plan, _ = Sac_cuda.Compile.plan_of_source src ~entry:"main" in
+    let plane =
+      Ndarray.Tensor.init [| rows; cols |] (fun idx ->
+          (idx.(0) + (2 * idx.(1))) mod 251)
+    in
+    let rt = Cuda.Runtime.init ~mode:Gpu.Context.Timing_only () in
+    ignore
+      (Sac_cuda.Exec.run ~host_mode:`Estimate rt plan
+         ~args:[ ("frame", plane) ]);
+    (* The SAC route processes one plane per round. *)
+    Gpu.Overlap.of_timeline
+      (Gpu.Context.timeline (Cuda.Runtime.context rt))
+      ~rounds:(Scale.planes * scale.Scale.frames)
+  in
+  let gaspard =
+    Gpu.Overlap.of_timeline (Gaspard_runs.run_once scale)
+      ~rounds:scale.Scale.frames
+  in
+  [ ("SAC -> CUDA (non-generic)", sac); ("Gaspard2 -> OpenCL", gaspard) ]
+
 type lint_report = {
   pipeline : string;
   kernels : int;

@@ -71,6 +71,31 @@ val validate : ?scale:Scale.t -> unit -> validation list
     ArrayOL semantics and the generated OpenCL program all reproduce
     the golden reference downscaler bit-exactly. *)
 
+type fusion_row = {
+  pipeline : string;
+  fused : bool;
+  kernels : int;  (** compiled kernels in the plan / task set *)
+  launches : int;  (** observed launches for one frame *)
+  intermediates : int;  (** device buffers that only feed other kernels *)
+  peak_bytes : int;
+  modelled_us : float;
+  bit_identical : bool;  (** against the golden reference downscaler *)
+}
+
+val fusion : ?scale:Scale.t -> unit -> fusion_row list
+(** Kernel fusion ablation: both pipelines run one frame with
+    [--fuse off] and [--fuse on].  Fused configurations must launch
+    strictly fewer kernels, allocate strictly fewer intermediate
+    buffers, and stay bit-identical to the reference.  Executes
+    functionally, so scales beyond {!Scale.validation} are clamped to
+    its 72x64 geometry. *)
+
+val overlap : ?scale:Scale.t -> unit -> (string * Gpu.Overlap.summary) list
+(** {!Gpu.Overlap.of_timeline} over one simulated frame of each
+    pipeline, pipelined across [scale.frames] rounds (the SAC route
+    rounds are per plane): how much double-buffered streams would
+    recover from the per-frame synchronisation both backends ship. *)
+
 type lint_report = {
   pipeline : string;
   kernels : int;

@@ -5,6 +5,10 @@
     kernels, downloads the three results) and extrapolates to the
     requested frame count. *)
 
+val run_once : Scale.t -> Gpu.Timeline.t
+(** One frame's device timeline (fresh on every call, so callers may
+    replay it), rebuilt from memoised chain events. *)
+
 val profile : Scale.t -> Gpu.Profiler.row list
 (** Rows in the paper's Table I format: "H. Filter (3 kernels)",
     "V. Filter (3 kernels)", both copy directions. *)

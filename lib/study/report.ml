@@ -160,6 +160,38 @@ let side_by_side ~title ~paper ~ours =
        (paper_total /. 1e6) "100.00" (our_total /. 1e6) "100.00");
   Buffer.contents buf
 
+let fusion (rows : Experiments.fusion_row list) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "Kernel fusion ablation (--fuse off vs on, one frame):\n";
+  Buffer.add_string buf
+    (Printf.sprintf "%-28s %-5s %8s %9s %14s %11s %12s %10s\n" "Pipeline"
+       "fuse" "kernels" "launches" "intermediates" "peak (B)" "time (usec)"
+       "identical");
+  List.iter
+    (fun (r : Experiments.fusion_row) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-28s %-5s %8d %9d %14d %11d %12.0f %10s\n"
+           r.Experiments.pipeline
+           (if r.Experiments.fused then "on" else "off")
+           r.Experiments.kernels r.Experiments.launches
+           r.Experiments.intermediates r.Experiments.peak_bytes
+           r.Experiments.modelled_us
+           (if r.Experiments.bit_identical then "yes" else "NO")))
+    rows;
+  Buffer.contents buf
+
+let overlap (rows : (string * Gpu.Overlap.summary) list) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "Stream overlap (double-buffered upload / kernels / download):\n";
+  List.iter
+    (fun (name, s) ->
+      Buffer.add_string buf
+        (Format.asprintf "  %-28s %a\n" name Gpu.Overlap.pp_summary s))
+    rows;
+  Buffer.contents buf
+
 let lint (reports : Experiments.lint_report list) =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf

@@ -24,6 +24,15 @@ val side_by_side :
 (** Paper numbers next to simulated numbers, row-matched by operation
     name. *)
 
+val fusion : Experiments.fusion_row list -> string
+(** The fused-vs-unfused ablation as one row per (pipeline, mode):
+    kernel and launch counts, intermediate buffers, peak device bytes,
+    modelled time and the bit-identity verdict. *)
+
+val overlap : (string * Gpu.Overlap.summary) list -> string
+(** One line per pipeline: the serial and stream-pipelined makespans
+    with the bottleneck share and the saving. *)
+
 val lint : Experiments.lint_report list -> string
 (** One line per pipeline: kernel count and finding summary, followed
     by the findings themselves in [file:where: what] format. *)

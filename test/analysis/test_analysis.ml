@@ -262,6 +262,65 @@ let test_race_interleaved_disjoint () =
   in
   Alcotest.(check int) "no findings" 0 (List.length fs)
 
+(* A fused-style dispatch kernel: an if/else chain whose arms all store
+   the same address.  Exactly one arm executes per work-item, so the
+   store set must stay exact and full cover provable. *)
+let dispatch_kernel body =
+  {
+    Kir.kname = "dispatch";
+    params = [ { Kir.pname = "out"; kind = Kir.Out_buffer } ];
+    grid_rank = 1;
+    body;
+  }
+
+let test_affine_branch_uniform () =
+  let arm v = [ Kir.Store ("out", Kir.Gid 0, Kir.Int v) ] in
+  let cond lim = Kir.Bin (Kir.Lt, Kir.Gid 0, Kir.Int lim) in
+  (* a nested else chain, as the fusion pass emits: three arms *)
+  let k =
+    dispatch_kernel
+      [ Kir.If (cond 16, arm 1, [ Kir.If (cond 32, arm 2, arm 3) ]) ]
+  in
+  (match Analysis.Affine.store_sets ~grid:[| 64 |] k with
+  | Some [ ("out", s) ] ->
+      Alcotest.(check bool) "exact" true s.Analysis.Affine.exact;
+      Alcotest.(check int) "events" 64 s.Analysis.Affine.events
+  | Some sets ->
+      Alcotest.failf "expected one store set, got %d" (List.length sets)
+  | None -> Alcotest.fail "store sets not affine");
+  (* arms storing different addresses keep the conservative inexact
+     treatment *)
+  let k2 =
+    dispatch_kernel
+      [
+        Kir.If
+          ( cond 32,
+            arm 1,
+            [
+              Kir.Store
+                ("out", Kir.Bin (Kir.Add, Kir.Gid 0, Kir.Int 1), Kir.Int 2);
+            ] );
+      ]
+  in
+  match Analysis.Affine.store_sets ~grid:[| 64 |] k2 with
+  | Some sets ->
+      Alcotest.(check int) "both stores kept" 2 (List.length sets);
+      Alcotest.(check bool) "inexact" true
+        (List.for_all (fun (_, s) -> not s.Analysis.Affine.exact) sets)
+  | None -> Alcotest.fail "store sets not affine"
+
+let test_race_branch_uniform_cover () =
+  let arm v = [ Kir.Store ("out", Kir.Gid 0, Kir.Int v) ] in
+  let k =
+    dispatch_kernel
+      [ Kir.If (Kir.Bin (Kir.Lt, Kir.Gid 0, Kir.Int 32), arm 1, arm 2) ]
+  in
+  let fs =
+    Analysis.Race.check_group ~out:"out" ~len:64 ~full_cover:true
+      [ (k, [| 64 |]) ]
+  in
+  Alcotest.(check int) "no findings" 0 (List.length fs)
+
 (* ---------- residency ---------- *)
 
 let test_residency_clean () =
@@ -552,6 +611,10 @@ let () =
           Alcotest.test_case "bad-cover" `Quick test_race_bad_cover;
           Alcotest.test_case "interleaved-disjoint" `Quick
             test_race_interleaved_disjoint;
+          Alcotest.test_case "branch-uniform-stores" `Quick
+            test_affine_branch_uniform;
+          Alcotest.test_case "branch-uniform-cover" `Quick
+            test_race_branch_uniform_cover;
         ] );
       ( "residency",
         [

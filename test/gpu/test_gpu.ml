@@ -415,6 +415,11 @@ let test_memcpy_times_calibrated () =
 
 (* ---------- Memory accounting ---------- *)
 
+let astring_contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = (i + nl <= hl) && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
 let test_alloc_accounting () =
   let c = ctx () in
   let b1 = Context.alloc c ~name:"b1" 1000 in
@@ -424,9 +429,33 @@ let test_alloc_accounting () =
   Context.free c b1;
   Alcotest.(check int) "freed" 2000 (Context.allocated_bytes c);
   Context.free c b2;
+  Alcotest.(check int) "round-trip restores accounting" 0
+    (Context.allocated_bytes c);
+  Alcotest.(check bool) "double free rejected" true
+    (try
+       Context.free c b2;
+       false
+     with Invalid_argument m ->
+       (* The message names the offending buffer. *)
+       astring_contains m "b2")
+
+let test_peak_and_arena () =
+  let c = ctx () in
+  let b1 = Context.alloc c ~name:"b1" 1000 in
+  let b2 = Context.alloc c ~name:"b2" 500 in
+  Alcotest.(check int) "peak tracks both live" 6000 (Context.peak_bytes c);
+  Context.free c b1;
   Context.free c b2;
-  Alcotest.(check int) "double free is idempotent" 0
-    (Context.allocated_bytes c)
+  (* Same sizes come back off the arena: the high-water mark stays put
+     instead of doubling. *)
+  let b3 = Context.alloc c ~name:"b3" 1000 in
+  let b4 = Context.alloc c ~name:"b4" 500 in
+  Alcotest.(check int) "peak unchanged after reuse" 6000 (Context.peak_bytes c);
+  Alcotest.(check bool) "recycled store is zeroed" true
+    (Array.for_all (( = ) 0) (Gpu.Buffer.to_array b3));
+  Alcotest.(check int) "live again" 6000 (Context.allocated_bytes c);
+  Context.free c b3;
+  Context.free c b4
 
 let test_out_of_memory () =
   let c = ctx () in
@@ -434,7 +463,7 @@ let test_out_of_memory () =
     (try
        ignore (Context.alloc c ~name:"huge" (500 * 1024 * 1024));
        false
-     with Context.Out_of_memory _ -> true)
+     with Context.Out_of_memory m -> astring_contains m "huge")
 
 (* ---------- Timeline & profiler ---------- *)
 
@@ -596,6 +625,17 @@ let test_overlap_of_timeline () =
   Alcotest.(check bool) "saving ~49%" true
     (Float.abs (s.Overlap.saving_pct -. 49.09) < 0.1)
 
+let test_overlap_zero_stages () =
+  (* A zero-duration stage contributes nothing to the fill but still
+     pipelines: bottleneck is the 5.0 stage. *)
+  Alcotest.(check (float 0.001)) "zero stages drop out" 15.0
+    (Overlap.makespan_us ~stages:[ 0.0; 5.0; 0.0 ] ~rounds:3);
+  Alcotest.(check (float 0.001)) "all-zero stages" 0.0
+    (Overlap.makespan_us ~stages:[ 0.0; 0.0 ] ~rounds:7);
+  (* rounds = 1 with a zero stage: plain sum. *)
+  Alcotest.(check (float 0.001)) "single round" 5.0
+    (Overlap.makespan_us ~stages:[ 0.0; 5.0 ] ~rounds:1)
+
 let test_overlap_invalid () =
   Alcotest.(check bool) "empty stages rejected" true
     (try
@@ -605,6 +645,11 @@ let test_overlap_invalid () =
   Alcotest.(check bool) "zero rounds rejected" true
     (try
        ignore (Overlap.makespan_us ~stages:[ 1.0 ] ~rounds:0);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative stage rejected" true
+    (try
+       ignore (Overlap.makespan_us ~stages:[ 2.0; -1.0 ] ~rounds:2);
        false
      with Invalid_argument _ -> true)
 
@@ -1240,6 +1285,7 @@ let () =
       ( "memory",
         [
           Alcotest.test_case "accounting" `Quick test_alloc_accounting;
+          Alcotest.test_case "peak and arena" `Quick test_peak_and_arena;
           Alcotest.test_case "out of memory" `Quick test_out_of_memory;
         ] );
       ( "timeline",
@@ -1257,6 +1303,8 @@ let () =
       ( "overlap",
         [
           Alcotest.test_case "makespan" `Quick test_overlap_makespan;
+          Alcotest.test_case "zero-duration stages" `Quick
+            test_overlap_zero_stages;
           Alcotest.test_case "never worse" `Quick test_overlap_never_worse;
           Alcotest.test_case "from timeline" `Quick test_overlap_of_timeline;
           Alcotest.test_case "invalid" `Quick test_overlap_invalid;

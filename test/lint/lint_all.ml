@@ -2,7 +2,8 @@
    example programs produce: the six built-in SAC programs (both
    output-tiler variants of each filter and of the full downscaler)
    through the SAC->CUDA compiler, and the Gaspard2 downscaler model
-   through the MDE chain.
+   through the MDE chain — each swept both without and with the
+   --fuse plan optimizer, so fused dispatch kernels stay verified.
 
    Exits non-zero on any error finding, so the `lint` alias (attached
    to runtest) fails when either code generator regresses. *)
@@ -35,11 +36,9 @@ let sac_program name source =
       Printf.printf "%-32s failed to compile: %s\n" name m;
       failed := true
 
-let () =
-  (* The analyzers run once, explicitly, below. *)
-  Analysis.Config.set_mode Analysis.Config.Off;
+let sweep suffix =
   List.iter
-    (fun (name, src) -> sac_program name (src ~rows ~cols))
+    (fun (name, src) -> sac_program (name ^ suffix) (src ~rows ~cols))
     [
       ("sac/horizontal", Sac.Programs.horizontal ~generic:false);
       ("sac/horizontal-generic", Sac.Programs.horizontal ~generic:true);
@@ -48,11 +47,22 @@ let () =
       ("sac/downscaler", Sac.Programs.downscaler ~generic:false);
       ("sac/downscaler-generic", Sac.Programs.downscaler ~generic:true);
     ];
-  (match Mde.Chain.transform (Mde.Chain.downscaler_model ~rows ~cols) with
+  match Mde.Chain.transform (Mde.Chain.downscaler_model ~rows ~cols) with
   | Ok (gen, _) ->
       let tasks = gen.Mde.Codegen.kernel_tasks in
-      report "mde/downscaler-chain" (List.length tasks) (Mde.Verify.check tasks)
+      report
+        ("mde/downscaler-chain" ^ suffix)
+        (List.length tasks) (Mde.Verify.check tasks)
   | Error m ->
-      Printf.printf "%-32s chain failed: %s\n" "mde/downscaler-chain" m;
-      failed := true);
+      Printf.printf "%-32s chain failed: %s\n" ("mde/downscaler-chain" ^ suffix)
+        m;
+      failed := true
+
+let () =
+  (* The analyzers run once, explicitly, below. *)
+  Analysis.Config.set_mode Analysis.Config.Off;
+  sweep "";
+  Gpu.Fuse.set_enabled true;
+  sweep " (fused)";
+  Gpu.Fuse.set_enabled false;
   if !failed then exit 1

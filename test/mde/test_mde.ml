@@ -150,6 +150,60 @@ let test_run_event_profile () =
   Alcotest.(check bool) "V. Filter (3 kernels) row" true
     (find "V. Filter (3 kernels)" <> None)
 
+(* ---------- Kernel fusion (--fuse on) ---------- *)
+
+let with_fusion f =
+  Gpu.Fuse.set_enabled true;
+  Fun.protect ~finally:(fun () -> Gpu.Fuse.set_enabled false) f
+
+let test_fusion_fuses_chain () =
+  with_fusion @@ fun () ->
+  match Mde.Chain.transform (model ()) with
+  | Error m -> Alcotest.failf "chain failed: %s" m
+  | Ok (gen, trace) ->
+      (* hf -> vf fused per plane: 6 kernels become 3. *)
+      Alcotest.(check int) "3 kernel tasks" 3
+        (List.length gen.Mde.Codegen.kernel_tasks);
+      Alcotest.(check bool) "fusion pass recorded" true
+        (List.exists
+           (fun (t : Mde.Chain.trace) ->
+             contains t.Mde.Chain.pass "fusion"
+             && contains t.Mde.Chain.detail "3 kernel(s) inlined")
+           trace);
+      (* The analysis gates accept every fused kernel. *)
+      Alcotest.(check int) "0 findings" 0
+        (List.length (Mde.Verify.check gen.Mde.Codegen.kernel_tasks));
+      (* The re-rendered sources describe the fused program. *)
+      Alcotest.(check bool) "fused kernel in .cl" true
+        (contains gen.Mde.Codegen.cl_source "rvf_VerticalFilter_f");
+      Alcotest.(check bool) "producer kernel gone" true
+        (not (contains gen.Mde.Codegen.cl_source "__kernel void rhf_"))
+
+let test_fusion_bit_identical () =
+  let frame = frame_of 3 in
+  let reference = Video.Downscaler.frame frame in
+  let gen = with_fusion (fun () -> Mde.Chain.transform_exn (model ())) in
+  let _, outs = with_fusion (fun () -> (run_frame gen frame : _ * _)) in
+  List.iter
+    (fun (port, ch) ->
+      Alcotest.(check bool) (port ^ " bit-identical") true
+        (tensor_eq (List.assoc port outs) (Video.Frame.plane reference ch)))
+    [ ("r_out", Video.Frame.R); ("g_out", Video.Frame.G); ("b_out", Video.Frame.B) ]
+
+let test_fusion_fewer_launches () =
+  let gen = with_fusion (fun () -> Mde.Chain.transform_exn (model ())) in
+  let ctx, _ = with_fusion (fun () -> run_frame gen (frame_of 1)) in
+  let events =
+    Gpu.Timeline.events (Gpu.Context.timeline (Opencl.Runtime.gpu_context ctx))
+  in
+  let launches =
+    List.length
+      (List.filter
+         (fun (e : Gpu.Timeline.event) -> e.Gpu.Timeline.kind = Gpu.Timeline.Kernel)
+         events)
+  in
+  Alcotest.(check int) "3 launches instead of 6" 3 launches
+
 let test_run_missing_input () =
   let gen = Mde.Chain.transform_exn (model ()) in
   let ctx = Opencl.Runtime.create_context () in
@@ -279,6 +333,14 @@ let () =
             test_run_matches_reference;
           Alcotest.test_case "event profile" `Quick test_run_event_profile;
           Alcotest.test_case "missing input" `Quick test_run_missing_input;
+        ] );
+      ( "fusion",
+        [
+          Alcotest.test_case "fuses the chain" `Quick test_fusion_fuses_chain;
+          Alcotest.test_case "bit-identical output" `Quick
+            test_fusion_bit_identical;
+          Alcotest.test_case "fewer launches" `Quick
+            test_fusion_fewer_launches;
         ] );
       ("properties", props);
     ]

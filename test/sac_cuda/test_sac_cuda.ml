@@ -255,6 +255,61 @@ let test_plane_tag_in_profile () =
      go 0);
   Alcotest.(check int) "one round per plane" 1 kernel_row.Gpu.Profiler.calls
 
+(* ---------- Fusion (--fuse) ---------- *)
+
+let with_fusion f =
+  Gpu.Fuse.set_enabled true;
+  Fun.protect ~finally:(fun () -> Gpu.Fuse.set_enabled false) f
+
+let test_fused_plan_smaller () =
+  let unfused, _ = compile ~generic:false ~filter:`Both () in
+  let fused, _ = with_fusion (fun () -> compile ~generic:false ~filter:`Both ()) in
+  (* The vertical filter's generators inline the horizontal filter's
+     stores: 12 kernels over two device loops become 7 over one. *)
+  Alcotest.(check int) "unfused kernels" 12 (Sac_cuda.Plan.kernel_count unfused);
+  Alcotest.(check int) "fused kernels" 7 (Sac_cuda.Plan.kernel_count fused);
+  Alcotest.(check int) "one device with-loop" 1
+    (Sac_cuda.Plan.device_withloop_count fused)
+
+let test_fused_plan_verifies () =
+  with_fusion @@ fun () ->
+  let plan, _ = compile ~generic:false ~filter:`Both () in
+  Alcotest.(check int) "no findings" 0
+    (List.length (Sac_cuda.Verify.check plan))
+
+let test_fused_bit_identical () =
+  let plane = plane_of 5 in
+  let reference = Video.Downscaler.plane plane in
+  let unfused, _ = compile ~generic:false ~filter:`Both () in
+  let _, plain = execute unfused plane in
+  with_fusion @@ fun () ->
+  let plan, _ = compile ~generic:false ~filter:`Both () in
+  let rt, outcome = execute plan plane in
+  Alcotest.(check bool) "matches reference" true
+    (tensor_eq outcome.Sac_cuda.Exec.result reference);
+  Alcotest.(check bool) "matches unfused run" true
+    (tensor_eq outcome.Sac_cuda.Exec.result plain.Sac_cuda.Exec.result);
+  Alcotest.(check int) "7 launches" 7
+    (List.length (events rt Gpu.Timeline.Kernel))
+
+let test_fused_peak_lower () =
+  let plane = plane_of 2 in
+  let peak fuse =
+    if fuse then
+      with_fusion @@ fun () ->
+      let plan, _ = compile ~generic:false ~filter:`Both () in
+      let rt, _ = execute plan plane in
+      Gpu.Context.peak_bytes (Cuda.Runtime.context rt)
+    else begin
+      let plan, _ = compile ~generic:false ~filter:`Both () in
+      let rt, _ = execute plan plane in
+      Gpu.Context.peak_bytes (Cuda.Runtime.context rt)
+    end
+  in
+  let fused = peak true and unfused = peak false in
+  if fused >= unfused then
+    Alcotest.failf "fused peak %d B not below unfused %d B" fused unfused
+
 (* ---------- Properties ---------- *)
 
 let prop_backend_matches_interpreter =
@@ -317,6 +372,13 @@ let () =
           Alcotest.test_case "non-generic .cu" `Quick test_emit_nongeneric;
           Alcotest.test_case "generic host code" `Quick
             test_emit_generic_has_host_code;
+        ] );
+      ( "fusion",
+        [
+          Alcotest.test_case "fewer kernels" `Quick test_fused_plan_smaller;
+          Alcotest.test_case "verifies clean" `Quick test_fused_plan_verifies;
+          Alcotest.test_case "bit-identical" `Quick test_fused_bit_identical;
+          Alcotest.test_case "lower peak memory" `Quick test_fused_peak_lower;
         ] );
       ("properties", props);
     ]

@@ -63,6 +63,19 @@ let test_opencl_events () =
   Alcotest.(check int) "1 write buffer" 1 (count Gpu.Timeline.Memcpy_h2d);
   Alcotest.(check int) "1 read buffer" 1 (count Gpu.Timeline.Memcpy_d2h)
 
+let test_opencl_fused () =
+  Gpu.Fuse.set_enabled true;
+  Fun.protect ~finally:(fun () -> Gpu.Fuse.set_enabled false) @@ fun () ->
+  let plan = plan_of ~generic:false in
+  let plane = plane_of 4 in
+  let ctx, outcome = run_opencl plan plane in
+  Alcotest.(check int) "fused plan: 7 kernels" 7
+    (Sac_cuda.Plan.kernel_count plan);
+  Alcotest.(check int) "7 launches" 7 outcome.Sac_cuda.Exec.kernel_launches;
+  Alcotest.(check bool) "bit-exact vs reference" true
+    (tensor_eq outcome.Sac_cuda.Exec.result (Video.Downscaler.plane plane));
+  ignore ctx
+
 let contains hay needle =
   let nl = String.length needle and hl = String.length hay in
   let rec go i = (i + nl <= hl) && (String.sub hay i nl = needle || go (i + 1)) in
@@ -121,6 +134,7 @@ let () =
           Alcotest.test_case "generic variant" `Quick
             test_opencl_generic_variant;
           Alcotest.test_case "event profile" `Quick test_opencl_events;
+          Alcotest.test_case "fused plan" `Quick test_opencl_fused;
         ] );
       ("emit", [ Alcotest.test_case "sources" `Quick test_sources ]);
       ( "properties",
