@@ -199,6 +199,112 @@ let ablation_devices ~scale ~plane () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* 2b. Serving: streaming engine under load (wall clock)               *)
+(* ------------------------------------------------------------------ *)
+
+(* Each pipeline is first driven closed-loop (one outstanding request
+   per stream) to estimate its saturation rate and unqueued latency
+   baseline, then offered 2x that rate open-loop under the two
+   load-shedding policies.  The acceptance bar: shedding keeps p99
+   bounded even at 2x saturation.  "Bounded" is checked against the
+   structural worst case of a bounded queue -- a request admitted into
+   a full queue of [capacity] waits at most [capacity + batch] service
+   times -- with a 4x allowance for scheduling noise. *)
+
+type serving_row = {
+  sv_pipeline : string;
+  sv_policy : string;  (** "closed", "reject" or "drop" *)
+  sv_offered_rps : float;
+  sv_achieved_rps : float;
+  sv_completed : int;
+  sv_rejected : int;
+  sv_dropped : int;
+  sv_timed_out : int;
+  sv_failed : int;
+  sv_p50_ms : float;
+  sv_p95_ms : float;
+  sv_p99_ms : float;
+  sv_p99_bounded : bool;
+}
+
+let serving_rows : serving_row list ref = ref []
+
+let serving_row ~pipeline ~policy ~bound_us (r : Serve.Loadgen.report) =
+  let c = r.Serve.Loadgen.counts in
+  let l = r.Serve.Loadgen.latency in
+  {
+    sv_pipeline = pipeline;
+    sv_policy = policy;
+    sv_offered_rps = r.Serve.Loadgen.offered_rps;
+    sv_achieved_rps = r.Serve.Loadgen.achieved_rps;
+    sv_completed = c.Serve.Loadgen.completed;
+    sv_rejected = c.Serve.Loadgen.rejected;
+    sv_dropped = c.Serve.Loadgen.dropped;
+    sv_timed_out = c.Serve.Loadgen.timed_out;
+    sv_failed = c.Serve.Loadgen.failed;
+    sv_p50_ms = l.Serve.Stats.p50_us /. 1000.;
+    sv_p95_ms = l.Serve.Stats.p95_us /. 1000.;
+    sv_p99_ms = l.Serve.Stats.p99_us /. 1000.;
+    sv_p99_bounded = l.Serve.Stats.p99_us <= bound_us;
+  }
+
+let serving ~smoke () =
+  section "Serving: streaming engine under load (wall clock)";
+  let fmt =
+    if smoke then { Video.Format.name = "smoke"; rows = 72; cols = 64 }
+    else Video.Format.cif
+  in
+  let streams = 2 in
+  let capacity = 16 in
+  let batch = { Serve.Batcher.max_batch = 4; window_us = 200. } in
+  let engine policy =
+    { Serve.Engine.workers = 2; queue_capacity = capacity; policy; batch }
+  in
+  let frames_per_stream = if smoke then 8 else 40 in
+  let duration = if smoke then 0.35 else 1.5 in
+  List.iter
+    (fun (name, pipeline) ->
+      let sessions =
+        List.init streams (fun i ->
+            Serve.Session.create ~id:i ~pipeline fmt)
+      in
+      let closed =
+        Serve.Loadgen.closed_loop ~label:(name ^ "/closed")
+          ~trace_name:(Printf.sprintf "serving (%s, closed)" name)
+          ~engine:(engine Serve.Queue.Block) ~sessions ~frames_per_stream ()
+      in
+      let sat = Float.max 1.0 closed.Serve.Loadgen.achieved_rps in
+      (* Worst admitted wait: the whole queue plus one batch ahead of
+         you, each at the closed-loop mean service time. *)
+      let service_us =
+        closed.Serve.Loadgen.latency.Serve.Stats.mean_us
+        /. float_of_int (max 1 streams)
+      in
+      let bound_us =
+        4.0
+        *. float_of_int (capacity + batch.Serve.Batcher.max_batch)
+        *. Float.max service_us 1000.
+      in
+      serving_rows :=
+        !serving_rows
+        @ [ serving_row ~pipeline:name ~policy:"closed" ~bound_us closed ];
+      Format.printf "  %a@." Serve.Loadgen.pp_report closed;
+      List.iter
+        (fun (pname, policy) ->
+          let r =
+            Serve.Loadgen.open_loop
+              ~label:(Printf.sprintf "%s/2x-sat/%s" name pname)
+              ~trace_name:(Printf.sprintf "serving (%s, %s)" name pname)
+              ~engine:(engine policy) ~sessions ~rate_hz:(2. *. sat)
+              ~duration_s:duration ()
+          in
+          serving_rows :=
+            !serving_rows @ [ serving_row ~pipeline:name ~policy:pname ~bound_us r ];
+          Format.printf "  %a@." Serve.Loadgen.pp_report r)
+        [ ("reject", Serve.Queue.Reject); ("drop", Serve.Queue.Drop_oldest) ])
+    [ ("sac", Serve.Session.Sac); ("gaspard", Serve.Session.Mde) ]
+
+(* ------------------------------------------------------------------ *)
 (* 3. Bechamel microbenchmarks                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -432,9 +538,12 @@ let write_json path ~opts ~scale ~timings =
     (m "gpu.cost_hits");
   p
     "  \"gpu\": { \"launches\": %d, \"h2d_copies\": %d, \"h2d_bytes\": %d, \
-     \"d2h_copies\": %d, \"d2h_bytes\": %d, \"alloc_high_water_bytes\": %d },\n"
+     \"d2h_copies\": %d, \"d2h_bytes\": %d, \"alloc_high_water_bytes\": %d, \
+     \"peak_bytes\": %d, \"buffers_reused\": %d },\n"
     (m "gpu.launches") (m "gpu.h2d_copies") (m "gpu.h2d_bytes")
-    (m "gpu.d2h_copies") (m "gpu.d2h_bytes") (m "gpu.alloc_high_water_bytes");
+    (m "gpu.d2h_copies") (m "gpu.d2h_bytes") (m "gpu.alloc_high_water_bytes")
+    (m "gpu.alloc_high_water_bytes")
+    (m "fusion.buffers_reused");
   p
     "  \"pool\": { \"size\": %d, \"tasks\": %d, \"worker_tasks\": %d, \
      \"helped_tasks\": %d, \"batches\": %d, \"queue_high_water\": %d, \
@@ -480,6 +589,33 @@ let write_json path ~opts ~scale ~timings =
         (if i = nsums - 1 then "" else ","))
     !overlap_summaries;
   p "  },\n";
+  p "  \"serving\": [\n";
+  let nserv = List.length !serving_rows in
+  List.iteri
+    (fun i (r : serving_row) ->
+      p
+        "    { \"pipeline\": \"%s\", \"policy\": \"%s\", \"offered_rps\": \
+         %.1f, \"achieved_rps\": %.1f, \"completed\": %d, \"rejected\": %d, \
+         \"dropped\": %d, \"timed_out\": %d, \"failed\": %d, \"p50_ms\": \
+         %.2f, \"p95_ms\": %.2f, \"p99_ms\": %.2f, \"p99_bounded\": %b }%s\n"
+        (json_escape r.sv_pipeline) (json_escape r.sv_policy) r.sv_offered_rps
+        r.sv_achieved_rps r.sv_completed r.sv_rejected r.sv_dropped
+        r.sv_timed_out r.sv_failed r.sv_p50_ms r.sv_p95_ms r.sv_p99_ms
+        r.sv_p99_bounded
+        (if i = nserv - 1 then "" else ","))
+    !serving_rows;
+  p "  ],\n";
+  p
+    "  \"serve\": { \"submitted\": %d, \"completed\": %d, \"rejected\": %d, \
+     \"dropped\": %d, \"timeouts\": %d, \"retries\": %d, \"failed\": %d, \
+     \"batches\": %d, \"batched_frames\": %d, \"batch_high_water\": %d, \
+     \"queue_high_water\": %d },\n"
+    (m "serve.submitted") (m "serve.completed") (m "serve.rejected")
+    (m "serve.dropped") (m "serve.timeouts") (m "serve.retries")
+    (m "serve.failed") (m "serve.batches")
+    (m "serve.batched_frames")
+    (m "serve.batch_high_water")
+    (m "serve.queue_high_water");
   p
     "  \"analysis\": { \"kernels_checked\": %d, \"plans_checked\": %d, \
      \"findings\": %d, \"errors\": %d, \"warnings\": %d, \"notes\": %d },\n"
@@ -519,6 +655,7 @@ let () =
   timed "ablation/fusion" (ablation_fusion ~scale);
   timed "ablation/generic" (ablation_generic ~scale);
   timed "ablation/devices" (ablation_devices ~scale ~plane);
+  timed "serving" (serving ~smoke:opts.smoke);
   timed "microbenchmarks" (run_benchmarks ~smoke:opts.smoke);
   print_newline ();
   let timings = List.rev !timings in

@@ -1,10 +1,13 @@
 (* validate_obs -- sanity-check the artefacts of `bench --trace
-   --metrics` (run by the dune runtest smoke rule).
+   --metrics --json` (run by the dune runtest smoke rule).
 
    Checks that the trace parses as JSON and contains complete ("X")
-   events on both clock domains (a device track and a host span), and
-   that the metrics dump parses and carries the core gpu.* and pool.*
-   series. *)
+   events on both clock domains (a device track and a host span), that
+   the metrics dump parses and carries the core gpu.*, pool.* and
+   serve.* series, and -- when the bench JSON report is also given --
+   that its gpu block surfaces the device memory high-water mark and
+   arena reuse, and that the serving block shows the load-shedding
+   policies keeping p99 bounded at 2x saturation. *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -20,10 +23,11 @@ let parse what path =
   | Error m -> fail "%s %s: invalid JSON: %s" what path m
 
 let () =
-  let trace_path, metrics_path =
+  let trace_path, metrics_path, bench_path =
     match Sys.argv with
-    | [| _; t; m |] -> (t, m)
-    | _ -> fail "usage: validate_obs TRACE.json METRICS.json"
+    | [| _; t; m |] -> (t, m, None)
+    | [| _; t; m; b |] -> (t, m, Some b)
+    | _ -> fail "usage: validate_obs TRACE.json METRICS.json [BENCH.json]"
   in
   let trace = parse "trace" trace_path in
   let events =
@@ -73,7 +77,92 @@ let () =
       "pool.tasks"; "pool.batches"; "pool.size";
       "fusion.launches_saved"; "fusion.buffers_eliminated";
       "fusion.bytes_saved"; "fusion.buffers_reused";
+      "serve.rejected"; "serve.dropped"; "serve.timeouts"; "serve.retries";
+      "serve.failed"; "serve.queue_high_water"; "serve.batch_high_water";
     ];
+  (* The latency distribution is a histogram, rendered in its own block. *)
+  (match Obs.Json.member "histograms" metrics with
+  | Some histos -> (
+      match Obs.Json.member "serve.latency_us" histos with
+      | Some h ->
+          (match Obs.Json.member "count" h with
+          | Some (Obs.Json.Num n) when n > 0. -> ()
+          | _ ->
+              fail "metrics %s: serve.latency_us histogram is empty"
+                metrics_path)
+      | None ->
+          fail "metrics %s: missing histogram serve.latency_us" metrics_path)
+  | None -> fail "metrics %s: no histograms block" metrics_path);
+  (* The bench serving section must actually have served traffic. *)
+  if get "serve.submitted" <= 0 then
+    fail "metrics %s: serving section submitted no requests" metrics_path;
+  if get "serve.completed" <= 0 then
+    fail "metrics %s: serving section completed no requests" metrics_path;
+  if get "serve.batches" <= 0 then
+    fail "metrics %s: serving section launched no batches" metrics_path;
+  (match bench_path with
+  | None -> ()
+  | Some bench_path ->
+      (* Serving host spans must have landed in the trace export. *)
+      if not (List.exists (fun e -> cat_of e = "serve") complete) then
+        fail "trace %s: no serve.* spans" trace_path;
+      let bench = parse "bench report" bench_path in
+      let gpu =
+        match Obs.Json.member "gpu" bench with
+        | Some obj -> obj
+        | None -> fail "bench report %s: no gpu block" bench_path
+      in
+      List.iter
+        (fun name ->
+          match Obs.Json.member name gpu with
+          | Some (Obs.Json.Num _) -> ()
+          | _ -> fail "bench report %s: gpu block missing %s" bench_path name)
+        [ "peak_bytes"; "buffers_reused" ];
+      let rows =
+        match Obs.Json.member "serving" bench with
+        | Some (Obs.Json.Arr rows) -> rows
+        | _ -> fail "bench report %s: no serving array" bench_path
+      in
+      if rows = [] then fail "bench report %s: serving array empty" bench_path;
+      let str name row =
+        match Obs.Json.member name row with
+        | Some (Obs.Json.Str s) -> s
+        | _ ->
+            fail "bench report %s: serving row missing field %s" bench_path
+              name
+      in
+      let shedding = ref 0 in
+      List.iter
+        (fun row ->
+          List.iter
+            (fun name ->
+              match Obs.Json.member name row with
+              | Some (Obs.Json.Num _) -> ()
+              | _ ->
+                  fail "bench report %s: serving row missing field %s"
+                    bench_path name)
+            [
+              "offered_rps"; "achieved_rps"; "completed"; "rejected";
+              "dropped"; "timed_out"; "failed"; "p50_ms"; "p95_ms"; "p99_ms";
+            ];
+          let policy = str "policy" row in
+          if policy = "reject" || policy = "drop" then begin
+            incr shedding;
+            match Obs.Json.member "p99_bounded" row with
+            | Some (Obs.Json.Bool true) -> ()
+            | _ ->
+                fail
+                  "bench report %s: %s/%s at 2x saturation has unbounded p99"
+                  bench_path (str "pipeline" row) policy
+          end)
+        rows;
+      if !shedding < 4 then
+        fail
+          "bench report %s: expected reject+drop rows for both pipelines, \
+           found %d"
+          bench_path !shedding);
   Printf.printf
-    "observability artefacts ok: %d device events, %d host spans, %d launches\n"
+    "observability artefacts ok: %d device events, %d host spans, %d \
+     launches, %d served\n"
     (List.length device) (List.length host) (get "gpu.launches")
+    (get "serve.completed")

@@ -68,12 +68,16 @@ let frame_via_gaspard rows cols =
       Gpu.Timeline.events (Gpu.Context.timeline (Opencl.Runtime.gpu_context ctx))
     )
 
-let apply_domains n =
-  if n > 0 then begin
-    Gpu.Pool.set_default_domains n;
-    Gpu.Context.set_default_mode
-      (if n <= 1 then Gpu.Context.Sequential else Gpu.Context.Parallel n)
-  end
+let apply_domains = function
+  | None -> ()
+  | Some n when n <= 0 ->
+      Printf.eprintf
+        "downscale: --domains must be a positive integer (got %d)\n" n;
+      exit 2
+  | Some n ->
+      Gpu.Pool.set_default_domains n;
+      Gpu.Context.set_default_mode
+        (if n <= 1 then Gpu.Context.Sequential else Gpu.Context.Parallel n)
 
 let main rows cols frames pipeline out_dir domains fuse trace metrics =
   if cols mod 8 <> 0 || rows mod 9 <> 0 then begin
@@ -155,11 +159,12 @@ let () =
   let domains =
     Arg.(
       value
-      & opt int 0
+      & opt (some int) None
       & info [ "domains" ]
           ~doc:
-            "OCaml domains for frame-level parallelism (1 forces a \
-             sequential run; 0 keeps the machine default).")
+            "OCaml domains for frame-level parallelism (must be positive; \
+             1 forces a sequential run, omit to keep the machine \
+             default).")
   in
   let fuse =
     Arg.(

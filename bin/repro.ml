@@ -24,22 +24,26 @@ let scale_args =
 (* --domains N resizes the shared pool and makes functional kernel
    execution run on it; 0 (the default) keeps the pool at the
    machine's recommended domain count with sequential execution. *)
-let apply_domains n =
-  if n > 0 then begin
-    Gpu.Pool.set_default_domains n;
-    Gpu.Context.set_default_mode
-      (if n <= 1 then Gpu.Context.Sequential else Gpu.Context.Parallel n)
-  end
+let apply_domains = function
+  | None -> ()
+  | Some n when n <= 0 ->
+      Printf.eprintf "repro: --domains must be a positive integer (got %d)\n" n;
+      exit 2
+  | Some n ->
+      Gpu.Pool.set_default_domains n;
+      Gpu.Context.set_default_mode
+        (if n <= 1 then Gpu.Context.Sequential else Gpu.Context.Parallel n)
 
 let domains_arg =
   Arg.(
     value
-    & opt int 0
+    & opt (some int) None
     & info [ "domains" ]
         ~doc:
           "OCaml domains used for the study's plane/measurement \
-           parallelism and for functional kernel execution (1 forces \
-           fully sequential runs; 0 keeps the machine default).")
+           parallelism and for functional kernel execution (must be \
+           positive; 1 forces fully sequential runs, omit to keep the \
+           machine default).")
 
 let fuse_arg =
   Arg.(

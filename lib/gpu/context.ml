@@ -294,4 +294,8 @@ let elapsed_us t = Timeline.total_us t.timeline
 
 let reset t =
   Timeline.clear t.timeline;
-  t.stats <- no_stats
+  t.stats <- no_stats;
+  (* Back-to-back runs in one process must not inherit the previous
+     run's recycled backing stores or its memory high-water mark. *)
+  Hashtbl.reset t.arena;
+  t.peak <- t.allocated

@@ -90,6 +90,9 @@ val elapsed_us : t -> float
 (** Total modelled time accumulated on the timeline. *)
 
 val reset : t -> unit
-(** Clear the timeline and the cache statistics (buffers and the
-    kernel caches themselves survive, so a reset context keeps serving
-    compile/cost hits). *)
+(** Clear the timeline and the cache statistics, drain the buffer-reuse
+    arena and reset {!peak_bytes} to the currently allocated total, so
+    back-to-back runs in one process do not report stale high-water
+    marks or recycle each other's stores.  Live buffers and the kernel
+    caches themselves survive, so a reset context keeps serving
+    compile/cost hits. *)

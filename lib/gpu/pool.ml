@@ -141,6 +141,16 @@ let finish t batch =
   help ();
   match batch.failure with Some e -> raise e | None -> ()
 
+let help_one t =
+  Mutex.lock t.lock;
+  let task = Queue.take_opt t.queue in
+  Mutex.unlock t.lock;
+  match task with
+  | None -> false
+  | Some task ->
+      run_task m_helped_tasks task;
+      true
+
 let run_batch t fs =
   match fs with
   | [] -> ()

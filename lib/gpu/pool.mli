@@ -65,3 +65,9 @@ val map_list : t -> (unit -> 'a) list -> 'a list
 (** [map_list pool fs] runs the thunks concurrently and returns their
     results in submission order (determinism: the schedule never leaks
     into the result). *)
+
+val help_one : t -> bool
+(** Execute at most one queued task on the calling thread; [true] if a
+    task was run.  Lets threads that must wait on something else (the
+    serving batcher's gather window) donate their wait to the pool
+    instead of spinning. *)

@@ -1,0 +1,41 @@
+type config = { max_batch : int; window_us : float }
+
+let default = { max_batch = 8; window_us = 200. }
+
+let effective_batch cfg ~backlog =
+  if backlog <= 0 then 1 else min (max 1 cfg.max_batch) (backlog + 1)
+
+let collect ?(help = fun () -> false) ?(now = Obs.Tracer.now_us) cfg ~key q =
+  match Queue.pop q with
+  | None -> []
+  | Some first ->
+      let target = effective_batch cfg ~backlog:(Queue.length q) in
+      let k = key first in
+      let batch = ref [ first ] in
+      let n = ref 1 in
+      let grab () =
+        match Queue.try_pop_where q (fun x -> key x = k) with
+        | Some x ->
+            batch := x :: !batch;
+            incr n;
+            true
+        | None -> false
+      in
+      (* First, everything already queued. *)
+      while !n < target && grab () do
+        ()
+      done;
+      (* Then wait out the window for stragglers — but only when the
+         backlog said there is load; an empty queue returned target 1
+         and we never get here. *)
+      if !n < target && cfg.window_us > 0. then begin
+        let t0 = now () in
+        let rec wait () =
+          if !n < target && now () -. t0 < cfg.window_us then begin
+            if not (grab ()) && not (help ()) then Domain.cpu_relax ();
+            wait ()
+          end
+        in
+        wait ()
+      end;
+      List.rev !batch

@@ -1,0 +1,51 @@
+(** Adaptive request batching.
+
+    Coalesces queued requests that share a plan key into one
+    multi-frame launch.  Two thresholds bound a batch:
+
+    - [max_batch] — never coalesce more than this many frames;
+    - [window_us] — after the first request is claimed, wait at most
+      this long for same-key requests to arrive before launching.
+
+    The batcher is adaptive through {!effective_batch}: the target size
+    scales with the backlog the first pop left behind, so under light
+    load (empty queue) every request launches alone {e immediately} —
+    no gather window, no batching tax on tail latency — while under
+    heavy load batches grow toward [max_batch] and amortise per-launch
+    overhead.
+
+    {!collect} is deterministic given its inputs: the clock and the
+    wait-step action are injectable, so threshold behaviour is testable
+    without wall-clock sleeps. *)
+
+type config = {
+  max_batch : int;  (** upper bound on frames per launch (>= 1) *)
+  window_us : float;  (** gather window once a batch is short (>= 0) *)
+}
+
+val default : config
+(** [{ max_batch = 8; window_us = 200. }]. *)
+
+val effective_batch : config -> backlog:int -> int
+(** The target batch size when [backlog] requests were queued behind
+    the one just claimed: [1] when the queue was empty (protecting tail
+    latency), otherwise [min max_batch (backlog + 1)]. *)
+
+val collect :
+  ?help:(unit -> bool) ->
+  ?now:(unit -> float) ->
+  config ->
+  key:('a -> 'k) ->
+  'a Queue.t ->
+  'a list
+(** [collect cfg ~key q] claims the next batch: a blocking pop for the
+    first request, then same-key requests (via {!Queue.try_pop_where})
+    up to the {!effective_batch} target, waiting out [window_us] if the
+    target is not yet met.  Requests with other keys are left queued in
+    order.  Returns [[]] iff the queue is closed and drained.
+
+    While waiting inside the window the batcher calls [help] (default:
+    none); a [help] that returns [true] did useful work (e.g. ran a
+    {!Gpu.Pool} task) and the queue is re-checked immediately, otherwise
+    the domain relaxes.  [now] is the microsecond clock (default:
+    {!Obs.Tracer.now_us}); tests inject a virtual clock. *)

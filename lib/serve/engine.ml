@@ -1,0 +1,193 @@
+type config = {
+  workers : int;
+  queue_capacity : int;
+  policy : Queue.policy;
+  batch : Batcher.config;
+}
+
+let default_config =
+  { workers = 2; queue_capacity = 64; policy = Queue.Reject;
+    batch = Batcher.default }
+
+type outcome =
+  | Done of { frame : Video.Frame.t; latency_us : float }
+  | Rejected
+  | Dropped
+  | Timed_out
+  | Failed of string
+
+type ticket = {
+  tk_lock : Mutex.t;
+  tk_done : Condition.t;
+  mutable tk_outcome : outcome option;
+}
+
+type request = {
+  session : Session.t;
+  frame_no : int;
+  frame : Video.Frame.t;
+  submit_us : float;
+  deadline_us : float option;
+  ticket : ticket;
+}
+
+type t = {
+  cfg : config;
+  q : request Queue.t;
+  recorder : Stats.recorder;
+  tl : Gpu.Timeline.t;
+  tl_lock : Mutex.t;
+  inject : (session_id:int -> frame_no:int -> attempt:int -> unit) option;
+  mutable domains : unit Domain.t list;
+  shut : Mutex.t;  (** serialises {!shutdown} so it is idempotent *)
+}
+
+let new_ticket () =
+  { tk_lock = Mutex.create (); tk_done = Condition.create (); tk_outcome = None }
+
+(* Exactly-once completion: a second completion of the same ticket is a
+   bug in the engine (a lost-or-doubled request), not a recoverable
+   condition. *)
+let complete tk outcome =
+  Mutex.lock tk.tk_lock;
+  (match tk.tk_outcome with
+  | Some _ ->
+      Mutex.unlock tk.tk_lock;
+      invalid_arg "Serve.Engine: request completed twice"
+  | None ->
+      tk.tk_outcome <- Some outcome;
+      Condition.broadcast tk.tk_done;
+      Mutex.unlock tk.tk_lock);
+  match outcome with
+  | Done _ -> Stats.completed ()
+  | Rejected -> Stats.rejected ()
+  | Dropped -> Stats.dropped ()
+  | Timed_out -> Stats.timed_out ()
+  | Failed _ -> Stats.failed ()
+
+let await tk =
+  Mutex.lock tk.tk_lock;
+  while Option.is_none tk.tk_outcome do
+    Condition.wait tk.tk_done tk.tk_lock
+  done;
+  let o = Option.get tk.tk_outcome in
+  Mutex.unlock tk.tk_lock;
+  o
+
+let peek tk =
+  Mutex.lock tk.tk_lock;
+  let o = tk.tk_outcome in
+  Mutex.unlock tk.tk_lock;
+  o
+
+let expired ~now r =
+  match r.deadline_us with Some d -> now > d | None -> false
+
+(* Execute one request, retrying once on a transient failure.  The
+   returned events are merged onto the engine timeline by the caller;
+   completion happens here so a frame's latency includes everything up
+   to result availability. *)
+let exec_request t r =
+  Obs.Tracer.with_span ~cat:"serve" "serve.request" @@ fun () ->
+  let attempt i =
+    (match t.inject with
+    | Some f -> f ~session_id:(Session.id r.session) ~frame_no:r.frame_no ~attempt:i
+    | None -> ());
+    Session.run_frame r.session r.frame
+  in
+  let outcome, events =
+    match attempt 0 with
+    | frame, events -> (`Ok frame, events)
+    | exception _first ->
+        Stats.retried ();
+        (match attempt 1 with
+        | frame, events -> (`Ok frame, events)
+        | exception e -> (`Failed (Printexc.to_string e), []))
+  in
+  (match outcome with
+  | `Ok frame ->
+      let latency_us = Obs.Tracer.now_us () -. r.submit_us in
+      Stats.record t.recorder latency_us;
+      complete r.ticket (Done { frame; latency_us })
+  | `Failed msg -> complete r.ticket (Failed msg));
+  events
+
+let worker t () =
+  let pool = Gpu.Pool.get () in
+  let help () = Gpu.Pool.help_one pool in
+  let rec loop () =
+    match
+      Batcher.collect ~help t.cfg.batch ~key:(fun r -> Session.key r.session)
+        t.q
+    with
+    | [] -> ()
+    | batch ->
+        let now = Obs.Tracer.now_us () in
+        let timed_out, live = List.partition (expired ~now) batch in
+        List.iter (fun r -> complete r.ticket Timed_out) timed_out;
+        (match live with
+        | [] -> ()
+        | reqs ->
+            Stats.batch ~frames:(List.length reqs);
+            let events =
+              Obs.Tracer.with_span ~cat:"serve" "serve.batch" (fun () ->
+                  Gpu.Pool.map_list pool
+                    (List.map (fun r () -> exec_request t r) reqs))
+            in
+            Mutex.lock t.tl_lock;
+            List.iter
+              (List.iter (fun e -> Gpu.Timeline.record t.tl e))
+              events;
+            Mutex.unlock t.tl_lock);
+        loop ()
+  in
+  loop ()
+
+let create ?inject cfg =
+  let cfg = { cfg with workers = max 1 cfg.workers } in
+  let t =
+    {
+      cfg;
+      q = Queue.create ~capacity:cfg.queue_capacity ~policy:cfg.policy ();
+      recorder = Stats.recorder ();
+      tl = Gpu.Timeline.create ();
+      tl_lock = Mutex.create ();
+      inject;
+      domains = [];
+      shut = Mutex.create ();
+    }
+  in
+  t.domains <- List.init cfg.workers (fun _ -> Domain.spawn (worker t));
+  t
+
+let submit t ?deadline_us session ~frame_no frame =
+  Stats.submitted ();
+  let ticket = new_ticket () in
+  let r =
+    {
+      session;
+      frame_no;
+      frame;
+      submit_us = Obs.Tracer.now_us ();
+      deadline_us;
+      ticket;
+    }
+  in
+  (match Queue.push t.q r with
+  | Queue.Accepted -> ()
+  | Queue.Rejected | Queue.Closed -> complete ticket Rejected
+  | Queue.Dropped victim -> complete victim.ticket Dropped);
+  ticket
+
+let shutdown t =
+  Mutex.lock t.shut;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.shut) @@ fun () ->
+  Queue.close t.q;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let queue_depth t = Queue.length t.q
+
+let latency t = Stats.summary t.recorder
+
+let timeline t = t.tl

@@ -1,0 +1,128 @@
+type counts = {
+  submitted : int;
+  completed : int;
+  rejected : int;
+  dropped : int;
+  timed_out : int;
+  failed : int;
+}
+
+type report = {
+  label : string;
+  mode : [ `Open | `Closed ];
+  offered_rps : float;
+  wall_s : float;
+  achieved_rps : float;
+  counts : counts;
+  latency : Stats.summary;
+}
+
+let zero_counts =
+  { submitted = 0; completed = 0; rejected = 0; dropped = 0; timed_out = 0;
+    failed = 0 }
+
+let tally outcomes =
+  List.fold_left
+    (fun c (o : Engine.outcome) ->
+      match o with
+      | Engine.Done _ -> { c with completed = c.completed + 1 }
+      | Engine.Rejected -> { c with rejected = c.rejected + 1 }
+      | Engine.Dropped -> { c with dropped = c.dropped + 1 }
+      | Engine.Timed_out -> { c with timed_out = c.timed_out + 1 }
+      | Engine.Failed _ -> { c with failed = c.failed + 1 })
+    { zero_counts with submitted = List.length outcomes }
+    outcomes
+
+(* A small pool of pre-generated frames per session: frame synthesis at
+   serving rates would otherwise throttle the arrival process and the
+   measured latencies.  Streams cycle through the pool; frame numbers
+   are offset per stream so streams do not serve identical pixels. *)
+let frame_pool_size = 8
+
+let frame_pools sessions =
+  List.map
+    (fun s ->
+      Video.Framegen.stream ~start:(Session.id s * 1000) (Session.format s)
+      |> Seq.take frame_pool_size |> Array.of_seq)
+    sessions
+
+let finish ?trace_name ~label ~mode ~offered_rps ~wall_s eng outcomes =
+  Option.iter
+    (fun name -> Gpu.Trace_export.register ~name (Engine.timeline eng))
+    trace_name;
+  let counts = tally outcomes in
+  {
+    label;
+    mode;
+    offered_rps;
+    wall_s;
+    achieved_rps =
+      (if wall_s > 0. then float_of_int counts.completed /. wall_s else 0.);
+    counts;
+    latency = Engine.latency eng;
+  }
+
+let open_loop ?deadline_ms ?trace_name ~label ~engine ~sessions ~rate_hz
+    ~duration_s () =
+  if sessions = [] then invalid_arg "Serve.Loadgen.open_loop: no sessions";
+  if rate_hz <= 0. then invalid_arg "Serve.Loadgen.open_loop: rate <= 0";
+  let eng = Engine.create engine in
+  let sessions_a = Array.of_list sessions in
+  let pools = Array.of_list (frame_pools sessions) in
+  let total = max 1 (int_of_float (rate_hz *. duration_s)) in
+  let interval = 1. /. rate_hz in
+  let t0 = Unix.gettimeofday () in
+  let tickets =
+    List.init total (fun i ->
+        let due = t0 +. (float_of_int i *. interval) in
+        let now = Unix.gettimeofday () in
+        if due > now then Unix.sleepf (due -. now);
+        let s = sessions_a.(i mod Array.length sessions_a) in
+        let frame = pools.(i mod Array.length sessions_a).(i / Array.length sessions_a mod frame_pool_size) in
+        let deadline_us =
+          Option.map (fun ms -> Obs.Tracer.now_us () +. (1000. *. ms)) deadline_ms
+        in
+        Engine.submit eng ?deadline_us s ~frame_no:i frame)
+  in
+  Engine.shutdown eng;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let outcomes = List.map Engine.await tickets in
+  finish ?trace_name ~label ~mode:`Open ~offered_rps:rate_hz ~wall_s eng
+    outcomes
+
+let closed_loop ?trace_name ~label ~engine ~sessions ~frames_per_stream () =
+  if sessions = [] then invalid_arg "Serve.Loadgen.closed_loop: no sessions";
+  let eng = Engine.create engine in
+  let pools = frame_pools sessions in
+  let t0 = Unix.gettimeofday () in
+  (* One dedicated driver domain per stream (NOT the shared Gpu.Pool:
+     drivers block on await, and parking blocking thunks on the pool
+     could starve the frame executions they are waiting for). *)
+  let drivers =
+    List.map2
+      (fun s pool ->
+        Domain.spawn (fun () ->
+            List.init frames_per_stream (fun j ->
+                Engine.await
+                  (Engine.submit eng s ~frame_no:j
+                     (pool.(j mod frame_pool_size))))))
+      sessions pools
+  in
+  let outcomes = List.concat_map Domain.join drivers in
+  Engine.shutdown eng;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  finish ?trace_name ~label ~mode:`Closed ~offered_rps:0. ~wall_s eng outcomes
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "%-28s %-6s %8s %8.1f rps | ok %5d rej %4d drop %4d to %4d fail %2d | \
+     p50 %6.1f ms  p95 %6.1f ms  p99 %6.1f ms"
+    r.label
+    (match r.mode with `Open -> "open" | `Closed -> "closed")
+    (if r.offered_rps > 0. then Printf.sprintf "%.0f rps" r.offered_rps
+     else "-")
+    r.achieved_rps r.counts.completed r.counts.rejected r.counts.dropped
+    r.counts.timed_out r.counts.failed
+    (r.latency.Stats.p50_us /. 1000.)
+    (r.latency.Stats.p95_us /. 1000.)
+    (r.latency.Stats.p99_us /. 1000.)

@@ -1,0 +1,70 @@
+(** Synthetic stream load generation over an {!Engine}.
+
+    Two classic harness shapes:
+
+    - {b closed loop} ({!closed_loop}): each stream keeps exactly one
+      request outstanding — submit, await, repeat.  Throughput is then
+      bounded by the engine itself, so the achieved rate estimates the
+      {e saturation rate} and the latencies are the unqueued service
+      baseline.
+    - {b open loop} ({!open_loop}): arrivals are paced at a fixed
+      offered rate regardless of completions — the shape that exposes
+      overload, because a too-slow engine accumulates backlog instead
+      of silently slowing the generator.  Offered above saturation,
+      the queue's overload policy decides what gives: [Block] stalls
+      the arrival clock (and latency grows with run length), while
+      [Reject] / [Drop_oldest] shed load and keep p99 bounded.
+
+    Frames come from {!Video.Framegen.stream}, pre-generated into a
+    small per-run pool so frame synthesis never throttles the arrival
+    process.  Each run creates its own engine, drains it with
+    {!Engine.shutdown}, and tallies every ticket — the report's counts
+    always sum to [submitted]. *)
+
+type counts = {
+  submitted : int;
+  completed : int;
+  rejected : int;
+  dropped : int;
+  timed_out : int;
+  failed : int;
+}
+
+type report = {
+  label : string;
+  mode : [ `Open | `Closed ];
+  offered_rps : float;  (** 0 for closed-loop runs *)
+  wall_s : float;
+  achieved_rps : float;  (** completions per wall-clock second *)
+  counts : counts;
+  latency : Stats.summary;
+}
+
+val open_loop :
+  ?deadline_ms:float ->
+  ?trace_name:string ->
+  label:string ->
+  engine:Engine.config ->
+  sessions:Session.t list ->
+  rate_hz:float ->
+  duration_s:float ->
+  unit ->
+  report
+(** Offer [rate_hz] requests/second for [duration_s], round-robin over
+    [sessions].  [deadline_ms] gives every request a relative deadline.
+    [trace_name] registers the engine's merged device timeline with
+    {!Gpu.Trace_export} under that name. *)
+
+val closed_loop :
+  ?trace_name:string ->
+  label:string ->
+  engine:Engine.config ->
+  sessions:Session.t list ->
+  frames_per_stream:int ->
+  unit ->
+  report
+(** One driver domain per session, each submitting and awaiting
+    [frames_per_stream] requests back to back. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** One aligned human-readable line per report. *)

@@ -1,0 +1,176 @@
+type pipeline = Sac | Mde
+
+type key = {
+  k_pipeline : [ `Sac | `Mde | `Custom of int ];
+  k_rows : int;
+  k_cols : int;
+  k_fuse : bool;
+}
+
+type runner =
+  | Sac_plan of Sac_cuda.Plan.t
+  | Mde_gen of Mde.Codegen.generated
+  | Custom_fn of (Video.Frame.t -> Video.Frame.t)
+
+type t = {
+  id : int;
+  fmt : Video.Format.t;
+  fuse : bool;
+  key : key;
+  runner : runner;
+}
+
+let id t = t.id
+
+let format t = t.fmt
+
+let fused t = t.fuse
+
+let key t = t.key
+
+let pipeline_name t =
+  match t.key.k_pipeline with
+  | `Sac -> "sac"
+  | `Mde -> "gaspard"
+  | `Custom _ -> "custom"
+
+(* ------------------------------------------------------------------ *)
+(* Process-wide plan cache                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* One lock covers both the cache table and the global fuse flag:
+   fusion is selected by a process-wide switch the compilers read, so a
+   per-session [fuse] request must hold the flag at its value for the
+   duration of the compile.  Compiles are rare (once per distinct key)
+   and millisecond-scale, so the critical section is harmless. *)
+let cache_lock = Mutex.create ()
+
+let cache : (key, runner) Hashtbl.t = Hashtbl.create 8
+
+let cache_size () =
+  Mutex.lock cache_lock;
+  let n = Hashtbl.length cache in
+  Mutex.unlock cache_lock;
+  n
+
+let filter_labels () =
+  (* The first two device loops of the plan are the two filters; any
+     further kernels keep their generated names. *)
+  let labels = ref [ "H. Filter"; "V. Filter" ] in
+  fun _ ->
+    match !labels with
+    | l :: rest ->
+        labels := rest;
+        l
+    | [] -> "Kernel"
+
+let compile_locked key =
+  let saved = Gpu.Fuse.enabled () in
+  Gpu.Fuse.set_enabled key.k_fuse;
+  Fun.protect ~finally:(fun () -> Gpu.Fuse.set_enabled saved) @@ fun () ->
+  match key.k_pipeline with
+  | `Custom _ -> assert false (* never cached *)
+  | `Sac ->
+      let src =
+        Sac.Programs.downscaler ~generic:false ~rows:key.k_rows
+          ~cols:key.k_cols
+      in
+      let plan, _ =
+        Sac_cuda.Compile.plan_of_source ~label_of:(filter_labels ()) src
+          ~entry:"main"
+      in
+      Sac_plan plan
+  | `Mde ->
+      Mde_gen
+        (Mde.Chain.transform_exn
+           (Mde.Chain.downscaler_model ~rows:key.k_rows ~cols:key.k_cols))
+
+let runner_of key =
+  Mutex.lock cache_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cache_lock) @@ fun () ->
+  match Hashtbl.find_opt cache key with
+  | Some r -> r
+  | None ->
+      let r =
+        Obs.Tracer.with_span ~cat:"serve" "serve.compile_plan" (fun () ->
+            compile_locked key)
+      in
+      Hashtbl.add cache key r;
+      r
+
+let create ?fuse ~id ~pipeline fmt =
+  if fmt.Video.Format.rows mod 9 <> 0 || fmt.Video.Format.cols mod 8 <> 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Serve.Session.create: %dx%d is not downscalable (rows must be a \
+          multiple of 9, cols of 8)"
+         fmt.Video.Format.rows fmt.Video.Format.cols);
+  let fuse = match fuse with Some f -> f | None -> Gpu.Fuse.enabled () in
+  let key =
+    {
+      k_pipeline = (match pipeline with Sac -> `Sac | Mde -> `Mde);
+      k_rows = fmt.Video.Format.rows;
+      k_cols = fmt.Video.Format.cols;
+      k_fuse = fuse;
+    }
+  in
+  { id; fmt; fuse; key; runner = runner_of key }
+
+let custom ~id fmt f =
+  {
+    id;
+    fmt;
+    fuse = false;
+    key =
+      {
+        k_pipeline = `Custom id;
+        k_rows = fmt.Video.Format.rows;
+        k_cols = fmt.Video.Format.cols;
+        k_fuse = false;
+      };
+    runner = Custom_fn f;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Frame execution                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let mde_label = function
+  | "HorizontalFilter" -> "H. Filter"
+  | "VerticalFilter" -> "V. Filter"
+  | other -> other
+
+let run_frame t frame =
+  match t.runner with
+  | Custom_fn f -> (f frame, [])
+  | Sac_plan plan ->
+      let rt = Cuda.Runtime.init () in
+      let scaled =
+        Video.Frame.map_planes
+          (fun ch plane ->
+            (Sac_cuda.Exec.run rt plan
+               ~plane_tag:(Video.Frame.channel_name ch)
+               ~args:[ ("frame", plane) ])
+              .Sac_cuda.Exec.result)
+          frame
+      in
+      ( scaled,
+        Gpu.Timeline.events (Gpu.Context.timeline (Cuda.Runtime.context rt)) )
+  | Mde_gen gen ->
+      let ctx = Opencl.Runtime.create_context () in
+      let outs =
+        Mde.Chain.run ctx gen ~label_of:mde_label
+          ~inputs:
+            [
+              ("r_in", Video.Frame.plane frame Video.Frame.R);
+              ("g_in", Video.Frame.plane frame Video.Frame.G);
+              ("b_in", Video.Frame.plane frame Video.Frame.B);
+            ]
+      in
+      ( {
+          Video.Frame.r = List.assoc "r_out" outs;
+          g = List.assoc "g_out" outs;
+          b = List.assoc "b_out" outs;
+        },
+        Gpu.Timeline.events (Gpu.Context.timeline (Opencl.Runtime.gpu_context ctx))
+      )

@@ -1,0 +1,55 @@
+(** Per-stream serving state.
+
+    A session is one video stream's fixed configuration: resolution,
+    pipeline choice (the SAC→CUDA route or the Gaspard2/MDE→OpenCL
+    route) and [--fuse] setting, plus the compiled-plan handle every
+    frame of the stream reuses.  Compilation happens once per distinct
+    [(pipeline, rows, cols, fuse)] key in the whole process — sessions
+    with equal keys share the handle through a process-wide cache, and
+    the kernels inside it additionally hit the existing
+    {!Gpu.Kir.shared_prepare} compile cache, so serving a new stream of
+    an already-seen shape costs no compilation at all.
+
+    The {!key} is also the batcher's coalescing unit: requests from
+    sessions with equal keys can ride the same multi-frame launch. *)
+
+type pipeline = Sac | Mde
+
+type key
+
+type t
+
+val create :
+  ?fuse:bool -> id:int -> pipeline:pipeline -> Video.Format.t -> t
+(** [create ~id ~pipeline fmt] compiles (or fetches from the cache) the
+    plan for [fmt]-sized frames.  [fuse] selects plan-level kernel
+    fusion for this stream's plan (default: the process-wide
+    {!Gpu.Fuse.enabled} setting at call time).  Raises
+    [Invalid_argument] when [fmt] is not downscalable (rows not a
+    multiple of 9 or cols not a multiple of 8). *)
+
+val custom : id:int -> Video.Format.t -> (Video.Frame.t -> Video.Frame.t) -> t
+(** A session around an arbitrary frame function — the hook the test
+    suite and future non-downscaler workloads use.  Each custom session
+    is its own batching key. *)
+
+val id : t -> int
+
+val format : t -> Video.Format.t
+
+val fused : t -> bool
+
+val key : t -> key
+(** Batching key; equal iff two sessions can share one plan/launch. *)
+
+val pipeline_name : t -> string
+(** ["sac"], ["gaspard"] or ["custom"]. *)
+
+val run_frame : t -> Video.Frame.t -> Video.Frame.t * Gpu.Timeline.event list
+(** Push one frame through the session's compiled plan on a fresh
+    per-frame runtime context (kernel preparations and cost profiles
+    are shared process-wide, so this allocates no compilation work) and
+    return the scaled frame plus the device events the run recorded. *)
+
+val cache_size : unit -> int
+(** Number of distinct compiled plans held by the process-wide cache. *)

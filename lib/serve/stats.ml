@@ -1,0 +1,90 @@
+let m_submitted = Obs.Metrics.counter "serve.submitted"
+
+let m_completed = Obs.Metrics.counter "serve.completed"
+
+let m_rejected = Obs.Metrics.counter "serve.rejected"
+
+let m_dropped = Obs.Metrics.counter "serve.dropped"
+
+let m_timeouts = Obs.Metrics.counter "serve.timeouts"
+
+let m_retries = Obs.Metrics.counter "serve.retries"
+
+let m_failed = Obs.Metrics.counter "serve.failed"
+
+let m_batches = Obs.Metrics.counter "serve.batches"
+
+let m_batched_frames = Obs.Metrics.counter "serve.batched_frames"
+
+let m_batch_high_water = Obs.Metrics.gauge "serve.batch_high_water"
+
+let m_latency_us = Obs.Metrics.histogram "serve.latency_us"
+
+let submitted () = Obs.Metrics.incr m_submitted
+
+let completed () = Obs.Metrics.incr m_completed
+
+let rejected () = Obs.Metrics.incr m_rejected
+
+let dropped () = Obs.Metrics.incr m_dropped
+
+let timed_out () = Obs.Metrics.incr m_timeouts
+
+let retried () = Obs.Metrics.incr m_retries
+
+let failed () = Obs.Metrics.incr m_failed
+
+let batch ~frames =
+  Obs.Metrics.incr m_batches;
+  Obs.Metrics.add m_batched_frames frames;
+  Obs.Metrics.set_max m_batch_high_water frames
+
+type recorder = { lock : Mutex.t; mutable samples : float list; mutable n : int }
+
+let recorder () = { lock = Mutex.create (); samples = []; n = 0 }
+
+let record r us =
+  Obs.Metrics.observe m_latency_us (int_of_float us);
+  Mutex.lock r.lock;
+  r.samples <- us :: r.samples;
+  r.n <- r.n + 1;
+  Mutex.unlock r.lock
+
+type summary = {
+  count : int;
+  mean_us : float;
+  p50_us : float;
+  p95_us : float;
+  p99_us : float;
+  max_us : float;
+}
+
+let zero_summary =
+  { count = 0; mean_us = 0.; p50_us = 0.; p95_us = 0.; p99_us = 0.; max_us = 0. }
+
+let percentile xs ~p =
+  let n = Array.length xs in
+  if n = 0 then 0.
+  else begin
+    let sorted = Array.copy xs in
+    Array.sort compare sorted;
+    (* Nearest rank: the ceil(p/100 * n)-th smallest sample. *)
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+let summary r =
+  Mutex.lock r.lock;
+  let xs = Array.of_list r.samples in
+  Mutex.unlock r.lock;
+  let n = Array.length xs in
+  if n = 0 then zero_summary
+  else
+    {
+      count = n;
+      mean_us = Array.fold_left ( +. ) 0. xs /. float_of_int n;
+      p50_us = percentile xs ~p:50.;
+      p95_us = percentile xs ~p:95.;
+      p99_us = percentile xs ~p:99.;
+      max_us = Array.fold_left Float.max neg_infinity xs;
+    }

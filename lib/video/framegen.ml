@@ -21,3 +21,6 @@ let frame fmt n =
 
 let sequence fmt ~count =
   Seq.init count (fun n -> frame fmt n)
+
+let stream ?(start = 0) fmt =
+  Seq.unfold (fun n -> Some (frame fmt n, n + 1)) start

@@ -457,6 +457,28 @@ let test_peak_and_arena () =
   Context.free c b3;
   Context.free c b4
 
+let test_reset_drains_arena () =
+  let c = ctx () in
+  let reused () =
+    Option.value ~default:0 (Obs.Metrics.find "fusion.buffers_reused")
+  in
+  let b1 = Context.alloc c ~name:"b1" 1000 in
+  Context.free c b1;
+  Alcotest.(check int) "peak remembers the freed buffer" 4000
+    (Context.peak_bytes c);
+  Context.reset c;
+  Alcotest.(check int) "reset returns peak to live bytes" 0
+    (Context.peak_bytes c);
+  let before = reused () in
+  let b2 = Context.alloc c ~name:"b2" 1000 in
+  (* The freed store must not come back off the arena after a reset. *)
+  Alcotest.(check int) "arena drained by reset" before (reused ());
+  Context.free c b2;
+  let b3 = Context.alloc c ~name:"b3" 1000 in
+  Alcotest.(check int) "arena recycles again after reset" (before + 1)
+    (reused ());
+  Context.free c b3
+
 let test_out_of_memory () =
   let c = ctx () in
   Alcotest.(check bool) "allocation beyond 1.5 GB rejected" true
@@ -1286,6 +1308,8 @@ let () =
         [
           Alcotest.test_case "accounting" `Quick test_alloc_accounting;
           Alcotest.test_case "peak and arena" `Quick test_peak_and_arena;
+          Alcotest.test_case "reset drains arena" `Quick
+            test_reset_drains_arena;
           Alcotest.test_case "out of memory" `Quick test_out_of_memory;
         ] );
       ( "timeline",

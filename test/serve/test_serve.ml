@@ -1,0 +1,579 @@
+open Serve
+
+(* All threshold and drain assertions here are deterministic: the
+   batcher gets a virtual clock, blocking tests synchronise on atomics
+   or on the queue's own close/drain semantics, and wall-clock sleeps
+   never back an assertion. *)
+
+let metric name = Option.value ~default:0 (Obs.Metrics.find name)
+
+let spin_until pred =
+  while not (pred ()) do
+    Domain.cpu_relax ()
+  done
+
+(* ---------- Queue: policies under concurrent producers ---------- *)
+
+let test_queue_fifo () =
+  let q = Queue.create ~capacity:4 ~policy:Queue.Reject () in
+  List.iter (fun x -> ignore (Queue.push q x)) [ 1; 2; 3 ];
+  Alcotest.(check int) "length" 3 (Queue.length q);
+  Alcotest.(check (option int)) "fifo 1" (Some 1) (Queue.try_pop q);
+  Alcotest.(check (option int)) "fifo 2" (Some 2) (Queue.try_pop q);
+  Alcotest.(check (option int)) "fifo 3" (Some 3) (Queue.try_pop q);
+  Alcotest.(check (option int)) "empty" None (Queue.try_pop q)
+
+let test_queue_capacity_validated () =
+  Alcotest.(check bool) "capacity 0 rejected" true
+    (try
+       ignore (Queue.create ~capacity:0 ~policy:Queue.Block ());
+       false
+     with Invalid_argument _ -> true)
+
+(* 4 producer domains race 100 pushes each into a capacity-50 queue
+   with no consumer: exactly 50 can be accepted, the rest must be
+   rejected, and nothing may be lost or duplicated. *)
+let test_queue_reject_concurrent () =
+  let q = Queue.create ~capacity:50 ~policy:Queue.Reject () in
+  let accepted = Atomic.make 0 in
+  let rejected = Atomic.make 0 in
+  let producer p () =
+    for i = 0 to 99 do
+      match Queue.push q ((p * 100) + i) with
+      | Queue.Accepted -> Atomic.incr accepted
+      | Queue.Rejected -> Atomic.incr rejected
+      | Queue.Dropped _ | Queue.Closed -> Alcotest.fail "unexpected result"
+    done
+  in
+  let ds = List.init 4 (fun p -> Domain.spawn (producer p)) in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "exactly capacity accepted" 50 (Atomic.get accepted);
+  Alcotest.(check int) "the rest rejected" 350 (Atomic.get rejected);
+  let drained = ref [] in
+  let rec drain () =
+    match Queue.try_pop q with
+    | Some x ->
+        drained := x :: !drained;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check int) "all accepted elements present" 50
+    (List.length (List.sort_uniq compare !drained))
+
+(* Concurrent Drop_oldest: accepted pushes minus evictions must equal
+   what is left in the queue — a drop is never a loss, the victim comes
+   back to its producer. *)
+let test_queue_drop_oldest_concurrent () =
+  let q = Queue.create ~capacity:8 ~policy:Queue.Drop_oldest () in
+  let accepted = Atomic.make 0 in
+  let dropped = Atomic.make 0 in
+  let producer p () =
+    for i = 0 to 99 do
+      match Queue.push q ((p * 100) + i) with
+      | Queue.Accepted -> Atomic.incr accepted
+      | Queue.Dropped _ ->
+          (* the push itself was admitted *)
+          Atomic.incr accepted;
+          Atomic.incr dropped
+      | Queue.Rejected | Queue.Closed -> Alcotest.fail "unexpected result"
+    done
+  in
+  let ds = List.init 4 (fun p -> Domain.spawn (producer p)) in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "every push admitted" 400 (Atomic.get accepted);
+  Alcotest.(check int) "accepted - dropped = resident" (Queue.length q)
+    (Atomic.get accepted - Atomic.get dropped)
+
+let test_queue_drop_oldest_order () =
+  let q = Queue.create ~capacity:3 ~policy:Queue.Drop_oldest () in
+  for i = 1 to 5 do
+    ignore (Queue.push q i)
+  done;
+  (* 1 and 2 were evicted oldest-first; 3..5 remain in order. *)
+  Alcotest.(check (list int)) "oldest evicted first" [ 3; 4; 5 ]
+    (List.filter_map (fun _ -> Queue.try_pop q) [ (); (); () ])
+
+(* Block policy: a producer domain pushes 50 items through a 4-slot
+   queue while the main domain consumes; conservation and order must
+   hold (blocking pushes wake up and deliver everything). *)
+let test_queue_block_conservation () =
+  let q = Queue.create ~capacity:4 ~policy:Queue.Block () in
+  let d =
+    Domain.spawn (fun () ->
+        for i = 0 to 49 do
+          match Queue.push q i with
+          | Queue.Accepted -> ()
+          | _ -> failwith "blocking push must end Accepted"
+        done)
+  in
+  let got = ref [] in
+  for _ = 0 to 49 do
+    match Queue.pop q with
+    | Some x -> got := x :: !got
+    | None -> Alcotest.fail "queue closed unexpectedly"
+  done;
+  Domain.join d;
+  Alcotest.(check (list int)) "all items, in order"
+    (List.init 50 Fun.id) (List.rev !got)
+
+let test_queue_close_drains () =
+  let q = Queue.create ~capacity:8 ~policy:Queue.Reject () in
+  List.iter (fun x -> ignore (Queue.push q x)) [ 1; 2 ];
+  Queue.close q;
+  Alcotest.(check bool) "closed" true (Queue.is_closed q);
+  (match Queue.push q 3 with
+  | Queue.Closed -> ()
+  | _ -> Alcotest.fail "push after close must return Closed");
+  Alcotest.(check (option int)) "drains 1" (Some 1) (Queue.pop q);
+  Alcotest.(check (option int)) "drains 2" (Some 2) (Queue.pop q);
+  Alcotest.(check (option int)) "then None" None (Queue.pop q)
+
+(* A pop blocked on an empty queue must wake up when the queue closes. *)
+let test_queue_close_wakes_blocked_pop () =
+  let q = Queue.create ~capacity:2 ~policy:Queue.Block () in
+  let popped = Atomic.make `Waiting in
+  let d =
+    Domain.spawn (fun () -> Atomic.set popped (`Got (Queue.pop q : int option)))
+  in
+  Queue.close q;
+  Domain.join d;
+  Alcotest.(check bool) "woke with None" true
+    (Atomic.get popped = `Got None)
+
+let test_queue_try_pop_where () =
+  let q = Queue.create ~capacity:8 ~policy:Queue.Reject () in
+  List.iter (fun x -> ignore (Queue.push q x)) [ 10; 21; 30; 41 ];
+  (* First odd element is 21; the others keep their order. *)
+  Alcotest.(check (option int)) "first match" (Some 21)
+    (Queue.try_pop_where q (fun x -> x mod 2 = 1));
+  Alcotest.(check (option int)) "no match" None
+    (Queue.try_pop_where q (fun x -> x > 100));
+  Alcotest.(check (list int)) "others in order" [ 10; 30; 41 ]
+    (List.filter_map (fun _ -> Queue.try_pop q) [ (); (); () ])
+
+(* ---------- Batcher: thresholds with a virtual clock ---------- *)
+
+let test_effective_batch () =
+  let cfg = { Batcher.max_batch = 8; window_us = 200. } in
+  Alcotest.(check int) "empty queue -> singleton" 1
+    (Batcher.effective_batch cfg ~backlog:0);
+  Alcotest.(check int) "light load -> backlog + 1" 4
+    (Batcher.effective_batch cfg ~backlog:3);
+  Alcotest.(check int) "heavy load -> max_batch" 8
+    (Batcher.effective_batch cfg ~backlog:50);
+  Alcotest.(check int) "max_batch clamped to 1" 1
+    (Batcher.effective_batch { cfg with max_batch = 0 } ~backlog:50)
+
+(* An empty backlog must launch the lone request immediately: the
+   virtual clock proves the window was never consulted. *)
+let test_collect_singleton_no_wait () =
+  let q = Queue.create ~capacity:8 ~policy:Queue.Reject () in
+  ignore (Queue.push q (1, "a"));
+  let clock_calls = ref 0 in
+  let now () =
+    incr clock_calls;
+    0.
+  in
+  let batch =
+    Batcher.collect ~now
+      { Batcher.max_batch = 8; window_us = 1e9 }
+      ~key:fst q
+  in
+  Alcotest.(check (list (pair int string))) "lone request" [ (1, "a") ] batch;
+  Alcotest.(check int) "window clock never read" 0 !clock_calls
+
+(* Same-key coalescing leaves other keys queued in order. *)
+let test_collect_key_separation () =
+  let q = Queue.create ~capacity:8 ~policy:Queue.Reject () in
+  List.iter
+    (fun x -> ignore (Queue.push q x))
+    [ (2, "a"); (1, "b"); (2, "c"); (1, "d") ];
+  let batch =
+    Batcher.collect
+      { Batcher.max_batch = 8; window_us = 0. }
+      ~key:fst q
+  in
+  Alcotest.(check (list (pair int string))) "key-2 requests coalesced"
+    [ (2, "a"); (2, "c") ] batch;
+  Alcotest.(check (list (pair int string))) "key-1 requests left in order"
+    [ (1, "b"); (1, "d") ]
+    (List.filter_map (fun _ -> Queue.try_pop q) [ (); () ])
+
+(* The gather window closes on the injected clock: a short batch stops
+   waiting exactly when now() passes window_us. *)
+let test_collect_window_expires () =
+  let q = Queue.create ~capacity:8 ~policy:Queue.Reject () in
+  List.iter (fun x -> ignore (Queue.push q x)) [ (1, "a"); (2, "b") ];
+  let t = ref 0. in
+  let now () =
+    t := !t +. 50.;
+    !t
+  in
+  let batch =
+    Batcher.collect ~now
+      { Batcher.max_batch = 8; window_us = 200. }
+      ~key:fst q
+  in
+  (* backlog 1 -> target 2, but the only other request has another key:
+     the window must expire on the virtual clock, not block forever. *)
+  Alcotest.(check (list (pair int string))) "window expired short"
+    [ (1, "a") ] batch;
+  Alcotest.(check int) "other key still queued" 1 (Queue.length q)
+
+(* While waiting out the window the batcher calls help; a help that
+   produces a same-key request is picked up before the window ends. *)
+let test_collect_window_straggler_via_help () =
+  let q = Queue.create ~capacity:8 ~policy:Queue.Reject () in
+  List.iter (fun x -> ignore (Queue.push q x)) [ (1, "a"); (2, "b") ];
+  let t = ref 0. in
+  let now () =
+    t := !t +. 10.;
+    !t
+  in
+  let pushed = ref false in
+  let help () =
+    if !pushed then false
+    else begin
+      pushed := true;
+      ignore (Queue.push q (1, "straggler"));
+      true
+    end
+  in
+  let batch =
+    Batcher.collect ~now ~help
+      { Batcher.max_batch = 8; window_us = 1e6 }
+      ~key:fst q
+  in
+  Alcotest.(check (list (pair int string))) "straggler coalesced"
+    [ (1, "a"); (1, "straggler") ]
+    batch
+
+let test_collect_closed_queue () =
+  let q = Queue.create ~capacity:4 ~policy:Queue.Reject () in
+  Queue.close q;
+  Alcotest.(check (list int)) "closed+drained -> []" []
+    (Batcher.collect Batcher.default ~key:Fun.id q)
+
+(* ---------- Stats: exact percentiles ---------- *)
+
+let test_percentile () =
+  Alcotest.(check (float 1e-9)) "empty" 0. (Stats.percentile [||] ~p:50.);
+  Alcotest.(check (float 1e-9)) "singleton" 7. (Stats.percentile [| 7. |] ~p:99.);
+  let sample =
+    Array.init 100 (fun i -> float_of_int (((i * 37) mod 100) + 1))
+  in
+  Alcotest.(check (float 1e-9)) "p50 of 1..100 shuffled" 50.
+    (Stats.percentile sample ~p:50.);
+  Alcotest.(check (float 1e-9)) "p95" 95. (Stats.percentile sample ~p:95.);
+  Alcotest.(check (float 1e-9)) "p99" 99. (Stats.percentile sample ~p:99.)
+
+let test_recorder_summary () =
+  let r = Stats.recorder () in
+  Alcotest.(check int) "empty recorder" 0 (Stats.summary r).Stats.count;
+  List.iter (fun v -> Stats.record r v) [ 10.; 20.; 30.; 40. ];
+  let s = Stats.summary r in
+  Alcotest.(check int) "count" 4 s.Stats.count;
+  Alcotest.(check (float 1e-9)) "mean" 25. s.Stats.mean_us;
+  Alcotest.(check (float 1e-9)) "max" 40. s.Stats.max_us
+
+(* ---------- Session: plan cache and keys ---------- *)
+
+let fmt = { Video.Format.name = "test"; rows = 72; cols = 64 }
+
+let test_session_cache_shared () =
+  let s1 = Session.create ~fuse:false ~id:1 ~pipeline:Session.Sac fmt in
+  let size_after_first = Session.cache_size () in
+  let s2 = Session.create ~fuse:false ~id:2 ~pipeline:Session.Sac fmt in
+  Alcotest.(check int) "second same-shape stream compiles nothing"
+    size_after_first (Session.cache_size ());
+  Alcotest.(check bool) "equal keys batch together" true
+    (Session.key s1 = Session.key s2);
+  let s3 = Session.create ~fuse:false ~id:3 ~pipeline:Session.Mde fmt in
+  Alcotest.(check bool) "pipelines never share a key" false
+    (Session.key s1 = Session.key s3)
+
+let test_session_rejects_bad_shape () =
+  Alcotest.(check bool) "rows not multiple of 9 rejected" true
+    (try
+       ignore
+         (Session.create ~id:9 ~pipeline:Session.Sac
+            { Video.Format.name = "bad"; rows = 70; cols = 64 });
+       false
+     with Invalid_argument _ -> true)
+
+let test_session_bit_exact () =
+  let frame = Video.Framegen.frame fmt 3 in
+  let reference = Video.Downscaler.frame frame in
+  List.iter
+    (fun pipeline ->
+      let s = Session.create ~fuse:false ~id:20 ~pipeline fmt in
+      let scaled, events = Session.run_frame s frame in
+      Alcotest.(check bool)
+        (Session.pipeline_name s ^ " bit-exact")
+        true
+        (Video.Frame.equal scaled reference);
+      Alcotest.(check bool)
+        (Session.pipeline_name s ^ " recorded device events")
+        true (events <> []))
+    [ Session.Sac; Session.Mde ]
+
+(* ---------- Engine ---------- *)
+
+let identity_session id = Session.custom ~id fmt Fun.id
+
+let submit_n engine session n =
+  List.init n (fun i ->
+      Engine.submit engine session ~frame_no:i (Video.Framegen.frame fmt i))
+
+(* Drain-on-shutdown: every admitted request must complete Done exactly
+   once even when shutdown races the workers — the tickets prove
+   nothing was lost, the counters prove nothing ran twice. *)
+let test_engine_drain_on_shutdown () =
+  let completed_before = metric "serve.completed" in
+  let engine =
+    Engine.create
+      {
+        Engine.workers = 2;
+        queue_capacity = 16;
+        policy = Queue.Block;
+        batch = { Batcher.max_batch = 4; window_us = 50. };
+      }
+  in
+  let session = identity_session 100 in
+  let tickets = submit_n engine session 60 in
+  Engine.shutdown engine;
+  List.iter
+    (fun tk ->
+      match Engine.await tk with
+      | Engine.Done _ -> ()
+      | _ -> Alcotest.fail "request lost in shutdown drain")
+    tickets;
+  Alcotest.(check int) "every request completed exactly once" 60
+    (metric "serve.completed" - completed_before);
+  Alcotest.(check int) "queue fully drained" 0 (Engine.queue_depth engine);
+  (* Idempotent: a second shutdown is a no-op. *)
+  Engine.shutdown engine;
+  (* After shutdown, new submissions are turned away, not queued. *)
+  (match
+     Engine.await
+       (Engine.submit engine session ~frame_no:99 (Video.Framegen.frame fmt 99))
+   with
+  | Engine.Rejected -> ()
+  | _ -> Alcotest.fail "post-shutdown submit must reject")
+
+let test_engine_latency_summary () =
+  let engine =
+    Engine.create { Engine.default_config with workers = 1 }
+  in
+  let tickets = submit_n engine (identity_session 110) 10 in
+  List.iter (fun tk -> ignore (Engine.await tk)) tickets;
+  Engine.shutdown engine;
+  let s = Engine.latency engine in
+  Alcotest.(check int) "latency recorded per Done" 10 s.Stats.count;
+  Alcotest.(check bool) "percentiles ordered" true
+    (s.Stats.p50_us <= s.Stats.p95_us && s.Stats.p95_us <= s.Stats.p99_us)
+
+(* An absolute deadline already in the past must expire while queued. *)
+let test_engine_deadline_timeout () =
+  let engine =
+    Engine.create { Engine.default_config with workers = 1 }
+  in
+  let session = identity_session 120 in
+  let tk =
+    Engine.submit engine
+      ~deadline_us:(Obs.Tracer.now_us () -. 1_000_000.)
+      session ~frame_no:0 (Video.Framegen.frame fmt 0)
+  in
+  (match Engine.await tk with
+  | Engine.Timed_out -> ()
+  | _ -> Alcotest.fail "expired deadline must time out");
+  Engine.shutdown engine
+
+(* The fault hook raises on attempt 0 only: the engine must retry once
+   and still deliver the frame. *)
+let test_engine_retry_recovers () =
+  let retries_before = metric "serve.retries" in
+  let engine =
+    Engine.create
+      ~inject:(fun ~session_id:_ ~frame_no:_ ~attempt ->
+        if attempt = 0 then failwith "transient")
+      { Engine.default_config with workers = 1 }
+  in
+  let tk =
+    Engine.submit engine (identity_session 130) ~frame_no:0
+      (Video.Framegen.frame fmt 0)
+  in
+  (match Engine.await tk with
+  | Engine.Done _ -> ()
+  | _ -> Alcotest.fail "retry must recover a transient failure");
+  Engine.shutdown engine;
+  Alcotest.(check bool) "retry counted" true
+    (metric "serve.retries" > retries_before)
+
+let test_engine_double_failure_fails () =
+  let engine =
+    Engine.create
+      ~inject:(fun ~session_id:_ ~frame_no:_ ~attempt:_ ->
+        failwith "permanent fault")
+      { Engine.default_config with workers = 1 }
+  in
+  let tk =
+    Engine.submit engine (identity_session 140) ~frame_no:0
+      (Video.Framegen.frame fmt 0)
+  in
+  (match Engine.await tk with
+  | Engine.Failed msg ->
+      Alcotest.(check bool) "failure message preserved" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "two failed attempts must end Failed");
+  Engine.shutdown engine
+
+(* Overload under Reject: one worker is parked on a gated request, the
+   queue fills, and the overflow submission must come back Rejected
+   while every admitted request still completes. *)
+let test_engine_reject_overload () =
+  let gate = Atomic.make false in
+  let started = Atomic.make 0 in
+  let session =
+    Session.custom ~id:150 fmt (fun frame ->
+        Atomic.incr started;
+        spin_until (fun () -> Atomic.get gate);
+        frame)
+  in
+  let engine =
+    Engine.create
+      {
+        Engine.workers = 1;
+        queue_capacity = 2;
+        policy = Queue.Reject;
+        batch = { Batcher.max_batch = 1; window_us = 0. };
+      }
+  in
+  let t0 =
+    Engine.submit engine session ~frame_no:0 (Video.Framegen.frame fmt 0)
+  in
+  (* Wait until the worker is provably executing (not queued). *)
+  spin_until (fun () -> Atomic.get started > 0);
+  let queued = submit_n engine session 2 in
+  let overflow =
+    Engine.submit engine session ~frame_no:9 (Video.Framegen.frame fmt 9)
+  in
+  (match Engine.peek overflow with
+  | Some Engine.Rejected -> ()
+  | _ -> Alcotest.fail "overflow past capacity must reject immediately");
+  Atomic.set gate true;
+  List.iter
+    (fun tk ->
+      match Engine.await tk with
+      | Engine.Done _ -> ()
+      | _ -> Alcotest.fail "admitted request must complete")
+    (t0 :: queued);
+  Engine.shutdown engine
+
+(* End-to-end through the engine: both real pipelines, frames bit-exact
+   against the reference downscaler. *)
+let test_engine_pipelines_bit_exact () =
+  let engine =
+    Engine.create
+      {
+        Engine.workers = 2;
+        queue_capacity = 16;
+        policy = Queue.Block;
+        batch = { Batcher.max_batch = 4; window_us = 50. };
+      }
+  in
+  let sessions =
+    [
+      Session.create ~fuse:false ~id:160 ~pipeline:Session.Sac fmt;
+      Session.create ~fuse:true ~id:161 ~pipeline:Session.Mde fmt;
+    ]
+  in
+  let expected =
+    List.init 4 (fun n -> Video.Downscaler.frame (Video.Framegen.frame fmt n))
+  in
+  List.iter
+    (fun session ->
+      let tickets = submit_n engine session 4 in
+      List.iteri
+        (fun n tk ->
+          match Engine.await tk with
+          | Engine.Done { frame; _ } ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s frame %d bit-exact"
+                   (Session.pipeline_name session) n)
+                true
+                (Video.Frame.equal frame (List.nth expected n))
+          | _ -> Alcotest.fail "pipeline request did not complete")
+        tickets)
+    sessions;
+  Engine.shutdown engine;
+  Alcotest.(check bool) "device events merged onto engine timeline" true
+    (Gpu.Timeline.events (Engine.timeline engine) <> [])
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "queue",
+        [
+          Alcotest.test_case "fifo" `Quick test_queue_fifo;
+          Alcotest.test_case "capacity validated" `Quick
+            test_queue_capacity_validated;
+          Alcotest.test_case "reject under concurrent producers" `Quick
+            test_queue_reject_concurrent;
+          Alcotest.test_case "drop-oldest under concurrent producers" `Quick
+            test_queue_drop_oldest_concurrent;
+          Alcotest.test_case "drop-oldest evicts in order" `Quick
+            test_queue_drop_oldest_order;
+          Alcotest.test_case "block conserves across domains" `Quick
+            test_queue_block_conservation;
+          Alcotest.test_case "close drains" `Quick test_queue_close_drains;
+          Alcotest.test_case "close wakes blocked pop" `Quick
+            test_queue_close_wakes_blocked_pop;
+          Alcotest.test_case "try_pop_where preserves order" `Quick
+            test_queue_try_pop_where;
+        ] );
+      ( "batcher",
+        [
+          Alcotest.test_case "effective batch" `Quick test_effective_batch;
+          Alcotest.test_case "singleton launches immediately" `Quick
+            test_collect_singleton_no_wait;
+          Alcotest.test_case "key separation" `Quick
+            test_collect_key_separation;
+          Alcotest.test_case "window expires on virtual clock" `Quick
+            test_collect_window_expires;
+          Alcotest.test_case "help feeds stragglers" `Quick
+            test_collect_window_straggler_via_help;
+          Alcotest.test_case "closed queue" `Quick test_collect_closed_queue;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "nearest-rank percentile" `Quick test_percentile;
+          Alcotest.test_case "recorder summary" `Quick test_recorder_summary;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "plan cache shared" `Quick
+            test_session_cache_shared;
+          Alcotest.test_case "bad shape rejected" `Quick
+            test_session_rejects_bad_shape;
+          Alcotest.test_case "bit-exact" `Quick test_session_bit_exact;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "drain on shutdown" `Quick
+            test_engine_drain_on_shutdown;
+          Alcotest.test_case "latency summary" `Quick
+            test_engine_latency_summary;
+          Alcotest.test_case "deadline timeout" `Quick
+            test_engine_deadline_timeout;
+          Alcotest.test_case "retry recovers" `Quick
+            test_engine_retry_recovers;
+          Alcotest.test_case "double failure fails" `Quick
+            test_engine_double_failure_fails;
+          Alcotest.test_case "reject overload" `Quick
+            test_engine_reject_overload;
+          Alcotest.test_case "pipelines bit-exact end to end" `Quick
+            test_engine_pipelines_bit_exact;
+        ] );
+    ]
