@@ -21,9 +21,11 @@
                       (default: BENCH_<yyyy-mm-dd>.json), with the kernel
                       cache statistics and pool counters embedded.
      --domains N      resize the shared domain pool (1 = sequential).
-     --fuse on|off    plan-level kernel fusion + buffer liveness reuse in
-                      both GPU pipelines (default off; the fusion
-                      ablation always measures both settings).
+     --opt off|fuse|auto
+                      plan optimisation mode for both GPU pipelines
+                      (default off; the fusion and autotune ablations
+                      always measure every setting explicitly, and the
+                      serving section always serves auto-tuned plans).
      --trace [PATH]   write a Chrome trace-event JSON file (default:
                       bench_trace.json) with modelled-device tracks and
                       host wall-clock spans.
@@ -152,10 +154,24 @@ let ablation_overlap ~scale () =
   print_string (Study.Report.overlap summaries)
 
 let ablation_fusion ~scale () =
-  section "Ablation: plan-level kernel fusion + buffer liveness (--fuse)";
+  section "Ablation: plan-level kernel fusion + buffer liveness (--opt fuse)";
   let rows = Study.Experiments.fusion ~scale () in
   fusion_rows := rows;
   print_string (Study.Report.fusion rows)
+
+let autotune_rows : Study.Experiments.autotune_row list ref = ref []
+
+(* Runs before the serving section so its tuned plans are already in
+   the process-wide cache when auto-mode sessions compile. *)
+let ablation_autotune ~smoke () =
+  section "Ablation: plan autotuning (--opt off vs fuse vs auto)";
+  let shapes =
+    if smoke then [ (72, 64); (1080, 1920) ]
+    else [ (72, 64); (288, 352); (1080, 1920) ]
+  in
+  let rows = Study.Experiments.autotune ~shapes () in
+  autotune_rows := rows;
+  print_string (Study.Report.autotune rows)
 
 let ablation_generic ~scale () =
   section "Ablation: abstraction tax (generic vs non-generic, simulated)";
@@ -266,7 +282,8 @@ let serving ~smoke () =
     (fun (name, pipeline) ->
       let sessions =
         List.init streams (fun i ->
-            Serve.Session.create ~id:i ~pipeline fmt)
+            Serve.Session.create ~opt:Optimizer.Mode.Auto ~id:i ~pipeline
+              fmt)
       in
       let closed =
         Serve.Loadgen.closed_loop ~label:(name ^ "/closed")
@@ -433,7 +450,7 @@ type options = {
   smoke : bool;
   json : string option;  (** output path when [--json] was given *)
   domains : int;  (** 0 = machine default *)
-  fuse : bool;  (** kernel fusion + liveness reuse in both pipelines *)
+  opt : Optimizer.Mode.t;  (** plan optimisation mode for both pipelines *)
   trace : string option;  (** Chrome trace output when [--trace] was given *)
   metrics : string option;  (** metrics dump when [--metrics] was given *)
 }
@@ -450,7 +467,7 @@ let parse_options () =
         smoke = false;
         json = None;
         domains = 0;
-        fuse = false;
+        opt = Optimizer.Mode.Off;
         trace = None;
         metrics = None;
       }
@@ -480,12 +497,13 @@ let parse_options () =
     | "--metrics" :: rest ->
         opts := { !opts with metrics = Some "bench_metrics.json" };
         go rest
-    | "--fuse" :: v :: rest when v = "on" || v = "off" ->
-        opts := { !opts with fuse = (v = "on") };
+    | "--opt" :: v :: rest when Optimizer.Mode.of_string v <> None ->
+        opts :=
+          { !opts with opt = Option.get (Optimizer.Mode.of_string v) };
         go rest
-    | "--fuse" :: rest ->
-        opts := { !opts with fuse = true };
-        go rest
+    | "--opt" :: v :: _ ->
+        Printf.eprintf "bench: --opt expects off, fuse or auto, got %s\n" v;
+        exit 2
     | "--domains" :: n :: rest -> (
         match int_of_string_opt n with
         | Some n -> opts := { !opts with domains = n }; go rest
@@ -519,7 +537,7 @@ let write_json path ~opts ~scale ~timings =
   p "  \"smoke\": %b,\n" opts.smoke;
   p "  \"domains\": %d,\n"
     (if opts.domains > 0 then opts.domains else Gpu.Pool.default_domains ());
-  p "  \"fuse\": %b,\n" opts.fuse;
+  p "  \"opt\": \"%s\",\n" (Optimizer.Mode.to_string opts.opt);
   p "  \"scale\": { \"rows\": %d, \"cols\": %d, \"frames\": %d },\n"
     scale.Study.Scale.rows scale.Study.Scale.cols scale.Study.Scale.frames;
   p "  \"sections\": [\n";
@@ -561,6 +579,37 @@ let write_json path ~opts ~scale ~timings =
     (m "fusion.launches_saved")
     (m "fusion.buffers_eliminated")
     (m "fusion.bytes_saved") (m "fusion.buffers_reused");
+  p
+    "  \"optimizer\": { \"candidates\": %d, \"rules_applied\": %d, \
+     \"verify_rejections\": %d, \"plan_cache_hits\": %d, \
+     \"plan_cache_misses\": %d, \"plan_cache_size\": %d },\n"
+    (m "optimizer.candidates")
+    (m "optimizer.rules_applied")
+    (m "optimizer.verify_rejections")
+    (m "optimizer.plan_cache_hits")
+    (m "optimizer.plan_cache_misses")
+    (Optimizer.Cache.size ());
+  p "  \"autotune_ablation\": [\n";
+  let nat = List.length !autotune_rows in
+  List.iteri
+    (fun i (r : Study.Experiments.autotune_row) ->
+      p
+        "    { \"pipeline\": \"%s\", \"rows\": %d, \"cols\": %d, \
+         \"off_us\": %.1f, \"fuse_us\": %.1f, \"auto_us\": %.1f, \
+         \"rules\": [%s], \"bit_checked\": %b, \"bit_identical\": %b }%s\n"
+        (json_escape r.Study.Experiments.at_pipeline)
+        r.Study.Experiments.at_rows r.Study.Experiments.at_cols
+        r.Study.Experiments.at_off_us r.Study.Experiments.at_fuse_us
+        r.Study.Experiments.at_auto_us
+        (String.concat ", "
+           (List.map
+              (fun rule -> Printf.sprintf "\"%s\"" (json_escape rule))
+              r.Study.Experiments.at_rules))
+        r.Study.Experiments.at_bit_checked
+        r.Study.Experiments.at_bit_identical
+        (if i = nat - 1 then "" else ","))
+    !autotune_rows;
+  p "  ],\n";
   p "  \"fusion_ablation\": [\n";
   let nrows = List.length !fusion_rows in
   List.iteri
@@ -637,7 +686,7 @@ let () =
       (if opts.domains <= 1 then Gpu.Context.Sequential
        else Gpu.Context.Parallel opts.domains)
   end;
-  Gpu.Fuse.set_enabled opts.fuse;
+  Optimizer.Mode.set_default opts.opt;
   if opts.trace <> None then Obs.Tracer.set_enabled true;
   let scale = if opts.smoke then small else Study.Scale.paper in
   let plane = dummy_plane scale in
@@ -653,6 +702,7 @@ let () =
   timed "ablation/transfers" (ablation_transfers ~scale);
   timed "ablation/overlap" (ablation_overlap ~scale);
   timed "ablation/fusion" (ablation_fusion ~scale);
+  timed "ablation/autotune" (ablation_autotune ~smoke:opts.smoke);
   timed "ablation/generic" (ablation_generic ~scale);
   timed "ablation/devices" (ablation_devices ~scale ~plane);
   timed "serving" (serving ~smoke:opts.smoke);

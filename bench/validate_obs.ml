@@ -6,8 +6,10 @@
    the metrics dump parses and carries the core gpu.*, pool.* and
    serve.* series, and -- when the bench JSON report is also given --
    that its gpu block surfaces the device memory high-water mark and
-   arena reuse, and that the serving block shows the load-shedding
-   policies keeping p99 bounded at 2x saturation. *)
+   arena reuse, that the serving block shows the load-shedding
+   policies keeping p99 bounded at 2x saturation, and that the
+   optimizer block records a live autotuning search whose auto arm
+   never loses to either fixed mode. *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -69,6 +71,24 @@ let () =
      must have eliminated kernels (and recorded the companion series). *)
   if get "fusion.kernels_eliminated" <= 0 then
     fail "metrics %s: fusion ablation eliminated no kernels" metrics_path;
+  (* Serving runs each frame on a fresh context, so the process-wide
+     kernel-preparation and cost-profile caches must have been hit --
+     this is exactly the attribution the serving engine relies on to
+     keep steady-state frames compilation-free. *)
+  if get "gpu.compile_hits" <= 0 then
+    fail "metrics %s: process-wide kernel cache recorded no hits"
+      metrics_path;
+  if get "gpu.cost_hits" <= 0 then
+    fail "metrics %s: process-wide cost cache recorded no hits" metrics_path;
+  (* The autotune ablation must have searched (candidates scored, rules
+     applied) and the auto-mode serving sessions must have found their
+     shapes already tuned. *)
+  if get "optimizer.candidates" <= 0 then
+    fail "metrics %s: autotuner scored no candidates" metrics_path;
+  if get "optimizer.rules_applied" <= 0 then
+    fail "metrics %s: autotuner applied no rewrite rules" metrics_path;
+  if get "optimizer.plan_cache_hits" <= 0 then
+    fail "metrics %s: tuned-plan cache recorded no hits" metrics_path;
   List.iter
     (fun name -> ignore (get name))
     [
@@ -160,7 +180,75 @@ let () =
         fail
           "bench report %s: expected reject+drop rows for both pipelines, \
            found %d"
-          bench_path !shedding);
+          bench_path !shedding;
+      (* Autotune ablation: per (pipeline, shape), the searched plan
+         must be no slower under the cost model than either fixed mode
+         (the search scores the fixed-fuse plan as a candidate, so this
+         is structural -- epsilon only absorbs float formatting). *)
+      let at_rows =
+        match Obs.Json.member "autotune_ablation" bench with
+        | Some (Obs.Json.Arr rows) -> rows
+        | _ -> fail "bench report %s: no autotune_ablation array" bench_path
+      in
+      if at_rows = [] then
+        fail "bench report %s: autotune_ablation array empty" bench_path;
+      let num name row =
+        match Obs.Json.member name row with
+        | Some (Obs.Json.Num v) -> v
+        | _ ->
+            fail "bench report %s: autotune row missing field %s" bench_path
+              name
+      in
+      let seen = ref [] in
+      let bit_checked_pipelines = ref [] in
+      (* Rows carry the study's full pipeline names; key on the
+         backend prefix so the check is robust to label tweaks. *)
+      let backend_of pipeline =
+        if String.length pipeline >= 3 && String.sub pipeline 0 3 = "SAC" then
+          "sac"
+        else "gaspard"
+      in
+      List.iter
+        (fun row ->
+          let pipeline = backend_of (str "pipeline" row) in
+          let rows_n = int_of_float (num "rows" row) in
+          let cols_n = int_of_float (num "cols" row) in
+          let off = num "off_us" row
+          and fuse = num "fuse_us" row
+          and auto = num "auto_us" row in
+          let eps = 0.2 in
+          if auto > Float.min off fuse +. eps then
+            fail
+              "bench report %s: %s %dx%d auto (%.1f us) slower than \
+               min(off %.1f, fuse %.1f)"
+              bench_path pipeline rows_n cols_n auto off fuse;
+          (match Obs.Json.member "bit_checked" row with
+          | Some (Obs.Json.Bool true) -> (
+              bit_checked_pipelines := pipeline :: !bit_checked_pipelines;
+              match Obs.Json.member "bit_identical" row with
+              | Some (Obs.Json.Bool true) -> ()
+              | _ ->
+                  fail "bench report %s: %s %dx%d tuned plan not bit-identical"
+                    bench_path pipeline rows_n cols_n)
+          | _ -> ());
+          seen := (pipeline, rows_n, cols_n) :: !seen)
+        at_rows;
+      List.iter
+        (fun (pipeline, r, c) ->
+          if not (List.mem (pipeline, r, c) !seen) then
+            fail "bench report %s: autotune_ablation missing %s at %dx%d"
+              bench_path pipeline r c)
+        [
+          ("sac", 72, 64); ("sac", 1080, 1920);
+          ("gaspard", 72, 64); ("gaspard", 1080, 1920);
+        ];
+      List.iter
+        (fun pipeline ->
+          if not (List.mem pipeline !bit_checked_pipelines) then
+            fail
+              "bench report %s: no bit-checked autotune row for pipeline %s"
+              bench_path pipeline)
+        [ "sac"; "gaspard" ]);
   Printf.printf
     "observability artefacts ok: %d device events, %d host spans, %d \
      launches, %d served\n"

@@ -33,7 +33,9 @@ let frame_via_sac rows cols =
     let scaled =
       Video.Frame.map_planes
         (fun _ plane ->
-          (Sac_cuda.Exec.run rt plan ~args:[ ("frame", plane) ])
+          (Sac_cuda.Exec.run rt plan
+             ~liveness:(Optimizer.Mode.liveness (Optimizer.Mode.default ()))
+             ~args:[ ("frame", plane) ])
             .Sac_cuda.Exec.result)
         frame
     in
@@ -50,6 +52,7 @@ let frame_via_gaspard rows cols =
     let ctx = Opencl.Runtime.create_context () in
     let outs =
       Mde.Chain.run ctx gen ~label_of
+        ~liveness:(Optimizer.Mode.liveness (Optimizer.Mode.default ()))
         ~inputs:
           [
             ("r_in", Video.Frame.plane frame Video.Frame.R);
@@ -79,13 +82,13 @@ let apply_domains = function
       Gpu.Context.set_default_mode
         (if n <= 1 then Gpu.Context.Sequential else Gpu.Context.Parallel n)
 
-let main rows cols frames pipeline out_dir domains fuse trace metrics =
+let main rows cols frames pipeline out_dir domains opt trace metrics =
   if cols mod 8 <> 0 || rows mod 9 <> 0 then begin
     Printf.eprintf "rows must be a multiple of 9 and cols of 8\n";
     exit 2
   end;
   apply_domains domains;
-  Gpu.Fuse.set_enabled fuse;
+  Optimizer.Mode.set_default opt;
   if trace <> None then Obs.Tracer.set_enabled true;
   let fmt = { Video.Format.name = "synthetic"; rows; cols } in
   let run =
@@ -166,14 +169,24 @@ let () =
              1 forces a sequential run, omit to keep the machine \
              default).")
   in
-  let fuse =
+  let opt =
     Arg.(
       value
-      & opt (enum [ ("on", true); ("off", false) ]) false
-      & info [ "fuse" ]
+      & opt
+          (enum
+             [
+               ("off", Optimizer.Mode.Off);
+               ("fuse", Optimizer.Mode.Fuse);
+               ("auto", Optimizer.Mode.Auto);
+             ])
+          Optimizer.Mode.Auto
+      & info [ "opt" ]
           ~doc:
-            "Plan-level kernel fusion and device-buffer liveness reuse \
-             in the sac and gaspard pipelines ($(b,on) or $(b,off)).")
+            "Plan optimisation in the sac and gaspard pipelines: \
+             $(b,off) disables rewrites, $(b,fuse) applies the fixed \
+             fusion pass (with device-buffer liveness reuse), and \
+             $(b,auto) (default) autotunes the plan under the device \
+             cost model (memoised per shape).")
   in
   let trace =
     Arg.(
@@ -195,7 +208,7 @@ let () =
   in
   let term =
     Term.(
-      const main $ rows $ cols $ frames $ pipeline $ out $ domains $ fuse
+      const main $ rows $ cols $ frames $ pipeline $ out $ domains $ opt
       $ trace $ metrics)
   in
   exit

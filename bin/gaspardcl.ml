@@ -6,9 +6,9 @@
 
 open Cmdliner
 
-let main rows cols out_dir show_model load save_model lint fuse trace metrics
+let main rows cols out_dir show_model load save_model lint opt trace metrics
     =
-  Gpu.Fuse.set_enabled fuse;
+  Optimizer.Mode.set_default opt;
   if trace <> None then Obs.Tracer.set_enabled true;
   let finish code =
     Option.iter Gpu.Trace_export.write trace;
@@ -106,17 +106,26 @@ let () =
              exact-cover) for the generated kernels instead of the .cl \
              source; exit non-zero on error findings.")
   in
-  let fuse =
+  let opt =
     Arg.(
       value
-      & opt (enum [ ("on", true); ("off", false) ]) false
-      & info [ "fuse" ]
+      & opt
+          (enum
+             [
+               ("off", Optimizer.Mode.Off);
+               ("fuse", Optimizer.Mode.Fuse);
+               ("auto", Optimizer.Mode.Auto);
+             ])
+          Optimizer.Mode.Auto
+      & info [ "opt" ]
           ~doc:
-            "Kernel fusion and buffer liveness in the chain: on adds \
-             the fusion pass (single-consumer kernels inlined, \
-             intermediate buffers dropped, per-level buffer release at \
-             run time); off (default) keeps one kernel per repetitive \
-             task.")
+            "Plan optimisation for the chain: $(b,off) keeps one kernel \
+             per repetitive task, $(b,fuse) adds the fixed fusion pass \
+             (single-consumer kernels inlined, intermediate buffers \
+             dropped, per-level buffer release at run time), and \
+             $(b,auto) (default) searches fuse / fission / interchange \
+             / tile rewrites under the device cost model and keeps the \
+             best verified plan (memoised per shape).")
   in
   let trace =
     Arg.(
@@ -139,7 +148,7 @@ let () =
   let term =
     Term.(
       const main $ rows $ cols $ out $ show_model $ load $ save_model $ lint
-      $ fuse $ trace $ metrics)
+      $ opt $ trace $ metrics)
   in
   exit
     (Cmd.eval'

@@ -45,14 +45,24 @@ let domains_arg =
            positive; 1 forces fully sequential runs, omit to keep the \
            machine default).")
 
-let fuse_arg =
+let opt_arg =
   Arg.(
     value
-    & opt (enum [ ("on", true); ("off", false) ]) false
-    & info [ "fuse" ]
+    & opt
+        (enum
+           [
+             ("off", Optimizer.Mode.Off);
+             ("fuse", Optimizer.Mode.Fuse);
+             ("auto", Optimizer.Mode.Auto);
+           ])
+        Optimizer.Mode.Auto
+    & info [ "opt" ]
         ~doc:
-          "Plan-level kernel fusion and device-buffer liveness reuse \
-           in both GPU pipelines ($(b,on) or $(b,off)).")
+          "Plan optimisation in both GPU pipelines: $(b,off) disables \
+           rewrites, $(b,fuse) applies the fixed fusion pass (with \
+           device-buffer liveness reuse), and $(b,auto) (default) \
+           autotunes the plan under the device cost model (memoised \
+           per shape).")
 
 let trace_arg =
   Arg.(
@@ -152,6 +162,11 @@ let run_lint scale =
 let run_fusion scale =
   print_string (Study.Report.fusion (Study.Experiments.fusion ~scale ()))
 
+(* The autotuning ablation sweeps its own shape list (the cost model is
+   shape-sensitive), so the --rows/--cols scale is ignored here. *)
+let run_autotune _scale =
+  print_string (Study.Report.autotune (Study.Experiments.autotune ()))
+
 let run_overlap scale =
   print_string (Study.Report.overlap (Study.Experiments.overlap ~scale ()))
 
@@ -189,22 +204,22 @@ let run_all scale =
   print_newline ();
   run_validate ()
 
-let with_domains f domains fuse trace metrics scale =
+let with_domains f domains opt trace metrics scale =
   apply_domains domains;
-  Gpu.Fuse.set_enabled fuse;
+  Optimizer.Mode.set_default opt;
   with_obs ~trace ~metrics (fun () -> f scale)
 
 let cmd_of name doc f =
   Cmd.v (Cmd.info name ~doc)
     Term.(
-      const (with_domains f) $ domains_arg $ fuse_arg $ trace_arg
+      const (with_domains f) $ domains_arg $ opt_arg $ trace_arg
       $ metrics_arg $ scale_args)
 
 let () =
   let doc = "Reproduce the evaluation of the SAC/ArrayOL GPU study" in
   let default =
     Term.(
-      const (with_domains run_all) $ domains_arg $ fuse_arg $ trace_arg
+      const (with_domains run_all) $ domains_arg $ opt_arg $ trace_arg
       $ metrics_arg $ scale_args)
   in
   let cmd =
@@ -221,9 +236,14 @@ let () =
         cmd_of "compare" "Paper vs simulated tables" run_side_by_side;
         cmd_of "fusion"
           "Kernel-fusion ablation: kernels, launches, intermediate \
-           buffers, peak device memory and bit-identity with --fuse \
-           off vs on"
+           buffers, peak device memory and bit-identity with --opt \
+           off vs fuse"
           run_fusion;
+        cmd_of "autotune"
+          "Plan-autotuning ablation: modelled frame time under --opt \
+           off, fuse and auto for both pipelines across shapes, with \
+           the winning rewrite sequence and a bit-identity check"
+          run_autotune;
         cmd_of "overlap"
           "Stream-overlap model: what double-buffered transfers would \
            recover in each pipeline"
@@ -236,11 +256,11 @@ let () =
         Cmd.v
           (Cmd.info "validate" ~doc:"Cross-pipeline functional validation")
           Term.(
-            const (fun n fuse trace metrics () ->
+            const (fun n opt trace metrics () ->
                 apply_domains n;
-                Gpu.Fuse.set_enabled fuse;
+                Optimizer.Mode.set_default opt;
                 with_obs ~trace ~metrics run_validate)
-            $ domains_arg $ fuse_arg $ trace_arg $ metrics_arg $ const ());
+            $ domains_arg $ opt_arg $ trace_arg $ metrics_arg $ const ());
       ]
   in
   let code = Cmd.eval cmd in

@@ -27,10 +27,10 @@ let builtin_source name rows cols =
       Some (Sac.Programs.vertical ~generic:true ~rows ~cols)
   | _ -> None
 
-let main input builtin from_model generic rows cols emit entry verify fuse
+let main input builtin from_model generic rows cols emit entry verify opt
     trace metrics =
   Analysis.Config.set_mode verify;
-  Gpu.Fuse.set_enabled fuse;
+  Optimizer.Mode.set_default opt;
   if trace <> None then Obs.Tracer.set_enabled true;
   Fun.protect ~finally:(fun () ->
       Option.iter Gpu.Trace_export.write trace;
@@ -122,7 +122,11 @@ let main input builtin from_model generic rows cols emit entry verify fuse
               Printf.eprintf "--emit run expects a single-array-input program\n";
               exit 2
         in
-        let outcome = Sac_cuda.Exec.run rt plan ~args:[ frame ] in
+        let outcome =
+          Sac_cuda.Exec.run rt plan
+            ~liveness:(Optimizer.Mode.liveness (Optimizer.Mode.default ()))
+            ~args:[ frame ]
+        in
         Printf.printf "executed: %d kernel launches, result shape %s\n"
           outcome.Sac_cuda.Exec.kernel_launches
           (Ndarray.Shape.to_string
@@ -205,17 +209,26 @@ let () =
              lint (record findings as metrics/log entries) or strict \
              (abort compilation on error findings).")
   in
-  let fuse =
+  let opt =
     Arg.(
       value
-      & opt (enum [ ("on", true); ("off", false) ]) false
-      & info [ "fuse" ]
+      & opt
+          (enum
+             [
+               ("off", Optimizer.Mode.Off);
+               ("fuse", Optimizer.Mode.Fuse);
+               ("auto", Optimizer.Mode.Auto);
+             ])
+          Optimizer.Mode.Auto
+      & info [ "opt" ]
           ~doc:
-            "Plan-level kernel fusion and buffer liveness: on inlines \
-             provably-safe producer kernels into their single consumer \
-             (fewer launches, no intermediate buffer) and frees device \
-             buffers after their last use; off (default) keeps the \
-             one-kernel-per-generator plan.")
+            "Plan optimisation: $(b,off) keeps the one-kernel-per-generator \
+             plan, $(b,fuse) inlines provably-safe producer kernels into \
+             their single consumer to a fixpoint (fewer launches, no \
+             intermediate buffer) and frees device buffers after their \
+             last use, $(b,auto) (default) searches fuse / fission / \
+             interchange / tile rewrites under the device cost model and \
+             keeps the best verified plan (memoised per shape).")
   in
   let trace =
     Arg.(
@@ -238,7 +251,7 @@ let () =
   let term =
     Term.(
       const main $ input $ builtin $ from_model $ generic $ rows $ cols
-      $ emit $ entry $ verify $ fuse $ trace $ metrics)
+      $ emit $ entry $ verify $ opt $ trace $ metrics)
   in
   let info =
     Cmd.info "sacc" ~doc:"SAC to CUDA compiler (simulated device)"

@@ -42,13 +42,13 @@ let verify_session s fmt =
   end
 
 let run_pipeline ~pipeline ~fmt ~streams ~rate ~duration ~policy ~batch_max
-    ~window_us ~workers ~capacity ~deadline_ms ~fuse =
+    ~window_us ~workers ~capacity ~deadline_ms ~opt =
   let name =
     match pipeline with Serve.Session.Sac -> "sac" | Serve.Session.Mde -> "gaspard"
   in
   let sessions =
     List.init streams (fun i ->
-        Serve.Session.create ~fuse ~id:i ~pipeline fmt)
+        Serve.Session.create ~opt ~id:i ~pipeline fmt)
   in
   verify_session (List.hd sessions) fmt;
   Printf.printf "%s: %d streams verified bit-exact, offering %.0f rps for %.1fs\n%!"
@@ -66,7 +66,7 @@ let run_pipeline ~pipeline ~fmt ~streams ~rate ~duration ~policy ~batch_max
     ~sessions ~rate_hz:rate ~duration_s:duration ()
 
 let main streams rate duration policy batch_max window_us workers capacity
-    deadline_ms pipeline rows cols fuse domains trace metrics =
+    deadline_ms pipeline rows cols opt domains trace metrics =
   if cols mod 8 <> 0 || rows mod 9 <> 0 then begin
     Printf.eprintf "served: rows must be a multiple of 9 and cols of 8\n";
     exit 2
@@ -76,7 +76,7 @@ let main streams rate duration policy batch_max window_us workers capacity
     exit 2
   end;
   apply_domains domains;
-  Gpu.Fuse.set_enabled fuse;
+  Optimizer.Mode.set_default opt;
   if trace <> None then Obs.Tracer.set_enabled true;
   let fmt = { Video.Format.name = "stream"; rows; cols } in
   let policy = policy_of policy in
@@ -90,7 +90,7 @@ let main streams rate duration policy batch_max window_us workers capacity
     List.map
       (fun pipeline ->
         run_pipeline ~pipeline ~fmt ~streams ~rate ~duration ~policy
-          ~batch_max ~window_us ~workers ~capacity ~deadline_ms ~fuse)
+          ~batch_max ~window_us ~workers ~capacity ~deadline_ms ~opt)
       pipes
   in
   print_newline ();
@@ -181,14 +181,24 @@ let () =
   in
   let rows = Arg.(value & opt int 288 & info [ "rows" ]) in
   let cols = Arg.(value & opt int 352 & info [ "cols" ]) in
-  let fuse =
+  let opt =
     Arg.(
       value
-      & opt (enum [ ("on", true); ("off", false) ]) false
-      & info [ "fuse" ]
+      & opt
+          (enum
+             [
+               ("off", Optimizer.Mode.Off);
+               ("fuse", Optimizer.Mode.Fuse);
+               ("auto", Optimizer.Mode.Auto);
+             ])
+          Optimizer.Mode.Auto
+      & info [ "opt" ]
           ~doc:
-            "Plan-level kernel fusion and device-buffer liveness reuse in \
-             the served plans ($(b,on) or $(b,off)).")
+            "Plan optimisation for the served plans: $(b,off) keeps the \
+             compiled plans, $(b,fuse) applies the fixed fusion pass, \
+             $(b,auto) (default) picks the best verified plan per shape \
+             under the device cost model (tuned plans are cached \
+             process-wide).")
   in
   let domains =
     Arg.(
@@ -218,7 +228,7 @@ let () =
   let term =
     Term.(
       const main $ streams $ rate $ duration $ policy $ batch_max $ window_us
-      $ workers $ capacity $ deadline_ms $ pipeline $ rows $ cols $ fuse
+      $ workers $ capacity $ deadline_ms $ pipeline $ rows $ cols $ opt
       $ domains $ trace $ metrics)
   in
   exit

@@ -196,11 +196,21 @@ let prepared_of t kernel =
       p
   | None ->
       let t0 = Obs.Tracer.start () in
-      let p = Kir.shared_prepare kernel in
+      let p, shared_hit = Kir.shared_prepare_memo kernel in
       Obs.Tracer.finish ~cat:"gpu" "kernel.prepare" t0;
       Hashtbl.add t.prepared kernel p;
-      t.stats <- { t.stats with compiles = t.stats.compiles + 1 };
-      Obs.Metrics.incr m_compiles;
+      (* A hit in the process-wide memo is still a hit, even though this
+         context saw the kernel for the first time — short-lived per-frame
+         contexts would otherwise report thousands of "compiles" for work
+         the shared table did once. *)
+      if shared_hit then begin
+        t.stats <- { t.stats with compile_hits = t.stats.compile_hits + 1 };
+        Obs.Metrics.incr m_compile_hits
+      end
+      else begin
+        t.stats <- { t.stats with compiles = t.stats.compiles + 1 };
+        Obs.Metrics.incr m_compiles
+      end;
       p
 
 let global_costs_lock = Mutex.create ()
@@ -239,12 +249,12 @@ let cost_of t kernel ~grid ~args =
         Obs.Metrics.incr m_cost_hits;
         c
     | None ->
-        let c =
+        let c, global_hit =
           Mutex.lock global_costs_lock;
           let cached = Hashtbl.find_opt global_costs key in
           Mutex.unlock global_costs_lock;
           match cached with
-          | Some c -> c
+          | Some c -> (c, true)
           | None ->
               (* Profiled outside the lock: profiling is pure for
                  data-independent kernels, so a racing duplicate just
@@ -254,11 +264,20 @@ let cost_of t kernel ~grid ~args =
               if not (Hashtbl.mem global_costs key) then
                 Hashtbl.add global_costs key c;
               Mutex.unlock global_costs_lock;
-              c
+              (c, false)
         in
         Hashtbl.add t.costs key c;
-        t.stats <- { t.stats with cost_profiles = t.stats.cost_profiles + 1 };
-        Obs.Metrics.incr m_cost_profiles;
+        (* Same attribution rule as [prepared_of]: the process-wide
+           table answering counts as a hit for fresh contexts too. *)
+        if global_hit then begin
+          t.stats <- { t.stats with cost_hits = t.stats.cost_hits + 1 };
+          Obs.Metrics.incr m_cost_hits
+        end
+        else begin
+          t.stats <-
+            { t.stats with cost_profiles = t.stats.cost_profiles + 1 };
+          Obs.Metrics.incr m_cost_profiles
+        end;
         c
   end
 

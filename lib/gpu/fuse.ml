@@ -31,14 +31,8 @@
    fusion if any finding appears. *)
 
 (* ------------------------------------------------------------------ *)
-(* Global switch and metrics                                           *)
+(* Metrics                                                             *)
 (* ------------------------------------------------------------------ *)
-
-let enabled_flag = ref false
-
-let set_enabled b = enabled_flag := b
-
-let enabled () = !enabled_flag
 
 let m_kernels_eliminated = Obs.Metrics.counter "fusion.kernels_eliminated"
 

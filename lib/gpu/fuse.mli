@@ -8,12 +8,6 @@
     items resp. kernel tasks); the analysis gates re-verify every
     fused kernel, and callers refuse the rewrite on any finding. *)
 
-val set_enabled : bool -> unit
-(** Global [--fuse on|off] switch shared by all drivers (off by
-    default, like {!Context.set_default_mode}). *)
-
-val enabled : unit -> bool
-
 type stats = {
   kernels_eliminated : int;
   launches_saved : int;  (** per plan/chain execution *)

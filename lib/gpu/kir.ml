@@ -355,12 +355,12 @@ let shared_lock = Mutex.create ()
 
 let shared : (t, prepared) Hashtbl.t = Hashtbl.create 64
 
-let shared_prepare kernel =
+let shared_prepare_memo kernel =
   Mutex.lock shared_lock;
   let cached = Hashtbl.find_opt shared kernel in
   Mutex.unlock shared_lock;
   match cached with
-  | Some p -> p
+  | Some p -> (p, true)
   | None ->
       (* Prepared outside the lock: preparation is pure, so a racing
          duplicate is only a little wasted work. *)
@@ -368,7 +368,9 @@ let shared_prepare kernel =
       Mutex.lock shared_lock;
       if not (Hashtbl.mem shared kernel) then Hashtbl.add shared kernel p;
       Mutex.unlock shared_lock;
-      p
+      (p, false)
+
+let shared_prepare kernel = fst (shared_prepare_memo kernel)
 
 let compile kernel ~args = bind (prepare kernel) ~args
 

@@ -88,6 +88,11 @@ val shared_prepare : t -> prepared
 (** [prepare] through a process-wide memo table (thread-safe), so
     short-lived contexts still compile each distinct kernel once. *)
 
+val shared_prepare_memo : t -> prepared * bool
+(** Like {!shared_prepare}, also reporting whether the kernel was
+    already in the memo table — callers keeping compile-hit counters
+    honest across short-lived contexts need the distinction. *)
+
 val bind : prepared -> args:(string * arg) list -> compiled
 (** Pack the actual argument values into the prepared kernel — a few
     array writes per launch.  Raises [Invalid_argument] if

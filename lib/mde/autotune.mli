@@ -1,0 +1,35 @@
+(** Cost-guided autotuning for the ArrayOL -> OpenCL chain
+    ([--opt auto]).
+
+    Mirrors [Sac_cuda.Autotune] over {!Codegen.generated} programs:
+    single-connection {b fuse} steps (the {!Fuse_chain.candidates}), a
+    fuse-to-fixpoint step, {b fission} (undo), and per-task loop
+    {b interchange} / {b tile} rewrites, scored by replaying the kernel
+    schedule through a timing-only OpenCL context on synthetic inputs.
+    Every candidate task set re-verifies through {!Verify.check} before
+    it is eligible; winners are memoised as rule paths in the
+    process-wide {!Optimizer.Cache}. *)
+
+type state = {
+  gen : Codegen.generated;
+  fstats : Gpu.Fuse.stats;  (** fusion savings accumulated so far *)
+  undo : state option;  (** state before the last rewrite *)
+}
+
+val moves : state -> state Optimizer.Search.candidate list
+(** All rewrite moves applicable to [state] (for the unit tests). *)
+
+val modelled_us : ?device:Gpu.Device.t -> Codegen.generated -> float
+(** Modelled single-run device time of the generated program: uploads,
+    the scheduled kernel launches and output read-backs through a
+    timing-only context.  This equals what {!Chain.run} would model for
+    the same program, and is both the search objective and the autotune
+    ablation metric. *)
+
+val tune :
+  ?device:Gpu.Device.t ->
+  Codegen.generated ->
+  Codegen.generated * Gpu.Fuse.stats * string list
+(** [tune g] returns the tuned program (sources re-rendered when any
+    rewrite applied), its fusion savings and the winning rule path.
+    Consults the tuned-plan cache first, searching only on a miss. *)

@@ -2,7 +2,7 @@ open Ndarray
 
 type trace = { pass : string; detail : string }
 
-let transform model =
+let transform ?(opt = Optimizer.Mode.default ()) ?device model =
   let ( let* ) = Result.bind in
   let trace = ref [] in
   let record pass detail = trace := { pass; detail } :: !trace in
@@ -50,21 +50,30 @@ let transform model =
        (List.length generated.Codegen.kernel_tasks)
        (String.length generated.Codegen.cl_source));
   let generated =
-    if not (Gpu.Fuse.enabled ()) then generated
-    else begin
-      let g, fstats =
-        Obs.Tracer.with_span ~cat:"mde" "mde.fuse" (fun () ->
-            Fuse_chain.optimize generated)
-      in
-      Gpu.Fuse.record fstats;
-      record "opencl2fused: kernel fusion"
-        (Printf.sprintf
-           "%d kernel(s) inlined, %d launch(es), %d buffer(s), %d B of \
-            traffic saved"
-           fstats.Gpu.Fuse.kernels_eliminated fstats.Gpu.Fuse.launches_saved
-           fstats.Gpu.Fuse.buffers_eliminated fstats.Gpu.Fuse.bytes_saved);
-      g
-    end
+    match opt with
+    | Optimizer.Mode.Off -> generated
+    | Optimizer.Mode.Fuse ->
+        let g, fstats =
+          Obs.Tracer.with_span ~cat:"mde" "mde.fuse" (fun () ->
+              Fuse_chain.optimize generated)
+        in
+        Gpu.Fuse.record fstats;
+        record "opencl2fused: kernel fusion"
+          (Printf.sprintf
+             "%d kernel(s) inlined, %d launch(es), %d buffer(s), %d B of \
+              traffic saved"
+             fstats.Gpu.Fuse.kernels_eliminated fstats.Gpu.Fuse.launches_saved
+             fstats.Gpu.Fuse.buffers_eliminated fstats.Gpu.Fuse.bytes_saved);
+        g
+    | Optimizer.Mode.Auto ->
+        let g, fstats, rules = Autotune.tune ?device generated in
+        if fstats.Gpu.Fuse.kernels_eliminated > 0 then Gpu.Fuse.record fstats;
+        record "opencl2tuned: plan autotuning"
+          (if rules = [] then "generated program already best under model"
+           else
+             Printf.sprintf "%d rewrite(s) applied: %s" (List.length rules)
+               (String.concat ", " rules));
+        g
   in
   let* () =
     match
@@ -81,8 +90,8 @@ let transform model =
   in
   Ok (generated, List.rev !trace)
 
-let transform_exn model =
-  match transform model with
+let transform_exn ?opt ?device model =
+  match transform ?opt ?device model with
   | Ok (g, _) -> g
   | Error m -> invalid_arg ("Mde.Chain.transform: " ^ m)
 
@@ -90,7 +99,7 @@ exception Run_error of string
 
 let fail fmt = Format.kasprintf (fun m -> raise (Run_error m)) fmt
 
-let run ?(label_of = fun task_name -> task_name) ctx
+let run ?(label_of = fun task_name -> task_name) ?(liveness = false) ctx
     (gen : Codegen.generated) ~inputs =
   Obs.Tracer.with_span ~cat:"mde" "mde.run" @@ fun () ->
   let queue = Opencl.Runtime.create_command_queue ctx in
@@ -133,11 +142,11 @@ let run ?(label_of = fun task_name -> task_name) ctx
     | Some c -> c.Arrayol.Model.cfrom
     | None -> fail "unconnected port"
   in
-  (* Buffer liveness (--fuse on): release each device buffer after the
-     last schedule level that reads it; boundary outputs stay live for
-     the read-back.  Mirrors the plan-level pass in [Sac_cuda.Exec]. *)
+  (* Buffer liveness (--opt fuse|auto): release each device buffer
+     after the last schedule level that reads it; boundary outputs stay
+     live for the read-back.  Mirrors the plan-level pass in
+     [Sac_cuda.Exec]. *)
   let last_use : (Arrayol.Model.endpoint, int) Hashtbl.t = Hashtbl.create 16 in
-  let liveness = Gpu.Fuse.enabled () in
   if liveness then begin
     List.iteri
       (fun li level ->

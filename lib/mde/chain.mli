@@ -8,16 +8,26 @@
 
 type trace = { pass : string; detail : string }
 
-val transform : Marte.model -> (Codegen.generated * trace list, string) result
+val transform :
+  ?opt:Optimizer.Mode.t ->
+  ?device:Gpu.Device.t ->
+  Marte.model ->
+  (Codegen.generated * trace list, string) result
 (** Runs the full chain; the trace records one entry per pass (what a
-    Gaspard2 user sees in the Eclipse console). *)
+    Gaspard2 user sees in the Eclipse console).  [opt] selects the plan
+    optimisation applied after code generation (default
+    {!Optimizer.Mode.default}): [Fuse] is the fixed fusion pass, [Auto]
+    the cost-guided rewrite search of {!Autotune} ([device] being its
+    cost-model target). *)
 
-val transform_exn : Marte.model -> Codegen.generated
+val transform_exn :
+  ?opt:Optimizer.Mode.t -> ?device:Gpu.Device.t -> Marte.model -> Codegen.generated
 
 exception Run_error of string
 
 val run :
   ?label_of:(string -> string) ->
+  ?liveness:bool ->
   Opencl.Runtime.context ->
   Codegen.generated ->
   inputs:(string * int Ndarray.Tensor.t) list ->
@@ -26,7 +36,9 @@ val run :
     device buffers ([clEnqueueWriteBuffer]), kernels run in schedule
     order, boundary outputs are read back.  [label_of] maps a task name
     to its profiling label (e.g. ["HorizontalFilter"] -> ["H. Filter"]);
-    defaults to the task name. *)
+    defaults to the task name.  [liveness] (default [false]) releases
+    each buffer after its last schedule level, as callers running
+    optimised programs do ({!Optimizer.Mode.liveness}). *)
 
 val downscaler_model : rows:int -> cols:int -> Marte.model
 (** The paper's frame-level downscaler, allocated data-parallel. *)

@@ -162,6 +162,18 @@ let try_fuse (g : Codegen.generated) (c : Arrayol.Model.connection) =
       | _ -> None)
   | _ -> None
 
+(* Every fusible connection of [g] as a named thunk — one rewrite move
+   each for the autotuner, and the worklist for [optimize].  Candidates
+   do not re-render sources; callers render the final winner once. *)
+let candidates (g : Codegen.generated) =
+  List.filter_map
+    (fun (c : Arrayol.Model.connection) ->
+      match c.Arrayol.Model.cfrom with
+      | Arrayol.Model.Part (pi, _) ->
+          Some ("fuse:" ^ pi, fun () -> try_fuse g c)
+      | _ -> None)
+    g.Codegen.connections
+
 let optimize (g : Codegen.generated) =
   let rec go g stats =
     let fused =

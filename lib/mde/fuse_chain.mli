@@ -9,6 +9,15 @@
     fixpoint; every fused task is re-checked with {!Verify.check} and
     any finding vetoes that rewrite. *)
 
+val candidates :
+  Codegen.generated ->
+  (string * (unit -> (Codegen.generated * Gpu.Fuse.stats) option)) list
+(** One named rewrite thunk per connection whose producer might inline
+    into its consumer, labelled ["fuse:<producer instance>"].  A thunk
+    returns [None] when the inversion is refused or the fused task
+    fails {!Verify.check}.  Candidates do not re-render sources —
+    callers {!Codegen.render} the final program once. *)
+
 val optimize : Codegen.generated -> Codegen.generated * Gpu.Fuse.stats
 (** Returns the (possibly) fused program and what the rewrite saved;
     {!Gpu.Fuse.no_stats} when nothing fused. *)

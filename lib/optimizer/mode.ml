@@ -1,0 +1,17 @@
+type t = Off | Fuse | Auto
+
+let to_string = function Off -> "off" | Fuse -> "fuse" | Auto -> "auto"
+
+let of_string = function
+  | "off" -> Some Off
+  | "fuse" -> Some Fuse
+  | "auto" -> Some Auto
+  | _ -> None
+
+let default_mode = Atomic.make Off
+
+let set_default m = Atomic.set default_mode m
+
+let default () = Atomic.get default_mode
+
+let liveness = function Off -> false | Fuse | Auto -> true

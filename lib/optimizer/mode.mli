@@ -1,0 +1,31 @@
+(** The shared [--opt off|fuse|auto] optimisation mode.
+
+    Both compile chains ({!Sac_cuda.Compile} and {!Mde.Chain}) take the
+    mode as an explicit argument, so concurrent compiles with different
+    modes need no global switch (the old [Gpu.Fuse] flag that
+    {!Serve.Session} had to serialise under its cache lock).  The
+    process-wide default here only seeds the argument's default value:
+    drivers set it once from their command line before any compile. *)
+
+type t =
+  | Off  (** keep the one-kernel-per-generator plan as compiled *)
+  | Fuse  (** the fixed fusion-to-fixpoint pass of [--fuse on] *)
+  | Auto
+      (** cost-guided rewrite search: fuse, fission, interchange and
+          tile candidates scored by the analytic device model, best
+          verified plan per (pipeline, shape, device) wins *)
+
+val to_string : t -> string
+(** ["off"], ["fuse"] or ["auto"]. *)
+
+val of_string : string -> t option
+
+val set_default : t -> unit
+(** Seed the process-wide default (initially {!Off}); called once by
+    CLI drivers, never during compilation. *)
+
+val default : unit -> t
+
+val liveness : t -> bool
+(** Whether plans compiled under this mode release device buffers after
+    their last use at execution time ([Fuse] and [Auto]). *)

@@ -1,0 +1,39 @@
+(** Cost-guided plan autotuning for the SAC -> CUDA pipeline
+    ([--opt auto]).
+
+    Explores rewrite sequences over a compiled {!Plan.t} — single-pair
+    {b fuse} steps (the {!Fuse_plan} candidates), a fuse-to-fixpoint
+    step (so the fixed [--fuse] plan is always an explored candidate,
+    and the tuned plan can never score worse than it), {b fission}
+    (undoing the previous rewrite), per-item loop {b interchange} and
+    {b tile} (thread-coarsening) — scoring each candidate with the
+    analytic device model in a timing-only context.  Every candidate
+    re-verifies through the [lib/analysis] gates before it is eligible.
+
+    Winners are memoised process-wide per (pipeline, shape, device,
+    plan digest) in {!Optimizer.Cache} as {e rule paths}: a later
+    compile of the same program (possibly with different profiling
+    labels) replays the path on its own plan, re-verifying each step. *)
+
+type state = {
+  plan : Plan.t;
+  fstats : Gpu.Fuse.stats;  (** fusion savings accumulated so far *)
+  undo : state option;  (** state before the last rewrite *)
+}
+
+val moves : device:Gpu.Device.t -> state -> state Optimizer.Search.candidate list
+(** All rewrite moves applicable to [state], for {!Optimizer.Search}.
+    Exposed for the per-rule unit tests. *)
+
+val modelled_us : ?device:Gpu.Device.t -> Plan.t -> float
+(** Modelled single-frame time (device + host) of a plan under the
+    analytic cost model, via a timing-only runtime on synthetic
+    arguments.  Deterministic; this is both the search objective and
+    the number the autotune ablation reports. *)
+
+val tune : ?device:Gpu.Device.t -> Plan.t -> Plan.t * Gpu.Fuse.stats * string list
+(** [tune p] returns the tuned plan, the fusion savings it embodies and
+    the winning rule path (empty when the compiled plan is already
+    best).  Consults the process-wide tuned-plan cache first; on a miss
+    the search runs once and its winner is memoised.  Default device:
+    the paper's GTX480 (matching {!Cuda.Runtime.init}). *)

@@ -29,7 +29,7 @@ let constant_genarray e =
   | _ -> None
 
 let plan ?(label_of = Kernelize.sanitize) ?(split_generators = true)
-    (fd : Sac.Ast.fundef) =
+    ?(opt = Optimizer.Mode.default ()) ?device (fd : Sac.Ast.fundef) =
   let params =
     List.filter_map
       (fun (t, name) ->
@@ -159,25 +159,31 @@ let plan ?(label_of = Kernelize.sanitize) ?(split_generators = true)
   let p =
     { Plan.params; items = sweep (List.rev !items); result; result_shape }
   in
-  (* Producer/consumer kernel fusion (--fuse on): provably safe
-     rewrites only, each re-verified by the same analyses as the gate
-     below. *)
+  (* Plan optimisation (--opt): provably safe rewrites only, each
+     re-verified by the same analyses as the gate below.  [Fuse] is the
+     fixed fusion-to-fixpoint pass; [Auto] searches fuse / fission /
+     interchange / tile sequences under the device cost model, memoised
+     per (pipeline, shape, device) in the tuned-plan cache. *)
   let p =
-    if Gpu.Fuse.enabled () then begin
-      let p, fstats =
-        Obs.Tracer.with_span ~cat:"sac" "sac.fuse_plan" (fun () ->
-            Fuse_plan.optimize p)
-      in
-      Gpu.Fuse.record fstats;
-      p
-    end
-    else p
+    match opt with
+    | Optimizer.Mode.Off -> p
+    | Optimizer.Mode.Fuse ->
+        let p, fstats =
+          Obs.Tracer.with_span ~cat:"sac" "sac.fuse_plan" (fun () ->
+              Fuse_plan.optimize p)
+        in
+        Gpu.Fuse.record fstats;
+        p
+    | Optimizer.Mode.Auto ->
+        let p, fstats, _rules = Autotune.tune ?device p in
+        if fstats.Gpu.Fuse.kernels_eliminated > 0 then Gpu.Fuse.record fstats;
+        p
   in
   (* Verification gate: in lint mode findings are recorded as metrics
      and log entries; in strict mode error findings abort. *)
   (match Verify.gate p with Ok () -> () | Error m -> fail "%s" m);
   p
 
-let plan_of_source ?label_of ?split_generators src ~entry =
+let plan_of_source ?label_of ?split_generators ?opt ?device src ~entry =
   let fd, report = Sac.Pipeline.optimize_source src ~entry in
-  (plan ?label_of ?split_generators fd, report)
+  (plan ?label_of ?split_generators ?opt ?device fd, report)

@@ -14,17 +14,23 @@ exception Compile_error of string
 val plan :
   ?label_of:(string -> string) ->
   ?split_generators:bool ->
+  ?opt:Optimizer.Mode.t ->
+  ?device:Gpu.Device.t ->
   Sac.Ast.fundef ->
   Plan.t
 (** [plan fd] compiles an inlined, optimised [main].  [label_of] maps a
     with-loop target variable to its profiling label (default: the
     sanitised variable name).  [split_generators] applies the Figure 8
     normalisation (default [true]; the ablation benchmark turns it
-    off). *)
+    off).  [opt] selects the plan optimisation mode (default
+    {!Optimizer.Mode.default}, i.e. the process-wide [--opt] setting);
+    [device] is the cost-model target for [Auto] tuning. *)
 
 val plan_of_source :
   ?label_of:(string -> string) ->
   ?split_generators:bool ->
+  ?opt:Optimizer.Mode.t ->
+  ?device:Gpu.Device.t ->
   string ->
   entry:string ->
   Plan.t * Sac.Pipeline.report

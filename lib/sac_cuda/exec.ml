@@ -26,8 +26,8 @@ type device_ops = {
   release : Gpu.Buffer.t -> unit;
 }
 
-let run_with ?(host_mode = `Execute) ?plane_tag (ops : device_ops)
-    (plan : Plan.t) ~args =
+let run_with ?(host_mode = `Execute) ?(liveness = false) ?plane_tag
+    (ops : device_ops) (plan : Plan.t) ~args =
   Obs.Tracer.with_span ~cat:"sac" "sac.exec_plan" @@ fun () ->
   let tag_kernel (k : Gpu.Kir.t) =
     match plane_tag with
@@ -37,13 +37,13 @@ let run_with ?(host_mode = `Execute) ?plane_tag (ops : device_ops)
   let vars : (string, residency) Hashtbl.t = Hashtbl.create 16 in
   let host_us = ref 0.0 in
   let launches = ref 0 in
-  (* Buffer liveness (--fuse on): free each device buffer right after
-     the last item that can read it, so peak device memory tracks the
-     working set instead of the whole plan.  Alias classes follow Copy
-     items (aliased names share one buffer); the plan result is pinned
-     until the end. *)
+  (* Buffer liveness (--opt fuse|auto): free each device buffer right
+     after the last item that can read it, so peak device memory tracks
+     the working set instead of the whole plan.  Alias classes follow
+     Copy items (aliased names share one buffer); the plan result is
+     pinned until the end. *)
   let liveness =
-    if not (Gpu.Fuse.enabled ()) then None
+    if not liveness then None
     else begin
       let rep : (string, string) Hashtbl.t = Hashtbl.create 16 in
       let rec find n =
@@ -274,5 +274,5 @@ let cuda_ops rt =
     release = (fun buf -> Cuda.Runtime.mem_free rt buf);
   }
 
-let run ?host_mode ?plane_tag rt plan ~args =
-  run_with ?host_mode ?plane_tag (cuda_ops rt) plan ~args
+let run ?host_mode ?liveness ?plane_tag rt plan ~args =
+  run_with ?host_mode ?liveness ?plane_tag (cuda_ops rt) plan ~args

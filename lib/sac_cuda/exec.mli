@@ -34,15 +34,20 @@ type device_ops = {
 
 val run_with :
   ?host_mode:[ `Execute | `Estimate ] ->
+  ?liveness:bool ->
   ?plane_tag:string ->
   device_ops ->
   Plan.t ->
   args:(string * int Ndarray.Tensor.t) list ->
   outcome
-(** Execute a plan through arbitrary device operations. *)
+(** Execute a plan through arbitrary device operations.  [liveness]
+    (default [false]) releases each device buffer right after its last
+    use, so peak memory tracks the working set — enabled by callers
+    running optimised plans ({!Optimizer.Mode.liveness}). *)
 
 val run :
   ?host_mode:[ `Execute | `Estimate ] ->
+  ?liveness:bool ->
   ?plane_tag:string ->
   Cuda.Runtime.t ->
   Plan.t ->

@@ -141,11 +141,16 @@ let try_fuse_pair (p : Plan.t) items i j =
           end)
   | _ -> None
 
-let try_fuse_one (p : Plan.t) =
+(* Every fusible producer/consumer pair of [p], as named thunks: the
+   autotuner exposes each as one rewrite move, while [optimize] below
+   still applies them to a fixpoint for the fixed [--fuse] mode.  A
+   thunk returns [None] when Gpu.Fuse refuses the inversion or the
+   fused item fails the analysis gates. *)
+let candidates (p : Plan.t) =
   let items = Array.of_list p.Plan.items in
   let n = Array.length items in
-  let rec scan i =
-    if i >= n then None
+  let rec scan i acc =
+    if i >= n then List.rev acc
     else
       match items.(i) with
       | Plan.Device_withloop { target; full_cover = true; _ }
@@ -157,14 +162,21 @@ let try_fuse_one (p : Plan.t) =
                 List.iter (fun u -> uses := (j, u) :: !uses) (uses_of target it))
             items;
           match !uses with
-          | [ (j, Device_input) ] when j > i -> (
-              match try_fuse_pair p items i j with
-              | Some _ as r -> r
-              | None -> scan (i + 1))
-          | _ -> scan (i + 1))
-      | _ -> scan (i + 1)
+          | [ (j, Device_input) ] when j > i ->
+              scan (i + 1)
+                (("fuse:" ^ target, fun () -> try_fuse_pair p items i j) :: acc)
+          | _ -> scan (i + 1) acc)
+      | _ -> scan (i + 1) acc
   in
-  scan 0
+  scan 0 []
+
+let try_fuse_one (p : Plan.t) =
+  let rec first = function
+    | [] -> None
+    | (_, apply) :: rest -> (
+        match apply () with Some _ as r -> r | None -> first rest)
+  in
+  first (candidates p)
 
 (* Fuse until no candidate remains (a chain A -> B -> C fuses twice). *)
 let optimize (p : Plan.t) =

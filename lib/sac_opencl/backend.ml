@@ -23,8 +23,9 @@ let opencl_ops ctx =
     release = (fun buf -> Opencl.Runtime.release_mem_object ctx buf);
   }
 
-let run ?host_mode ?plane_tag ctx plan ~args =
-  Sac_cuda.Exec.run_with ?host_mode ?plane_tag (opencl_ops ctx) plan ~args
+let run ?host_mode ?liveness ?plane_tag ctx plan ~args =
+  Sac_cuda.Exec.run_with ?host_mode ?liveness ?plane_tag (opencl_ops ctx) plan
+    ~args
 
 type sources = { cl : string; host : string; makefile : string }
 

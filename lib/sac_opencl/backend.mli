@@ -11,6 +11,7 @@
 
 val run :
   ?host_mode:[ `Execute | `Estimate ] ->
+  ?liveness:bool ->
   ?plane_tag:string ->
   Opencl.Runtime.context ->
   Sac_cuda.Plan.t ->

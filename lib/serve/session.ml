@@ -4,7 +4,7 @@ type key = {
   k_pipeline : [ `Sac | `Mde | `Custom of int ];
   k_rows : int;
   k_cols : int;
-  k_fuse : bool;
+  k_opt : Optimizer.Mode.t;
 }
 
 type runner =
@@ -15,7 +15,7 @@ type runner =
 type t = {
   id : int;
   fmt : Video.Format.t;
-  fuse : bool;
+  opt : Optimizer.Mode.t;
   key : key;
   runner : runner;
 }
@@ -24,7 +24,7 @@ let id t = t.id
 
 let format t = t.fmt
 
-let fused t = t.fuse
+let opt t = t.opt
 
 let key t = t.key
 
@@ -38,11 +38,11 @@ let pipeline_name t =
 (* Process-wide plan cache                                             *)
 (* ------------------------------------------------------------------ *)
 
-(* One lock covers both the cache table and the global fuse flag:
-   fusion is selected by a process-wide switch the compilers read, so a
-   per-session [fuse] request must hold the flag at its value for the
-   duration of the compile.  Compiles are rare (once per distinct key)
-   and millisecond-scale, so the critical section is harmless. *)
+(* The lock covers only the cache table: the optimisation mode travels
+   in the key and is passed to the compilers as an argument, so
+   concurrent compiles with different modes need no global switch (and
+   the compile itself runs without excluding other sessions'
+   lookups beyond the table access below). *)
 let cache_lock = Mutex.create ()
 
 let cache : (key, runner) Hashtbl.t = Hashtbl.create 8
@@ -64,10 +64,7 @@ let filter_labels () =
         l
     | [] -> "Kernel"
 
-let compile_locked key =
-  let saved = Gpu.Fuse.enabled () in
-  Gpu.Fuse.set_enabled key.k_fuse;
-  Fun.protect ~finally:(fun () -> Gpu.Fuse.set_enabled saved) @@ fun () ->
+let compile key =
   match key.k_pipeline with
   | `Custom _ -> assert false (* never cached *)
   | `Sac ->
@@ -76,13 +73,13 @@ let compile_locked key =
           ~cols:key.k_cols
       in
       let plan, _ =
-        Sac_cuda.Compile.plan_of_source ~label_of:(filter_labels ()) src
-          ~entry:"main"
+        Sac_cuda.Compile.plan_of_source ~label_of:(filter_labels ())
+          ~opt:key.k_opt src ~entry:"main"
       in
       Sac_plan plan
   | `Mde ->
       Mde_gen
-        (Mde.Chain.transform_exn
+        (Mde.Chain.transform_exn ~opt:key.k_opt
            (Mde.Chain.downscaler_model ~rows:key.k_rows ~cols:key.k_cols))
 
 let runner_of key =
@@ -93,40 +90,40 @@ let runner_of key =
   | None ->
       let r =
         Obs.Tracer.with_span ~cat:"serve" "serve.compile_plan" (fun () ->
-            compile_locked key)
+            compile key)
       in
       Hashtbl.add cache key r;
       r
 
-let create ?fuse ~id ~pipeline fmt =
+let create ?opt ~id ~pipeline fmt =
   if fmt.Video.Format.rows mod 9 <> 0 || fmt.Video.Format.cols mod 8 <> 0 then
     invalid_arg
       (Printf.sprintf
          "Serve.Session.create: %dx%d is not downscalable (rows must be a \
           multiple of 9, cols of 8)"
          fmt.Video.Format.rows fmt.Video.Format.cols);
-  let fuse = match fuse with Some f -> f | None -> Gpu.Fuse.enabled () in
+  let opt = match opt with Some m -> m | None -> Optimizer.Mode.default () in
   let key =
     {
       k_pipeline = (match pipeline with Sac -> `Sac | Mde -> `Mde);
       k_rows = fmt.Video.Format.rows;
       k_cols = fmt.Video.Format.cols;
-      k_fuse = fuse;
+      k_opt = opt;
     }
   in
-  { id; fmt; fuse; key; runner = runner_of key }
+  { id; fmt; opt; key; runner = runner_of key }
 
 let custom ~id fmt f =
   {
     id;
     fmt;
-    fuse = false;
+    opt = Optimizer.Mode.Off;
     key =
       {
         k_pipeline = `Custom id;
         k_rows = fmt.Video.Format.rows;
         k_cols = fmt.Video.Format.cols;
-        k_fuse = false;
+        k_opt = Optimizer.Mode.Off;
       };
     runner = Custom_fn f;
   }
@@ -141,6 +138,7 @@ let mde_label = function
   | other -> other
 
 let run_frame t frame =
+  let liveness = Optimizer.Mode.liveness t.opt in
   match t.runner with
   | Custom_fn f -> (f frame, [])
   | Sac_plan plan ->
@@ -148,7 +146,7 @@ let run_frame t frame =
       let scaled =
         Video.Frame.map_planes
           (fun ch plane ->
-            (Sac_cuda.Exec.run rt plan
+            (Sac_cuda.Exec.run rt plan ~liveness
                ~plane_tag:(Video.Frame.channel_name ch)
                ~args:[ ("frame", plane) ])
               .Sac_cuda.Exec.result)
@@ -159,7 +157,7 @@ let run_frame t frame =
   | Mde_gen gen ->
       let ctx = Opencl.Runtime.create_context () in
       let outs =
-        Mde.Chain.run ctx gen ~label_of:mde_label
+        Mde.Chain.run ctx gen ~label_of:mde_label ~liveness
           ~inputs:
             [
               ("r_in", Video.Frame.plane frame Video.Frame.R);

@@ -2,13 +2,15 @@
 
     A session is one video stream's fixed configuration: resolution,
     pipeline choice (the SAC→CUDA route or the Gaspard2/MDE→OpenCL
-    route) and [--fuse] setting, plus the compiled-plan handle every
-    frame of the stream reuses.  Compilation happens once per distinct
-    [(pipeline, rows, cols, fuse)] key in the whole process — sessions
-    with equal keys share the handle through a process-wide cache, and
-    the kernels inside it additionally hit the existing
-    {!Gpu.Kir.shared_prepare} compile cache, so serving a new stream of
-    an already-seen shape costs no compilation at all.
+    route) and [--opt] mode, plus the compiled-plan handle every frame
+    of the stream reuses.  Compilation happens once per distinct
+    [(pipeline, rows, cols, opt)] key in the whole process — sessions
+    with equal keys share the handle through a process-wide cache;
+    [auto] compiles consult the process-wide tuned-plan cache
+    ({!Optimizer.Cache}), and the kernels inside every plan
+    additionally hit the existing {!Gpu.Kir.shared_prepare} compile
+    cache, so serving a new stream of an already-seen shape costs no
+    compilation (and no tuning search) at all.
 
     The {!key} is also the batcher's coalescing unit: requests from
     sessions with equal keys can ride the same multi-frame launch. *)
@@ -20,11 +22,12 @@ type key
 type t
 
 val create :
-  ?fuse:bool -> id:int -> pipeline:pipeline -> Video.Format.t -> t
+  ?opt:Optimizer.Mode.t -> id:int -> pipeline:pipeline -> Video.Format.t -> t
 (** [create ~id ~pipeline fmt] compiles (or fetches from the cache) the
-    plan for [fmt]-sized frames.  [fuse] selects plan-level kernel
-    fusion for this stream's plan (default: the process-wide
-    {!Gpu.Fuse.enabled} setting at call time).  Raises
+    plan for [fmt]-sized frames.  [opt] selects this stream's plan
+    optimisation mode (default: the process-wide
+    {!Optimizer.Mode.default} at call time); it is threaded to the
+    compiler as an argument, never through global state.  Raises
     [Invalid_argument] when [fmt] is not downscalable (rows not a
     multiple of 9 or cols not a multiple of 8). *)
 
@@ -37,7 +40,8 @@ val id : t -> int
 
 val format : t -> Video.Format.t
 
-val fused : t -> bool
+val opt : t -> Optimizer.Mode.t
+(** The optimisation mode this session's plan was compiled under. *)
 
 val key : t -> key
 (** Batching key; equal iff two sessions can share one plan/launch. *)

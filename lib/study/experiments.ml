@@ -316,11 +316,6 @@ type fusion_row = {
   bit_identical : bool;  (** against the golden reference downscaler *)
 }
 
-let with_fuse flag f =
-  let saved = Gpu.Fuse.enabled () in
-  Gpu.Fuse.set_enabled flag;
-  Fun.protect ~finally:(fun () -> Gpu.Fuse.set_enabled saved) f
-
 (* Standalone runs on purpose: the memoised Sac_runs/Gaspard_runs
    caches must stay mode-independent, and a fresh runtime per
    configuration gives clean peak-memory and timeline readings.
@@ -341,11 +336,13 @@ let fusion ?(scale = Scale.validation) () =
   let reference = Video.Downscaler.plane plane in
   let tensor_eq = Tensor.equal Int.equal in
   let sac fused =
-    with_fuse fused @@ fun () ->
+    let opt = if fused then Optimizer.Mode.Fuse else Optimizer.Mode.Off in
     let src = Sac.Programs.downscaler ~generic:false ~rows ~cols in
-    let plan, _ = Sac_cuda.Compile.plan_of_source src ~entry:"main" in
+    let plan, _ = Sac_cuda.Compile.plan_of_source ~opt src ~entry:"main" in
     let rt = Cuda.Runtime.init () in
-    let outcome = Sac_cuda.Exec.run rt plan ~args:[ ("frame", plane) ] in
+    let outcome =
+      Sac_cuda.Exec.run ~liveness:fused rt plan ~args:[ ("frame", plane) ]
+    in
     let ctx = Cuda.Runtime.context rt in
     {
       pipeline = "SAC -> CUDA (non-generic)";
@@ -366,11 +363,13 @@ let fusion ?(scale = Scale.validation) () =
     }
   in
   let mde fused =
-    with_fuse fused @@ fun () ->
-    let gen = Mde.Chain.transform_exn (Mde.Chain.downscaler_model ~rows ~cols) in
+    let opt = if fused then Optimizer.Mode.Fuse else Optimizer.Mode.Off in
+    let gen =
+      Mde.Chain.transform_exn ~opt (Mde.Chain.downscaler_model ~rows ~cols)
+    in
     let ctx = Opencl.Runtime.create_context () in
     let outs =
-      Mde.Chain.run ctx gen
+      Mde.Chain.run ~liveness:fused ctx gen
         ~inputs:
           [
             ("r_in", Video.Frame.plane frame Video.Frame.R);
@@ -428,6 +427,126 @@ let fusion ?(scale = Scale.validation) () =
   [ sac false; sac true; mde false; mde true ]
 
 (* ------------------------------------------------------------------ *)
+(* Plan autotuning (--opt off vs fuse vs auto)                         *)
+(* ------------------------------------------------------------------ *)
+
+type autotune_row = {
+  at_pipeline : string;
+  at_rows : int;
+  at_cols : int;
+  at_off_us : float;  (** modelled frame time, unoptimised plan *)
+  at_fuse_us : float;  (** modelled frame time, fixed fusion pass *)
+  at_auto_us : float;  (** modelled frame time, autotuned plan *)
+  at_rules : string list;  (** winning rewrite sequence *)
+  at_bit_checked : bool;  (** functional bit-identity executed? *)
+  at_bit_identical : bool;  (** tuned output = reference (when checked) *)
+}
+
+(* All three arms are scored with the tuner's own cost function (a
+   timing-only replay under the analytic device model), which is also
+   the search objective — so "auto never loses to a fixed mode" is
+   measured with the exact metric the search optimises.  Functional
+   bit-identity executes every thread, so it is checked up to CIF and
+   skipped at 1080p, like the fusion ablation's clamp. *)
+let bit_check_pixels = 288 * 352
+
+let autotune ?(shapes = [ (72, 64); (288, 352); (1080, 1920) ]) () =
+  Obs.Tracer.with_span ~cat:"study" "study.autotune" @@ fun () ->
+  let tensor_eq = Tensor.equal Int.equal in
+  let row_of shape_rows shape_cols pipeline ~off_us ~fuse_us ~auto_us ~rules
+      ~bit =
+    let at_bit_checked, at_bit_identical =
+      match bit with None -> (false, false) | Some ok -> (true, ok)
+    in
+    {
+      at_pipeline = pipeline;
+      at_rows = shape_rows;
+      at_cols = shape_cols;
+      at_off_us = off_us;
+      at_fuse_us = fuse_us;
+      at_auto_us = auto_us;
+      at_rules = rules;
+      at_bit_checked;
+      at_bit_identical;
+    }
+  in
+  let sac (rows, cols) =
+    let src = Sac.Programs.downscaler ~generic:false ~rows ~cols in
+    let off, _ =
+      Sac_cuda.Compile.plan_of_source ~opt:Optimizer.Mode.Off src ~entry:"main"
+    in
+    let fused, _ =
+      Sac_cuda.Compile.plan_of_source ~opt:Optimizer.Mode.Fuse src
+        ~entry:"main"
+    in
+    let tuned, _, rules = Sac_cuda.Autotune.tune off in
+    let bit =
+      if rows * cols > bit_check_pixels then None
+      else begin
+        let fmt = { Video.Format.name = "autotune"; rows; cols } in
+        let plane =
+          Video.Frame.plane (Video.Framegen.frame fmt 0) Video.Frame.R
+        in
+        let reference = Video.Downscaler.plane plane in
+        let run plan liveness =
+          let rt = Cuda.Runtime.init () in
+          (Sac_cuda.Exec.run ~liveness rt plan ~args:[ ("frame", plane) ])
+            .Sac_cuda.Exec.result
+        in
+        Some
+          (tensor_eq (run tuned true) reference
+          && tensor_eq (run off false) reference)
+      end
+    in
+    row_of rows cols "SAC -> CUDA (non-generic)"
+      ~off_us:(Sac_cuda.Autotune.modelled_us off)
+      ~fuse_us:(Sac_cuda.Autotune.modelled_us fused)
+      ~auto_us:(Sac_cuda.Autotune.modelled_us tuned)
+      ~rules ~bit
+  in
+  let mde (rows, cols) =
+    let model = Mde.Chain.downscaler_model ~rows ~cols in
+    let off = Mde.Chain.transform_exn ~opt:Optimizer.Mode.Off model in
+    let fused = Mde.Chain.transform_exn ~opt:Optimizer.Mode.Fuse model in
+    let tuned, _, rules = Mde.Autotune.tune off in
+    let bit =
+      if rows * cols > bit_check_pixels then None
+      else begin
+        let fmt = { Video.Format.name = "autotune"; rows; cols } in
+        let frame = Video.Framegen.frame fmt 0 in
+        let expected = Video.Downscaler.frame frame in
+        let run gen liveness =
+          let ctx = Opencl.Runtime.create_context () in
+          Mde.Chain.run ~liveness ctx gen
+            ~inputs:
+              [
+                ("r_in", Video.Frame.plane frame Video.Frame.R);
+                ("g_in", Video.Frame.plane frame Video.Frame.G);
+                ("b_in", Video.Frame.plane frame Video.Frame.B);
+              ]
+        in
+        let matches outs =
+          List.for_all
+            (fun (port, ch) ->
+              tensor_eq (List.assoc port outs) (Video.Frame.plane expected ch))
+            [
+              ("r_out", Video.Frame.R);
+              ("g_out", Video.Frame.G);
+              ("b_out", Video.Frame.B);
+            ]
+        in
+        Some (matches (run tuned true) && matches (run off false))
+      end
+    in
+    row_of rows cols "Gaspard2 -> OpenCL"
+      ~off_us:(Mde.Autotune.modelled_us off)
+      ~fuse_us:(Mde.Autotune.modelled_us fused)
+      ~auto_us:(Mde.Autotune.modelled_us tuned)
+      ~rules ~bit
+  in
+  List.concat_map (fun shape -> [ sac shape; mde shape ]) shapes
+
+(* ------------------------------------------------------------------ *)
 (* Stream overlap (Section VIII follow-up)                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -469,7 +588,7 @@ type lint_report = {
    the SAC plans (both output-tiler variants) and the Gaspard2 kernel
    tasks.  Runs with gates disabled so each kernel is analyzed exactly
    once, here. *)
-let lint ?(scale = Scale.validation) () =
+let lint ?(scale = Scale.validation) ?(opt = Optimizer.Mode.Off) () =
   Obs.Tracer.with_span ~cat:"study" "study.lint" @@ fun () ->
   let rows = scale.Scale.rows and cols = scale.Scale.cols in
   let saved = Analysis.Config.mode () in
@@ -477,7 +596,7 @@ let lint ?(scale = Scale.validation) () =
   Analysis.Config.set_mode Analysis.Config.Off;
   let sac generic =
     let src = Sac.Programs.downscaler ~generic ~rows ~cols in
-    let plan, _ = Sac_cuda.Compile.plan_of_source src ~entry:"main" in
+    let plan, _ = Sac_cuda.Compile.plan_of_source ~opt src ~entry:"main" in
     let findings = Sac_cuda.Verify.check plan in
     Analysis.Finding.record findings;
     Analysis.Finding.kernels_checked (Sac_cuda.Plan.kernel_count plan);
@@ -491,7 +610,9 @@ let lint ?(scale = Scale.validation) () =
     }
   in
   let mde =
-    let gen = Mde.Chain.transform_exn (Mde.Chain.downscaler_model ~rows ~cols) in
+    let gen =
+      Mde.Chain.transform_exn ~opt (Mde.Chain.downscaler_model ~rows ~cols)
+    in
     let tasks = gen.Mde.Codegen.kernel_tasks in
     let findings = Mde.Verify.check tasks in
     Analysis.Finding.record findings;

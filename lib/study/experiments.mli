@@ -84,11 +84,33 @@ type fusion_row = {
 
 val fusion : ?scale:Scale.t -> unit -> fusion_row list
 (** Kernel fusion ablation: both pipelines run one frame with
-    [--fuse off] and [--fuse on].  Fused configurations must launch
+    [--opt off] and [--opt fuse].  Fused configurations must launch
     strictly fewer kernels, allocate strictly fewer intermediate
     buffers, and stay bit-identical to the reference.  Executes
     functionally, so scales beyond {!Scale.validation} are clamped to
     its 72x64 geometry. *)
+
+type autotune_row = {
+  at_pipeline : string;
+  at_rows : int;
+  at_cols : int;
+  at_off_us : float;  (** modelled frame time, unoptimised plan *)
+  at_fuse_us : float;  (** modelled frame time, fixed fusion pass *)
+  at_auto_us : float;  (** modelled frame time, autotuned plan *)
+  at_rules : string list;  (** winning rewrite sequence *)
+  at_bit_checked : bool;  (** functional bit-identity executed? *)
+  at_bit_identical : bool;  (** tuned output = reference (when checked) *)
+}
+
+val autotune : ?shapes:(int * int) list -> unit -> autotune_row list
+(** Autotuning ablation: per shape and pipeline, the modelled frame
+    time of the unoptimised plan, the fixed fusion pass, and the
+    cost-guided autotuned plan — all three scored with the tuner's own
+    objective, so the auto column can never exceed either fixed one.
+    Default shapes: 72x64, CIF and 1080p.  Bit-identity of the tuned
+    plan against the golden reference executes functionally up to CIF
+    ([at_bit_checked]); 1080p rows rely on the per-candidate analysis
+    gates instead. *)
 
 val overlap : ?scale:Scale.t -> unit -> (string * Gpu.Overlap.summary) list
 (** {!Gpu.Overlap.of_timeline} over one simulated frame of each
@@ -102,8 +124,9 @@ type lint_report = {
   findings : Analysis.Finding.t list;
 }
 
-val lint : ?scale:Scale.t -> unit -> lint_report list
+val lint : ?scale:Scale.t -> ?opt:Optimizer.Mode.t -> unit -> lint_report list
 (** Static analysis (bounds, races, transfer residency) over every
     kernel both pipelines generate at [scale]: the SAC plans for both
-    output-tiler variants and the Gaspard2 kernel tasks.  A correct
-    toolchain yields empty [findings] everywhere. *)
+    output-tiler variants and the Gaspard2 kernel tasks, compiled
+    under [opt] (default {!Optimizer.Mode.Off}).  A correct toolchain
+    yields empty [findings] everywhere. *)

@@ -181,6 +181,30 @@ let fusion (rows : Experiments.fusion_row list) =
     rows;
   Buffer.contents buf
 
+let autotune (rows : Experiments.autotune_row list) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "Plan autotuning ablation (--opt off vs fuse vs auto, modelled frame \
+     time):\n";
+  Buffer.add_string buf
+    (Printf.sprintf "%-28s %-10s %12s %12s %12s %9s  %s\n" "Pipeline" "shape"
+       "off (usec)" "fuse (usec)" "auto (usec)" "identical" "rules");
+  List.iter
+    (fun (r : Experiments.autotune_row) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-28s %-10s %12.0f %12.0f %12.0f %9s  %s\n"
+           r.Experiments.at_pipeline
+           (Printf.sprintf "%dx%d" r.Experiments.at_rows r.Experiments.at_cols)
+           r.Experiments.at_off_us r.Experiments.at_fuse_us
+           r.Experiments.at_auto_us
+           (if not r.Experiments.at_bit_checked then "(modelled)"
+            else if r.Experiments.at_bit_identical then "yes"
+            else "NO")
+           (if r.Experiments.at_rules = [] then "-"
+            else String.concat ", " r.Experiments.at_rules)))
+    rows;
+  Buffer.contents buf
+
 let overlap (rows : (string * Gpu.Overlap.summary) list) =
   let buf = Buffer.create 256 in
   Buffer.add_string buf

@@ -29,6 +29,12 @@ val fusion : Experiments.fusion_row list -> string
     kernel and launch counts, intermediate buffers, peak device bytes,
     modelled time and the bit-identity verdict. *)
 
+val autotune : Experiments.autotune_row list -> string
+(** The off/fuse/auto ablation as one row per (pipeline, shape):
+    modelled frame time under each mode, the bit-identity verdict
+    (["(modelled)"] where functional execution is skipped) and the
+    winning rewrite sequence. *)
+
 val overlap : (string * Gpu.Overlap.summary) list -> string
 (** One line per pipeline: the serial and stream-pipelined makespans
     with the bottleneck share and the saving. *)

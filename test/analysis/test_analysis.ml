@@ -541,6 +541,78 @@ let test_sac_strict_mode_rejects () =
   Alcotest.(check bool) "mutant rejected" true
     (Result.is_error (Sac_cuda.Verify.gate mutated))
 
+(* The autotuner's eligibility gate: an illegal rewrite candidate —
+   here a seeded broken interchange that swaps a kernel's grid extents
+   without rewriting its Gid uses — must be rejected by the same
+   analysis entry points (Kir_check bounds + Race coverage) the
+   optimizer consults before a candidate becomes eligible. *)
+let test_sac_mutant_broken_interchange_gated () =
+  let plan = sac_plan ~generic:false () in
+  let swap_grid (k, grid) =
+    match Array.length grid with
+    | 2 -> (k, [| grid.(1); grid.(0) |])
+    | _ -> (k, grid)
+  in
+  let gated, findings =
+    List.fold_left
+      (fun (gated, findings) item ->
+        match item with
+        | Sac_cuda.Plan.Device_withloop { swith; kernels; full_cover; _ } ->
+            let fs =
+              Sac_cuda.Fuse_plan.item_findings ~swith
+                ~kernels:(List.map swap_grid kernels)
+                ~full_cover
+            in
+            (gated + 1, findings @ fs)
+        | _ -> (gated, findings))
+      (0, []) plan.Sac_cuda.Plan.items
+  in
+  Alcotest.(check bool) "device items gated" true (gated > 0);
+  Alcotest.(check bool) "broken interchange rejected" true (findings <> []);
+  (* The sound interchange of the same kernels (grid *and* body
+     swapped) passes the same gate — the rejection above is about the
+     mutant, not about interchange itself. *)
+  List.iter
+    (fun item ->
+      match item with
+      | Sac_cuda.Plan.Device_withloop { swith; kernels; full_cover; _ } ->
+          let sound =
+            List.map
+              (fun kg ->
+                Option.value ~default:kg (Optimizer.Rules.interchange kg))
+              kernels
+          in
+          Alcotest.(check (list string)) "sound interchange accepted" []
+            (List.map
+               (Format.asprintf "%a" Analysis.Finding.pp_long)
+               (Sac_cuda.Fuse_plan.item_findings ~swith ~kernels:sound
+                  ~full_cover))
+      | _ -> ())
+    plan.Sac_cuda.Plan.items
+
+(* Every candidate the SAC autotuner actually offers to the search has
+   already passed its gates: applying each one must yield a plan the
+   full verifier accepts. *)
+let test_sac_autotune_moves_all_verify () =
+  let plan = sac_plan ~generic:false () in
+  let init =
+    { Sac_cuda.Autotune.plan; fstats = Gpu.Fuse.no_stats; undo = None }
+  in
+  let moves = Sac_cuda.Autotune.moves ~device:Gpu.Device.gtx480 init in
+  Alcotest.(check bool) "moves offered" true (moves <> []);
+  List.iter
+    (fun (c : _ Optimizer.Search.candidate) ->
+      match c.Optimizer.Search.apply () with
+      | None -> ()
+      | Some (st : Sac_cuda.Autotune.state) ->
+          Alcotest.(check (list string))
+            (c.Optimizer.Search.rule ^ " result verifies")
+            []
+            (List.map
+               (Format.asprintf "%a" Analysis.Finding.pp_long)
+               (Sac_cuda.Verify.check st.Sac_cuda.Autotune.plan)))
+    moves
+
 (* ---------- the MDE pipeline ---------- *)
 
 let test_mde_downscaler_clean () =
@@ -562,6 +634,43 @@ let test_mde_downscaler_paper_scale () =
       Alcotest.(check (list string))
         "paper-scale mde downscaler verifies clean" []
         (List.map (Format.asprintf "%a" Analysis.Finding.pp_long) fs)
+
+(* Same illegal-interchange mutant on the MDE side: swapping a kernel
+   task's grid extents without rewriting the kernel body must be caught
+   by Verify.check — the gate Mde.Autotune applies per candidate. *)
+let test_mde_mutant_broken_interchange_gated () =
+  let model = Mde.Chain.downscaler_model ~rows ~cols in
+  match Mde.Chain.transform model with
+  | Error m -> Alcotest.failf "chain failed: %s" m
+  | Ok (gen, _) -> (
+      match
+        List.find_opt
+          (fun (kt : Mde.Codegen.kernel_task) ->
+            Array.length kt.Mde.Codegen.grid = 2
+            && kt.Mde.Codegen.grid.(0) <> kt.Mde.Codegen.grid.(1))
+          gen.Mde.Codegen.kernel_tasks
+      with
+      | None -> Alcotest.fail "no rank-2 kernel task with unequal extents"
+      | Some kt ->
+          let grid = kt.Mde.Codegen.grid in
+          let mutated =
+            { kt with Mde.Codegen.grid = [| grid.(1); grid.(0) |] }
+          in
+          Alcotest.(check bool) "broken interchange rejected" true
+            (Mde.Verify.check [ mutated ] <> []);
+          (* The sound rewrite of the same task passes. *)
+          let sound =
+            match
+              Optimizer.Rules.interchange (kt.Mde.Codegen.kernel, grid)
+            with
+            | Some (kernel, grid) ->
+                { kt with Mde.Codegen.kernel; grid }
+            | None -> Alcotest.fail "interchange refused a rank-2 kernel"
+          in
+          Alcotest.(check (list string)) "sound interchange accepted" []
+            (List.map
+               (Format.asprintf "%a" Analysis.Finding.pp_long)
+               (Mde.Verify.check [ sound ])))
 
 let test_mde_mutant_shrunk_port () =
   let model = Mde.Chain.downscaler_model ~rows ~cols in
@@ -635,6 +744,10 @@ let () =
             test_sac_mutant_overlapping_generators;
           Alcotest.test_case "mutant-removed-d2h" `Quick
             test_sac_mutant_removed_d2h;
+          Alcotest.test_case "mutant-broken-interchange" `Quick
+            test_sac_mutant_broken_interchange_gated;
+          Alcotest.test_case "autotune-moves-verify" `Quick
+            test_sac_autotune_moves_all_verify;
           Alcotest.test_case "strict-mode" `Quick test_sac_strict_mode_rejects;
         ] );
       ( "mde-pipeline",
@@ -644,5 +757,7 @@ let () =
             test_mde_downscaler_paper_scale;
           Alcotest.test_case "mutant-shrunk-port" `Quick
             test_mde_mutant_shrunk_port;
+          Alcotest.test_case "mutant-broken-interchange" `Quick
+            test_mde_mutant_broken_interchange_gated;
         ] );
     ]

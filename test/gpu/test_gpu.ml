@@ -965,6 +965,10 @@ let test_pool_exception () =
 
 let test_compile_cache_counters () =
   let c = ctx () in
+  (* A private copy of the kernel: compiles in the process-wide prepare
+     memo are attributed to the first context that sees the kernel, and
+     other tests in this binary launch [vadd] too. *)
+  let vadd = { vadd with Kir.kname = "vadd_cache_counters" } in
   let n = 256 in
   let a = Context.alloc c ~name:"a" n in
   let b = Context.alloc c ~name:"b" n in

@@ -3,7 +3,7 @@
    output-tiler variants of each filter and of the full downscaler)
    through the SAC->CUDA compiler, and the Gaspard2 downscaler model
    through the MDE chain — each swept both without and with the
-   --fuse plan optimizer, so fused dispatch kernels stay verified.
+   --opt fuse plan optimizer, so fused dispatch kernels stay verified.
 
    Exits non-zero on any error finding, so the `lint` alias (attached
    to runtest) fails when either code generator regresses. *)
@@ -26,8 +26,8 @@ let report name kernels findings =
     if Analysis.Finding.errors findings > 0 then failed := true
   end
 
-let sac_program name source =
-  match Sac_cuda.Compile.plan_of_source source ~entry:"main" with
+let sac_program opt name source =
+  match Sac_cuda.Compile.plan_of_source ~opt source ~entry:"main" with
   | plan, _ ->
       report name
         (Sac_cuda.Plan.kernel_count plan)
@@ -36,9 +36,9 @@ let sac_program name source =
       Printf.printf "%-32s failed to compile: %s\n" name m;
       failed := true
 
-let sweep suffix =
+let sweep opt suffix =
   List.iter
-    (fun (name, src) -> sac_program (name ^ suffix) (src ~rows ~cols))
+    (fun (name, src) -> sac_program opt (name ^ suffix) (src ~rows ~cols))
     [
       ("sac/horizontal", Sac.Programs.horizontal ~generic:false);
       ("sac/horizontal-generic", Sac.Programs.horizontal ~generic:true);
@@ -47,7 +47,7 @@ let sweep suffix =
       ("sac/downscaler", Sac.Programs.downscaler ~generic:false);
       ("sac/downscaler-generic", Sac.Programs.downscaler ~generic:true);
     ];
-  match Mde.Chain.transform (Mde.Chain.downscaler_model ~rows ~cols) with
+  match Mde.Chain.transform ~opt (Mde.Chain.downscaler_model ~rows ~cols) with
   | Ok (gen, _) ->
       let tasks = gen.Mde.Codegen.kernel_tasks in
       report
@@ -61,8 +61,6 @@ let sweep suffix =
 let () =
   (* The analyzers run once, explicitly, below. *)
   Analysis.Config.set_mode Analysis.Config.Off;
-  sweep "";
-  Gpu.Fuse.set_enabled true;
-  sweep " (fused)";
-  Gpu.Fuse.set_enabled false;
+  sweep Optimizer.Mode.Off "";
+  sweep Optimizer.Mode.Fuse " (fused)";
   if !failed then exit 1

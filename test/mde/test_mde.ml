@@ -102,10 +102,10 @@ let test_cl_source_shape () =
 
 (* ---------- Execution ---------- *)
 
-let run_frame gen frame =
+let run_frame ?liveness gen frame =
   let ctx = Opencl.Runtime.create_context () in
   let outs =
-    Mde.Chain.run ctx gen
+    Mde.Chain.run ?liveness ctx gen
       ~label_of:(function
         | "HorizontalFilter" -> "H. Filter"
         | "VerticalFilter" -> "V. Filter"
@@ -150,15 +150,10 @@ let test_run_event_profile () =
   Alcotest.(check bool) "V. Filter (3 kernels) row" true
     (find "V. Filter (3 kernels)" <> None)
 
-(* ---------- Kernel fusion (--fuse on) ---------- *)
-
-let with_fusion f =
-  Gpu.Fuse.set_enabled true;
-  Fun.protect ~finally:(fun () -> Gpu.Fuse.set_enabled false) f
+(* ---------- Kernel fusion (--opt fuse) ---------- *)
 
 let test_fusion_fuses_chain () =
-  with_fusion @@ fun () ->
-  match Mde.Chain.transform (model ()) with
+  match Mde.Chain.transform ~opt:Optimizer.Mode.Fuse (model ()) with
   | Error m -> Alcotest.failf "chain failed: %s" m
   | Ok (gen, trace) ->
       (* hf -> vf fused per plane: 6 kernels become 3. *)
@@ -182,8 +177,8 @@ let test_fusion_fuses_chain () =
 let test_fusion_bit_identical () =
   let frame = frame_of 3 in
   let reference = Video.Downscaler.frame frame in
-  let gen = with_fusion (fun () -> Mde.Chain.transform_exn (model ())) in
-  let _, outs = with_fusion (fun () -> (run_frame gen frame : _ * _)) in
+  let gen = Mde.Chain.transform_exn ~opt:Optimizer.Mode.Fuse (model ()) in
+  let _, outs = (run_frame ~liveness:true gen frame : _ * _) in
   List.iter
     (fun (port, ch) ->
       Alcotest.(check bool) (port ^ " bit-identical") true
@@ -191,8 +186,8 @@ let test_fusion_bit_identical () =
     [ ("r_out", Video.Frame.R); ("g_out", Video.Frame.G); ("b_out", Video.Frame.B) ]
 
 let test_fusion_fewer_launches () =
-  let gen = with_fusion (fun () -> Mde.Chain.transform_exn (model ())) in
-  let ctx, _ = with_fusion (fun () -> run_frame gen (frame_of 1)) in
+  let gen = Mde.Chain.transform_exn ~opt:Optimizer.Mode.Fuse (model ()) in
+  let ctx, _ = run_frame ~liveness:true gen (frame_of 1) in
   let events =
     Gpu.Timeline.events (Gpu.Context.timeline (Opencl.Runtime.gpu_context ctx))
   in

@@ -9,19 +9,19 @@ let plane_of n =
     (Video.Framegen.frame { Video.Format.name = "s"; rows; cols } n)
     Video.Frame.R
 
-let compile ?split_generators ~generic ~filter () =
+let compile ?split_generators ?opt ~generic ~filter () =
   let src =
     match filter with
     | `H -> Sac.Programs.horizontal ~generic ~rows ~cols
     | `V -> Sac.Programs.vertical ~generic ~rows ~cols
     | `Both -> Sac.Programs.downscaler ~generic ~rows ~cols
   in
-  Sac_cuda.Compile.plan_of_source ?split_generators src ~entry:"main"
+  Sac_cuda.Compile.plan_of_source ?split_generators ?opt src ~entry:"main"
 
-let execute plan plane =
+let execute ?liveness plan plane =
   let rt = Cuda.Runtime.init () in
   let outcome =
-    Sac_cuda.Exec.run rt plan ~args:[ ("frame", plane) ]
+    Sac_cuda.Exec.run ?liveness rt plan ~args:[ ("frame", plane) ]
   in
   (rt, outcome)
 
@@ -255,15 +255,13 @@ let test_plane_tag_in_profile () =
      go 0);
   Alcotest.(check int) "one round per plane" 1 kernel_row.Gpu.Profiler.calls
 
-(* ---------- Fusion (--fuse) ---------- *)
+(* ---------- Fusion (--opt fuse) ---------- *)
 
-let with_fusion f =
-  Gpu.Fuse.set_enabled true;
-  Fun.protect ~finally:(fun () -> Gpu.Fuse.set_enabled false) f
+let compile_fused () = compile ~opt:Optimizer.Mode.Fuse ~generic:false ~filter:`Both ()
 
 let test_fused_plan_smaller () =
   let unfused, _ = compile ~generic:false ~filter:`Both () in
-  let fused, _ = with_fusion (fun () -> compile ~generic:false ~filter:`Both ()) in
+  let fused, _ = compile_fused () in
   (* The vertical filter's generators inline the horizontal filter's
      stores: 12 kernels over two device loops become 7 over one. *)
   Alcotest.(check int) "unfused kernels" 12 (Sac_cuda.Plan.kernel_count unfused);
@@ -272,8 +270,7 @@ let test_fused_plan_smaller () =
     (Sac_cuda.Plan.device_withloop_count fused)
 
 let test_fused_plan_verifies () =
-  with_fusion @@ fun () ->
-  let plan, _ = compile ~generic:false ~filter:`Both () in
+  let plan, _ = compile_fused () in
   Alcotest.(check int) "no findings" 0
     (List.length (Sac_cuda.Verify.check plan))
 
@@ -282,9 +279,8 @@ let test_fused_bit_identical () =
   let reference = Video.Downscaler.plane plane in
   let unfused, _ = compile ~generic:false ~filter:`Both () in
   let _, plain = execute unfused plane in
-  with_fusion @@ fun () ->
-  let plan, _ = compile ~generic:false ~filter:`Both () in
-  let rt, outcome = execute plan plane in
+  let plan, _ = compile_fused () in
+  let rt, outcome = execute ~liveness:true plan plane in
   Alcotest.(check bool) "matches reference" true
     (tensor_eq outcome.Sac_cuda.Exec.result reference);
   Alcotest.(check bool) "matches unfused run" true
@@ -295,16 +291,12 @@ let test_fused_bit_identical () =
 let test_fused_peak_lower () =
   let plane = plane_of 2 in
   let peak fuse =
-    if fuse then
-      with_fusion @@ fun () ->
-      let plan, _ = compile ~generic:false ~filter:`Both () in
-      let rt, _ = execute plan plane in
-      Gpu.Context.peak_bytes (Cuda.Runtime.context rt)
-    else begin
-      let plan, _ = compile ~generic:false ~filter:`Both () in
-      let rt, _ = execute plan plane in
-      Gpu.Context.peak_bytes (Cuda.Runtime.context rt)
-    end
+    let plan, _ =
+      if fuse then compile_fused ()
+      else compile ~generic:false ~filter:`Both ()
+    in
+    let rt, _ = execute ~liveness:fuse plan plane in
+    Gpu.Context.peak_bytes (Cuda.Runtime.context rt)
   in
   let fused = peak true and unfused = peak false in
   if fused >= unfused then

@@ -11,9 +11,9 @@ let plane_of n =
 
 let tensor_eq = Tensor.equal Int.equal
 
-let plan_of ~generic =
+let plan_of ?opt ~generic () =
   fst
-    (Sac_cuda.Compile.plan_of_source
+    (Sac_cuda.Compile.plan_of_source ?opt
        (Sac.Programs.downscaler ~generic ~rows ~cols)
        ~entry:"main")
 
@@ -23,14 +23,14 @@ let run_opencl plan plane =
   (ctx, outcome)
 
 let test_opencl_matches_reference () =
-  let plan = plan_of ~generic:false in
+  let plan = plan_of ~generic:false () in
   let plane = plane_of 0 in
   let _, outcome = run_opencl plan plane in
   Alcotest.(check bool) "bit-exact vs reference" true
     (tensor_eq outcome.Sac_cuda.Exec.result (Video.Downscaler.plane plane))
 
 let test_opencl_matches_cuda () =
-  let plan = plan_of ~generic:false in
+  let plan = plan_of ~generic:false () in
   let plane = plane_of 1 in
   let _, ocl = run_opencl plan plane in
   let rt = Cuda.Runtime.init () in
@@ -41,14 +41,14 @@ let test_opencl_matches_cuda () =
     ocl.Sac_cuda.Exec.kernel_launches
 
 let test_opencl_generic_variant () =
-  let plan = plan_of ~generic:true in
+  let plan = plan_of ~generic:true () in
   let plane = plane_of 2 in
   let _, outcome = run_opencl plan plane in
   Alcotest.(check bool) "generic variant bit-exact" true
     (tensor_eq outcome.Sac_cuda.Exec.result (Video.Downscaler.plane plane))
 
 let test_opencl_events () =
-  let plan = plan_of ~generic:false in
+  let plan = plan_of ~generic:false () in
   let ctx, _ = run_opencl plan (plane_of 3) in
   let events =
     Gpu.Timeline.events (Gpu.Context.timeline (Opencl.Runtime.gpu_context ctx))
@@ -64,9 +64,7 @@ let test_opencl_events () =
   Alcotest.(check int) "1 read buffer" 1 (count Gpu.Timeline.Memcpy_d2h)
 
 let test_opencl_fused () =
-  Gpu.Fuse.set_enabled true;
-  Fun.protect ~finally:(fun () -> Gpu.Fuse.set_enabled false) @@ fun () ->
-  let plan = plan_of ~generic:false in
+  let plan = plan_of ~opt:Optimizer.Mode.Fuse ~generic:false () in
   let plane = plane_of 4 in
   let ctx, outcome = run_opencl plan plane in
   Alcotest.(check int) "fused plan: 7 kernels" 7
@@ -82,7 +80,7 @@ let contains hay needle =
   go 0
 
 let test_sources () =
-  let plan = plan_of ~generic:false in
+  let plan = plan_of ~generic:false () in
   let src = Sac_opencl.Backend.sources ~name:"downscaler" plan in
   List.iter
     (fun (what, text, needle) ->
@@ -115,7 +113,7 @@ let prop_backends_agree =
     ~count:8
     (QCheck.pair (QCheck.int_range 0 300) QCheck.bool)
     (fun (n, generic) ->
-      let plan = plan_of ~generic in
+      let plan = plan_of ~generic () in
       let plane = plane_of n in
       let _, ocl = run_opencl plan plane in
       let rt = Cuda.Runtime.init () in

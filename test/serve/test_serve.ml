@@ -282,14 +282,14 @@ let test_recorder_summary () =
 let fmt = { Video.Format.name = "test"; rows = 72; cols = 64 }
 
 let test_session_cache_shared () =
-  let s1 = Session.create ~fuse:false ~id:1 ~pipeline:Session.Sac fmt in
+  let s1 = Session.create ~opt:Optimizer.Mode.Off ~id:1 ~pipeline:Session.Sac fmt in
   let size_after_first = Session.cache_size () in
-  let s2 = Session.create ~fuse:false ~id:2 ~pipeline:Session.Sac fmt in
+  let s2 = Session.create ~opt:Optimizer.Mode.Off ~id:2 ~pipeline:Session.Sac fmt in
   Alcotest.(check int) "second same-shape stream compiles nothing"
     size_after_first (Session.cache_size ());
   Alcotest.(check bool) "equal keys batch together" true
     (Session.key s1 = Session.key s2);
-  let s3 = Session.create ~fuse:false ~id:3 ~pipeline:Session.Mde fmt in
+  let s3 = Session.create ~opt:Optimizer.Mode.Off ~id:3 ~pipeline:Session.Mde fmt in
   Alcotest.(check bool) "pipelines never share a key" false
     (Session.key s1 = Session.key s3)
 
@@ -307,7 +307,7 @@ let test_session_bit_exact () =
   let reference = Video.Downscaler.frame frame in
   List.iter
     (fun pipeline ->
-      let s = Session.create ~fuse:false ~id:20 ~pipeline fmt in
+      let s = Session.create ~opt:Optimizer.Mode.Off ~id:20 ~pipeline fmt in
       let scaled, events = Session.run_frame s frame in
       Alcotest.(check bool)
         (Session.pipeline_name s ^ " bit-exact")
@@ -485,8 +485,8 @@ let test_engine_pipelines_bit_exact () =
   in
   let sessions =
     [
-      Session.create ~fuse:false ~id:160 ~pipeline:Session.Sac fmt;
-      Session.create ~fuse:true ~id:161 ~pipeline:Session.Mde fmt;
+      Session.create ~opt:Optimizer.Mode.Off ~id:160 ~pipeline:Session.Sac fmt;
+      Session.create ~opt:Optimizer.Mode.Fuse ~id:161 ~pipeline:Session.Mde fmt;
     ]
   in
   let expected =
