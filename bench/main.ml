@@ -240,10 +240,13 @@ type serving_row = {
   sv_p50_ms : float;
   sv_p95_ms : float;
   sv_p99_ms : float;
+  sv_p999_ms : float;
   sv_p99_bounded : bool;
 }
 
 let serving_rows : serving_row list ref = ref []
+
+let slo_rows : Obs.Slo.t list ref = ref []
 
 let serving_row ~pipeline ~policy ~bound_us (r : Serve.Loadgen.report) =
   let c = r.Serve.Loadgen.counts in
@@ -261,6 +264,7 @@ let serving_row ~pipeline ~policy ~bound_us (r : Serve.Loadgen.report) =
     sv_p50_ms = l.Serve.Stats.p50_us /. 1000.;
     sv_p95_ms = l.Serve.Stats.p95_us /. 1000.;
     sv_p99_ms = l.Serve.Stats.p99_us /. 1000.;
+    sv_p999_ms = l.Serve.Stats.p999_us /. 1000.;
     sv_p99_bounded = l.Serve.Stats.p99_us <= bound_us;
   }
 
@@ -306,10 +310,15 @@ let serving ~smoke () =
         !serving_rows
         @ [ serving_row ~pipeline:name ~policy:"closed" ~bound_us closed ];
       Format.printf "  %a@." Serve.Loadgen.pp_report closed;
+      (* The SLO for the 2x-saturation runs reuses the bounded-p99
+         acceptance threshold as its objective: admitted requests under
+         a shedding policy are supposed to stay under it. *)
+      let slo = Obs.Slo.create ~name ~objective_us:bound_us () in
+      slo_rows := !slo_rows @ [ slo ];
       List.iter
         (fun (pname, policy) ->
           let r =
-            Serve.Loadgen.open_loop
+            Serve.Loadgen.open_loop ~slo
               ~label:(Printf.sprintf "%s/2x-sat/%s" name pname)
               ~trace_name:(Printf.sprintf "serving (%s, %s)" name pname)
               ~engine:(engine policy) ~sessions ~rate_hz:(2. *. sat)
@@ -318,7 +327,8 @@ let serving ~smoke () =
           serving_rows :=
             !serving_rows @ [ serving_row ~pipeline:name ~policy:pname ~bound_us r ];
           Format.printf "  %a@." Serve.Loadgen.pp_report r)
-        [ ("reject", Serve.Queue.Reject); ("drop", Serve.Queue.Drop_oldest) ])
+        [ ("reject", Serve.Queue.Reject); ("drop", Serve.Queue.Drop_oldest) ];
+      print_endline ("  " ^ Obs.Slo.report slo))
     [ ("sac", Serve.Session.Sac); ("gaspard", Serve.Session.Mde) ]
 
 (* ------------------------------------------------------------------ *)
@@ -646,14 +656,55 @@ let write_json path ~opts ~scale ~timings =
         "    { \"pipeline\": \"%s\", \"policy\": \"%s\", \"offered_rps\": \
          %.1f, \"achieved_rps\": %.1f, \"completed\": %d, \"rejected\": %d, \
          \"dropped\": %d, \"timed_out\": %d, \"failed\": %d, \"p50_ms\": \
-         %.2f, \"p95_ms\": %.2f, \"p99_ms\": %.2f, \"p99_bounded\": %b }%s\n"
+         %.2f, \"p95_ms\": %.2f, \"p99_ms\": %.2f, \"p999_ms\": %.2f, \
+         \"p99_bounded\": %b }%s\n"
         (json_escape r.sv_pipeline) (json_escape r.sv_policy) r.sv_offered_rps
         r.sv_achieved_rps r.sv_completed r.sv_rejected r.sv_dropped
         r.sv_timed_out r.sv_failed r.sv_p50_ms r.sv_p95_ms r.sv_p99_ms
-        r.sv_p99_bounded
+        r.sv_p999_ms r.sv_p99_bounded
         (if i = nserv - 1 then "" else ","))
     !serving_rows;
   p "  ],\n";
+  p "  \"slo\": [\n";
+  let nslo = List.length !slo_rows in
+  List.iteri
+    (fun i s ->
+      p
+        "    { \"name\": \"%s\", \"objective_ms\": %.2f, \"budget\": %.4f, \
+         \"total\": %d, \"breaches\": %d, \"breach_rate\": %.4f, \"burn\": \
+         %.2f }%s\n"
+        (json_escape (Obs.Slo.name s))
+        (Obs.Slo.objective_us s /. 1000.)
+        (Obs.Slo.budget s) (Obs.Slo.total s) (Obs.Slo.breaches s)
+        (Obs.Slo.breach_rate s) (Obs.Slo.burn s)
+        (if i = nslo - 1 then "" else ","))
+    !slo_rows;
+  p "  ],\n";
+  (* Per-phase latency-attribution histograms the engines fed while
+     serving ran; the buckets mirror the metrics registry. *)
+  let phase_names = [ "queue_wait"; "batch_gather"; "execute"; "retry" ] in
+  let phase_snaps =
+    List.filter_map
+      (fun ph ->
+        Option.map
+          (fun snap -> (ph, snap))
+          (Obs.Metrics.histogram_snapshot
+             (Printf.sprintf "serve.phase.%s_us" ph)))
+      phase_names
+  in
+  p "  \"serve_phases\": {\n";
+  let nph = List.length phase_snaps in
+  List.iteri
+    (fun i (ph, (count, sum, buckets)) ->
+      p "    \"%s\": { \"count\": %d, \"sum_us\": %d, \"buckets\": [%s] }%s\n"
+        ph count sum
+        (String.concat ", "
+           (List.map
+              (fun (le, n) -> Printf.sprintf "{ \"le\": \"%s\", \"n\": %d }" le n)
+              buckets))
+        (if i = nph - 1 then "" else ","))
+    phase_snaps;
+  p "  },\n";
   p
     "  \"serve\": { \"submitted\": %d, \"completed\": %d, \"rejected\": %d, \
      \"dropped\": %d, \"timeouts\": %d, \"retries\": %d, \"failed\": %d, \

@@ -49,6 +49,49 @@ let () =
   let host = List.filter (fun e -> cat_of e <> "device") complete in
   if device = [] then fail "trace %s: no modelled-device events" trace_path;
   if host = [] then fail "trace %s: no host wall-clock spans" trace_path;
+  (* Causal request flows: the serving engines submit every request
+     under an Obs.Ctx, so the trace must contain flow start/step events
+     and at least one flow id whose spans cover the full phase chain
+     queue-wait -> batch-gather -> execute. *)
+  let ph_of e =
+    match Obs.Json.member "ph" e with Some (Obs.Json.Str p) -> p | _ -> ""
+  in
+  if not (List.exists (fun e -> ph_of e = "s") events) then
+    fail "trace %s: no flow-start (ph:s) events" trace_path;
+  if not (List.exists (fun e -> ph_of e = "t") events) then
+    fail "trace %s: no flow-step (ph:t) events" trace_path;
+  let flow_of e =
+    match Obs.Json.member "args" e with
+    | Some args -> (
+        match Obs.Json.member "flow" args with
+        | Some (Obs.Json.Num f) -> int_of_float f
+        | _ -> 0)
+    | None -> 0
+  in
+  let name_of e =
+    match Obs.Json.member "name" e with Some (Obs.Json.Str n) -> n | _ -> ""
+  in
+  let phase_chain = [ "serve.queue_wait"; "serve.batch_gather"; "serve.execute" ] in
+  let flows = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let f = flow_of e in
+      if f > 0 then
+        Hashtbl.replace flows f
+          (name_of e :: (try Hashtbl.find flows f with Not_found -> [])))
+    host;
+  let linked =
+    Hashtbl.fold
+      (fun _ names acc ->
+        acc || List.for_all (fun ph -> List.mem ph names) phase_chain)
+      flows false
+  in
+  if not (linked || Hashtbl.length flows = 0) then
+    fail
+      "trace %s: no request flow links queue_wait, batch_gather and execute"
+      trace_path;
+  if Hashtbl.length flows = 0 then
+    fail "trace %s: no host spans carry a flow id" trace_path;
   let metrics = parse "metrics" metrics_path in
   let series =
     match Obs.Json.member "metrics" metrics with
@@ -120,6 +163,16 @@ let () =
     fail "metrics %s: serving section completed no requests" metrics_path;
   if get "serve.batches" <= 0 then
     fail "metrics %s: serving section launched no batches" metrics_path;
+  (* SLO classification ran for the 2x-saturation arms, plan-cache
+     attribution for the sessions, and the exact recorder never dropped
+     silently (the counter must at least be registered). *)
+  if get "slo.sac.total" <= 0 then
+    fail "metrics %s: sac SLO observed no requests" metrics_path;
+  if get "slo.gaspard.total" <= 0 then
+    fail "metrics %s: gaspard SLO observed no requests" metrics_path;
+  if get "serve.plan_cache_hits" <= 0 then
+    fail "metrics %s: session plan cache recorded no hits" metrics_path;
+  ignore (get "stats.dropped_samples");
   (match bench_path with
   | None -> ()
   | Some bench_path ->
@@ -164,6 +217,7 @@ let () =
             [
               "offered_rps"; "achieved_rps"; "completed"; "rejected";
               "dropped"; "timed_out"; "failed"; "p50_ms"; "p95_ms"; "p99_ms";
+              "p999_ms";
             ];
           let policy = str "policy" row in
           if policy = "reject" || policy = "drop" then begin
@@ -181,6 +235,54 @@ let () =
           "bench report %s: expected reject+drop rows for both pipelines, \
            found %d"
           bench_path !shedding;
+      (* SLO block: one entry per pipeline, populated by the 2x-sat
+         open-loop runs. *)
+      let slos =
+        match Obs.Json.member "slo" bench with
+        | Some (Obs.Json.Arr rows) -> rows
+        | _ -> fail "bench report %s: no slo array" bench_path
+      in
+      List.iter
+        (fun want ->
+          match
+            List.find_opt (fun s -> str "name" s = want) slos
+          with
+          | None -> fail "bench report %s: no slo entry for %s" bench_path want
+          | Some s ->
+              List.iter
+                (fun field ->
+                  match Obs.Json.member field s with
+                  | Some (Obs.Json.Num _) -> ()
+                  | _ ->
+                      fail "bench report %s: slo %s missing field %s"
+                        bench_path want field)
+                [ "objective_ms"; "budget"; "total"; "breaches";
+                  "breach_rate"; "burn" ];
+              (match Obs.Json.member "total" s with
+              | Some (Obs.Json.Num n) when n > 0. -> ()
+              | _ ->
+                  fail "bench report %s: slo %s observed no requests"
+                    bench_path want))
+        [ "sac"; "gaspard" ];
+      (* Per-phase attribution histograms: every served request passed
+         through all three phases, so their counts must be positive. *)
+      let phases =
+        match Obs.Json.member "serve_phases" bench with
+        | Some obj -> obj
+        | None -> fail "bench report %s: no serve_phases block" bench_path
+      in
+      List.iter
+        (fun ph ->
+          match Obs.Json.member ph phases with
+          | Some h -> (
+              match Obs.Json.member "count" h with
+              | Some (Obs.Json.Num n) when n > 0. -> ()
+              | _ ->
+                  fail "bench report %s: serve_phases.%s is empty" bench_path
+                    ph)
+          | None ->
+              fail "bench report %s: serve_phases missing %s" bench_path ph)
+        [ "queue_wait"; "batch_gather"; "execute" ];
       (* Autotune ablation: per (pipeline, shape), the searched plan
          must be no slower under the cost model than either fixed mode
          (the search scores the fixed-fuse plan as a candidate, so this

@@ -42,7 +42,7 @@ let verify_session s fmt =
   end
 
 let run_pipeline ~pipeline ~fmt ~streams ~rate ~duration ~policy ~batch_max
-    ~window_us ~workers ~capacity ~deadline_ms ~opt =
+    ~window_us ~workers ~capacity ~deadline_ms ~slo_ms ~opt =
   let name =
     match pipeline with Serve.Session.Sac -> "sac" | Serve.Session.Mde -> "gaspard"
   in
@@ -53,7 +53,12 @@ let run_pipeline ~pipeline ~fmt ~streams ~rate ~duration ~policy ~batch_max
   verify_session (List.hd sessions) fmt;
   Printf.printf "%s: %d streams verified bit-exact, offering %.0f rps for %.1fs\n%!"
     name streams rate duration;
-  Serve.Loadgen.open_loop ?deadline_ms
+  let slo =
+    Option.map
+      (fun ms -> Obs.Slo.create ~name ~objective_us:(1000. *. ms) ())
+      slo_ms
+  in
+  Serve.Loadgen.open_loop ?deadline_ms ?slo
     ~trace_name:(Printf.sprintf "served (%s, merged frames)" name)
     ~label:name
     ~engine:
@@ -66,7 +71,8 @@ let run_pipeline ~pipeline ~fmt ~streams ~rate ~duration ~policy ~batch_max
     ~sessions ~rate_hz:rate ~duration_s:duration ()
 
 let main streams rate duration policy batch_max window_us workers capacity
-    deadline_ms pipeline rows cols opt domains trace metrics =
+    deadline_ms slo_ms slow_dump pipeline rows cols opt domains trace metrics
+    =
   if cols mod 8 <> 0 || rows mod 9 <> 0 then begin
     Printf.eprintf "served: rows must be a multiple of 9 and cols of 8\n";
     exit 2
@@ -90,7 +96,7 @@ let main streams rate duration policy batch_max window_us workers capacity
     List.map
       (fun pipeline ->
         run_pipeline ~pipeline ~fmt ~streams ~rate ~duration ~policy
-          ~batch_max ~window_us ~workers ~capacity ~deadline_ms ~opt)
+          ~batch_max ~window_us ~workers ~capacity ~deadline_ms ~slo_ms ~opt)
       pipes
   in
   print_newline ();
@@ -98,6 +104,26 @@ let main streams rate duration policy batch_max window_us workers capacity
     "offered" "achieved" "outcomes";
   List.iter
     (fun r -> Format.printf "%a@." Serve.Loadgen.pp_report r)
+    reports;
+  List.iter
+    (fun (r : Serve.Loadgen.report) ->
+      Option.iter (fun s -> print_endline (Obs.Slo.report s)) r.slo)
+    reports;
+  (* Flight-recorder dump: on request (--slow-dump N), and automatically
+     whenever a run missed deadlines, so the phase attribution of the
+     offending requests is in the log without a re-run. *)
+  List.iter
+    (fun (r : Serve.Loadgen.report) ->
+      let missed = r.Serve.Loadgen.counts.Serve.Loadgen.timed_out > 0 in
+      let n = if slow_dump > 0 then slow_dump else if missed then 5 else 0 in
+      if n > 0 then begin
+        if missed && slow_dump = 0 then
+          Printf.printf "\n%s: %d deadline miss(es) — dumping flight recorder\n"
+            r.Serve.Loadgen.label
+            r.Serve.Loadgen.counts.Serve.Loadgen.timed_out
+        else Printf.printf "\n%s:\n" r.Serve.Loadgen.label;
+        print_string (Obs.Recorder.render_slowest ~n r.Serve.Loadgen.flight)
+      end)
     reports;
   Option.iter Gpu.Trace_export.write trace;
   Option.iter Obs.Metrics.write_file metrics;
@@ -171,6 +197,27 @@ let () =
             "Per-request deadline; requests still queued past it complete \
              as timed out instead of executing.")
   in
+  let slo_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slo-ms" ]
+          ~doc:
+            "Latency objective per pipeline, milliseconds.  Completions \
+             are classified against it (timeouts and failures breach), \
+             the $(b,slo.*) counters land in --metrics, and a burn-rate \
+             summary line is printed per pipeline.")
+  in
+  let slow_dump =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "slow-dump" ] ~docv:"N"
+          ~doc:
+            "Dump the N slowest requests from each run's flight recorder \
+             with per-phase latency attribution (also triggered \
+             automatically when a run misses deadlines).")
+  in
   let pipeline =
     Arg.(
       value
@@ -228,8 +275,8 @@ let () =
   let term =
     Term.(
       const main $ streams $ rate $ duration $ policy $ batch_max $ window_us
-      $ workers $ capacity $ deadline_ms $ pipeline $ rows $ cols $ opt
-      $ domains $ trace $ metrics)
+      $ workers $ capacity $ deadline_ms $ slo_ms $ slow_dump $ pipeline
+      $ rows $ cols $ opt $ domains $ trace $ metrics)
   in
   exit
     (Cmd.eval'

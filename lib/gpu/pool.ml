@@ -99,7 +99,14 @@ let shutdown t =
 
 let submit t batch f =
   (* Wrapped tasks never raise: the queue and workers survive any task
-     failure; the first exception is re-raised by the waiting caller. *)
+     failure; the first exception is re-raised by the waiting caller.
+     The submitter's request context travels with the task, so spans
+     recorded inside a pool worker stay on the submitting request's
+     causal flow. *)
+  let ctx = Obs.Ctx.current () in
+  let f () =
+    if Obs.Ctx.is_none ctx then f () else Obs.Ctx.scoped ctx f
+  in
   let task () =
     let outcome = try f (); None with e -> Some e in
     Mutex.lock batch.b_lock;

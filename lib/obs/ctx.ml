@@ -1,0 +1,31 @@
+type t = { trace_id : int; request_id : int }
+
+let none = { trace_id = 0; request_id = 0 }
+
+let is_none c = c.request_id = 0 && c.trace_id = 0
+
+let next_trace = Atomic.make 1
+
+let next_request = Atomic.make 1
+
+let fresh_trace () = Atomic.fetch_and_add next_trace 1
+
+let fresh ?(trace_id = 0) () =
+  { trace_id; request_id = Atomic.fetch_and_add next_request 1 }
+
+let flow_id c = c.request_id
+
+(* The ambient context is a domain-local cell: [scoped] installs a
+   context for the dynamic extent of a thunk on the calling domain, and
+   span emission reads it back without any synchronisation.  Crossing a
+   domain boundary is explicit — the pool captures the submitter's
+   context and re-scopes it inside the task (see Gpu.Pool.submit). *)
+let key = Domain.DLS.new_key (fun () -> ref none)
+
+let current () = !(Domain.DLS.get key)
+
+let scoped ctx f =
+  let slot = Domain.DLS.get key in
+  let saved = !slot in
+  slot := ctx;
+  Fun.protect ~finally:(fun () -> slot := saved) f

@@ -55,6 +55,35 @@ let parse s =
     end
     else fail (Printf.sprintf "expected %s" word)
   in
+  (* One \uXXXX code unit (the parser sits just past the 'u'). *)
+  let parse_u16 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let hex = String.sub s !pos 4 in
+    let code =
+      try int_of_string ("0x" ^ hex) with _ -> fail "invalid \\u escape"
+    in
+    pos := !pos + 4;
+    code
+  in
+  (* UTF-8 encode a Unicode scalar value. *)
+  let add_utf8 buf cp =
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else if cp < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+  in
   let parse_string () =
     expect '"';
     let buf = Buffer.create 16 in
@@ -78,15 +107,25 @@ let parse s =
           | 'r' -> Buffer.add_char buf '\r'
           | 't' -> Buffer.add_char buf '\t'
           | 'u' ->
-              if !pos + 4 > n then fail "truncated \\u escape";
-              let hex = String.sub s !pos 4 in
-              let code =
-                try int_of_string ("0x" ^ hex)
-                with _ -> fail "invalid \\u escape"
-              in
-              pos := !pos + 4;
-              if code < 0x80 then Buffer.add_char buf (Char.chr code)
-              else Buffer.add_char buf '?'
+              let code = parse_u16 () in
+              if code >= 0xD800 && code <= 0xDBFF then begin
+                (* High surrogate: RFC 8259 requires the low half as an
+                   immediately following \u escape. *)
+                if
+                  !pos + 2 > n || s.[!pos] <> '\\' || s.[!pos + 1] <> 'u'
+                then fail "unpaired high surrogate";
+                pos := !pos + 2;
+                let low = parse_u16 () in
+                if low < 0xDC00 || low > 0xDFFF then
+                  fail "invalid low surrogate";
+                add_utf8 buf
+                  (0x10000
+                  + ((code - 0xD800) lsl 10)
+                  + (low - 0xDC00))
+              end
+              else if code >= 0xDC00 && code <= 0xDFFF then
+                fail "unpaired low surrogate"
+              else add_utf8 buf code
           | _ -> fail "invalid escape");
           go ())
       | c -> Buffer.add_char buf c; go ()
@@ -175,3 +214,24 @@ let parse s =
 let member key = function
   | Obj fields -> List.assoc_opt key fields
   | _ -> None
+
+(* Serializer for re-emitting parsed documents (the bench-regress
+   perturbation self-test round-trips the committed snapshot through
+   this).  Numbers render as integers when exact, [%.17g] otherwise so
+   a parse/render cycle is lossless. *)
+let render_num f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let rec render = function
+  | Null -> "null"
+  | Bool b -> if b then "true" else "false"
+  | Num f -> render_num f
+  | Str s -> escape s
+  | Arr items -> "[" ^ String.concat "," (List.map render items) ^ "]"
+  | Obj fields ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> escape k ^ ":" ^ render v) fields)
+      ^ "}"

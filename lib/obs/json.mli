@@ -17,8 +17,12 @@ val escape : string -> string
 (** [escape s] is [s] as a quoted JSON string literal. *)
 
 val parse : string -> (t, string) result
-(** Parse a complete JSON document.  [\u] escapes above ASCII are
-    replaced by ['?'] (the exporters never emit them). *)
+(** Parse a complete JSON document.  [\u] escapes decode to UTF-8,
+    including surrogate pairs; unpaired surrogates are an error. *)
 
 val member : string -> t -> t option
 (** Field lookup on [Obj]; [None] on other constructors. *)
+
+val render : t -> string
+(** Serialize back to compact JSON.  [parse (render v) = Ok v] for any
+    [v] whose strings are valid UTF-8. *)

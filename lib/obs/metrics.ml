@@ -102,7 +102,32 @@ let sorted_metrics () =
 let bound_label h i =
   if i < Array.length h.h_bounds then string_of_int h.h_bounds.(i) else "inf"
 
-let render_text () =
+let histogram_snapshot name =
+  Mutex.lock lock;
+  let m = Hashtbl.find_opt registry name in
+  Mutex.unlock lock;
+  match m with
+  | Some (Histogram h) ->
+      Some
+        ( Atomic.get h.h_count,
+          Atomic.get h.h_sum,
+          Array.to_list
+            (Array.mapi
+               (fun i b -> (bound_label h i, Atomic.get b))
+               h.h_buckets) )
+  | _ -> None
+
+(* Prometheus metric names allow [a-zA-Z_:] plus digits after the first
+   character; our dotted names map '.' (and anything else) to '_'. *)
+let prom_name name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let render_plain () =
   let buf = Buffer.create 1024 in
   List.iter
     (fun (name, m) ->
@@ -120,6 +145,45 @@ let render_text () =
             h.h_buckets)
     (sorted_metrics ());
   Buffer.contents buf
+
+let render_prometheus () =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, m) ->
+      let pname = prom_name name in
+      match m with
+      | Counter c ->
+          Buffer.add_string buf
+            (Printf.sprintf "# TYPE %s counter\n%s %d\n" pname pname
+               (Atomic.get c.c_v))
+      | Gauge g ->
+          Buffer.add_string buf
+            (Printf.sprintf "# TYPE %s gauge\n%s %d\n" pname pname
+               (Atomic.get g.g_v))
+      | Histogram h ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" pname);
+          (* Exposition buckets are cumulative, ours are disjoint. *)
+          let acc = ref 0 in
+          Array.iteri
+            (fun i b ->
+              acc := !acc + Atomic.get b;
+              let le =
+                if i < Array.length h.h_bounds then bound_label h i
+                else "+Inf"
+              in
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" pname le !acc))
+            h.h_buckets;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum %d\n%s_count %d\n" pname
+               (Atomic.get h.h_sum) pname (Atomic.get h.h_count)))
+    (sorted_metrics ());
+  Buffer.contents buf
+
+let render_text ?(format = `Plain) () =
+  match format with
+  | `Plain -> render_plain ()
+  | `Prometheus -> render_prometheus ()
 
 let render_json () =
   let buf = Buffer.create 1024 in
@@ -165,6 +229,8 @@ let write_file path =
     (fun () ->
       output_string oc
         (if Filename.check_suffix path ".json" then render_json ()
+         else if Filename.check_suffix path ".prom" then
+           render_text ~format:`Prometheus ()
          else render_text ()))
 
 let reset () =

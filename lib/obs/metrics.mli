@@ -46,15 +46,23 @@ val find : string -> int option
 (** Value of a registered counter or gauge (count for a histogram) by
     name; [None] when unregistered. *)
 
-val render_text : unit -> string
-(** One [name value] line per metric; histograms expand to
-    [.count]/[.sum]/[.le.<bound>] lines. *)
+val histogram_snapshot : string -> (int * int * (string * int) list) option
+(** [(count, sum, buckets)] of the named histogram; buckets are disjoint
+    [(upper-bound label, count)] pairs with a final ["inf"] overflow.
+    [None] when the name is unregistered or not a histogram. *)
+
+val render_text : ?format:[ `Plain | `Prometheus ] -> unit -> string
+(** [`Plain] (default): one [name value] line per metric; histograms
+    expand to [.count]/[.sum]/[.le.<bound>] lines.  [`Prometheus]:
+    exposition text format — [# TYPE] lines, names sanitised to
+    [[a-zA-Z0-9_:]], histograms as cumulative [_bucket{le="..."}] plus
+    [_sum]/[_count]. *)
 
 val render_json : unit -> string
 
 val write_file : string -> unit
-(** Render to a file: JSON when the path ends in [.json], text
-    otherwise. *)
+(** Render to a file: JSON when the path ends in [.json], Prometheus
+    exposition when it ends in [.prom], plain text otherwise. *)
 
 val reset : unit -> unit
 (** Zero every registered metric (registrations survive).  Used between

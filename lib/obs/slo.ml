@@ -1,0 +1,57 @@
+type t = {
+  name : string;
+  objective_us : float;
+  budget : float;
+  total : Metrics.counter;
+  good : Metrics.counter;
+  breaches : Metrics.counter;
+}
+
+let create ~name ~objective_us ?(budget = 0.01) () =
+  if objective_us <= 0. then invalid_arg "Obs.Slo.create: objective <= 0";
+  if budget <= 0. || budget >= 1. then
+    invalid_arg "Obs.Slo.create: budget must be in (0, 1)";
+  {
+    name;
+    objective_us;
+    budget;
+    total = Metrics.counter (Printf.sprintf "slo.%s.total" name);
+    good = Metrics.counter (Printf.sprintf "slo.%s.good" name);
+    breaches = Metrics.counter (Printf.sprintf "slo.%s.breaches" name);
+  }
+
+let name t = t.name
+
+let objective_us t = t.objective_us
+
+let budget t = t.budget
+
+let observe t latency_us =
+  Metrics.incr t.total;
+  if latency_us <= t.objective_us then Metrics.incr t.good
+  else Metrics.incr t.breaches
+
+let breach t =
+  Metrics.incr t.total;
+  Metrics.incr t.breaches
+
+let total t = Metrics.value t.total
+
+let breaches t = Metrics.value t.breaches
+
+let breach_rate t =
+  let n = total t in
+  if n = 0 then 0. else float_of_int (breaches t) /. float_of_int n
+
+(* Burn = observed breach rate over allowed breach rate: < 1 means the
+   error budget is accumulating, 1 means burning exactly at budget,
+   > 1 means the budget will be exhausted before the window ends. *)
+let burn t = breach_rate t /. t.budget
+
+let report t =
+  Printf.sprintf
+    "slo %-10s objective %8.1f ms  budget %4.1f%%  served %6d  breaches %5d \
+     (%.2f%%)  burn %.2fx"
+    t.name (t.objective_us /. 1000.) (100. *. t.budget) (total t) (breaches t)
+    (100. *. breach_rate t)
+    (burn t)

@@ -1,0 +1,44 @@
+(** Service-level objectives with error-budget burn accounting.
+
+    An SLO names a latency objective for one pipeline (or any other
+    request class) and an error budget — the fraction of requests
+    allowed to miss it.  {!observe} classifies each completed request;
+    {!breach} records a request that failed outright (timeout, error).
+    The counters live in the process-wide {!Metrics} registry as
+    [slo.<name>.total] / [slo.<name>.good] / [slo.<name>.breaches], so
+    a [--metrics] dump or Prometheus scrape carries them next to the
+    [serve.*] series, and {!burn} condenses them into the one number an
+    operator alerts on: how fast the error budget is being consumed
+    relative to plan ([> 1] = on course to exhaustion). *)
+
+type t
+
+val create : name:string -> objective_us:float -> ?budget:float -> unit -> t
+(** Register an SLO.  [budget] (default [0.01] = 1%) is the allowed
+    breach fraction; must be in (0, 1).  Creating the same name twice
+    reuses the underlying counters (they are interned by name). *)
+
+val name : t -> string
+
+val objective_us : t -> float
+
+val budget : t -> float
+
+val observe : t -> float -> unit
+(** Classify one completed request by its latency (us). *)
+
+val breach : t -> unit
+(** Record a request that breached outright (timed out / failed). *)
+
+val total : t -> int
+
+val breaches : t -> int
+
+val breach_rate : t -> float
+(** Breaches over total ([0.] when nothing observed). *)
+
+val burn : t -> float
+(** Error-budget burn rate: {!breach_rate} over {!budget}. *)
+
+val report : t -> string
+(** One-line operator summary. *)

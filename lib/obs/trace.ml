@@ -31,12 +31,15 @@ let add_args buf args =
     args;
   Buffer.add_string buf "}"
 
-let add_event buf ~first ~name ~cat ~ph ~ts ~pid ~tid ?dur ?args () =
+let add_event buf ~first ~name ~cat ~ph ~ts ~pid ~tid ?id ?dur ?args () =
   if not !first then Buffer.add_string buf ",\n";
   first := false;
   Buffer.add_string buf
     (Printf.sprintf "    { \"name\": %s, \"cat\": %s, \"ph\": \"%s\", \"ts\": %s, \"pid\": %d, \"tid\": %d"
        (Json.escape name) (Json.escape cat) ph (pp_us ts) pid tid);
+  (match id with
+  | Some i -> Buffer.add_string buf (Printf.sprintf ", \"id\": %d" i)
+  | None -> ());
   (match dur with
   | Some d -> Buffer.add_string buf (Printf.sprintf ", \"dur\": %s" (pp_us d))
   | None -> ());
@@ -108,8 +111,46 @@ let render ?(device = []) ?(spans = []) () =
           add_event buf ~first ~name:s.Tracer.sp_name ~cat:s.Tracer.sp_cat
             ~ph:"X"
             ~ts:(s.Tracer.sp_start_us -. t0)
-            ~pid ~tid:s.Tracer.sp_tid ~dur:s.Tracer.sp_dur_us ())
-        spans);
+            ~pid ~tid:s.Tracer.sp_tid ~dur:s.Tracer.sp_dur_us
+            ?args:
+              (if s.Tracer.sp_flow > 0 then
+                 Some [ ("flow", I s.Tracer.sp_flow) ]
+               else None)
+            ())
+        spans;
+      (* Causal flow arrows: one Perfetto flow per request context.  A
+         flow's spans are sorted by start time; the earliest binds the
+         flow start ("s"), every later one a step ("t"), each anchored
+         at its slice's start timestamp on the slice's own track.
+         Single-span flows draw no arrow and are skipped. *)
+      let flows : (int, (float * int) list ref) Hashtbl.t =
+        Hashtbl.create 64
+      in
+      List.iter
+        (fun (s : Tracer.span) ->
+          if s.Tracer.sp_flow > 0 then begin
+            let anchor = (s.Tracer.sp_start_us -. t0, s.Tracer.sp_tid) in
+            match Hashtbl.find_opt flows s.Tracer.sp_flow with
+            | Some l -> l := anchor :: !l
+            | None -> Hashtbl.add flows s.Tracer.sp_flow (ref [ anchor ])
+          end)
+        spans;
+      let flow_ids =
+        List.sort compare (Hashtbl.fold (fun id _ acc -> id :: acc) flows [])
+      in
+      List.iter
+        (fun id ->
+          let anchors = List.sort compare !(Hashtbl.find flows id) in
+          match anchors with
+          | [] | [ _ ] -> ()
+          | anchors ->
+              List.iteri
+                (fun i (ts, tid) ->
+                  add_event buf ~first ~name:"request" ~cat:"flow"
+                    ~ph:(if i = 0 then "s" else "t")
+                    ~ts ~pid ~tid ~id ())
+                anchors)
+        flow_ids);
   Buffer.add_string buf "\n  ]\n}\n";
   Buffer.contents buf
 

@@ -10,6 +10,15 @@
     - {b the host group} — wall-clock spans from {!Tracer}, one track
       per OCaml domain, rebased so the earliest span starts at t=0.
 
+    Host spans whose {!Tracer.span.sp_flow} is non-zero additionally
+    carry a ["flow"] arg and are linked by Chrome flow events (["s"] on
+    the earliest span of each flow, ["t"] on every later one), so one
+    request's queue-wait → batch-gather → execute phases render as a
+    single arrowed flow across domain tracks in Perfetto.  Flow events
+    only ever attach to the host group: device-group rendering depends
+    solely on the modelled event stream and stays byte-identical
+    whatever host spans (or flows) accompany it.
+
     Load the file at https://ui.perfetto.dev (or chrome://tracing). *)
 
 type value = I of int | F of float | S of string

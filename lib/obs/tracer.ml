@@ -4,6 +4,7 @@ type span = {
   sp_tid : int;
   sp_start_us : float;
   sp_dur_us : float;
+  sp_flow : int;
 }
 
 let enabled_flag = Atomic.make false
@@ -46,8 +47,13 @@ let key =
       Mutex.unlock rings_lock;
       r)
 
-let emit ?(cat = "") name ~start_us ~dur_us =
+let emit ?(cat = "") ?flow name ~start_us ~dur_us =
   if enabled () then begin
+    (* The flow id defaults to the ambient request context, so any span
+       recorded inside Ctx.scoped is causally linked for free. *)
+    let flow =
+      match flow with Some f -> f | None -> Ctx.flow_id (Ctx.current ())
+    in
     let r = Domain.DLS.get key in
     r.slots.(r.count land (capacity - 1)) <-
       Some
@@ -57,22 +63,24 @@ let emit ?(cat = "") name ~start_us ~dur_us =
           sp_tid = r.tid;
           sp_start_us = start_us;
           sp_dur_us = dur_us;
+          sp_flow = flow;
         };
     r.count <- r.count + 1
   end
 
 let start () = if enabled () then now_us () else 0.0
 
-let finish ?cat name t0 =
+let finish ?cat ?flow name t0 =
   if t0 > 0.0 && enabled () then
-    emit ?cat name ~start_us:t0 ~dur_us:(now_us () -. t0)
+    emit ?cat ?flow name ~start_us:t0 ~dur_us:(now_us () -. t0)
 
-let with_span ?cat name f =
+let with_span ?cat ?flow name f =
   if not (enabled ()) then f ()
   else begin
     let t0 = now_us () in
     Fun.protect
-      ~finally:(fun () -> emit ?cat name ~start_us:t0 ~dur_us:(now_us () -. t0))
+      ~finally:(fun () ->
+        emit ?cat ?flow name ~start_us:t0 ~dur_us:(now_us () -. t0))
       f
   end
 

@@ -17,6 +17,9 @@ type span = {
   sp_tid : int;  (** recording domain's id *)
   sp_start_us : float;  (** host wall clock, microseconds since epoch *)
   sp_dur_us : float;
+  sp_flow : int;
+      (** causal flow this span belongs to ({!Ctx.flow_id}); [0] when
+          the span was recorded outside any request context *)
 }
 
 val set_enabled : bool -> unit
@@ -27,18 +30,21 @@ val enabled : unit -> bool
 val now_us : unit -> float
 (** Host wall clock in microseconds. *)
 
-val emit : ?cat:string -> string -> start_us:float -> dur_us:float -> unit
+val emit :
+  ?cat:string -> ?flow:int -> string -> start_us:float -> dur_us:float -> unit
 (** Record a completed span on the calling domain's ring (no-op when
-    disabled). *)
+    disabled).  [flow] defaults to the ambient {!Ctx.current} flow id,
+    so spans recorded under {!Ctx.scoped} are causally linked without
+    any explicit threading. *)
 
 val start : unit -> float
 (** Hot-path helper: the current time when enabled, [0.0] otherwise. *)
 
-val finish : ?cat:string -> string -> float -> unit
+val finish : ?cat:string -> ?flow:int -> string -> float -> unit
 (** [finish name t0] records a span from [t0] (a {!start} result) to
     now.  No-op when disabled or when [t0] is [0.0]. *)
 
-val with_span : ?cat:string -> string -> (unit -> 'a) -> 'a
+val with_span : ?cat:string -> ?flow:int -> string -> (unit -> 'a) -> 'a
 (** Run a thunk inside a span (recorded even if the thunk raises).
     When disabled this is exactly the thunk call. *)
 

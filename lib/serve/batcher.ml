@@ -5,10 +5,12 @@ let default = { max_batch = 8; window_us = 200. }
 let effective_batch cfg ~backlog =
   if backlog <= 0 then 1 else min (max 1 cfg.max_batch) (backlog + 1)
 
-let collect ?(help = fun () -> false) ?(now = Obs.Tracer.now_us) cfg ~key q =
+let collect ?(help = fun () -> false) ?(now = Obs.Tracer.now_us)
+    ?(stamp = fun _ -> ()) cfg ~key q =
   match Queue.pop q with
   | None -> []
   | Some first ->
+      stamp first;
       let target = effective_batch cfg ~backlog:(Queue.length q) in
       let k = key first in
       let batch = ref [ first ] in
@@ -16,6 +18,7 @@ let collect ?(help = fun () -> false) ?(now = Obs.Tracer.now_us) cfg ~key q =
       let grab () =
         match Queue.try_pop_where q (fun x -> key x = k) with
         | Some x ->
+            stamp x;
             batch := x :: !batch;
             incr n;
             true

@@ -34,6 +34,7 @@ val effective_batch : config -> backlog:int -> int
 val collect :
   ?help:(unit -> bool) ->
   ?now:(unit -> float) ->
+  ?stamp:('a -> unit) ->
   config ->
   key:('a -> 'k) ->
   'a Queue.t ->
@@ -48,4 +49,6 @@ val collect :
     none); a [help] that returns [true] did useful work (e.g. ran a
     {!Gpu.Pool} task) and the queue is re-checked immediately, otherwise
     the domain relaxes.  [now] is the microsecond clock (default:
-    {!Obs.Tracer.now_us}); tests inject a virtual clock. *)
+    {!Obs.Tracer.now_us}); tests inject a virtual clock.  [stamp] runs
+    on each request the instant it is claimed off the queue — the engine
+    uses it to timestamp the end of a request's queue-wait phase. *)

@@ -17,10 +17,15 @@
     passed) and joins the workers — no request is silently lost.
 
     Observability: every admission decision and completion bumps the
-    [serve.*] counters ({!Stats}), each executed request and batch is a
-    ["serve.request"] / ["serve.batch"] span in {!Obs.Tracer}, and the
-    device events of all frames merge onto the engine's {!timeline} for
-    the Perfetto export. *)
+    [serve.*] counters ({!Stats}); each request carries an {!Obs.Ctx}
+    from submission through the queue to the executing domain, so its
+    ["serve.queue_wait"], ["serve.batch_gather"], ["serve.execute"] (and
+    ["serve.retry"]) spans share one flow id and render as a single
+    causally-linked Perfetto flow.  Every completion also lands in the
+    engine's always-on {!flight} recorder with per-phase attribution,
+    and — when an {!Obs.Slo} is attached — is classified against the
+    latency objective.  The device events of all frames merge onto the
+    engine's {!timeline} for the Perfetto export. *)
 
 type config = {
   workers : int;  (** consumer domains (>= 1) *)
@@ -46,11 +51,16 @@ type t
 
 val create :
   ?inject:(session_id:int -> frame_no:int -> attempt:int -> unit) ->
+  ?slo:Obs.Slo.t ->
+  ?flight_capacity:int ->
   config ->
   t
 (** Spawn the worker domains.  [inject] is a fault hook run before each
     execution attempt (attempt 0, then 1 on retry); the test suite uses
-    it to exercise the retry path by raising. *)
+    it to exercise the retry path by raising.  [slo] attaches a latency
+    objective: [Done] completions are observed against it, timeouts and
+    failures breach it.  [flight_capacity] sizes the flight recorder
+    ring (default 256). *)
 
 val submit :
   t -> ?deadline_us:float -> Session.t -> frame_no:int -> Video.Frame.t ->
@@ -76,6 +86,13 @@ val queue_depth : t -> int
 
 val latency : t -> Stats.summary
 (** Exact percentiles over every [Done] completion of this engine. *)
+
+val flight : t -> Obs.Recorder.t
+(** The engine's always-on flight recorder: one entry per executed or
+    timed-out request, with per-phase latency attribution. *)
+
+val slo : t -> Obs.Slo.t option
+(** The SLO passed to {!create}, if any. *)
 
 val timeline : t -> Gpu.Timeline.t
 (** Merged device events of every executed frame, in completion order

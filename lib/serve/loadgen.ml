@@ -15,6 +15,9 @@ type report = {
   achieved_rps : float;
   counts : counts;
   latency : Stats.summary;
+  slow : Obs.Recorder.entry list;
+  slo : Obs.Slo.t option;
+  flight : Obs.Recorder.t;
 }
 
 let zero_counts =
@@ -60,13 +63,24 @@ let finish ?trace_name ~label ~mode ~offered_rps ~wall_s eng outcomes =
       (if wall_s > 0. then float_of_int counts.completed /. wall_s else 0.);
     counts;
     latency = Engine.latency eng;
+    slow = Obs.Recorder.slowest (Engine.flight eng) 5;
+    slo = Engine.slo eng;
+    flight = Engine.flight eng;
   }
 
-let open_loop ?deadline_ms ?trace_name ~label ~engine ~sessions ~rate_hz
+(* Each generated request is submitted under its own fresh context (all
+   sharing the campaign's trace id), so the engine picks it up and the
+   request's spans across domains form one Perfetto flow. *)
+let submit_ctx ~trace_id eng ?deadline_us s ~frame_no frame =
+  Obs.Ctx.scoped (Obs.Ctx.fresh ~trace_id ()) (fun () ->
+      Engine.submit eng ?deadline_us s ~frame_no frame)
+
+let open_loop ?deadline_ms ?trace_name ?slo ~label ~engine ~sessions ~rate_hz
     ~duration_s () =
   if sessions = [] then invalid_arg "Serve.Loadgen.open_loop: no sessions";
   if rate_hz <= 0. then invalid_arg "Serve.Loadgen.open_loop: rate <= 0";
-  let eng = Engine.create engine in
+  let eng = Engine.create ?slo engine in
+  let trace_id = Obs.Ctx.fresh_trace () in
   let sessions_a = Array.of_list sessions in
   let pools = Array.of_list (frame_pools sessions) in
   let total = max 1 (int_of_float (rate_hz *. duration_s)) in
@@ -82,7 +96,7 @@ let open_loop ?deadline_ms ?trace_name ~label ~engine ~sessions ~rate_hz
         let deadline_us =
           Option.map (fun ms -> Obs.Tracer.now_us () +. (1000. *. ms)) deadline_ms
         in
-        Engine.submit eng ?deadline_us s ~frame_no:i frame)
+        submit_ctx ~trace_id eng ?deadline_us s ~frame_no:i frame)
   in
   Engine.shutdown eng;
   let wall_s = Unix.gettimeofday () -. t0 in
@@ -90,9 +104,11 @@ let open_loop ?deadline_ms ?trace_name ~label ~engine ~sessions ~rate_hz
   finish ?trace_name ~label ~mode:`Open ~offered_rps:rate_hz ~wall_s eng
     outcomes
 
-let closed_loop ?trace_name ~label ~engine ~sessions ~frames_per_stream () =
+let closed_loop ?trace_name ?slo ~label ~engine ~sessions ~frames_per_stream
+    () =
   if sessions = [] then invalid_arg "Serve.Loadgen.closed_loop: no sessions";
-  let eng = Engine.create engine in
+  let eng = Engine.create ?slo engine in
+  let trace_id = Obs.Ctx.fresh_trace () in
   let pools = frame_pools sessions in
   let t0 = Unix.gettimeofday () in
   (* One dedicated driver domain per stream (NOT the shared Gpu.Pool:
@@ -104,7 +120,7 @@ let closed_loop ?trace_name ~label ~engine ~sessions ~frames_per_stream () =
         Domain.spawn (fun () ->
             List.init frames_per_stream (fun j ->
                 Engine.await
-                  (Engine.submit eng s ~frame_no:j
+                  (submit_ctx ~trace_id eng s ~frame_no:j
                      (pool.(j mod frame_pool_size))))))
       sessions pools
   in

@@ -38,11 +38,17 @@ type report = {
   achieved_rps : float;  (** completions per wall-clock second *)
   counts : counts;
   latency : Stats.summary;
+  slow : Obs.Recorder.entry list;
+      (** the run's 5 slowest requests with per-phase attribution *)
+  slo : Obs.Slo.t option;  (** the SLO the run was classified against *)
+  flight : Obs.Recorder.t;
+      (** the engine's full flight recorder (outlives the engine) *)
 }
 
 val open_loop :
   ?deadline_ms:float ->
   ?trace_name:string ->
+  ?slo:Obs.Slo.t ->
   label:string ->
   engine:Engine.config ->
   sessions:Session.t list ->
@@ -53,10 +59,14 @@ val open_loop :
 (** Offer [rate_hz] requests/second for [duration_s], round-robin over
     [sessions].  [deadline_ms] gives every request a relative deadline.
     [trace_name] registers the engine's merged device timeline with
-    {!Gpu.Trace_export} under that name. *)
+    {!Gpu.Trace_export} under that name.  [slo] attaches a latency
+    objective to the run's engine.  Every request is submitted under a
+    fresh {!Obs.Ctx}, so with tracing on each one renders as a
+    causally-linked Perfetto flow. *)
 
 val closed_loop :
   ?trace_name:string ->
+  ?slo:Obs.Slo.t ->
   label:string ->
   engine:Engine.config ->
   sessions:Session.t list ->

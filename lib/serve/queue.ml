@@ -16,6 +16,8 @@ let m_depth = Obs.Metrics.gauge "serve.queue_depth"
 
 let m_high_water = Obs.Metrics.gauge "serve.queue_high_water"
 
+let m_idle_us = Obs.Metrics.histogram "serve.worker_idle_us"
+
 let create ~capacity ~policy () =
   if capacity < 1 then invalid_arg "Serve.Queue.create: capacity < 1";
   {
@@ -81,6 +83,15 @@ let take_locked t =
 
 let pop t =
   Mutex.lock t.lock;
+  (* Starvation signal: how long consumers sit blocked on an empty
+     queue.  Only a pop that actually waits is observed, so under
+     saturation the histogram stays near-empty and under light load it
+     shows where worker time goes. *)
+  let t0 =
+    if Stdlib.Queue.is_empty t.items && not t.closed then
+      Unix.gettimeofday ()
+    else 0.
+  in
   let rec wait () =
     if not (Stdlib.Queue.is_empty t.items) then Some (take_locked t)
     else if t.closed then None
@@ -91,6 +102,9 @@ let pop t =
   in
   let x = wait () in
   Mutex.unlock t.lock;
+  if t0 > 0. then
+    Obs.Metrics.observe m_idle_us
+      (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6));
   x
 
 let try_pop t =

@@ -47,6 +47,10 @@ let cache_lock = Mutex.create ()
 
 let cache : (key, runner) Hashtbl.t = Hashtbl.create 8
 
+let m_cache_hits = Obs.Metrics.counter "serve.plan_cache_hits"
+
+let m_cache_misses = Obs.Metrics.counter "serve.plan_cache_misses"
+
 let cache_size () =
   Mutex.lock cache_lock;
   let n = Hashtbl.length cache in
@@ -86,8 +90,11 @@ let runner_of key =
   Mutex.lock cache_lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock cache_lock) @@ fun () ->
   match Hashtbl.find_opt cache key with
-  | Some r -> r
+  | Some r ->
+      Obs.Metrics.incr m_cache_hits;
+      r
   | None ->
+      Obs.Metrics.incr m_cache_misses;
       let r =
         Obs.Tracer.with_span ~cat:"serve" "serve.compile_plan" (fun () ->
             compile key)

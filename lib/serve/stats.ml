@@ -39,16 +39,38 @@ let batch ~frames =
   Obs.Metrics.add m_batched_frames frames;
   Obs.Metrics.set_max m_batch_high_water frames
 
-type recorder = { lock : Mutex.t; mutable samples : float list; mutable n : int }
+let m_dropped_samples = Obs.Metrics.counter "stats.dropped_samples"
 
-let recorder () = { lock = Mutex.create (); samples = []; n = 0 }
+(* The exact recorder keeps every sample for true order statistics, so
+   an unbounded open-loop run could grow it without limit.  [cap] bounds
+   the memory: past it new samples still feed the histogram but are not
+   retained exactly, and [stats.dropped_samples] counts the loss so a
+   truncated summary is detectable. *)
+type recorder = {
+  lock : Mutex.t;
+  cap : int;
+  mutable samples : float list;
+  mutable n : int;
+}
+
+let default_cap = 1_000_000
+
+let recorder ?(cap = default_cap) () =
+  if cap < 1 then invalid_arg "Serve.Stats.recorder: cap < 1";
+  { lock = Mutex.create (); cap; samples = []; n = 0 }
 
 let record r us =
   Obs.Metrics.observe m_latency_us (int_of_float us);
   Mutex.lock r.lock;
-  r.samples <- us :: r.samples;
-  r.n <- r.n + 1;
-  Mutex.unlock r.lock
+  if r.n < r.cap then begin
+    r.samples <- us :: r.samples;
+    r.n <- r.n + 1;
+    Mutex.unlock r.lock
+  end
+  else begin
+    Mutex.unlock r.lock;
+    Obs.Metrics.incr m_dropped_samples
+  end
 
 type summary = {
   count : int;
@@ -56,11 +78,13 @@ type summary = {
   p50_us : float;
   p95_us : float;
   p99_us : float;
+  p999_us : float;
   max_us : float;
 }
 
 let zero_summary =
-  { count = 0; mean_us = 0.; p50_us = 0.; p95_us = 0.; p99_us = 0.; max_us = 0. }
+  { count = 0; mean_us = 0.; p50_us = 0.; p95_us = 0.; p99_us = 0.;
+    p999_us = 0.; max_us = 0. }
 
 let percentile xs ~p =
   let n = Array.length xs in
@@ -86,5 +110,6 @@ let summary r =
       p50_us = percentile xs ~p:50.;
       p95_us = percentile xs ~p:95.;
       p99_us = percentile xs ~p:99.;
+      p999_us = percentile xs ~p:99.9;
       max_us = Array.fold_left Float.max neg_infinity xs;
     }

@@ -34,7 +34,11 @@ val batch : frames:int -> unit
 
 type recorder
 
-val recorder : unit -> recorder
+val recorder : ?cap:int -> unit -> recorder
+(** [cap] (default 1M) bounds the retained samples: past it, new
+    latencies still feed the [serve.latency_us] histogram but are not
+    retained exactly, and each loss bumps the [stats.dropped_samples]
+    counter so a truncated summary is detectable. *)
 
 val record : recorder -> float -> unit
 (** Record one completed-request latency in microseconds (domain-safe);
@@ -46,6 +50,7 @@ type summary = {
   p50_us : float;
   p95_us : float;
   p99_us : float;
+  p999_us : float;
   max_us : float;
 }
 

@@ -3,6 +3,15 @@
 
 open Obs
 
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let check_contains what needle hay =
+  Alcotest.(check bool) (Printf.sprintf "%s has %S" what needle) true
+    (contains needle hay)
+
 (* ---------- Json ---------- *)
 
 let test_json_parse () =
@@ -43,6 +52,50 @@ let test_json_escape () =
   match Json.parse s with
   | Ok (Json.Str v) -> Alcotest.(check string) "round trip" "a\"b\\c\nd" v
   | _ -> Alcotest.fail "escape did not round-trip"
+
+let test_json_unicode () =
+  (* \u escapes decode to UTF-8 bytes; a surrogate pair combines into
+     one supplementary code point (here U+1F600, four UTF-8 bytes). *)
+  (match Json.parse {|"\u0041 \u00e9 \u4e2d \ud83d\ude00"|} with
+  | Ok (Json.Str v) ->
+      Alcotest.(check string) "utf-8 decoded"
+        "A \xc3\xa9 \xe4\xb8\xad \xf0\x9f\x98\x80" v
+  | Ok _ -> Alcotest.fail "not a string"
+  | Error m -> Alcotest.failf "parse failed: %s" m);
+  List.iter
+    (fun bad ->
+      match Json.parse bad with
+      | Ok _ -> Alcotest.failf "accepted invalid escape %S" bad
+      | Error _ -> ())
+    [
+      {|"\ud83d"|} (* high surrogate at end of string *);
+      {|"\ud83dx"|} (* high surrogate not followed by \u *);
+      {|"\ud83dA"|} (* high surrogate paired with a non-low *);
+      {|"\ude00"|} (* lone low surrogate *);
+      {|"\uzzzz"|} (* not hex *);
+    ]
+
+let test_json_render_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("s", Json.Str "a\"b\\c\n\001");
+        ("n", Json.Num 42.);
+        ("f", Json.Num 2.5);
+        ("neg", Json.Num (-0.125));
+        ("b", Json.Bool true);
+        ("nul", Json.Null);
+        ("a", Json.Arr [ Json.Num 1.; Json.Str "x"; Json.Obj [] ]);
+      ]
+  in
+  (match Json.parse (Json.render doc) with
+  | Ok doc' ->
+      Alcotest.(check bool) "render/parse round-trips" true (doc = doc')
+  | Error m -> Alcotest.failf "rendered doc invalid: %s" m);
+  Alcotest.(check string) "integers render without a fraction" "42"
+    (Json.render (Json.Num 42.));
+  Alcotest.(check string) "empty containers" {|[{},[]]|}
+    (Json.render (Json.Arr [ Json.Obj []; Json.Arr [] ]))
 
 (* ---------- Metrics ---------- *)
 
@@ -102,6 +155,125 @@ let test_metrics_json_renders () =
             (Json.member "test.json_render" series <> None)
       | None -> Alcotest.fail "no metrics object")
   | Error m -> Alcotest.failf "render_json invalid: %s" m
+
+let test_metrics_prometheus () =
+  Metrics.add (Metrics.counter "test.prom.counter") 3;
+  Metrics.set (Metrics.gauge "test.prom.gauge") 9;
+  let h = Metrics.histogram ~bounds:[| 10; 100 |] "test.prom.histo" in
+  List.iter (Metrics.observe h) [ 5; 50; 500; 7 ];
+  let text = Metrics.render_text ~format:`Prometheus () in
+  (* Dotted names sanitise to underscores; exposition buckets are
+     cumulative (ours are disjoint) and end at +Inf. *)
+  List.iter
+    (fun line -> check_contains "prometheus text" line text)
+    [
+      "# TYPE test_prom_counter counter";
+      "test_prom_counter 3";
+      "# TYPE test_prom_gauge gauge";
+      "test_prom_gauge 9";
+      "# TYPE test_prom_histo histogram";
+      "test_prom_histo_bucket{le=\"10\"} 2";
+      "test_prom_histo_bucket{le=\"100\"} 3";
+      "test_prom_histo_bucket{le=\"+Inf\"} 4";
+      "test_prom_histo_sum 562";
+      "test_prom_histo_count 4";
+    ];
+  Alcotest.(check bool) "no dotted names survive" false
+    (contains "test.prom" text)
+
+(* ---------- Ctx ---------- *)
+
+let test_ctx_scoping () =
+  Alcotest.(check bool) "ambient default is none" true
+    (Ctx.is_none (Ctx.current ()));
+  Alcotest.(check int) "none has flow 0" 0 (Ctx.flow_id Ctx.none);
+  let tr = Ctx.fresh_trace () in
+  let a = Ctx.fresh ~trace_id:tr () in
+  let b = Ctx.fresh ~trace_id:tr () in
+  Alcotest.(check bool) "request ids are unique" true
+    (a.Ctx.request_id <> b.Ctx.request_id);
+  Alcotest.(check int) "flow id is the request id" a.Ctx.request_id
+    (Ctx.flow_id a);
+  let outer, inner =
+    Ctx.scoped a (fun () ->
+        let inner = Ctx.scoped b (fun () -> Ctx.current ()) in
+        (Ctx.current (), inner))
+  in
+  Alcotest.(check bool) "innermost wins" true (inner = b);
+  Alcotest.(check bool) "outer restored after nesting" true (outer = a);
+  Alcotest.(check bool) "restored to none" true
+    (Ctx.is_none (Ctx.current ()));
+  (* The ambient context is restored even when the thunk raises. *)
+  (try Ctx.scoped a (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check bool) "restored after raise" true
+    (Ctx.is_none (Ctx.current ()))
+
+(* ---------- Recorder ---------- *)
+
+let flight_entry ?(request = 1) ?(total = 100.) ?(outcome = "done") () =
+  {
+    Recorder.e_request = request;
+    e_trace = 7;
+    e_label = "sac";
+    e_outcome = outcome;
+    e_total_us = total;
+    e_phases =
+      [ ("queue_wait", total *. 0.25); ("execute", total *. 0.75) ];
+  }
+
+let test_recorder_ring () =
+  let r = Recorder.create ~capacity:3 () in
+  Alcotest.(check int) "capacity" 3 (Recorder.capacity r);
+  List.iteri
+    (fun i total -> Recorder.record r (flight_entry ~request:i ~total ()))
+    [ 50.; 500.; 10.; 200.; 90. ];
+  Alcotest.(check int) "all recorded" 5 (Recorder.recorded r);
+  Alcotest.(check (list int)) "ring keeps newest, oldest first" [ 2; 3; 4 ]
+    (List.map (fun e -> e.Recorder.e_request) (Recorder.entries r));
+  Alcotest.(check (list int)) "slowest retained, worst first" [ 3; 4 ]
+    (List.map (fun e -> e.Recorder.e_request) (Recorder.slowest r 2));
+  Alcotest.(check bool) "capacity 0 rejected" true
+    (try
+       ignore (Recorder.create ~capacity:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_recorder_render () =
+  let r = Recorder.create () in
+  check_contains "empty dump" "no completed requests"
+    (Recorder.render_slowest r);
+  Recorder.record r
+    (flight_entry ~request:41 ~total:2000. ~outcome:"timed_out" ());
+  let dump = Recorder.render_slowest ~n:1 r in
+  List.iter
+    (fun needle -> check_contains "flight dump" needle dump)
+    [
+      "request 41"; "trace 7"; "sac"; "timed_out"; "2.00 ms"; "queue_wait";
+      "execute"; "75.0%";
+    ]
+
+(* ---------- Slo ---------- *)
+
+let test_slo_accounting () =
+  let s = Slo.create ~name:"test_obs" ~objective_us:100. ~budget:0.1 () in
+  Alcotest.(check string) "name" "test_obs" (Slo.name s);
+  Alcotest.(check (float 1e-9)) "objective" 100. (Slo.objective_us s);
+  (* 50 and 99 meet the objective, 150 misses it, plus one outright
+     breach (timeout / failure). *)
+  List.iter (Slo.observe s) [ 50.; 99.; 150. ];
+  Slo.breach s;
+  Alcotest.(check int) "total counts observe + breach" 4 (Slo.total s);
+  Alcotest.(check int) "breaches: slow observe + outright" 2 (Slo.breaches s);
+  Alcotest.(check (float 1e-9)) "breach rate" 0.5 (Slo.breach_rate s);
+  Alcotest.(check (float 1e-9)) "burn = rate / budget" 5.0 (Slo.burn s);
+  Alcotest.(check bool) "counters live in the registry" true
+    (Metrics.find "slo.test_obs.total" = Some 4);
+  check_contains "report" "burn" (Slo.report s);
+  Alcotest.(check bool) "budget outside (0,1) rejected" true
+    (try
+       ignore (Slo.create ~name:"bad" ~objective_us:1. ~budget:1.5 ());
+       false
+     with Invalid_argument _ -> true)
 
 (* ---------- Tracer ---------- *)
 
@@ -178,6 +350,7 @@ let test_trace_render () =
         sp_tid = 0;
         sp_start_us = 1000.0;
         sp_dur_us = 5.0;
+        sp_flow = 0;
       };
     ]
   in
@@ -189,6 +362,58 @@ let test_trace_render () =
     (Trace.render ~device ())
     (Trace.render ~device ())
 
+(* Spans sharing a flow id render as one Perfetto flow: a start ("s")
+   on the earliest slice, a step ("t") on each later one, and the
+   slices themselves advertise the flow in their args.  A single-span
+   flow draws no arrow. *)
+let test_trace_flow_events () =
+  let span ~flow ~tid ~start name =
+    {
+      Tracer.sp_name = name;
+      sp_cat = "serve";
+      sp_tid = tid;
+      sp_start_us = start;
+      sp_dur_us = 5.0;
+      sp_flow = flow;
+    }
+  in
+  let spans =
+    [
+      span ~flow:9 ~tid:0 ~start:1000. "serve.queue_wait";
+      span ~flow:9 ~tid:1 ~start:1010. "serve.execute";
+      span ~flow:3 ~tid:0 ~start:1020. "lonely";
+    ]
+  in
+  match Json.parse (Trace.render ~spans ()) with
+  | Error m -> Alcotest.failf "trace invalid: %s" m
+  | Ok j ->
+      let evs =
+        match Json.member "traceEvents" j with
+        | Some (Json.Arr evs) -> evs
+        | _ -> Alcotest.fail "no traceEvents"
+      in
+      let with_ph p =
+        List.filter (fun e -> Json.member "ph" e = Some (Json.Str p)) evs
+      in
+      Alcotest.(check int) "one flow start" 1 (List.length (with_ph "s"));
+      Alcotest.(check int) "one flow step" 1 (List.length (with_ph "t"));
+      List.iter
+        (fun e ->
+          Alcotest.(check bool) "flow event carries the request id" true
+            (Json.member "id" e = Some (Json.Num 9.)))
+        (with_ph "s" @ with_ph "t");
+      let slice_flows =
+        List.filter_map
+          (fun e ->
+            match Json.member "args" e with
+            | Some a -> Json.member "flow" a
+            | None -> None)
+          (with_ph "X")
+      in
+      Alcotest.(check bool) "slices advertise args.flow" true
+        (List.mem (Json.Num 9.) slice_flows
+        && List.mem (Json.Num 3.) slice_flows)
+
 let () =
   Alcotest.run "obs"
     [
@@ -197,6 +422,9 @@ let () =
           Alcotest.test_case "parse" `Quick test_json_parse;
           Alcotest.test_case "member" `Quick test_json_member;
           Alcotest.test_case "escape" `Quick test_json_escape;
+          Alcotest.test_case "unicode escapes" `Quick test_json_unicode;
+          Alcotest.test_case "render round-trips" `Quick
+            test_json_render_roundtrip;
         ] );
       ( "metrics",
         [
@@ -205,7 +433,18 @@ let () =
           Alcotest.test_case "histogram" `Quick test_metrics_histogram;
           Alcotest.test_case "type clash" `Quick test_metrics_type_clash;
           Alcotest.test_case "json" `Quick test_metrics_json_renders;
+          Alcotest.test_case "prometheus exposition" `Quick
+            test_metrics_prometheus;
         ] );
+      ( "ctx",
+        [ Alcotest.test_case "scoping" `Quick test_ctx_scoping ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "ring retention" `Quick test_recorder_ring;
+          Alcotest.test_case "render slowest" `Quick test_recorder_render;
+        ] );
+      ( "slo",
+        [ Alcotest.test_case "accounting" `Quick test_slo_accounting ] );
       ( "tracer",
         [
           Alcotest.test_case "disabled" `Quick test_tracer_disabled;
@@ -213,5 +452,8 @@ let () =
           Alcotest.test_case "raises" `Quick test_tracer_span_raises;
         ] );
       ( "trace",
-        [ Alcotest.test_case "render" `Quick test_trace_render ] );
+        [
+          Alcotest.test_case "render" `Quick test_trace_render;
+          Alcotest.test_case "flow events" `Quick test_trace_flow_events;
+        ] );
     ]

@@ -277,6 +277,35 @@ let test_recorder_summary () =
   Alcotest.(check (float 1e-9)) "mean" 25. s.Stats.mean_us;
   Alcotest.(check (float 1e-9)) "max" 40. s.Stats.max_us
 
+let test_stats_p999 () =
+  let r = Stats.recorder () in
+  Array.iter
+    (fun v -> Stats.record r v)
+    (Array.init 2000 (fun i -> float_of_int (i + 1)));
+  let s = Stats.summary r in
+  (* Nearest rank over 1..2000: p99 -> 1980; p99.9 -> 1999 (the float
+     product 0.999 * 2000 lands just above 1998, and ceil rounds up). *)
+  Alcotest.(check (float 1e-9)) "p99" 1980. s.Stats.p99_us;
+  Alcotest.(check (float 1e-9)) "p999" 1999. s.Stats.p999_us;
+  Alcotest.(check bool) "ordered through the tail" true
+    (s.Stats.p99_us <= s.Stats.p999_us && s.Stats.p999_us <= s.Stats.max_us)
+
+(* Past the cap the recorder stops retaining exact samples but counts
+   the loss, so a truncated summary is detectable. *)
+let test_stats_recorder_cap () =
+  let dropped_before = metric "stats.dropped_samples" in
+  let r = Stats.recorder ~cap:3 () in
+  List.iter (fun v -> Stats.record r v) [ 10.; 20.; 30.; 40.; 50. ];
+  Alcotest.(check int) "retains exactly cap samples" 3
+    (Stats.summary r).Stats.count;
+  Alcotest.(check int) "overflow counted" 2
+    (metric "stats.dropped_samples" - dropped_before);
+  Alcotest.(check bool) "cap < 1 rejected" true
+    (try
+       ignore (Stats.recorder ~cap:0 ());
+       false
+     with Invalid_argument _ -> true)
+
 (* ---------- Session: plan cache and keys ---------- *)
 
 let fmt = { Video.Format.name = "test"; rows = 72; cols = 64 }
@@ -511,6 +540,116 @@ let test_engine_pipelines_bit_exact () =
   Alcotest.(check bool) "device events merged onto engine timeline" true
     (Gpu.Timeline.events (Engine.timeline engine) <> [])
 
+(* Every completion deposits a flight-recorder entry with per-phase
+   attribution and is classified against the engine SLO. *)
+let test_engine_flight_and_slo () =
+  let slo =
+    Obs.Slo.create ~name:"test_serve" ~objective_us:1e9 ~budget:0.5 ()
+  in
+  let engine =
+    Engine.create ~slo ~flight_capacity:8
+      { Engine.default_config with workers = 1 }
+  in
+  let tickets = submit_n engine (identity_session 190) 5 in
+  List.iter (fun tk -> ignore (Engine.await tk)) tickets;
+  Engine.shutdown engine;
+  let flight = Engine.flight engine in
+  Alcotest.(check int) "every completion deposited" 5
+    (Obs.Recorder.recorded flight);
+  List.iter
+    (fun (e : Obs.Recorder.entry) ->
+      Alcotest.(check string) "outcome" "done" e.Obs.Recorder.e_outcome;
+      Alcotest.(check bool) "causal identity attached" true
+        (e.Obs.Recorder.e_request > 0);
+      let phases = List.map fst e.Obs.Recorder.e_phases in
+      List.iter
+        (fun ph ->
+          Alcotest.(check bool) (ph ^ " attributed") true
+            (List.mem ph phases))
+        [ "queue_wait"; "batch_gather"; "execute" ];
+      let phase_sum =
+        List.fold_left (fun a (_, us) -> a +. us) 0. e.Obs.Recorder.e_phases
+      in
+      Alcotest.(check bool) "phases within the end-to-end total" true
+        (phase_sum <= e.Obs.Recorder.e_total_us +. 1.))
+    (Obs.Recorder.entries flight);
+  Alcotest.(check int) "slo classified every request" 5 (Obs.Slo.total slo);
+  Alcotest.(check int) "no breaches under a huge objective" 0
+    (Obs.Slo.breaches slo);
+  Alcotest.(check bool) "engine exposes its slo" true
+    (Engine.slo engine <> None)
+
+(* A fault-injected retry must stay causally linked to its request: the
+   serve.retry span carries the same flow id as the request's other
+   phase spans, so Perfetto draws them as one flow. *)
+let test_engine_retry_flow_linked () =
+  Obs.Tracer.set_enabled true;
+  Obs.Tracer.clear ();
+  let engine =
+    Engine.create
+      ~inject:(fun ~session_id:_ ~frame_no:_ ~attempt ->
+        if attempt = 0 then failwith "transient")
+      { Engine.default_config with workers = 1 }
+  in
+  let tk =
+    Engine.submit engine (identity_session 191) ~frame_no:0
+      (Video.Framegen.frame fmt 0)
+  in
+  (match Engine.await tk with
+  | Engine.Done _ -> ()
+  | _ -> Alcotest.fail "retry must recover");
+  Engine.shutdown engine;
+  let spans = Obs.Tracer.dump () in
+  Obs.Tracer.set_enabled false;
+  Obs.Tracer.clear ();
+  let flow_of name =
+    match
+      List.find_opt
+        (fun (s : Obs.Tracer.span) -> s.Obs.Tracer.sp_name = name)
+        spans
+    with
+    | Some s -> s.Obs.Tracer.sp_flow
+    | None -> Alcotest.failf "span %s missing from the trace" name
+  in
+  let retry_flow = flow_of "serve.retry" in
+  Alcotest.(check bool) "retry span carries a flow id" true (retry_flow > 0);
+  List.iter
+    (fun name ->
+      Alcotest.(check int) (name ^ " linked into the same flow") retry_flow
+        (flow_of name))
+    [ "serve.request"; "serve.queue_wait"; "serve.batch_gather";
+      "serve.execute" ]
+
+(* The modelled-device half of a serving trace is a function of the
+   frames served, not of host parallelism: rendering the same session
+   run under 1 and 3 pool domains must be byte-identical. *)
+let test_session_device_trace_across_domains () =
+  Obs.Tracer.set_enabled true;
+  let doc_at domains =
+    Gpu.Pool.set_default_domains domains;
+    Gpu.Trace_export.clear ();
+    let s =
+      Session.create ~opt:Optimizer.Mode.Off ~id:192 ~pipeline:Session.Sac
+        fmt
+    in
+    let tl = Gpu.Timeline.create () in
+    List.iter
+      (fun n ->
+        let _, events = Session.run_frame s (Video.Framegen.frame fmt n) in
+        List.iter (Gpu.Timeline.record tl) events)
+      [ 0; 1; 2 ];
+    Gpu.Trace_export.register ~name:"serve" tl;
+    Gpu.Trace_export.device_only_json ()
+  in
+  let one = doc_at 1 in
+  let three = doc_at 3 in
+  Obs.Tracer.set_enabled false;
+  Gpu.Trace_export.clear ();
+  Gpu.Pool.set_default_domains 1;
+  Alcotest.(check bool) "device slices present" true
+    (String.length one > 200);
+  Alcotest.(check string) "byte-identical across --domains" one three
+
 let () =
   Alcotest.run "serve"
     [
@@ -550,6 +689,9 @@ let () =
         [
           Alcotest.test_case "nearest-rank percentile" `Quick test_percentile;
           Alcotest.test_case "recorder summary" `Quick test_recorder_summary;
+          Alcotest.test_case "p999 tail" `Quick test_stats_p999;
+          Alcotest.test_case "recorder cap counts drops" `Quick
+            test_stats_recorder_cap;
         ] );
       ( "session",
         [
@@ -575,5 +717,14 @@ let () =
             test_engine_reject_overload;
           Alcotest.test_case "pipelines bit-exact end to end" `Quick
             test_engine_pipelines_bit_exact;
+          Alcotest.test_case "flight recorder and slo" `Quick
+            test_engine_flight_and_slo;
+          Alcotest.test_case "retry causally linked" `Quick
+            test_engine_retry_flow_linked;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "device tracks identical across domains"
+            `Quick test_session_device_trace_across_domains;
         ] );
     ]
