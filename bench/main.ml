@@ -159,6 +159,14 @@ let ablation_fusion ~scale () =
   fusion_rows := rows;
   print_string (Study.Report.fusion rows)
 
+let perf_reports : Study.Experiments.perf_report list ref = ref []
+
+let ablation_perf_lint ~scale () =
+  section "Static memory behaviour (proven access class, coalescing lints)";
+  let reports = Study.Experiments.perf_lint ~scale () in
+  perf_reports := reports;
+  print_string (Study.Report.perf_lint reports)
+
 let autotune_rows : Study.Experiments.autotune_row list ref = ref []
 
 (* Runs before the serving section so its tuned plans are already in
@@ -723,6 +731,32 @@ let write_json path ~opts ~scale ~timings =
     (m "analysis.plans_checked")
     (m "analysis.findings") (m "analysis.errors") (m "analysis.warnings")
     (m "analysis.notes");
+  p "  \"perf_lint\": [\n";
+  let nperf = List.length !perf_reports in
+  List.iteri
+    (fun i (r : Study.Experiments.perf_report) ->
+      let errors = Analysis.Finding.errors r.Study.Experiments.pl_findings in
+      let min_eff =
+        List.fold_left
+          (fun acc (row : Study.Experiments.perf_row) ->
+            Float.min acc row.Study.Experiments.pr_efficiency)
+          1.0 r.Study.Experiments.pl_rows
+      in
+      p
+        "    { \"pipeline\": \"%s\", \"kernels\": %d, \"buffers\": %d, \
+         \"findings\": %d, \"errors\": %d, \"warnings\": %d, \"notes\": \
+         %d, \"min_efficiency\": %.3f, \"shipped_clean\": %b }%s\n"
+        (json_escape r.Study.Experiments.pl_pipeline)
+        r.Study.Experiments.pl_kernels
+        (List.length r.Study.Experiments.pl_rows)
+        (List.length r.Study.Experiments.pl_findings)
+        errors
+        (Analysis.Finding.warnings r.Study.Experiments.pl_findings)
+        (Analysis.Finding.notes r.Study.Experiments.pl_findings)
+        min_eff (errors = 0)
+        (if i = nperf - 1 then "" else ","))
+    !perf_reports;
+  p "  ],\n";
   p "  \"total_seconds\": %.3f\n"
     (List.fold_left (fun acc (_, s) -> acc +. s) 0.0 timings);
   p "}\n";
@@ -753,6 +787,7 @@ let () =
   timed "ablation/transfers" (ablation_transfers ~scale);
   timed "ablation/overlap" (ablation_overlap ~scale);
   timed "ablation/fusion" (ablation_fusion ~scale);
+  timed "ablation/perf-lint" (ablation_perf_lint ~scale);
   timed "ablation/autotune" (ablation_autotune ~smoke:opts.smoke);
   timed "ablation/generic" (ablation_generic ~scale);
   timed "ablation/devices" (ablation_devices ~scale ~plane);

@@ -82,6 +82,7 @@ let identity ~array item =
         (Printf.sprintf "%s:fused=%b"
            (d (str_member "pipeline" item))
            (Option.value ~default:false (bool_member "fused" item)))
+  | "perf_lint" -> Some (d (str_member "pipeline" item))
   | _ -> None
 
 let rec flatten ~path ~array json acc =
@@ -136,6 +137,10 @@ let classify path =
     if suf ".off_us" || suf ".fuse_us" || suf ".auto_us" then Rel (0.01, 0.2)
     else if suf ".bit_checked" || suf ".bit_identical" then BoolNoRegress
     else Exact
+  else if pre "perf_lint[" then
+    if suf ".shipped_clean" then BoolNoRegress
+    else if suf ".min_efficiency" then Rel (0.01, 0.005)
+    else Exact (* kernels, buffers, finding counts: deterministic *)
   else if pre "serving[" then
     if suf ".p99_bounded" then BoolNoRegress
     else if

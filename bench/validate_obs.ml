@@ -350,7 +350,47 @@ let () =
             fail
               "bench report %s: no bit-checked autotune row for pipeline %s"
               bench_path pipeline)
-        [ "sac"; "gaspard" ]);
+        [ "sac"; "gaspard" ];
+      (* Perf-lint block: the static memory-behaviour analysis ran over
+         both pipelines' generated kernels, every row carries the
+         summary fields, and no shipped kernel earns an error-severity
+         lint (the same invariant `--perf-lint strict` enforces). *)
+      let pl_rows =
+        match Obs.Json.member "perf_lint" bench with
+        | Some (Obs.Json.Arr rows) -> rows
+        | _ -> fail "bench report %s: no perf_lint array" bench_path
+      in
+      if List.length pl_rows < 3 then
+        fail
+          "bench report %s: perf_lint expected sac off/fuse + mde rows, \
+           found %d"
+          bench_path (List.length pl_rows);
+      List.iter
+        (fun row ->
+          List.iter
+            (fun name ->
+              match Obs.Json.member name row with
+              | Some (Obs.Json.Num _) -> ()
+              | _ ->
+                  fail "bench report %s: perf_lint row missing field %s"
+                    bench_path name)
+            [
+              "kernels"; "buffers"; "findings"; "errors"; "warnings";
+              "notes"; "min_efficiency";
+            ];
+          if num "kernels" row <= 0. then
+            fail "bench report %s: perf_lint row linted no kernels" bench_path;
+          if num "buffers" row <= 0. then
+            fail "bench report %s: perf_lint row analyzed no buffers"
+              bench_path;
+          match Obs.Json.member "shipped_clean" row with
+          | Some (Obs.Json.Bool true) -> ()
+          | _ ->
+              fail
+                "bench report %s: shipped kernels of %s earn error-severity \
+                 perf lints"
+                bench_path (str "pipeline" row))
+        pl_rows);
   Printf.printf
     "observability artefacts ok: %d device events, %d host spans, %d \
      launches, %d served\n"

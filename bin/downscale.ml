@@ -82,13 +82,15 @@ let apply_domains = function
       Gpu.Context.set_default_mode
         (if n <= 1 then Gpu.Context.Sequential else Gpu.Context.Parallel n)
 
-let main rows cols frames pipeline out_dir domains opt trace metrics =
+let main rows cols frames pipeline out_dir domains opt perf_lint trace
+    metrics =
   if cols mod 8 <> 0 || rows mod 9 <> 0 then begin
     Printf.eprintf "rows must be a multiple of 9 and cols of 8\n";
     exit 2
   end;
   apply_domains domains;
   Optimizer.Mode.set_default opt;
+  Analysis.Config.set_perf_mode perf_lint;
   if trace <> None then Obs.Tracer.set_enabled true;
   let fmt = { Video.Format.name = "synthetic"; rows; cols } in
   let run =
@@ -188,6 +190,21 @@ let () =
              $(b,auto) (default) autotunes the plan under the device \
              cost model (memoised per shape).")
   in
+  let perf_lint =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("off", Analysis.Config.Off); ("lint", Analysis.Config.Lint);
+               ("strict", Analysis.Config.Strict) ])
+          Analysis.Config.Lint
+      & info [ "perf-lint" ]
+          ~doc:
+            "Performance-lint gate while compiling the pipeline's \
+             plan: off, lint (record ranked coalescing/divergence \
+             findings as metrics, the default) or strict (fail on \
+             error-severity lints).")
+  in
   let trace =
     Arg.(
       value
@@ -209,7 +226,7 @@ let () =
   let term =
     Term.(
       const main $ rows $ cols $ frames $ pipeline $ out $ domains $ opt
-      $ trace $ metrics)
+      $ perf_lint $ trace $ metrics)
   in
   exit
     (Cmd.eval'

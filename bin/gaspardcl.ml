@@ -6,8 +6,9 @@
 
 open Cmdliner
 
-let main rows cols out_dir show_model load save_model lint opt trace metrics
-    =
+let main rows cols out_dir show_model load save_model lint perf_lint opt
+    trace metrics =
+  Analysis.Config.set_perf_mode perf_lint;
   Optimizer.Mode.set_default opt;
   if trace <> None then Obs.Tracer.set_enabled true;
   let finish code =
@@ -43,15 +44,23 @@ let main rows cols out_dir show_model load save_model lint opt trace metrics
         List.iter
           (fun f -> Format.printf "%a@." Analysis.Finding.pp_long f)
           findings;
+        let perf = Mde.Verify.perf_check gen.Mde.Codegen.kernel_tasks in
+        List.iter
+          (fun f -> Format.printf "%a@." Analysis.Finding.pp_long f)
+          perf;
         Printf.printf
           "%d kernel(s) checked: %d finding(s) (%d error(s), %d \
-           warning(s), %d note(s))\n"
+           warning(s), %d note(s)); %d perf lint(s) (%d error(s))\n"
           (List.length gen.Mde.Codegen.kernel_tasks)
           (List.length findings)
           (Analysis.Finding.errors findings)
           (Analysis.Finding.warnings findings)
-          (Analysis.Finding.notes findings);
+          (Analysis.Finding.notes findings)
+          (List.length perf)
+          (Analysis.Finding.errors perf);
         Analysis.Finding.errors findings > 0
+        || (perf_lint = Analysis.Config.Strict
+           && Analysis.Finding.errors perf > 0)
       in
       (match out_dir with
       | None when lint -> ()
@@ -106,6 +115,21 @@ let () =
              exact-cover) for the generated kernels instead of the .cl \
              source; exit non-zero on error findings.")
   in
+  let perf_lint =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("off", Analysis.Config.Off); ("lint", Analysis.Config.Lint);
+               ("strict", Analysis.Config.Strict) ])
+          Analysis.Config.Lint
+      & info [ "perf-lint" ]
+          ~doc:
+            "Performance-lint gate over the static memory-behaviour \
+             analysis of the generated kernels: off, lint (record \
+             ranked findings as metrics/log entries, the default) or \
+             strict (fail the chain on error-severity lints).")
+  in
   let opt =
     Arg.(
       value
@@ -148,7 +172,7 @@ let () =
   let term =
     Term.(
       const main $ rows $ cols $ out $ show_model $ load $ save_model $ lint
-      $ opt $ trace $ metrics)
+      $ perf_lint $ opt $ trace $ metrics)
   in
   exit
     (Cmd.eval'

@@ -45,6 +45,21 @@ let domains_arg =
            positive; 1 forces fully sequential runs, omit to keep the \
            machine default).")
 
+let perf_lint_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("off", Analysis.Config.Off); ("lint", Analysis.Config.Lint);
+             ("strict", Analysis.Config.Strict) ])
+        Analysis.Config.Lint
+    & info [ "perf-lint" ]
+        ~doc:
+          "Performance-lint gate applied wherever plans are compiled: \
+           off, lint (record ranked coalescing/divergence findings as \
+           metrics, the default) or strict (fail on error-severity \
+           lints).")
+
 let opt_arg =
   Arg.(
     value
@@ -150,6 +165,15 @@ let run_validate () =
    gate; set by run_lint, consumed at exit. *)
 let lint_errors = ref 0
 
+let run_perf_lint scale =
+  let reports = Study.Experiments.perf_lint ~scale () in
+  print_string (Study.Report.perf_lint reports);
+  lint_errors :=
+    List.fold_left
+      (fun acc (r : Study.Experiments.perf_report) ->
+        acc + Analysis.Finding.errors r.Study.Experiments.pl_findings)
+      0 reports
+
 let run_lint scale =
   let reports = Study.Experiments.lint ~scale () in
   print_string (Study.Report.lint reports);
@@ -204,23 +228,24 @@ let run_all scale =
   print_newline ();
   run_validate ()
 
-let with_domains f domains opt trace metrics scale =
+let with_domains f domains opt perf_lint trace metrics scale =
   apply_domains domains;
   Optimizer.Mode.set_default opt;
+  Analysis.Config.set_perf_mode perf_lint;
   with_obs ~trace ~metrics (fun () -> f scale)
 
 let cmd_of name doc f =
   Cmd.v (Cmd.info name ~doc)
     Term.(
-      const (with_domains f) $ domains_arg $ opt_arg $ trace_arg
-      $ metrics_arg $ scale_args)
+      const (with_domains f) $ domains_arg $ opt_arg $ perf_lint_arg
+      $ trace_arg $ metrics_arg $ scale_args)
 
 let () =
   let doc = "Reproduce the evaluation of the SAC/ArrayOL GPU study" in
   let default =
     Term.(
-      const (with_domains run_all) $ domains_arg $ opt_arg $ trace_arg
-      $ metrics_arg $ scale_args)
+      const (with_domains run_all) $ domains_arg $ opt_arg $ perf_lint_arg
+      $ trace_arg $ metrics_arg $ scale_args)
   in
   let cmd =
     Cmd.group ~default (Cmd.info "repro" ~doc)
@@ -248,6 +273,12 @@ let () =
           "Stream-overlap model: what double-buffered transfers would \
            recover in each pipeline"
           run_overlap;
+        cmd_of "perf-lint"
+          "Static memory-behaviour analysis of every kernel both \
+           pipelines generate: proven access class, burst, coalescing \
+           efficiency and modelled bandwidth per buffer stream, with \
+           the ranked perf findings; exits non-zero on error findings"
+          run_perf_lint;
         cmd_of "kernel-lint"
           "Static analysis of every kernel both pipelines generate \
            (bounds, races, transfer residency); exits non-zero on \
@@ -256,11 +287,13 @@ let () =
         Cmd.v
           (Cmd.info "validate" ~doc:"Cross-pipeline functional validation")
           Term.(
-            const (fun n opt trace metrics () ->
+            const (fun n opt perf_lint trace metrics () ->
                 apply_domains n;
                 Optimizer.Mode.set_default opt;
+                Analysis.Config.set_perf_mode perf_lint;
                 with_obs ~trace ~metrics run_validate)
-            $ domains_arg $ opt_arg $ trace_arg $ metrics_arg $ const ());
+            $ domains_arg $ opt_arg $ perf_lint_arg $ trace_arg
+            $ metrics_arg $ const ());
       ]
   in
   let code = Cmd.eval cmd in

@@ -27,9 +27,10 @@ let builtin_source name rows cols =
       Some (Sac.Programs.vertical ~generic:true ~rows ~cols)
   | _ -> None
 
-let main input builtin from_model generic rows cols emit entry verify opt
-    trace metrics =
+let main input builtin from_model generic rows cols emit entry verify
+    perf_lint opt trace metrics =
   Analysis.Config.set_mode verify;
+  Analysis.Config.set_perf_mode perf_lint;
   Optimizer.Mode.set_default opt;
   if trace <> None then Obs.Tracer.set_enabled true;
   Fun.protect ~finally:(fun () ->
@@ -91,23 +92,33 @@ let main input builtin from_model generic rows cols emit entry verify opt
           issues;
         if issues <> [] then lint_code := 1
         else begin
-          (* The compile gate is off here so every kernel is analyzed
-             exactly once, below, whatever --verify says. *)
+          (* The compile gates are off here so every kernel is analyzed
+             exactly once, below, whatever --verify/--perf-lint say. *)
           Analysis.Config.set_mode Analysis.Config.Off;
+          Analysis.Config.set_perf_mode Analysis.Config.Off;
           let plan, _ = Sac_cuda.Compile.plan_of_source source ~entry in
           let findings = Sac_cuda.Verify.check plan in
           List.iter
             (fun f -> Format.printf "%a@." Analysis.Finding.pp_long f)
             findings;
+          let perf = Sac_cuda.Verify.perf_check plan in
+          List.iter
+            (fun f -> Format.printf "%a@." Analysis.Finding.pp_long f)
+            perf;
           Printf.printf
             "%d kernel(s) checked: %d finding(s) (%d error(s), %d \
-             warning(s), %d note(s))\n"
+             warning(s), %d note(s)); %d perf lint(s) (%d error(s))\n"
             (Sac_cuda.Plan.kernel_count plan)
             (List.length findings)
             (Analysis.Finding.errors findings)
             (Analysis.Finding.warnings findings)
-            (Analysis.Finding.notes findings);
-          if Analysis.Finding.errors findings > 0 then lint_code := 1
+            (Analysis.Finding.notes findings)
+            (List.length perf)
+            (Analysis.Finding.errors perf);
+          if Analysis.Finding.errors findings > 0 then lint_code := 1;
+          if perf_lint = Analysis.Config.Strict
+             && Analysis.Finding.errors perf > 0
+          then lint_code := 1
         end
     | Run ->
         let plan, _ = Sac_cuda.Compile.plan_of_source source ~entry in
@@ -209,6 +220,23 @@ let () =
              lint (record findings as metrics/log entries) or strict \
              (abort compilation on error findings).")
   in
+  let perf_lint =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("off", Analysis.Config.Off); ("lint", Analysis.Config.Lint);
+               ("strict", Analysis.Config.Strict) ])
+          Analysis.Config.Lint
+      & info [ "perf-lint" ]
+          ~doc:
+            "Performance-lint gate over the static memory-behaviour \
+             analysis (coalescing, warp divergence, redundant reads): \
+             off, lint (record ranked findings as metrics/log entries, \
+             the default) or strict (abort compilation on \
+             error-severity lints such as uncoalesced hot-buffer \
+             access).")
+  in
   let opt =
     Arg.(
       value
@@ -251,7 +279,7 @@ let () =
   let term =
     Term.(
       const main $ input $ builtin $ from_model $ generic $ rows $ cols
-      $ emit $ entry $ verify $ opt $ trace $ metrics)
+      $ emit $ entry $ verify $ perf_lint $ opt $ trace $ metrics)
   in
   let info =
     Cmd.info "sacc" ~doc:"SAC to CUDA compiler (simulated device)"

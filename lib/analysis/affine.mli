@@ -11,6 +11,46 @@
     SAC kernelizer's blocked index bindings and the MDE tiler
     addresses. *)
 
+type var =
+  | G of int  (** grid id of dimension [d] *)
+  | Q of int * int  (** [gid d / w]: quotient block of a split dimension *)
+  | R of int * int  (** [gid d mod w]: remainder within a split block *)
+
+type form = { const : int; terms : (var * int) list }
+(** Affine form [const + sum coeff_i * var_i] of an index expression. *)
+
+val const_form : int -> form
+
+val add_forms : form -> form -> form
+
+val sub_forms : form -> form -> form
+
+val scale_form : int -> form -> form
+
+val var_count : int array -> var -> int
+(** Number of values the variable ranges over under the given grid. *)
+
+val form_interval : int array -> form -> Interval.t
+
+exception Not_affine
+
+val collect_splits : Gpu.Kir.t -> (int, int) Hashtbl.t
+(** Pass 1 of extraction: the width by which each grid dimension is
+    split ([gid/w] or [gid mod w] with a literal [w >= 2]).  Raises
+    {!Not_affine} on conflicting widths. *)
+
+val form_of :
+  grid:int array ->
+  splits:(int, int) Hashtbl.t ->
+  env:(string * (form * bool)) list ->
+  exact:bool ref ->
+  Gpu.Kir.expr ->
+  form
+(** Pass 2: linear form of an expression under the split map, with an
+    environment of let-bound forms (each tagged exact).  Clears [exact]
+    on truncated split blocks; raises {!Not_affine} on parameters,
+    reads and non-affine operators. *)
+
 type sset = {
   base : int;
   strides : (int * int) list;  (** (coeff, count) per grid variable *)

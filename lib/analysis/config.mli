@@ -1,4 +1,4 @@
-(** Process-wide analyzer mode for the verification gates. *)
+(** Process-wide analyzer modes for the verification gates. *)
 
 type mode =
   | Off  (** skip analysis *)
@@ -8,8 +8,27 @@ type mode =
 val set_mode : mode -> unit
 
 val mode : unit -> mode
-(** Defaults to [Lint]. *)
+(** Correctness-gate mode (bounds, races, residency).  Defaults to
+    [Lint]. *)
+
+val set_perf_mode : mode -> unit
+
+val perf_mode : unit -> mode
+(** Performance-lint gate mode (coalescing, divergence, overlap,
+    launch-shape findings).  Independent of {!mode}; defaults to
+    [Lint]. *)
 
 val mode_of_string : string -> mode option
 
 val mode_to_string : mode -> string
+
+val default_findings_cap : int
+(** 64, the historical hard-coded Kir_check budget. *)
+
+val set_findings_cap : int -> unit
+(** Set the per-kernel finding budget of the interval verifier
+    (clamped to at least 1). *)
+
+val findings_cap : unit -> int
+(** Current budget; truncated findings are counted in the
+    [analysis.findings_dropped] metric. *)

@@ -21,6 +21,11 @@ type kind =
   | Dead_item
   | Bad_kernel
   | Analysis_skipped
+  | Uncoalesced_access
+  | Divergent_branch
+  | Redundant_reads
+  | Stranded_lanes
+  | Bank_conflict
 
 type t = {
   kind : kind;
@@ -49,6 +54,11 @@ let kind_label = function
   | Dead_item -> "dead-item"
   | Bad_kernel -> "bad-kernel"
   | Analysis_skipped -> "analysis-skipped"
+  | Uncoalesced_access -> "uncoalesced-access"
+  | Divergent_branch -> "divergent-branch"
+  | Redundant_reads -> "redundant-reads"
+  | Stranded_lanes -> "stranded-lanes"
+  | Bank_conflict -> "bank-conflict"
 
 let severity_label = function
   | Error -> "error"
@@ -99,17 +109,64 @@ let record findings =
 let kernels_checked n = Obs.Metrics.add (Obs.Metrics.counter m_kernels) n
 let plan_checked () = Obs.Metrics.incr (Obs.Metrics.counter m_plans)
 
-let gate ~what findings =
-  match Config.mode () with
+let m_dropped = "analysis.findings_dropped"
+
+let findings_dropped n =
+  if n > 0 then Obs.Metrics.add (Obs.Metrics.counter m_dropped) n
+
+(* Performance lints live in their own metric namespace so the bench
+   report can tell correctness findings from perf findings apart. *)
+let m_perf_findings = "analysis.perf.findings"
+let m_perf_errors = "analysis.perf.errors"
+let m_perf_warnings = "analysis.perf.warnings"
+let m_perf_notes = "analysis.perf.notes"
+let m_perf_kernels = "analysis.perf.kernels_checked"
+
+let perf_record findings =
+  List.iter
+    (fun f ->
+      Obs.Metrics.incr (Obs.Metrics.counter m_perf_findings);
+      (match f.severity with
+      | Error -> Obs.Metrics.incr (Obs.Metrics.counter m_perf_errors)
+      | Warning -> Obs.Metrics.incr (Obs.Metrics.counter m_perf_warnings)
+      | Note -> Obs.Metrics.incr (Obs.Metrics.counter m_perf_notes));
+      let log_level =
+        match f.severity with
+        | Error -> Logs.Error
+        | Warning -> Logs.Warning
+        | Note -> Logs.Info
+      in
+      Log.msg log_level (fun k -> k "%a" pp_long f))
+    findings
+
+let perf_kernels_checked n =
+  Obs.Metrics.add (Obs.Metrics.counter m_perf_kernels) n
+
+let gate_under mode ~verb ~what findings =
+  match mode with
   | Config.Off -> Ok ()
-  | Config.Lint ->
-      record findings;
-      Ok ()
-  | Config.Strict ->
-      record findings;
-      let errs = List.filter (fun f -> f.severity = Error) findings in
+  | Config.Lint | Config.Strict ->
+      let errs =
+        if mode = Config.Strict then
+          List.filter (fun f -> f.severity = Error) findings
+        else []
+      in
       if errs = [] then Ok ()
       else
         Error
-          (Format.asprintf "verification of %s failed: %d error(s); first: %a"
+          (Format.asprintf "%s of %s failed: %d error(s); first: %a" verb
              what (List.length errs) pp (List.hd errs))
+
+let gate ~what findings =
+  match Config.mode () with
+  | Config.Off -> Ok ()
+  | mode ->
+      record findings;
+      gate_under mode ~verb:"verification" ~what findings
+
+let perf_gate ~what findings =
+  match Config.perf_mode () with
+  | Config.Off -> Ok ()
+  | mode ->
+      perf_record findings;
+      gate_under mode ~verb:"perf lint" ~what findings

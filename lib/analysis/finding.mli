@@ -24,6 +24,14 @@ type kind =
   | Dead_item  (** Copy/Const_array whose target is never consumed *)
   | Bad_kernel  (** kernel fails structural validation *)
   | Analysis_skipped  (** problem too large for the configured budget *)
+  | Uncoalesced_access
+      (** warp lanes scatter across memory segments on a hot buffer *)
+  | Divergent_branch  (** branch condition varies across a warp's lanes *)
+  | Redundant_reads
+      (** warp re-reads addresses a scratchpad stage would hold *)
+  | Stranded_lanes  (** launch shape leaves warp lanes idle *)
+  | Bank_conflict
+      (** staged loads would serialise on shared-memory banks *)
 
 type t = {
   kind : kind;
@@ -71,3 +79,17 @@ val gate : what:string -> t list -> (unit, string) result
 (** Apply the configured {!Config.mode}: [Off] ignores the findings,
     [Lint] records them and succeeds, [Strict] records them and fails
     when any has [Error] severity. *)
+
+val findings_dropped : int -> unit
+(** Count [n] findings a checker truncated past its budget into the
+    [analysis.findings_dropped] metric (no-op for [n <= 0]). *)
+
+val perf_record : t list -> unit
+(** Like {!record} but into the [analysis.perf.*] metric namespace. *)
+
+val perf_kernels_checked : int -> unit
+(** Bump the [analysis.perf.kernels_checked] counter by [n]. *)
+
+val perf_gate : what:string -> t list -> (unit, string) result
+(** {!gate} under {!Config.perf_mode}, recording into the
+    [analysis.perf.*] metrics. *)

@@ -20,8 +20,6 @@ type ctx = {
 
 let report ctx f = ctx.findings <- f :: ctx.findings
 
-let max_findings = 64
-
 let mark_used ctx name = Hashtbl.replace ctx.used name ()
 
 let check_access ctx ~write buf (idx : Interval.t) =
@@ -163,11 +161,15 @@ let check ?(file = "kir") ?(scalars = []) ~buffers ~grid (k : Kir.t) :
           k.Kir.params
       end);
   let fs = List.rev ctx.findings in
-  if List.length fs > max_findings then (
+  let max_findings = Config.findings_cap () in
+  if List.length fs > max_findings then begin
     let kept = List.filteri (fun i _ -> i < max_findings) fs in
+    let dropped = List.length fs - max_findings in
+    Finding.findings_dropped dropped;
     kept
     @ [
         Finding.v Finding.Analysis_skipped Finding.Note ~file ~where:k.Kir.kname
-          "%d further finding(s) suppressed" (List.length fs - max_findings);
-      ])
+          "%d further finding(s) suppressed (budget %d)" dropped max_findings;
+      ]
+  end
   else fs

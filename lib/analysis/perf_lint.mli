@@ -1,0 +1,29 @@
+(** Ranked performance lints from the static memory-behaviour analysis.
+
+    Combines {!Gpu.Kir.static_cost}'s warp summary (coalescing
+    efficiency, read overlap, bank conflicts, divergence, stranded
+    lanes) with {!Access}'s symbolic stride proofs and emits
+    {!Finding.t}s ranked by modelled cost: uncoalesced hot-buffer
+    access is the only error-severity finding — shipped kernels pass a
+    strict gate, a gid-transposed mutant fails it. *)
+
+val check :
+  ?file:string ->
+  ?scalars:(string * int) list ->
+  ?device:Gpu.Device.t ->
+  ?split:int ->
+  grid:Ndarray.Shape.t ->
+  Gpu.Kir.t ->
+  Finding.t list
+(** Lint one kernel launch.  Kernels the static interpreter cannot
+    decide produce a single [Analysis_skipped] note. *)
+
+val check_group :
+  ?file:string ->
+  ?scalars:(string * int) list ->
+  ?device:Gpu.Device.t ->
+  ?split:int ->
+  (Gpu.Kir.t * Ndarray.Shape.t) list ->
+  Finding.t list
+(** Lint every [(kernel, grid)] launch of a plan, bumping the
+    [analysis.perf.kernels_checked] metric. *)

@@ -232,11 +232,32 @@ let cost_key_of kernel ~grid ~args =
         args;
   }
 
+let m_cost_static = Obs.Metrics.counter "gpu.cost_static"
+
 let profile_with_span kernel ~args ~grid =
   let t0 = Obs.Tracer.start () in
   let c = Kir.profile_threads kernel ~args ~grid in
   Obs.Tracer.finish ~cat:"gpu" "kernel.cost_profile" t0;
   c
+
+(* Data-independent kernels get their cost derived statically: same
+   numbers as an executed profile (asserted in runtest on every
+   built-in kernel), plus the access summary the perf model and the
+   linter consume.  Kernels the static interpreter cannot decide fall
+   back to instrumented execution. *)
+let derive_cost kernel ~args ~grid =
+  let scalars =
+    List.filter_map
+      (function n, Kir.Scalar_arg v -> Some (n, v) | _ -> None)
+      args
+  in
+  let t0 = Obs.Tracer.start () in
+  match Kir.static_cost ~scalars kernel ~grid with
+  | Ok c ->
+      Obs.Tracer.finish ~cat:"gpu" "kernel.cost_static" t0;
+      Obs.Metrics.incr m_cost_static;
+      c
+  | Error _ -> profile_with_span kernel ~args ~grid
 
 let cost_of t kernel ~grid ~args =
   if not (Kir.cost_data_independent kernel) then
@@ -256,10 +277,10 @@ let cost_of t kernel ~grid ~args =
           match cached with
           | Some c -> (c, true)
           | None ->
-              (* Profiled outside the lock: profiling is pure for
+              (* Derived outside the lock: the derivation is pure for
                  data-independent kernels, so a racing duplicate just
                  recomputes the same value. *)
-              let c = profile_with_span kernel ~args ~grid in
+              let c = derive_cost kernel ~args ~grid in
               Mutex.lock global_costs_lock;
               if not (Hashtbl.mem global_costs key) then
                 Hashtbl.add global_costs key c;

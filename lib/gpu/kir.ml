@@ -468,12 +468,57 @@ let run_grid ?(domains = 1) compiled grid =
 (* Instrumented interpretation for cost profiling                      *)
 (* ------------------------------------------------------------------ *)
 
+(* Static memory-behaviour summary attached to costs derived without
+   executing the kernel (see {!static_cost} at the bottom of this
+   file).  Warp-level quantities are modelled over the simulator's
+   32-lane warps: a "segment" is a 32-word (128-byte) aligned span of a
+   buffer, the granularity a coalesced transaction fetches. *)
+
+type buffer_access = {
+  ba_buffer : string;
+  ba_reads : float;  (** mean reads per sampled thread on this buffer *)
+  ba_class : [ `Row | `Column | `Gather ];
+  ba_burst : float;  (** mean per-thread consecutive-address run length *)
+  ba_efficiency : float;
+      (** warp coalescing efficiency: useful words / fetched words over
+          the sampled warps' per-step transactions, in [0, 1] *)
+  ba_overlap : float;
+      (** fraction of warp read events re-fetching an address some lane
+          of the warp already read — the reuse a scratchpad stage would
+          absorb *)
+  ba_bank_conflict : int;
+      (** modelled shared-memory conflict degree if the warp's loads
+          were staged: max lanes hitting one of 32 banks in a step *)
+}
+
+type branch_summary = {
+  br_site : string;  (** rendered condition of the [If] *)
+  br_divergent : bool;
+      (** some sampled warp's lanes took different decision sequences *)
+  br_ops : float;  (** mean ops per thread inside the branch region *)
+  br_stores : float;  (** mean stores per thread inside the region *)
+}
+
+type access_summary = {
+  as_buffers : buffer_access list;  (** in kernel-parameter order *)
+  as_branches : branch_summary list;  (** in program order *)
+  as_divergent_branches : int;
+  as_divergent_ops : float;
+      (** mean per-thread ops inside divergent regions — lanes of a
+          mixed warp serialise these *)
+  as_stranded_lanes : int;
+      (** idle lanes of the last warp: (32 - total mod 32) mod 32 *)
+  as_warp_size : int;
+}
+
 type cost = {
   reads_per_thread : float;
   writes_per_thread : float;
   ops_per_thread : float;
   access : [ `Row | `Column | `Gather ];
   read_burst : float;
+  summary : access_summary option;
+      (** present when the cost was derived statically *)
 }
 
 type trace = {
@@ -592,7 +637,7 @@ let profile_threads kernel ~args ~grid =
   let total = Ndarray.Shape.size grid in
   if total = 0 then
     { reads_per_thread = 0.; writes_per_thread = 0.; ops_per_thread = 0.;
-      access = `Row; read_burst = 1.0 }
+      access = `Row; read_burst = 1.0; summary = None }
   else begin
     let samples = min total 64 in
     let step = max 1 (total / samples) in
@@ -628,6 +673,7 @@ let profile_threads kernel ~args ~grid =
       ops_per_thread = float_of_int !ops /. nf;
       access;
       read_burst = !burst_sum /. nf;
+      summary = None;
     }
   end
 
@@ -695,3 +741,437 @@ let pp ppf k =
        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
        pp_param)
     k.params k.grid_rank pp_stmts k.body
+
+(* ------------------------------------------------------------------ *)
+(* Static (data-free) cost derivation                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* {!static_cost} re-derives the {!profile_threads} numbers without
+   touching buffer data: buffer loads evaluate to an opaque value, and
+   the interpreter demands that every address, branch condition and
+   loop bound still reduce to a concrete integer.  For any kernel that
+   passes {!cost_data_independent} this succeeds and — because it
+   mirrors [interp_thread]'s evaluation and counting order and samples
+   the identical thread set — reproduces the executed profile exactly,
+   while additionally deriving warp-level structure (coalescing
+   efficiency, read overlap, bank-conflict degree, divergence) from
+   three densely sampled warps. *)
+
+exception Static_blocked of string
+
+type sval = Known of int | Unknown
+
+(* [If] statements annotated with stable site ids, so decision traces
+   from different lanes can be compared per branch. *)
+type astmt =
+  | S_let of string * expr
+  | S_store of string * expr * expr
+  | S_if of int * expr * astmt list * astmt list
+  | S_for of string * expr * expr * astmt list
+
+let annotate body =
+  let sites = ref [] in
+  let next = ref 0 in
+  let rec stmts ss = List.map stmt ss
+  and stmt = function
+    | Let (n, e) -> S_let (n, e)
+    | Store (b, i, v) -> S_store (b, i, v)
+    | If (c, t, e) ->
+        let id = !next in
+        incr next;
+        sites := (id, Format.asprintf "if (%a)" pp_expr c) :: !sites;
+        (* Children annotated after the parent: program order. *)
+        S_if (id, c, stmts t, stmts e)
+    | For { var; lo; hi; body } -> S_for (var, lo, hi, stmts body)
+  in
+  let b = stmts body in
+  (b, List.rev !sites)
+
+type strace = {
+  mutable s_reads : int;
+  mutable s_writes : int;
+  mutable s_ops : int;
+  mutable s_read_addrs : int list;  (* reversed, like [trace] *)
+  s_buf_addrs : (string, int list ref) Hashtbl.t;  (* reversed per buffer *)
+  s_decisions : (int, bool list ref) Hashtbl.t;  (* reversed per If site *)
+  s_site_ops : int array;
+  s_site_stores : int array;
+}
+
+let new_strace ~nsites =
+  {
+    s_reads = 0;
+    s_writes = 0;
+    s_ops = 0;
+    s_read_addrs = [];
+    s_buf_addrs = Hashtbl.create 4;
+    s_decisions = Hashtbl.create 4;
+    s_site_ops = Array.make (max 1 nsites) 0;
+    s_site_stores = Array.make (max 1 nsites) 0;
+  }
+
+let known what = function
+  | Known v -> v
+  | Unknown -> raise (Static_blocked what)
+
+let static_thread ~scalars ~gid body trace =
+  let rec eval env = function
+    | Int n -> Known n
+    | Gid d -> Known gid.(d)
+    | Param name -> (
+        match List.assoc_opt name scalars with
+        | Some v -> Known v
+        | None ->
+            raise
+              (Static_blocked
+                 (Printf.sprintf "no static value for scalar %s" name)))
+    | Var name -> List.assoc name env
+    | Read (buf, idx) ->
+        let i = known "buffer-dependent read address" (eval env idx) in
+        trace.s_reads <- trace.s_reads + 1;
+        trace.s_read_addrs <- i :: trace.s_read_addrs;
+        (match Hashtbl.find_opt trace.s_buf_addrs buf with
+        | Some l -> l := i :: !l
+        | None -> Hashtbl.add trace.s_buf_addrs buf (ref [ i ]));
+        Unknown
+    | Bin (op, a, b) -> (
+        (* Same counting as [interp_thread]: one op, both operands
+           evaluated unconditionally — right-to-left, matching the
+           argument evaluation order of its [apply_binop] call, so the
+           issue order of read addresses (and hence burst) agrees. *)
+        trace.s_ops <- trace.s_ops + 1;
+        let vb = eval env b in
+        let va = eval env a in
+        match (op, va, vb) with
+        | (Div | Mod), _, Known 0 ->
+            raise (Static_blocked "division or modulo by zero")
+        | _, Known x, Known y -> Known (apply_binop op x y)
+        | (Div | Mod), _, Unknown ->
+            raise (Static_blocked "buffer-dependent divisor")
+        | And, Known 0, _ | And, _, Known 0 -> Known 0
+        | Or, Known x, _ when x <> 0 -> Known 1
+        | Or, _, Known y when y <> 0 -> Known 1
+        | Mul, Known 0, _ | Mul, _, Known 0 -> Known 0
+        | _ -> Unknown)
+    | Select (c, a, b) ->
+        trace.s_ops <- trace.s_ops + 1;
+        if known "buffer-dependent select condition" (eval env c) <> 0 then
+          eval env a
+        else eval env b
+  in
+  let rec exec env = function
+    | [] -> env
+    | S_let (name, e) :: rest -> exec ((name, eval env e) :: env) rest
+    | S_store (_, idx, v) :: rest ->
+        let _ = known "buffer-dependent store address" (eval env idx) in
+        let _ = eval env v in
+        trace.s_writes <- trace.s_writes + 1;
+        exec env rest
+    | S_if (site, c, then_, else_) :: rest ->
+        let taken = known "buffer-dependent branch" (eval env c) <> 0 in
+        (match Hashtbl.find_opt trace.s_decisions site with
+        | Some l -> l := taken :: !l
+        | None -> Hashtbl.add trace.s_decisions site (ref [ taken ]));
+        let ops0 = trace.s_ops and st0 = trace.s_writes in
+        ignore (exec env (if taken then then_ else else_));
+        trace.s_site_ops.(site) <-
+          trace.s_site_ops.(site) + (trace.s_ops - ops0);
+        trace.s_site_stores.(site) <-
+          trace.s_site_stores.(site) + (trace.s_writes - st0);
+        exec env rest
+    | S_for (var, lo, hi, body) :: rest ->
+        let stop = known "buffer-dependent loop bound" (eval env hi) in
+        let i = ref (known "buffer-dependent loop bound" (eval env lo)) in
+        while !i < stop do
+          ignore (exec ((var, Known !i) :: env) body);
+          incr i
+        done;
+        exec env rest
+  in
+  ignore (exec [] body)
+
+let warp_size = 32
+
+(* Floor division for (defensively) possibly-negative addresses. *)
+let seg_of a = if a >= 0 then a / warp_size else ((a + 1) / warp_size) - 1
+
+type bstat = {
+  mutable b_reads : int;
+  mutable b_burst : float;
+  mutable b_threads : int;  (* sampled threads that touched the buffer *)
+  mutable b_row : int;
+  mutable b_col : int;
+  mutable b_gather : int;
+  (* warp-dense phase *)
+  mutable b_events : int;  (* read events across sampled warps *)
+  mutable b_distinct : int;  (* distinct addresses across sampled warps *)
+  mutable b_useful : int;  (* distinct words the warp consumes *)
+  mutable b_fetched : int;  (* words of the distinct segments fetched *)
+  mutable b_bank : int;  (* max bank-conflict degree over steps *)
+}
+
+let bstat_of tbl name =
+  match Hashtbl.find_opt tbl name with
+  | Some s -> s
+  | None ->
+      let s =
+        { b_reads = 0; b_burst = 0.; b_threads = 0; b_row = 0; b_col = 0;
+          b_gather = 0; b_events = 0; b_distinct = 0; b_useful = 0;
+          b_fetched = 0; b_bank = 0 }
+      in
+      Hashtbl.add tbl name s;
+      s
+
+let static_cost ?(scalars = []) kernel ~grid =
+  match validate kernel with
+  | Error m -> Error (Printf.sprintf "invalid kernel: %s" m)
+  | Ok () ->
+      if not (cost_data_independent kernel) then
+        Error "thread cost depends on buffer contents"
+      else begin
+        let body, sites = annotate kernel.body in
+        let nsites = List.length sites in
+        let total = Ndarray.Shape.size grid in
+        let stranded = (warp_size - (total mod warp_size)) mod warp_size in
+        if total = 0 then
+          Ok
+            {
+              reads_per_thread = 0.; writes_per_thread = 0.;
+              ops_per_thread = 0.; access = `Row; read_burst = 1.0;
+              summary =
+                Some
+                  {
+                    as_buffers = []; as_branches = [];
+                    as_divergent_branches = 0; as_divergent_ops = 0.;
+                    as_stranded_lanes = 0; as_warp_size = warp_size;
+                  };
+            }
+        else
+          try
+            (* Phase A: replicate [profile_threads]' thread sample and
+               aggregation bit-for-bit, with per-buffer splits. *)
+            let samples = min total 64 in
+            let step = max 1 (total / samples) in
+            let reads = ref 0 and writes = ref 0 and ops = ref 0 in
+            let votes_row = ref 0
+            and votes_col = ref 0
+            and votes_gather = ref 0 in
+            let burst_sum = ref 0.0 in
+            let n = ref 0 in
+            let bstats : (string, bstat) Hashtbl.t = Hashtbl.create 4 in
+            let lin = ref 0 in
+            while !lin < total do
+              let gid = Ndarray.Index.unravel grid !lin in
+              let tr = new_strace ~nsites in
+              static_thread ~scalars ~gid body tr;
+              reads := !reads + tr.s_reads;
+              writes := !writes + tr.s_writes;
+              ops := !ops + tr.s_ops;
+              burst_sum := !burst_sum +. burst_of_addrs tr.s_read_addrs;
+              (match classify_addrs tr.s_read_addrs with
+              | `Row -> incr votes_row
+              | `Column -> incr votes_col
+              | `Gather -> incr votes_gather);
+              Hashtbl.iter
+                (fun b l ->
+                  let st = bstat_of bstats b in
+                  st.b_reads <- st.b_reads + List.length !l;
+                  st.b_burst <- st.b_burst +. burst_of_addrs !l;
+                  st.b_threads <- st.b_threads + 1;
+                  match classify_addrs !l with
+                  | `Row -> st.b_row <- st.b_row + 1
+                  | `Column -> st.b_col <- st.b_col + 1
+                  | `Gather -> st.b_gather <- st.b_gather + 1)
+                tr.s_buf_addrs;
+              incr n;
+              lin := !lin + step
+            done;
+            let nf = float_of_int !n in
+            let access =
+              if !votes_gather > !votes_row && !votes_gather > !votes_col
+              then `Gather
+              else if !votes_col > !votes_row then `Column
+              else `Row
+            in
+            (* Phase B: three dense warps (first, middle, last) for the
+               cross-lane structure the per-thread sample cannot see. *)
+            let starts =
+              let align l = l / warp_size * warp_size in
+              List.sort_uniq compare
+                [ 0; align (total / 2); align (total - 1) ]
+            in
+            let site_div = Array.make (max 1 nsites) false in
+            let site_ops_sum = Array.make (max 1 nsites) 0 in
+            let site_stores_sum = Array.make (max 1 nsites) 0 in
+            let lane_count = ref 0 in
+            List.iter
+              (fun start ->
+                let lanes = min warp_size (total - start) in
+                let traces =
+                  Array.init lanes (fun l ->
+                      let gid = Ndarray.Index.unravel grid (start + l) in
+                      let tr = new_strace ~nsites in
+                      static_thread ~scalars ~gid body tr;
+                      tr)
+                in
+                lane_count := !lane_count + lanes;
+                for s = 0 to nsites - 1 do
+                  let dec l =
+                    match Hashtbl.find_opt traces.(l).s_decisions s with
+                    | Some r -> List.rev !r
+                    | None -> []
+                  in
+                  let d0 = dec 0 in
+                  let div = ref false in
+                  for l = 1 to lanes - 1 do
+                    if dec l <> d0 then div := true
+                  done;
+                  if !div && lanes > 1 then site_div.(s) <- true;
+                  Array.iter
+                    (fun tr ->
+                      site_ops_sum.(s) <-
+                        site_ops_sum.(s) + tr.s_site_ops.(s);
+                      site_stores_sum.(s) <-
+                        site_stores_sum.(s) + tr.s_site_stores.(s))
+                    traces
+                done;
+                let bufs =
+                  Array.fold_left
+                    (fun acc tr ->
+                      Hashtbl.fold (fun b _ acc -> Sset.add b acc)
+                        tr.s_buf_addrs acc)
+                    Sset.empty traces
+                in
+                Sset.iter
+                  (fun b ->
+                    let per_lane =
+                      Array.map
+                        (fun tr ->
+                          match Hashtbl.find_opt tr.s_buf_addrs b with
+                          | Some r -> Array.of_list (List.rev !r)
+                          | None -> [||])
+                        traces
+                    in
+                    let maxlen =
+                      Array.fold_left
+                        (fun m a -> max m (Array.length a))
+                        0 per_lane
+                    in
+                    let st = bstat_of bstats b in
+                    let seen = Hashtbl.create 64 in
+                    for k = 0 to maxlen - 1 do
+                      let step_addrs =
+                        Array.fold_left
+                          (fun acc a ->
+                            if k < Array.length a then a.(k) :: acc else acc)
+                          [] per_lane
+                      in
+                      let distinct = List.sort_uniq compare step_addrs in
+                      st.b_events <- st.b_events + List.length step_addrs;
+                      List.iter
+                        (fun a ->
+                          if not (Hashtbl.mem seen a) then
+                            Hashtbl.add seen a ())
+                        distinct;
+                      let banks = Hashtbl.create 32 in
+                      List.iter
+                        (fun a ->
+                          let bk = ((a mod warp_size) + warp_size) mod warp_size in
+                          let c =
+                            Option.value ~default:0 (Hashtbl.find_opt banks bk)
+                          in
+                          Hashtbl.replace banks bk (c + 1))
+                        distinct;
+                      Hashtbl.iter
+                        (fun _ c -> if c > st.b_bank then st.b_bank <- c)
+                        banks
+                    done;
+                    (* Cache-amortised coalescing: a segment fetched at
+                       one transaction step stays resident for the
+                       warp's later steps (the Fermi L1 assumption), so
+                       efficiency is the distinct words consumed over
+                       the words of the distinct segments fetched —
+                       strided-burst row walks amortise to ~1.0 while a
+                       transposed walk still wastes 31/32 of each line. *)
+                    let segs = Hashtbl.create 16 in
+                    Hashtbl.iter
+                      (fun a () ->
+                        let s = seg_of a in
+                        if not (Hashtbl.mem segs s) then Hashtbl.add segs s ())
+                      seen;
+                    st.b_useful <- st.b_useful + Hashtbl.length seen;
+                    st.b_fetched <-
+                      st.b_fetched + (warp_size * Hashtbl.length segs);
+                    st.b_distinct <- st.b_distinct + Hashtbl.length seen)
+                  bufs)
+              starts;
+            let lanes_f = float_of_int (max 1 !lane_count) in
+            let branches =
+              List.map
+                (fun (id, label) ->
+                  {
+                    br_site = label;
+                    br_divergent = site_div.(id);
+                    br_ops = float_of_int site_ops_sum.(id) /. lanes_f;
+                    br_stores = float_of_int site_stores_sum.(id) /. lanes_f;
+                  })
+                sites
+            in
+            let divergent = List.filter (fun b -> b.br_divergent) branches in
+            let buffers =
+              List.filter_map
+                (fun p ->
+                  match (p.kind, Hashtbl.find_opt bstats p.pname) with
+                  | Scalar, _ | _, None -> None
+                  | _, Some st ->
+                      let tf = float_of_int (max 1 st.b_threads) in
+                      Some
+                        {
+                          ba_buffer = p.pname;
+                          ba_reads = float_of_int st.b_reads /. nf;
+                          ba_class =
+                            (if
+                               st.b_gather > st.b_row
+                               && st.b_gather > st.b_col
+                             then `Gather
+                             else if st.b_col > st.b_row then `Column
+                             else `Row);
+                          ba_burst = st.b_burst /. tf;
+                          ba_efficiency =
+                            (if st.b_fetched = 0 then 1.0
+                             else
+                               float_of_int st.b_useful
+                               /. float_of_int st.b_fetched);
+                          ba_overlap =
+                            (if st.b_events = 0 then 0.0
+                             else
+                               1.0
+                               -. float_of_int st.b_distinct
+                                  /. float_of_int st.b_events);
+                          ba_bank_conflict = max 1 st.b_bank;
+                        })
+                kernel.params
+            in
+            Ok
+              {
+                reads_per_thread = float_of_int !reads /. nf;
+                writes_per_thread = float_of_int !writes /. nf;
+                ops_per_thread = float_of_int !ops /. nf;
+                access;
+                read_burst = !burst_sum /. nf;
+                summary =
+                  Some
+                    {
+                      as_buffers = buffers;
+                      as_branches = branches;
+                      as_divergent_branches = List.length divergent;
+                      as_divergent_ops =
+                        List.fold_left
+                          (fun acc b -> acc +. b.br_ops)
+                          0. divergent;
+                      as_stranded_lanes = stranded;
+                      as_warp_size = warp_size;
+                    };
+              }
+          with Static_blocked m -> Error m
+      end

@@ -120,6 +120,53 @@ val run_grid : ?domains:int -> compiled -> Ndarray.Shape.t -> unit
     per thread, so this is race-free and bit-identical to sequential
     execution. *)
 
+(** Per-buffer static access description, derived by {!static_cost}
+    from sampled warps of 32 lanes.  Segment quantities model 32-word
+    (128-byte) coalesced transactions. *)
+type buffer_access = {
+  ba_buffer : string;
+  ba_reads : float;  (** mean reads per sampled thread on this buffer *)
+  ba_class : [ `Row | `Column | `Gather ];
+  ba_burst : float;  (** mean per-thread consecutive-address run length *)
+  ba_efficiency : float;
+      (** cache-amortised warp coalescing efficiency: distinct words
+          the warp consumes over the words of the distinct segments it
+          fetches, in [0, 1] — a segment fetched at one transaction
+          step is assumed resident for the warp's later steps, so
+          strided-burst row walks amortise to ~1.0 while a transposed
+          walk wastes 31/32 of every line *)
+  ba_overlap : float;
+      (** fraction of warp read events re-fetching an address some lane
+          of the warp already read — the reuse a scratchpad stage would
+          absorb *)
+  ba_bank_conflict : int;
+      (** modelled shared-memory conflict degree if the warp's loads
+          were staged: max lanes hitting one of 32 banks in a step *)
+}
+
+(** Per-[If] divergence summary. *)
+type branch_summary = {
+  br_site : string;  (** rendered branch condition *)
+  br_divergent : bool;
+      (** some sampled warp's lanes took different decision sequences *)
+  br_ops : float;  (** mean ops per thread inside the branch region *)
+  br_stores : float;  (** mean stores per thread inside the region *)
+}
+
+(** Warp-level memory-behaviour summary of a launch, derived without
+    executing the kernel. *)
+type access_summary = {
+  as_buffers : buffer_access list;  (** in kernel-parameter order *)
+  as_branches : branch_summary list;  (** in program order *)
+  as_divergent_branches : int;
+  as_divergent_ops : float;
+      (** mean per-thread ops inside divergent regions — lanes of a
+          mixed warp serialise these *)
+  as_stranded_lanes : int;
+      (** idle lanes of the last warp: (32 - total mod 32) mod 32 *)
+  as_warp_size : int;  (** 32 *)
+}
+
 (** Per-thread cost profile, averaged over sampled threads. *)
 type cost = {
   reads_per_thread : float;  (** global-memory loads *)
@@ -134,6 +181,9 @@ type cost = {
           thread reading an 11-point row pattern has burst 11.  Long
           per-thread bursts reduce cross-thread coalescing, which the
           performance model charges for [`Row] kernels. *)
+  summary : access_summary option;
+      (** [Some] when derived by {!static_cost}; [None] from
+          {!profile_threads} *)
 }
 
 val profile_threads : t -> args:(string * arg) list -> grid:Ndarray.Shape.t -> cost
@@ -141,6 +191,33 @@ val profile_threads : t -> args:(string * arg) list -> grid:Ndarray.Shape.t -> c
     memory accesses.  Thread bodies of the generated kernels are
     control-uniform in all but boundary threads, so the sample mean is
     an accurate per-thread cost. *)
+
+val static_cost :
+  ?scalars:(string * int) list ->
+  t ->
+  grid:Ndarray.Shape.t ->
+  (cost, string) result
+(** Derive the cost profile without executing the kernel: buffer loads
+    evaluate to an opaque value and every address, branch condition and
+    loop bound must still reduce to a concrete integer.  Succeeds for
+    exactly the kernels whose addresses and control flow are data-free
+    (a superset check of {!cost_data_independent} runs first), and then
+    agrees field-for-field with {!profile_threads} on the same launch —
+    it samples the identical thread set with identical counting.  The
+    result additionally carries an {!access_summary} with warp-level
+    coalescing efficiency, read overlap, modelled bank conflicts and a
+    divergence map, derived from three densely sampled warps (first,
+    middle, last).  [scalars] supplies values for scalar parameters the
+    body mentions. *)
+
+val classify_addrs : int list -> [ `Row | `Column | `Gather ]
+(** Classify a single thread's read-address trace (most recent first,
+    as accumulated during interpretation) by median gap between
+    consecutively issued reads. *)
+
+val burst_of_addrs : int list -> float
+(** Mean length of maximal consecutive-address runs of a read trace
+    (most recent first). *)
 
 val pp : Format.formatter -> t -> unit
 (** Debug printer (C-like pseudocode; the real emitters live in the

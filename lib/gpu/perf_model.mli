@@ -27,6 +27,22 @@ val effective_bandwidth_gbs :
 (** [burst] is the mean per-thread consecutive-read run length
     (default 1). *)
 
+val divergence_factor : Kir.cost -> float
+(** Compute-side multiplier charged for warp divergence: [1 +
+    divergent_ops / ops_per_thread] when the cost carries a static
+    {!Kir.access_summary} with divergent branches, 1 otherwise.
+    {!kernel_time_us} applies it to the compute term only, so
+    memory-bound kernels are unaffected. *)
+
+val staged_bandwidth_gbs :
+  Device.t -> split:int -> bank_conflict:int -> float
+(** What-if effective bandwidth of staging a kernel's loads through the
+    modelled 32-bank scratchpad: a fully coalesced burst-1 global
+    stream divided by the shared-memory replay factor [bank_conflict]
+    (clamped to at least 1).  Used by the perf linter to rank
+    "scratchpad stage would absorb overlap" findings and by the
+    ROADMAP's overlapped-tiling profitability reasoning. *)
+
 val memcpy_time_us :
   Device.t -> bytes:int -> dir:[ `H2d | `D2h ] -> float
 

@@ -78,13 +78,31 @@ let transform ?(opt = Optimizer.Mode.default ()) ?device model =
   let* () =
     match
       Obs.Tracer.with_span ~cat:"mde" "mde.verify" (fun () ->
-          Verify.gate generated.Codegen.kernel_tasks)
+          Verify.gate ~file:"mde:opencl2verified"
+            generated.Codegen.kernel_tasks)
     with
     | Ok () ->
         record "opencl2verified: kernel verification"
           (Printf.sprintf "%d kernels checked (%s mode)"
              (List.length generated.Codegen.kernel_tasks)
              (Analysis.Config.mode_to_string (Analysis.Config.mode ())));
+        Ok ()
+    | Error m -> Error m
+  in
+  let* () =
+    match
+      Obs.Tracer.with_span ~cat:"mde" "mde.perf_lint" (fun () ->
+          Verify.perf_gate ~file:"mde:opencl2perflint"
+            generated.Codegen.kernel_tasks)
+    with
+    | Ok () ->
+        (match Analysis.Config.perf_mode () with
+        | Analysis.Config.Off -> ()
+        | mode ->
+            record "opencl2perflint: performance lint"
+              (Printf.sprintf "%d kernels linted (%s mode)"
+                 (List.length generated.Codegen.kernel_tasks)
+                 (Analysis.Config.mode_to_string mode)));
         Ok ()
     | Error m -> Error m
   in

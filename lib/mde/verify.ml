@@ -4,13 +4,17 @@
    interval bounds checker, and each output port through the
    race/coverage checker with [full_cover = true]: ArrayOL semantics
    require the output tiler to pave the port's array exactly once, so
-   an overlap is a race and a gap is a cover violation. *)
+   an overlap is a race and a gap is a cover violation.
+
+   Callers may refine [?file] with the chain pass that triggered the
+   check (e.g. "mde:opencl2verified"), so findings carry the pass name
+   in their [file:where:] prefix like the SAC route does. *)
 
 open Ndarray
 
-let file = "mde"
+let default_file = "mde"
 
-let check_task (kt : Codegen.kernel_task) =
+let check_task ?(file = default_file) (kt : Codegen.kernel_task) =
   let buffers =
     List.map
       (fun (n, shape) -> (Codegen.sanitize n, Shape.size shape))
@@ -25,13 +29,26 @@ let check_task (kt : Codegen.kernel_task) =
           [ (kt.Codegen.kernel, kt.Codegen.grid) ])
       kt.Codegen.output_ports
 
-let check tasks = List.concat_map check_task tasks
+let check ?file tasks = List.concat_map (check_task ?file) tasks
 
-let gate tasks =
+let gate ?file tasks =
   match Analysis.Config.mode () with
   | Analysis.Config.Off -> Ok ()
   | Analysis.Config.Lint | Analysis.Config.Strict ->
-      let findings = check tasks in
+      let findings = check ?file tasks in
       Analysis.Finding.kernels_checked (List.length tasks);
       Analysis.Finding.plan_checked ();
       Analysis.Finding.gate ~what:"generated kernels" findings
+
+(* Performance lints: the Gaspard2 chain keeps each task whole, so
+   [split] is 1 — exactly the modelling assumption of Perf_model. *)
+let perf_check ?(file = default_file) tasks =
+  Analysis.Perf_lint.check_group ~file ~split:1
+    (List.map (fun kt -> (kt.Codegen.kernel, kt.Codegen.grid)) tasks)
+
+let perf_gate ?file tasks =
+  match Analysis.Config.perf_mode () with
+  | Analysis.Config.Off -> Ok ()
+  | Analysis.Config.Lint | Analysis.Config.Strict ->
+      Analysis.Finding.perf_gate ~what:"generated kernels"
+        (perf_check ?file tasks)

@@ -3,10 +3,27 @@
     [check] runs the interval bounds checker over each task's kernel
     and the race/coverage checker over each output port with the
     exact-pave claim ArrayOL semantics impose.  A correct code
-    generator yields []. *)
+    generator yields [].
 
-val check : Codegen.kernel_task list -> Analysis.Finding.t list
+    [?file] names the pipeline context in each finding's
+    [file:where:] prefix (default ["mde"]); {!Chain.transform} passes
+    ["mde:<pass>"] so kernel-level findings identify the chain pass
+    that raised them. *)
 
-val gate : Codegen.kernel_task list -> (unit, string) result
+val check_task : ?file:string -> Codegen.kernel_task -> Analysis.Finding.t list
+
+val check : ?file:string -> Codegen.kernel_task list -> Analysis.Finding.t list
+
+val gate : ?file:string -> Codegen.kernel_task list -> (unit, string) result
 (** Verification gate applied by {!Chain.transform}, honouring
     {!Analysis.Config.mode}. *)
+
+val perf_check :
+  ?file:string -> Codegen.kernel_task list -> Analysis.Finding.t list
+(** Performance lints ({!Analysis.Perf_lint}) over every task kernel,
+    ranked; does not consult the gate mode. *)
+
+val perf_gate :
+  ?file:string -> Codegen.kernel_task list -> (unit, string) result
+(** Apply {!Analysis.Config.perf_mode} to {!perf_check}'s findings,
+    recording [analysis.perf.*] metrics unless [Off]. *)

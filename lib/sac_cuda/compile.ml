@@ -182,6 +182,14 @@ let plan ?(label_of = Kernelize.sanitize) ?(split_generators = true)
   (* Verification gate: in lint mode findings are recorded as metrics
      and log entries; in strict mode error findings abort. *)
   (match Verify.gate p with Ok () -> () | Error m -> fail "%s" m);
+  (* Performance-lint gate: same three modes, but over the static
+     memory-behaviour findings (coalescing, divergence, overlap). *)
+  (match
+     Obs.Tracer.with_span ~cat:"sac" "sac.perf_lint" (fun () ->
+         Verify.perf_gate p)
+   with
+  | Ok () -> ()
+  | Error m -> fail "%s" m);
   p
 
 let plan_of_source ?label_of ?split_generators ?opt ?device src ~entry =

@@ -97,6 +97,27 @@ let residency_findings (p : Plan.t) =
 
 let check (p : Plan.t) = kernel_findings p @ residency_findings p
 
+(* Performance lints: every generator kernel of every device item,
+   with [split] the generator count of its originating WITH-loop — the
+   quantity the timing model charges split traffic against. *)
+let perf_check (p : Plan.t) =
+  List.concat_map
+    (fun item ->
+      match item with
+      | Plan.Device_withloop { kernels; _ } ->
+          Analysis.Perf_lint.check_group ~file
+            ~split:(List.length kernels) kernels
+      | Plan.Const_array _ | Plan.Host_block _ | Plan.Copy _ -> [])
+    p.Plan.items
+
+let perf_gate (p : Plan.t) =
+  match Analysis.Config.perf_mode () with
+  | Analysis.Config.Off -> Ok ()
+  | Analysis.Config.Lint | Analysis.Config.Strict ->
+      Analysis.Finding.perf_gate
+        ~what:(Printf.sprintf "plan for %s" p.Plan.result)
+        (perf_check p)
+
 let gate (p : Plan.t) =
   match Analysis.Config.mode () with
   | Analysis.Config.Off -> Ok ()

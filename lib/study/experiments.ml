@@ -621,3 +621,100 @@ let lint ?(scale = Scale.validation) ?(opt = Optimizer.Mode.Off) () =
     { pipeline = "Gaspard2 -> OpenCL"; kernels = List.length tasks; findings }
   in
   [ sac false; sac true; mde ]
+
+type perf_row = {
+  pr_kernel : string;
+  pr_buffer : string;
+  pr_class : [ `Row | `Column | `Gather ];
+  pr_burst : float;
+  pr_efficiency : float;
+  pr_overlap : float;
+  pr_bank_conflict : int;
+  pr_bandwidth_gbs : float;
+}
+
+type perf_report = {
+  pl_pipeline : string;
+  pl_kernels : int;
+  pl_rows : perf_row list;
+  pl_findings : Analysis.Finding.t list;
+}
+
+(* Static memory-behaviour analysis over everything both pipelines
+   generate at [scale]: per-kernel proven access class, burst and
+   coalescing efficiency with the modelled effective bandwidth each
+   buffer stream sustains, plus the ranked perf lints.  Gates off so
+   each kernel is linted exactly once, here. *)
+let perf_lint ?(scale = Scale.validation) ?(opt = Optimizer.Mode.Off) () =
+  Obs.Tracer.with_span ~cat:"study" "study.perf_lint" @@ fun () ->
+  let rows = scale.Scale.rows and cols = scale.Scale.cols in
+  let device = Gpu.Device.gtx480 in
+  let saved = Analysis.Config.perf_mode () in
+  Fun.protect ~finally:(fun () -> Analysis.Config.set_perf_mode saved)
+  @@ fun () ->
+  Analysis.Config.set_perf_mode Analysis.Config.Off;
+  let rows_of ~split kernels =
+    List.concat_map
+      (fun ((k : Gpu.Kir.t), grid) ->
+        match Gpu.Kir.static_cost k ~grid with
+        | Error _ -> []
+        | Ok cost -> (
+            match cost.Gpu.Kir.summary with
+            | None -> []
+            | Some s ->
+                List.map
+                  (fun (b : Gpu.Kir.buffer_access) ->
+                    {
+                      pr_kernel = k.Gpu.Kir.kname;
+                      pr_buffer = b.Gpu.Kir.ba_buffer;
+                      pr_class = b.Gpu.Kir.ba_class;
+                      pr_burst = b.Gpu.Kir.ba_burst;
+                      pr_efficiency = b.Gpu.Kir.ba_efficiency;
+                      pr_overlap = b.Gpu.Kir.ba_overlap;
+                      pr_bank_conflict = b.Gpu.Kir.ba_bank_conflict;
+                      pr_bandwidth_gbs =
+                        Gpu.Perf_model.effective_bandwidth_gbs
+                          ~burst:b.Gpu.Kir.ba_burst device
+                          ~access:b.Gpu.Kir.ba_class ~split;
+                    })
+                  s.Gpu.Kir.as_buffers))
+      kernels
+  in
+  let sac generic =
+    let src = Sac.Programs.downscaler ~generic ~rows ~cols in
+    let plan, _ = Sac_cuda.Compile.plan_of_source ~opt src ~entry:"main" in
+    let krows =
+      List.concat_map
+        (fun item ->
+          match item with
+          | Sac_cuda.Plan.Device_withloop { kernels; _ } ->
+              rows_of ~split:(List.length kernels) kernels
+          | _ -> [])
+        plan.Sac_cuda.Plan.items
+    in
+    {
+      pl_pipeline =
+        Printf.sprintf "SAC -> CUDA (%s)"
+          (if generic then "generic" else "non-generic");
+      pl_kernels = Sac_cuda.Plan.kernel_count plan;
+      pl_rows = krows;
+      pl_findings = Sac_cuda.Verify.perf_check plan;
+    }
+  in
+  let mde =
+    let gen =
+      Mde.Chain.transform_exn ~opt (Mde.Chain.downscaler_model ~rows ~cols)
+    in
+    let tasks = gen.Mde.Codegen.kernel_tasks in
+    {
+      pl_pipeline = "Gaspard2 -> OpenCL";
+      pl_kernels = List.length tasks;
+      pl_rows =
+        rows_of ~split:1
+          (List.map
+             (fun kt -> (kt.Mde.Codegen.kernel, kt.Mde.Codegen.grid))
+             tasks);
+      pl_findings = Mde.Verify.perf_check tasks;
+    }
+  in
+  [ sac false; sac true; mde ]

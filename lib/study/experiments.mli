@@ -130,3 +130,30 @@ val lint : ?scale:Scale.t -> ?opt:Optimizer.Mode.t -> unit -> lint_report list
     output-tiler variants and the Gaspard2 kernel tasks, compiled
     under [opt] (default {!Optimizer.Mode.Off}).  A correct toolchain
     yields empty [findings] everywhere. *)
+
+type perf_row = {
+  pr_kernel : string;
+  pr_buffer : string;
+  pr_class : [ `Row | `Column | `Gather ];
+  pr_burst : float;
+  pr_efficiency : float;
+  pr_overlap : float;
+  pr_bank_conflict : int;
+  pr_bandwidth_gbs : float;  (** modelled effective bandwidth, GB/s *)
+}
+
+type perf_report = {
+  pl_pipeline : string;
+  pl_kernels : int;
+  pl_rows : perf_row list;  (** one per (kernel, buffer) stream *)
+  pl_findings : Analysis.Finding.t list;  (** ranked perf lints *)
+}
+
+val perf_lint :
+  ?scale:Scale.t -> ?opt:Optimizer.Mode.t -> unit -> perf_report list
+(** Static memory-behaviour analysis ({!Gpu.Kir.static_cost} +
+    {!Analysis.Perf_lint}) over every kernel both pipelines generate
+    at [scale]: per-buffer access class, burst, cache-amortised warp
+    coalescing efficiency, read overlap, modelled bank-conflict degree
+    and effective bandwidth, plus the ranked perf findings.  Shipped
+    kernels produce no error-severity finding. *)

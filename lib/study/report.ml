@@ -240,3 +240,50 @@ let lint (reports : Experiments.lint_report list) =
         r.Experiments.findings)
     reports;
   Buffer.contents buf
+
+let class_name = function
+  | `Row -> "row"
+  | `Column -> "column"
+  | `Gather -> "gather"
+
+let perf_lint (reports : Experiments.perf_report list) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "Static memory behaviour: proven access class, coalescing, \
+     modelled bandwidth\n";
+  List.iter
+    (fun (r : Experiments.perf_report) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s (%d kernel(s)):\n" r.Experiments.pl_pipeline
+           r.Experiments.pl_kernels);
+      Buffer.add_string buf
+        "    kernel                     buffer         class   burst  \
+         eff  ovl  bank  GB/s\n";
+      List.iter
+        (fun (p : Experiments.perf_row) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "    %-26s %-14s %-7s %5.2f  %3d%%  %2d%%  %4d  %5.1f\n"
+               p.Experiments.pr_kernel p.Experiments.pr_buffer
+               (class_name p.Experiments.pr_class)
+               p.Experiments.pr_burst
+               (int_of_float (100. *. p.Experiments.pr_efficiency))
+               (int_of_float (100. *. p.Experiments.pr_overlap))
+               p.Experiments.pr_bank_conflict p.Experiments.pr_bandwidth_gbs))
+        r.Experiments.pl_rows;
+      let n = List.length r.Experiments.pl_findings in
+      Buffer.add_string buf
+        (if n = 0 then "    no perf findings\n"
+         else
+           Printf.sprintf
+             "    %d perf lint(s): %d error(s), %d warning(s), %d note(s)\n" n
+             (Analysis.Finding.errors r.Experiments.pl_findings)
+             (Analysis.Finding.warnings r.Experiments.pl_findings)
+             (Analysis.Finding.notes r.Experiments.pl_findings));
+      List.iter
+        (fun f ->
+          Buffer.add_string buf
+            (Format.asprintf "    %a\n" Analysis.Finding.pp_long f))
+        r.Experiments.pl_findings)
+    reports;
+  Buffer.contents buf

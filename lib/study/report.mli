@@ -42,3 +42,8 @@ val overlap : (string * Gpu.Overlap.summary) list -> string
 val lint : Experiments.lint_report list -> string
 (** One line per pipeline: kernel count and finding summary, followed
     by the findings themselves in [file:where: what] format. *)
+
+val perf_lint : Experiments.perf_report list -> string
+(** Per pipeline: one row per (kernel, buffer) stream with access
+    class, burst, coalescing efficiency, overlap share, bank-conflict
+    degree and modelled bandwidth, then the ranked perf findings. *)

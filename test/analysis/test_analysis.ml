@@ -694,6 +694,199 @@ let test_mde_mutant_shrunk_port () =
             (has_kind Analysis.Finding.Oob_read fs)
       | [] -> Alcotest.fail "no kernel tasks")
 
+
+(* ---------- perf lints (static memory behaviour) ---------- *)
+
+(* An 11-tap vertical filter shape: per-thread column walk, lane
+   (last-dim) stride 1 -- perfectly coalesced warps. *)
+let vertical_like ~rows:_ ~cols:c =
+  let read k =
+    Kir.Read
+      ( "a",
+        Kir.Bin
+          ( Kir.Add,
+            Kir.Bin
+              (Kir.Mul, Kir.Bin (Kir.Add, Kir.Gid 0, Kir.Int k), Kir.Int c),
+            Kir.Gid 1 ) )
+  in
+  let value =
+    List.fold_left
+      (fun acc k -> Kir.Bin (Kir.Add, acc, read k))
+      (read 0)
+      [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+  in
+  {
+    Kir.kname = "vfilter";
+    params =
+      [
+        { Kir.pname = "a"; kind = Kir.In_buffer };
+        { Kir.pname = "out"; kind = Kir.Out_buffer };
+      ];
+    grid_rank = 2;
+    body =
+      [
+        Kir.Store
+          ( "out",
+            Kir.Bin (Kir.Add, Kir.Bin (Kir.Mul, Kir.Gid 0, Kir.Int c), Kir.Gid 1),
+            value );
+      ];
+  }
+
+let rec swap_gids_expr = function
+  | Kir.Gid 0 -> Kir.Gid 1
+  | Kir.Gid 1 -> Kir.Gid 0
+  | Kir.Read (b, i) -> Kir.Read (b, swap_gids_expr i)
+  | Kir.Bin (op, a, b) -> Kir.Bin (op, swap_gids_expr a, swap_gids_expr b)
+  | Kir.Select (c, a, b) ->
+      Kir.Select (swap_gids_expr c, swap_gids_expr a, swap_gids_expr b)
+  | (Kir.Int _ | Kir.Gid _ | Kir.Param _ | Kir.Var _) as e -> e
+
+let rec swap_gids_stmt = function
+  | Kir.Let (n, e) -> Kir.Let (n, swap_gids_expr e)
+  | Kir.Store (b, i, v) -> Kir.Store (b, swap_gids_expr i, swap_gids_expr v)
+  | Kir.If (c, t, e) ->
+      Kir.If
+        (swap_gids_expr c, List.map swap_gids_stmt t, List.map swap_gids_stmt e)
+  | Kir.For { var; lo; hi; body } ->
+      Kir.For
+        {
+          var;
+          lo = swap_gids_expr lo;
+          hi = swap_gids_expr hi;
+          body = List.map swap_gids_stmt body;
+        }
+
+let swap_gids (k : Kir.t) =
+  { k with Kir.body = List.map swap_gids_stmt k.Kir.body }
+
+let test_perf_vertical_clean () =
+  let fs =
+    Analysis.Perf_lint.check ~grid:[| 32; 64 |] (vertical_like ~rows:48 ~cols:64)
+  in
+  Alcotest.(check int) "no error findings" 0 (Analysis.Finding.errors fs)
+
+(* Mutant: Gid 0 and Gid 1 swapped -- the warp's lanes now walk rows
+   64 apart, one 128-byte segment per read.  The linter must flag the
+   hot buffer as uncoalesced at error severity. *)
+let test_perf_swap_gid_mutant () =
+  let mutant = swap_gids (vertical_like ~rows:48 ~cols:64) in
+  let fs = Analysis.Perf_lint.check ~grid:[| 32; 64 |] mutant in
+  Alcotest.(check bool) "uncoalesced flagged" true
+    (List.exists
+       (fun f ->
+         f.Analysis.Finding.kind = Analysis.Finding.Uncoalesced_access
+         && f.Analysis.Finding.severity = Analysis.Finding.Error)
+       fs)
+
+(* Mutant: the store forked on lane parity -- warps serialise both
+   sides of a branch around the dominant store. *)
+let test_perf_divergent_branch_mutant () =
+  let k = vertical_like ~rows:48 ~cols:64 in
+  let store = List.hd k.Kir.body in
+  let out_idx =
+    Kir.Bin (Kir.Add, Kir.Bin (Kir.Mul, Kir.Gid 0, Kir.Int 64), Kir.Gid 1)
+  in
+  let mutant =
+    {
+      k with
+      Kir.body =
+        [
+          Kir.If
+            ( Kir.Bin (Kir.Eq, Kir.Bin (Kir.Mod, Kir.Gid 1, Kir.Int 2), Kir.Int 0),
+              [ store ],
+              [ Kir.Store ("out", out_idx, Kir.Int 0) ] );
+        ];
+    }
+  in
+  let fs = Analysis.Perf_lint.check ~grid:[| 32; 64 |] mutant in
+  Alcotest.(check bool) "divergence flagged" true
+    (has_kind Analysis.Finding.Divergent_branch fs)
+
+(* End to end: under --perf-lint strict the shipped vertical-filter
+   plan compiles, while the same plan with every kernel's grid
+   dimensions swapped fails the perf gate. *)
+let test_perf_strict_gate () =
+  let saved = Analysis.Config.perf_mode () in
+  Analysis.Config.set_perf_mode Analysis.Config.Strict;
+  Fun.protect ~finally:(fun () -> Analysis.Config.set_perf_mode saved)
+  @@ fun () ->
+  let src = Sac.Programs.vertical ~generic:false ~rows:72 ~cols:64 in
+  let plan, _ = Sac_cuda.Compile.plan_of_source src ~entry:"main" in
+  (match Sac_cuda.Verify.perf_gate plan with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "shipped plan rejected: %s" m);
+  let mutated =
+    {
+      plan with
+      Sac_cuda.Plan.items =
+        List.map
+          (fun item ->
+            match item with
+            | Sac_cuda.Plan.Device_withloop
+                { target; swith; kernels; full_cover; label } ->
+                Sac_cuda.Plan.Device_withloop
+                  {
+                    target;
+                    swith;
+                    kernels =
+                      List.map (fun (k, g) -> (swap_gids k, g)) kernels;
+                    full_cover;
+                    label;
+                  }
+            | other -> other)
+          plan.Sac_cuda.Plan.items;
+    }
+  in
+  match Sac_cuda.Verify.perf_gate mutated with
+  | Ok () -> Alcotest.fail "uncoalesced mutant passed the strict perf gate"
+  | Error _ -> ()
+
+(* ---------- findings budget (Analysis.Config) ---------- *)
+
+let test_findings_cap () =
+  Fun.protect ~finally:(fun () ->
+      Analysis.Config.set_findings_cap Analysis.Config.default_findings_cap)
+  @@ fun () ->
+  Analysis.Config.set_findings_cap 3;
+  (* five OOB reads -> five findings against a budget of three *)
+  let reads =
+    List.init 5 (fun i ->
+        Kir.Read ("a", Kir.Bin (Kir.Add, Kir.Gid 0, Kir.Int (100 + i))))
+  in
+  let value =
+    List.fold_left
+      (fun acc r -> Kir.Bin (Kir.Add, acc, r))
+      (List.hd reads) (List.tl reads)
+  in
+  let k =
+    {
+      vadd_kernel with
+      Kir.kname = "oob5";
+      params =
+        [
+          { Kir.pname = "a"; kind = Kir.In_buffer };
+          { Kir.pname = "out"; kind = Kir.Out_buffer };
+        ];
+      body = [ Kir.Store ("out", Kir.Gid 0, value) ];
+    }
+  in
+  let before =
+    Option.value ~default:0 (Obs.Metrics.find "analysis.findings_dropped")
+  in
+  let fs =
+    Analysis.Kir_check.check
+      ~buffers:[ ("a", 64); ("out", 64) ]
+      ~grid:[| 64 |] k
+  in
+  let after =
+    Option.value ~default:0 (Obs.Metrics.find "analysis.findings_dropped")
+  in
+  (* three kept findings plus the truncation note *)
+  Alcotest.(check int) "budget applied" 4 (List.length fs);
+  Alcotest.(check bool) "truncation note" true
+    (has_kind Analysis.Finding.Analysis_skipped fs);
+  Alcotest.(check int) "dropped metric" (before + 2) after
+
 let () =
   Alcotest.run "analysis"
     [
@@ -749,6 +942,16 @@ let () =
           Alcotest.test_case "autotune-moves-verify" `Quick
             test_sac_autotune_moves_all_verify;
           Alcotest.test_case "strict-mode" `Quick test_sac_strict_mode_rejects;
+        ] );
+      ( "perf-lint",
+        [
+          Alcotest.test_case "vertical-clean" `Quick test_perf_vertical_clean;
+          Alcotest.test_case "mutant-swap-gid" `Quick
+            test_perf_swap_gid_mutant;
+          Alcotest.test_case "mutant-divergent-branch" `Quick
+            test_perf_divergent_branch_mutant;
+          Alcotest.test_case "strict-gate" `Quick test_perf_strict_gate;
+          Alcotest.test_case "findings-cap" `Quick test_findings_cap;
         ] );
       ( "mde-pipeline",
         [

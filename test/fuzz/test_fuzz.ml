@@ -241,6 +241,144 @@ let prop_emitted_cuda_wellformed =
       in
       count_occurrences "__global__ void" = Sac_cuda.Plan.kernel_count plan)
 
+
+(* ------------------------------------------------------------------ *)
+(* Static cost differential                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Random affine 2-D kernels (tap stencils with wrapped reads, an
+   optional lane-parity branch and an optional constant-bound loop):
+   {!Gpu.Kir.static_cost} must reproduce the execution-counted
+   {!Gpu.Kir.profile_threads} profile exactly -- reads, writes and ops
+   per thread, access class and burst length. *)
+
+type fuzz_kernel = {
+  fr : int;
+  fc : int;
+  taps : (int * int) list;
+  guard : bool;
+  loop : int option;
+}
+
+let gen_kernel =
+  QCheck.Gen.(
+    pair (int_range 3 9) (oneofl [ 8; 16; 33; 64 ]) >>= fun (fr, fc) ->
+    int_range 1 4 >>= fun ntaps ->
+    list_repeat ntaps (pair (int_range 0 3) (int_range 0 5)) >>= fun taps ->
+    bool >>= fun guard ->
+    option (int_range 1 4) >|= fun loop -> { fr; fc; taps; guard; loop })
+
+let show_kernel k =
+  Printf.sprintf "grid=[%d,%d] taps=[%s] guard=%b loop=%s" k.fr k.fc
+    (String.concat ";"
+       (List.map (fun (a, b) -> Printf.sprintf "%d,%d" a b) k.taps))
+    k.guard
+    (match k.loop with None -> "-" | Some n -> string_of_int n)
+
+let arb_kernel = QCheck.make ~print:show_kernel gen_kernel
+
+let kir_of (f : fuzz_kernel) =
+  let open Gpu.Kir in
+  let wrap e m = Bin (Mod, e, Int m) in
+  let tap (dr, dc) =
+    Read
+      ( "in",
+        Bin
+          ( Add,
+            Bin (Mul, wrap (Bin (Add, Gid 0, Int dr)) f.fr, Int f.fc),
+            wrap (Bin (Add, Gid 1, Int dc)) f.fc ) )
+  in
+  let value =
+    List.fold_left
+      (fun acc t -> Bin (Add, acc, tap t))
+      (tap (List.hd f.taps))
+      (List.tl f.taps)
+  in
+  let out_idx = Bin (Add, Bin (Mul, Gid 0, Int f.fc), Gid 1) in
+  let store = Store ("out", out_idx, value) in
+  let body =
+    if f.guard then
+      [
+        If
+          ( Bin (Eq, Bin (Mod, Gid 1, Int 2), Int 0),
+            [ store ],
+            [ Store ("out", out_idx, Bin (Add, value, Int 1)) ] );
+      ]
+    else [ store ]
+  in
+  let body =
+    match f.loop with
+    | None -> body
+    | Some n ->
+        body
+        @ [
+            For
+              {
+                var = "k";
+                lo = Int 0;
+                hi = Int n;
+                body =
+                  [
+                    Store
+                      ( "out",
+                        out_idx,
+                        Bin
+                          ( Add,
+                            Read
+                              ( "in",
+                                Bin
+                                  ( Add,
+                                    Bin (Mul, Gid 0, Int f.fc),
+                                    wrap (Bin (Add, Gid 1, Var "k")) f.fc ) ),
+                            Int 1 ) );
+                  ];
+              };
+          ]
+  in
+  {
+    kname = "fuzz_static";
+    params =
+      [
+        { pname = "in"; kind = In_buffer }; { pname = "out"; kind = Out_buffer };
+      ];
+    grid_rank = 2;
+    body;
+  }
+
+let prop_static_cost_matches_profile =
+  QCheck.Test.make ~name:"static_cost = profile_threads" ~count:200 arb_kernel
+    (fun f ->
+      let k = kir_of f in
+      let grid = [| f.fr; f.fc |] in
+      let len = f.fr * f.fc in
+      let args =
+        [
+          ( "in",
+            Gpu.Kir.Buffer_arg
+              { Gpu.Buffer.id = 0; name = "in"; data = Array.make len 0 } );
+          ( "out",
+            Gpu.Kir.Buffer_arg
+              { Gpu.Buffer.id = 1; name = "out"; data = Array.make len 0 } );
+        ]
+      in
+      let dynamic = Gpu.Kir.profile_threads k ~args ~grid in
+      match Gpu.Kir.static_cost k ~grid with
+      | Error m -> QCheck.Test.fail_reportf "static derivation failed: %s" m
+      | Ok st ->
+          let check what a b =
+            if not (Float.equal a b) then
+              QCheck.Test.fail_reportf "%s: static %g <> executed %g" what a b
+          in
+          check "reads" st.Gpu.Kir.reads_per_thread
+            dynamic.Gpu.Kir.reads_per_thread;
+          check "writes" st.Gpu.Kir.writes_per_thread
+            dynamic.Gpu.Kir.writes_per_thread;
+          check "ops" st.Gpu.Kir.ops_per_thread dynamic.Gpu.Kir.ops_per_thread;
+          check "burst" st.Gpu.Kir.read_burst dynamic.Gpu.Kir.read_burst;
+          if st.Gpu.Kir.access <> dynamic.Gpu.Kir.access then
+            QCheck.Test.fail_reportf "access class differs";
+          st.Gpu.Kir.summary <> None)
+
 let () =
   Alcotest.run "fuzz"
     [
@@ -253,4 +391,7 @@ let () =
             prop_print_parse_roundtrip;
             prop_emitted_cuda_wellformed;
           ] );
+      ( "static-cost",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_static_cost_matches_profile ] );
     ]

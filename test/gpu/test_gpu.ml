@@ -345,6 +345,7 @@ let test_perf_monotone_in_bytes () =
         ops_per_thread = 5.0;
         access = `Row;
         read_burst = 1.0;
+        summary = None;
       }
   in
   let t1 = Perf_model.kernel_time_us d ~threads:10000 ~cost:(cost 2.0) ~split:1 in
@@ -361,6 +362,7 @@ let test_perf_split_penalty () =
         ops_per_thread = 10.0;
         access = `Row;
         read_burst = 1.0;
+        summary = None;
       }
   in
   (* With the default calibration the residual split factor is 1 (the
@@ -385,6 +387,7 @@ let test_perf_burst_effect () =
         ops_per_thread = 10.0;
         access = `Row;
         read_burst = burst;
+        summary = None;
       }
   in
   let short = Perf_model.kernel_time_us d ~threads:100000 ~cost:(cost 6.0) ~split:1 in
@@ -396,11 +399,113 @@ let test_perf_launch_floor () =
   let cost =
     Kir.
       { reads_per_thread = 1.0; writes_per_thread = 1.0; ops_per_thread = 1.0;
-        access = `Row; read_burst = 1.0 }
+        access = `Row; read_burst = 1.0; summary = None }
   in
   let t = Perf_model.kernel_time_us d ~threads:1 ~cost ~split:1 in
   Alcotest.(check bool) "at least the launch overhead" true
     (t >= Calibration.kernel_launch_us)
+
+
+(* ---------- Static cost derivation ---------- *)
+
+(* static_cost must reproduce the execution-counted profile exactly on
+   a representative stencil kernel. *)
+let test_static_cost_agrees () =
+  let c = 64 in
+  let read k =
+    Kir.Read
+      ( "a",
+        Kir.Bin
+          ( Kir.Add,
+            Kir.Bin
+              (Kir.Mul, Kir.Bin (Kir.Add, Kir.Gid 0, Kir.Int k), Kir.Int c),
+            Kir.Gid 1 ) )
+  in
+  let k =
+    {
+      Kir.kname = "static_stencil";
+      params =
+        [
+          { Kir.pname = "a"; kind = Kir.In_buffer };
+          { Kir.pname = "out"; kind = Kir.Out_buffer };
+        ];
+      grid_rank = 2;
+      body =
+        [
+          Kir.Store
+            ( "out",
+              Kir.Bin
+                (Kir.Add, Kir.Bin (Kir.Mul, Kir.Gid 0, Kir.Int c), Kir.Gid 1),
+              Kir.Bin (Kir.Add, read 0, Kir.Bin (Kir.Add, read 1, read 2)) );
+        ];
+    }
+  in
+  let grid = [| 30; c |] in
+  let len = 33 * c in
+  let args =
+    [
+      ( "a",
+        Kir.Buffer_arg { Buffer.id = 0; name = "a"; data = Array.make len 0 } );
+      ( "out",
+        Kir.Buffer_arg { Buffer.id = 1; name = "out"; data = Array.make len 0 }
+      );
+    ]
+  in
+  let dynamic = Kir.profile_threads k ~args ~grid in
+  match Kir.static_cost k ~grid with
+  | Error m -> Alcotest.failf "static derivation failed: %s" m
+  | Ok st ->
+      Alcotest.(check (float 0.0)) "reads" dynamic.Kir.reads_per_thread
+        st.Kir.reads_per_thread;
+      Alcotest.(check (float 0.0)) "writes" dynamic.Kir.writes_per_thread
+        st.Kir.writes_per_thread;
+      Alcotest.(check (float 0.0)) "ops" dynamic.Kir.ops_per_thread
+        st.Kir.ops_per_thread;
+      Alcotest.(check (float 0.0)) "burst" dynamic.Kir.read_burst
+        st.Kir.read_burst;
+      Alcotest.(check bool) "class" true (st.Kir.access = dynamic.Kir.access);
+      let s = Option.get st.Kir.summary in
+      let b = List.hd s.Kir.as_buffers in
+      Alcotest.(check string) "buffer" "a" b.Kir.ba_buffer;
+      (* lane stride 1: fully coalesced, no divergence, no stranding *)
+      Alcotest.(check (float 0.01)) "efficiency" 1.0 b.Kir.ba_efficiency;
+      Alcotest.(check int) "divergent branches" 0 s.Kir.as_divergent_branches;
+      Alcotest.(check int) "stranded lanes" 0 s.Kir.as_stranded_lanes
+
+let test_divergence_factor () =
+  let d = Device.gtx480 in
+  let base =
+    Kir.
+      {
+        reads_per_thread = 2.0;
+        writes_per_thread = 1.0;
+        ops_per_thread = 400.0;
+        access = `Row;
+        read_burst = 1.0;
+        summary = None;
+      }
+  in
+  Alcotest.(check (float 0.0)) "no summary -> 1" 1.0
+    (Perf_model.divergence_factor base);
+  let summary =
+    Kir.
+      {
+        as_buffers = [];
+        as_branches = [];
+        as_divergent_branches = 1;
+        as_divergent_ops = 200.0;
+        as_stranded_lanes = 0;
+        as_warp_size = 32;
+      }
+  in
+  let diverged = { base with Kir.summary = Some summary } in
+  Alcotest.(check (float 0.001)) "1 + 200/400" 1.5
+    (Perf_model.divergence_factor diverged);
+  (* the penalty multiplies the compute term, so a compute-bound kernel
+     slows down *)
+  let t0 = Perf_model.kernel_time_us d ~threads:100000 ~cost:base ~split:1 in
+  let t1 = Perf_model.kernel_time_us d ~threads:100000 ~cost:diverged ~split:1 in
+  Alcotest.(check bool) "divergence slows compute-bound kernels" true (t1 > t0)
 
 let test_memcpy_times_calibrated () =
   let d = Device.gtx480 in
@@ -1305,6 +1410,9 @@ let () =
           Alcotest.test_case "split penalty" `Quick test_perf_split_penalty;
           Alcotest.test_case "burst effect" `Quick test_perf_burst_effect;
           Alcotest.test_case "launch floor" `Quick test_perf_launch_floor;
+          Alcotest.test_case "static cost agrees" `Quick
+            test_static_cost_agrees;
+          Alcotest.test_case "divergence factor" `Quick test_divergence_factor;
           Alcotest.test_case "memcpy calibration" `Quick
             test_memcpy_times_calibrated;
         ] );

@@ -51,7 +51,7 @@ let test_transform_trace () =
   match Mde.Chain.transform (model ()) with
   | Error m -> Alcotest.failf "chain failed: %s" m
   | Ok (gen, trace) ->
-      Alcotest.(check int) "five passes" 5 (List.length trace);
+      Alcotest.(check int) "six passes" 6 (List.length trace);
       Alcotest.(check int) "six kernels" 6
         (List.length gen.Mde.Codegen.kernel_tasks)
 
