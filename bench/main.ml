@@ -196,31 +196,78 @@ let ablation_generic ~scale () =
         name (g /. 1e6) (n /. 1e6) (g /. n))
     [ Study.Sac_runs.H; Study.Sac_runs.V ]
 
-let ablation_devices ~scale ~plane () =
-  section "Ablation: device sensitivity (non-generic SAC pipeline)";
-  let src =
-    Sac.Programs.downscaler ~generic:false ~rows:scale.Study.Scale.rows
-      ~cols:scale.Study.Scale.cols
+(* Multi-device sharding: frames scheduler-placed across 1/2/4
+   simulated devices at CIF and at the run's main scale, plus a
+   serving-saturation sweep across the same device counts.  Results
+   are kept for the --json report's "devices" block. *)
+let devices_rows : Study.Experiments.devices_row list ref = ref []
+
+type device_serving_row = {
+  dsv_devices : int;
+  dsv_achieved_rps : float;
+  dsv_migrations : int;
+}
+
+let device_serving_rows : device_serving_row list ref = ref []
+
+let ablation_devices ~scale () =
+  section "Ablation: multi-device sharding (1/2/4 devices, peer-link gather)";
+  let shapes =
+    let cif = { Study.Scale.rows = 288; cols = 352; frames = 24 } in
+    if
+      scale.Study.Scale.rows = cif.Study.Scale.rows
+      && scale.Study.Scale.cols = cif.Study.Scale.cols
+    then [ cif ]
+    else [ cif; { scale with Study.Scale.frames = 24 } ]
   in
-  let plan, _ = Sac_cuda.Compile.plan_of_source src ~entry:"main" in
+  devices_rows :=
+    List.concat_map (fun s -> Study.Experiments.devices ~scale:s ()) shapes;
+  print_string (Study.Report.devices !devices_rows)
+
+let serving_devices ~smoke () =
+  section "Serving: saturation across device counts (closed loop)";
+  let fmt =
+    if smoke then { Video.Format.name = "smoke"; rows = 72; cols = 64 }
+    else Video.Format.cif
+  in
+  let streams = 4 in
+  let frames_per_stream = if smoke then 6 else 16 in
+  device_serving_rows :=
+    List.map
+      (fun n ->
+        Serve.Session.set_devices n;
+        let migrations_before = Serve.Session.migrations () in
+        let sessions =
+          List.init streams (fun i ->
+              Serve.Session.create ~opt:Optimizer.Mode.Auto ~id:i
+                ~pipeline:Serve.Session.Sac fmt)
+        in
+        let r =
+          Serve.Loadgen.closed_loop
+            ~label:(Printf.sprintf "sac/dev%d" n)
+            ~trace_name:(Printf.sprintf "serving (sac, %d device(s))" n)
+            ~engine:
+              {
+                Serve.Engine.workers = 2;
+                queue_capacity = 16;
+                policy = Serve.Queue.Block;
+                batch = { Serve.Batcher.max_batch = 4; window_us = 200. };
+              }
+            ~sessions ~frames_per_stream ()
+        in
+        Format.printf "  %a@." Serve.Loadgen.pp_report r;
+        {
+          dsv_devices = n;
+          dsv_achieved_rps = r.Serve.Loadgen.achieved_rps;
+          dsv_migrations = Serve.Session.migrations () - migrations_before;
+        })
+      [ 1; 2; 4 ];
+  Serve.Session.set_devices 1;
   List.iter
-    (fun device ->
-      let rt = Cuda.Runtime.init ~mode:Gpu.Context.Timing_only ~device () in
-      ignore
-        (Sac_cuda.Exec.run ~host_mode:`Estimate rt plan
-           ~args:[ ("frame", plane) ]);
-      let t =
-        Cuda.Runtime.elapsed_us rt
-        *. float_of_int (Study.Scale.planes * scale.Study.Scale.frames)
-        /. 1e6
-      in
-      Printf.printf "  %-44s %6.2f s\n" device.Gpu.Device.name t)
-    [
-      Gpu.Device.tesla_c1060;
-      Gpu.Device.gtx480;
-      Gpu.Device.scaled ~name:"hypothetical 2x-bandwidth successor"
-        ~bandwidth_factor:2.0 ~pcie_factor:2.0 Gpu.Device.gtx480;
-    ]
+    (fun r ->
+      Printf.printf "  %d device(s): %.1f rps achieved, %d migration(s)\n"
+        r.dsv_devices r.dsv_achieved_rps r.dsv_migrations)
+    !device_serving_rows
 
 (* ------------------------------------------------------------------ *)
 (* 2b. Serving: streaming engine under load (wall clock)               *)
@@ -283,10 +330,15 @@ let serving ~smoke () =
     else Video.Format.cif
   in
   let streams = 2 in
+  let workers = 2 in
   let capacity = 16 in
   let batch = { Serve.Batcher.max_batch = 4; window_us = 200. } in
+  (* Same guard `served` applies to its CLI flags: a zero here would
+     silently serve nothing. *)
+  if workers < 1 || capacity < 1 || batch.Serve.Batcher.max_batch < 1 then
+    invalid_arg "bench: serving workers, capacity and batch must be positive";
   let engine policy =
-    { Serve.Engine.workers = 2; queue_capacity = capacity; policy; batch }
+    { Serve.Engine.workers; queue_capacity = capacity; policy; batch }
   in
   let frames_per_stream = if smoke then 8 else 40 in
   let duration = if smoke then 0.35 else 1.5 in
@@ -757,6 +809,35 @@ let write_json path ~opts ~scale ~timings =
         (if i = nperf - 1 then "" else ","))
     !perf_reports;
   p "  ],\n";
+  p "  \"devices\": {\n";
+  p "    \"sharding\": [\n";
+  let ndev = List.length !devices_rows in
+  List.iteri
+    (fun i (r : Study.Experiments.devices_row) ->
+      p
+        "      { \"devices\": %d, \"rows\": %d, \"cols\": %d, \"frames\": \
+         %d, \"makespan_us\": %.1f, \"serial_us\": %.1f, \"speedup\": %.3f, \
+         \"pcie_bytes\": %d, \"peer_bytes\": %d, \"bit_identical\": %b }%s\n"
+        r.Study.Experiments.dv_devices r.Study.Experiments.dv_rows
+        r.Study.Experiments.dv_cols r.Study.Experiments.dv_frames
+        r.Study.Experiments.dv_makespan_us r.Study.Experiments.dv_serial_us
+        r.Study.Experiments.dv_speedup r.Study.Experiments.dv_pcie_bytes
+        r.Study.Experiments.dv_peer_bytes r.Study.Experiments.dv_bit_identical
+        (if i = ndev - 1 then "" else ","))
+    !devices_rows;
+  p "    ],\n";
+  p "    \"serving\": [\n";
+  let ndsv = List.length !device_serving_rows in
+  List.iteri
+    (fun i r ->
+      p
+        "      { \"devices\": %d, \"achieved_rps\": %.1f, \"migrations\": \
+         %d }%s\n"
+        r.dsv_devices r.dsv_achieved_rps r.dsv_migrations
+        (if i = ndsv - 1 then "" else ","))
+    !device_serving_rows;
+  p "    ]\n";
+  p "  },\n";
   p "  \"total_seconds\": %.3f\n"
     (List.fold_left (fun acc (_, s) -> acc +. s) 0.0 timings);
   p "}\n";
@@ -790,8 +871,9 @@ let () =
   timed "ablation/perf-lint" (ablation_perf_lint ~scale);
   timed "ablation/autotune" (ablation_autotune ~smoke:opts.smoke);
   timed "ablation/generic" (ablation_generic ~scale);
-  timed "ablation/devices" (ablation_devices ~scale ~plane);
+  timed "ablation/devices" (ablation_devices ~scale);
   timed "serving" (serving ~smoke:opts.smoke);
+  timed "serving/devices" (serving_devices ~smoke:opts.smoke);
   timed "microbenchmarks" (run_benchmarks ~smoke:opts.smoke);
   print_newline ();
   let timings = List.rev !timings in

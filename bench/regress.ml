@@ -66,11 +66,22 @@ let identity ~array item =
   let d = Option.value ~default:"?" in
   match array with
   | "sections" | "slo" -> Some (d (str_member "name" item))
-  | "serving" ->
+  | "serving" -> (
+      (* Top-level serving rows are keyed by pipeline/policy; the
+         devices.serving sweep rows by their device count. *)
+      match num_member "devices" item with
+      | Some n -> Some (Printf.sprintf "dev%d" (int_of_float n))
+      | None ->
+          Some
+            (Printf.sprintf "%s/%s"
+               (d (str_member "pipeline" item))
+               (d (str_member "policy" item))))
+  | "sharding" ->
       Some
-        (Printf.sprintf "%s/%s"
-           (d (str_member "pipeline" item))
-           (d (str_member "policy" item)))
+        (Printf.sprintf "%dx%dx%d"
+           (int_of_float (Option.value ~default:0. (num_member "devices" item)))
+           (int_of_float (Option.value ~default:0. (num_member "rows" item)))
+           (int_of_float (Option.value ~default:0. (num_member "cols" item))))
   | "autotune_ablation" ->
       Some
         (Printf.sprintf "%s:%dx%d"
@@ -127,7 +138,9 @@ let classify path =
   else if suf ".rules" || suf ".buckets" then Ignore
   else if path = "smoke" || path = "opt" || pre "scale." then Exact
   else if pre "sections[" then
-    if suf ".seconds" then Factor (4., 1.0) else Exact (* identity fields *)
+    (* The floor absorbs machine contention on sub-second sections; the
+       factor still catches order-of-magnitude blowups of real ones. *)
+    if suf ".seconds" then Factor (4., 5.0) else Exact (* identity fields *)
   else if path = "total_seconds" then Factor (4., 2.0)
   else if pre "fusion_ablation[" then
     if suf ".modelled_us" then Rel (0.01, 0.2)
@@ -151,8 +164,21 @@ let classify path =
     if suf ".budget" then Exact
     else if suf ".total" then SignOnly
     else Ignore (* breaches/burn follow load; objective follows speed *)
+  else if pre "devices.sharding[" then
+    if suf ".makespan_us" || suf ".serial_us" || suf ".speedup" then
+      Rel (0.01, 0.2)
+    else if suf ".bit_identical" then BoolNoRegress
+    else if suf ".pcie_bytes" || suf ".peer_bytes" then SignOnly
+    else Exact (* devices, rows, cols, frames *)
+  else if pre "devices.serving[" then
+    if suf ".devices" then Exact
+    else Ignore (* rps and migrations follow the machine's speed *)
   else if pre "serve_phases." then if suf ".count" then SignOnly else Ignore
   else if pre "overlap." then Ignore
+  else if
+    path = "serve.rejected" || path = "serve.dropped"
+    || path = "serve.timed_out" || path = "serve.migrations"
+  then Ignore (* shed/migration counts follow the machine's load shape *)
   else if
     pre "cache_stats." || pre "gpu." || pre "pool." || pre "serve."
     || pre "optimizer." || pre "analysis." || pre "fusion."

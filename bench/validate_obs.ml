@@ -351,6 +351,104 @@ let () =
               "bench report %s: no bit-checked autotune row for pipeline %s"
               bench_path pipeline)
         [ "sac"; "gaspard" ];
+      (* Devices block: the multi-device sharding ablation ran, every
+         configuration stayed bit-identical, adding a second device
+         shortened the modelled makespan at every shape, and the
+         serving sweep covered 1/2/4 devices. *)
+      let devs =
+        match Obs.Json.member "devices" bench with
+        | Some obj -> obj
+        | None -> fail "bench report %s: no devices block" bench_path
+      in
+      let sharding =
+        match Obs.Json.member "sharding" devs with
+        | Some (Obs.Json.Arr rows) -> rows
+        | _ -> fail "bench report %s: no devices.sharding array" bench_path
+      in
+      if sharding = [] then
+        fail "bench report %s: devices.sharding array empty" bench_path;
+      let makespans = Hashtbl.create 8 in
+      List.iter
+        (fun row ->
+          List.iter
+            (fun name ->
+              match Obs.Json.member name row with
+              | Some (Obs.Json.Num _) -> ()
+              | _ ->
+                  fail "bench report %s: devices.sharding row missing %s"
+                    bench_path name)
+            [
+              "devices"; "rows"; "cols"; "frames"; "makespan_us";
+              "serial_us"; "speedup"; "pcie_bytes"; "peer_bytes";
+            ];
+          (match Obs.Json.member "bit_identical" row with
+          | Some (Obs.Json.Bool true) -> ()
+          | _ ->
+              fail
+                "bench report %s: sharded run not bit-identical at %dx%d \
+                 with %d device(s)"
+                bench_path
+                (int_of_float (num "rows" row))
+                (int_of_float (num "cols" row))
+                (int_of_float (num "devices" row)));
+          Hashtbl.replace makespans
+            (int_of_float (num "rows" row), int_of_float (num "cols" row),
+             int_of_float (num "devices" row))
+            (num "makespan_us" row))
+        sharding;
+      Hashtbl.iter
+        (fun (r, c, n) one ->
+          if n = 1 then
+            match Hashtbl.find_opt makespans (r, c, 2) with
+            | Some two when two >= one ->
+                fail
+                  "bench report %s: 2-device makespan (%.0f us) no better \
+                   than 1 device (%.0f us) at %dx%d"
+                  bench_path two one r c
+            | _ -> ())
+        makespans;
+      let dserving =
+        match Obs.Json.member "serving" devs with
+        | Some (Obs.Json.Arr rows) -> rows
+        | _ -> fail "bench report %s: no devices.serving array" bench_path
+      in
+      List.iter
+        (fun want ->
+          match
+            List.find_opt
+              (fun row -> int_of_float (num "devices" row) = want)
+              dserving
+          with
+          | None ->
+              fail "bench report %s: devices.serving has no %d-device row"
+                bench_path want
+          | Some row ->
+              if num "achieved_rps" row <= 0. then
+                fail
+                  "bench report %s: %d-device serving achieved no throughput"
+                  bench_path want)
+        [ 1; 2; 4 ];
+      (* Per-device counters: the sharding ablation drove ordinals 0-3
+         (and only those), each with its own launch and cache-hit
+         accounting -- a counter on a fifth ordinal would mean work
+         leaked across the device set. *)
+      List.iter
+        (fun name ->
+          if get name <= 0 then
+            fail "bench report %s: %s recorded no activity" bench_path name)
+        [
+          "gpu.dev0.launches"; "gpu.dev1.launches"; "gpu.dev2.launches";
+          "gpu.dev3.launches"; "gpu.dev0.compile_hits";
+          "gpu.dev1.compile_hits"; "gpu.dev0.h2d_bytes"; "gpu.dev1.h2d_bytes";
+          "gpu.dev0.p2p_bytes";
+        ];
+      (match Obs.Json.member "gpu.dev4.launches" series with
+      | Some _ ->
+          fail
+            "metrics %s: gpu.dev4.launches registered -- work placed \
+             outside the 4-device topology"
+            metrics_path
+      | None -> ());
       (* Perf-lint block: the static memory-behaviour analysis ran over
          both pipelines' generated kernels, every row carries the
          summary fields, and no shipped kernel earns an error-severity

@@ -15,8 +15,17 @@ open Cmdliner
 
 type pipeline = Reference | Sac_cuda_pipe | Gaspard
 
-(* Each pipeline is a function from a frame to the scaled frame plus
-   the device events the frame's private runtime recorded. *)
+(* Device selection for one frame's private runtime: the scheduler's
+   chosen ordinal within the shared topology. *)
+type devsel = {
+  ds_ordinal : int;
+  ds_topology : Gpu.Topology.t;
+  ds_device : Gpu.Device.t;
+}
+
+(* Each pipeline is a function from a device selection and a frame to
+   the scaled frame plus the device events the frame's private runtime
+   recorded. *)
 let frame_via_sac rows cols =
   let src = Sac.Programs.downscaler ~generic:false ~rows ~cols in
   let labels = ref [ "H. Filter"; "V. Filter" ] in
@@ -28,8 +37,11 @@ let frame_via_sac rows cols =
     | [] -> "Kernel"
   in
   let plan, _ = Sac_cuda.Compile.plan_of_source ~label_of src ~entry:"main" in
-  fun frame ->
-    let rt = Cuda.Runtime.init () in
+  fun ds frame ->
+    let rt =
+      Cuda.Runtime.init ~ordinal:ds.ds_ordinal ~topology:ds.ds_topology
+        ~device:ds.ds_device ()
+    in
     let scaled =
       Video.Frame.map_planes
         (fun _ plane ->
@@ -48,8 +60,11 @@ let frame_via_gaspard rows cols =
     | "VerticalFilter" -> "V. Filter"
     | other -> other
   in
-  fun frame ->
-    let ctx = Opencl.Runtime.create_context () in
+  fun ds frame ->
+    let ctx =
+      Opencl.Runtime.create_context ~ordinal:ds.ds_ordinal
+        ~topology:ds.ds_topology ~device:ds.ds_device ()
+    in
     let outs =
       Mde.Chain.run ctx gen ~label_of
         ~liveness:(Optimizer.Mode.liveness (Optimizer.Mode.default ()))
@@ -82,10 +97,14 @@ let apply_domains = function
       Gpu.Context.set_default_mode
         (if n <= 1 then Gpu.Context.Sequential else Gpu.Context.Parallel n)
 
-let main rows cols frames pipeline out_dir domains opt perf_lint trace
-    metrics =
+let main rows cols frames pipeline out_dir domains devices device_profile opt
+    perf_lint trace metrics =
   if cols mod 8 <> 0 || rows mod 9 <> 0 then begin
     Printf.eprintf "rows must be a multiple of 9 and cols of 8\n";
+    exit 2
+  end;
+  if devices < 1 then begin
+    Printf.eprintf "downscale: --devices must be positive\n";
     exit 2
   end;
   apply_domains domains;
@@ -95,15 +114,39 @@ let main rows cols frames pipeline out_dir domains opt perf_lint trace
   let fmt = { Video.Format.name = "synthetic"; rows; cols } in
   let run =
     match pipeline with
-    | Reference -> fun f -> (Video.Downscaler.frame f, [])
+    | Reference -> fun _ f -> (Video.Downscaler.frame f, [])
     | Sac_cuda_pipe -> frame_via_sac rows cols
     | Gaspard -> frame_via_gaspard rows cols
+  in
+  (* Frames shard across the device set through the residency-aware
+     scheduler; placement happens sequentially at batch-closure
+     creation, so it is deterministic whatever --domains says. *)
+  let topology = Gpu.Topology.uniform ~devices device_profile in
+  let sched = Gpu.Sched.create topology in
+  let frame_us =
+    Gpu.Topology.transfer_time_us topology ~src:Gpu.Topology.Host
+      ~dst:(Gpu.Topology.Dev 0)
+      ~bytes:(3 * 4 * rows * cols)
+  in
+  let devsel_of n =
+    let d =
+      Gpu.Sched.place sched
+        ~name:(Printf.sprintf "frame %d" n)
+        ~us_of:(fun _ -> frame_us)
+    in
+    {
+      ds_ordinal = d.Gpu.Sched.ordinal;
+      ds_topology = topology;
+      ds_device = Gpu.Topology.device topology d.Gpu.Sched.ordinal;
+    }
   in
   if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
   let pool = Gpu.Pool.get () in
   (* Batches bound how many decoded frames are alive at once. *)
   let batch = max 1 (4 * Gpu.Pool.size pool) in
   let timeline = Gpu.Timeline.create () in
+  let device_us = Array.make devices 0.0 in
+  let device_frames = Array.make devices 0 in
   let worst_psnr = ref infinity in
   let next = ref 0 in
   while !next < frames do
@@ -112,15 +155,25 @@ let main rows cols frames pipeline out_dir domains opt perf_lint trace
       Gpu.Pool.map_list pool
         (List.init count (fun i ->
              let n = !next + i in
+             let ds = devsel_of n in
              fun () ->
                let frame = Video.Framegen.frame fmt n in
-               let scaled, events = run frame in
+               let scaled, events = run ds frame in
                let reference = Video.Downscaler.frame frame in
-               (n, scaled, Video.Quality.frame_psnr scaled reference, events)))
+               ( n,
+                 ds.ds_ordinal,
+                 scaled,
+                 Video.Quality.frame_psnr scaled reference,
+                 events )))
     in
     List.iter
-      (fun (n, scaled, psnr, events) ->
+      (fun (n, ordinal, scaled, psnr, events) ->
         worst_psnr := Float.min !worst_psnr psnr;
+        device_frames.(ordinal) <- device_frames.(ordinal) + 1;
+        List.iter
+          (fun (e : Gpu.Timeline.event) ->
+            device_us.(ordinal) <- device_us.(ordinal) +. e.Gpu.Timeline.us)
+          events;
         List.iter (Gpu.Timeline.record timeline) events;
         let path =
           Filename.concat out_dir (Printf.sprintf "frame_%03d.ppm" n)
@@ -135,6 +188,20 @@ let main rows cols frames pipeline out_dir domains opt perf_lint trace
   Printf.printf "\nworst PSNR vs reference: %s\n"
     (if !worst_psnr = infinity then "inf (bit-exact)"
      else Printf.sprintf "%.1f dB" !worst_psnr);
+  if devices > 1 && pipeline <> Reference then begin
+    let total = Array.fold_left ( +. ) 0.0 device_us in
+    let makespan = Array.fold_left Float.max 0.0 device_us in
+    Printf.printf "\ndevice sharding: %d x %s\n" devices
+      device_profile.Gpu.Device.name;
+    Array.iteri
+      (fun i us ->
+        Printf.printf "  dev%d: %d frame(s), %.1f us modelled\n" i
+          device_frames.(i) us)
+      device_us;
+    Printf.printf "  makespan %.1f us vs single-device %.1f us (%.2fx)\n"
+      makespan total
+      (if makespan > 0.0 then total /. makespan else 1.0)
+  end;
   (match Gpu.Timeline.events timeline with
   | [] -> ()
   | _ ->
@@ -161,6 +228,31 @@ let () =
       & info [ "pipeline" ] ~doc:"reference, sac or gaspard.")
   in
   let out = Arg.(value & opt string "frames" & info [ "o"; "output" ]) in
+  let devices =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "devices" ]
+          ~doc:
+            "Simulated devices to shard frames across (scheduler-placed; \
+             output is bit-identical to a single-device run).")
+  in
+  let device_profile =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("gtx480", Gpu.Device.gtx480);
+               ("tesla_c1060", Gpu.Device.tesla_c1060);
+               ("ampere", Gpu.Device.ampere);
+             ])
+          Gpu.Device.gtx480
+      & info [ "device-profile" ]
+          ~doc:
+            "Calibration profile of every simulated device: $(b,gtx480) \
+             (default), $(b,tesla_c1060) or $(b,ampere).")
+  in
   let domains =
     Arg.(
       value
@@ -225,8 +317,8 @@ let () =
   in
   let term =
     Term.(
-      const main $ rows $ cols $ frames $ pipeline $ out $ domains $ opt
-      $ perf_lint $ trace $ metrics)
+      const main $ rows $ cols $ frames $ pipeline $ out $ domains $ devices
+      $ device_profile $ opt $ perf_lint $ trace $ metrics)
   in
   exit
     (Cmd.eval'

@@ -6,8 +6,84 @@
 
 open Cmdliner
 
+(* Placement report for --devices N: the residency-aware scheduler
+   over the chain's kernel tasks in schedule (level) order, with
+   buffer keys resolved through the model connections so a consumer
+   placed on its producer's device pays no transfer. *)
+let print_placements gen ~devices ~profile =
+  let topology = Gpu.Topology.uniform ~devices profile in
+  let sched = Gpu.Sched.create topology in
+  let key_of = function
+    | Arrayol.Model.Boundary b -> b
+    | Arrayol.Model.Part (i, p) -> i ^ "." ^ p
+  in
+  let source_key instance port =
+    match
+      List.find_opt
+        (fun (c : Arrayol.Model.connection) ->
+          c.Arrayol.Model.cto = Arrayol.Model.Part (instance, port))
+        gen.Mde.Codegen.connections
+    with
+    | Some c -> key_of c.Arrayol.Model.cfrom
+    | None -> instance ^ "." ^ port
+  in
+  let bytes_of shape = 4 * Array.fold_left ( * ) 1 shape in
+  Printf.printf "[sched] %d x %s\n" devices profile.Gpu.Device.name;
+  List.iter
+    (fun level ->
+      List.iter
+        (fun instance ->
+          match
+            List.find_opt
+              (fun (t : Mde.Codegen.kernel_task) ->
+                t.Mde.Codegen.instance = instance)
+              gen.Mde.Codegen.kernel_tasks
+          with
+          | None -> ()
+          | Some t ->
+              let moved_bytes =
+                List.fold_left
+                  (fun acc (_, shape) -> acc + bytes_of shape)
+                  0
+                  (t.Mde.Codegen.input_ports @ t.Mde.Codegen.output_ports)
+              in
+              let inputs =
+                List.map
+                  (fun (p, shape) ->
+                    (source_key instance p, bytes_of shape))
+                  t.Mde.Codegen.input_ports
+              in
+              let outputs =
+                List.map
+                  (fun (p, _) -> instance ^ "." ^ p)
+                  t.Mde.Codegen.output_ports
+              in
+              let us_of o =
+                let d = Gpu.Topology.device topology o in
+                d.Gpu.Device.kernel_launch_us
+                +. (float_of_int moved_bytes
+                   /. (d.Gpu.Device.dram_bandwidth_gbs *. 1e3))
+              in
+              let decision =
+                Gpu.Sched.place sched ~inputs ~outputs
+                  ~name:(instance ^ ":" ^ t.Mde.Codegen.task_name)
+                  ~us_of
+              in
+              Format.printf "[sched]   %a@." Gpu.Sched.pp_decision decision)
+        level)
+    gen.Mde.Codegen.levels;
+  let makespan = ref 0.0 in
+  for o = 0 to devices - 1 do
+    makespan := Float.max !makespan (Gpu.Sched.load sched o)
+  done;
+  Printf.printf "[sched]   makespan estimate %.1f us\n" !makespan
+
 let main rows cols out_dir show_model load save_model lint perf_lint opt
-    trace metrics =
+    devices device_profile trace metrics =
+  if devices < 1 then begin
+    Printf.eprintf "gaspardcl: --devices must be positive\n";
+    exit 2
+  end;
   Analysis.Config.set_perf_mode perf_lint;
   Optimizer.Mode.set_default opt;
   if trace <> None then Obs.Tracer.set_enabled true;
@@ -37,6 +113,8 @@ let main rows cols out_dir show_model load save_model lint perf_lint opt
           Printf.printf "[chain] %-40s %s\n" t.Mde.Chain.pass
             t.Mde.Chain.detail)
         trace;
+      if devices > 1 then
+        print_placements gen ~devices ~profile:device_profile;
       let lint_failed =
         lint
         &&
@@ -151,6 +229,32 @@ let () =
              / tile rewrites under the device cost model and keeps the \
              best verified plan (memoised per shape).")
   in
+  let devices =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "devices" ]
+          ~doc:
+            "Print a multi-device placement of the chain's kernel tasks \
+             (residency-aware scheduler over the link topology) before \
+             emitting sources.")
+  in
+  let device_profile =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("gtx480", Gpu.Device.gtx480);
+               ("tesla_c1060", Gpu.Device.tesla_c1060);
+               ("ampere", Gpu.Device.ampere);
+             ])
+          Gpu.Device.gtx480
+      & info [ "device-profile" ]
+          ~doc:
+            "Calibration profile of every simulated device: $(b,gtx480) \
+             (default), $(b,tesla_c1060) or $(b,ampere).")
+  in
   let trace =
     Arg.(
       value
@@ -172,7 +276,7 @@ let () =
   let term =
     Term.(
       const main $ rows $ cols $ out $ show_model $ load $ save_model $ lint
-      $ perf_lint $ opt $ trace $ metrics)
+      $ perf_lint $ opt $ devices $ device_profile $ trace $ metrics)
   in
   exit
     (Cmd.eval'

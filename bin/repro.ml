@@ -194,6 +194,9 @@ let run_autotune _scale =
 let run_overlap scale =
   print_string (Study.Report.overlap (Study.Experiments.overlap ~scale ()))
 
+let run_devices scale =
+  print_string (Study.Report.devices (Study.Experiments.devices ~scale ()))
+
 let run_side_by_side scale =
   print_string
     (Study.Report.side_by_side ~title:"Table I (paper vs simulated)"
@@ -225,6 +228,8 @@ let run_all scale =
   run_fusion scale;
   print_newline ();
   run_overlap scale;
+  print_newline ();
+  run_devices scale;
   print_newline ();
   run_validate ()
 
@@ -269,6 +274,12 @@ let () =
            off, fuse and auto for both pipelines across shapes, with \
            the winning rewrite sequence and a bit-identity check"
           run_autotune;
+        cmd_of "devices"
+          "Multi-device sharding ablation: frames scheduler-placed \
+           across 1/2/4 simulated devices with peer-link gather, \
+           modelled makespan and the transfer volume split by link \
+           type, plus a sharded bit-identity check"
+          run_devices;
         cmd_of "overlap"
           "Stream-overlap model: what double-buffered transfers would \
            recover in each pipeline"

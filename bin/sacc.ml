@@ -6,7 +6,7 @@
 
 open Cmdliner
 
-type emit = Ast | Optimized | Plan | Cuda | Opencl_src | Run | Lint
+type emit = Ast | Optimized | Plan | Cuda | Opencl_src | Metal_src | Run | Lint
 
 let read_file path =
   let ic = open_in_bin path in
@@ -83,6 +83,12 @@ let main input builtin from_model generic rows cols emit entry verify
         print_string src.Sac_opencl.Backend.cl;
         print_newline ();
         print_string src.Sac_opencl.Backend.host
+    | Metal_src ->
+        let plan, _ = Sac_cuda.Compile.plan_of_source source ~entry in
+        let src = Sac_metal.Backend.sources ~name:"sac_program" plan in
+        print_string src.Sac_metal.Backend.metal;
+        print_newline ();
+        print_string src.Sac_metal.Backend.host
     | Lint ->
         (* Front-end issues first; the plan-level analyzers need a
            program that at least compiles. *)
@@ -196,13 +202,13 @@ let () =
       & opt
           (enum
              [ ("ast", Ast); ("optimized", Optimized); ("plan", Plan);
-               ("cuda", Cuda); ("opencl", Opencl_src); ("run", Run);
-               ("lint", Lint) ])
+               ("cuda", Cuda); ("opencl", Opencl_src); ("metal", Metal_src);
+               ("run", Run); ("lint", Lint) ])
           Cuda
       & info [ "emit" ]
           ~doc:
-            "What to produce: ast, optimized, plan, cuda, opencl, run, \
-             or lint (static-analysis findings; non-zero exit on \
+            "What to produce: ast, optimized, plan, cuda, opencl, metal, \
+             run, or lint (static-analysis findings; non-zero exit on \
              errors).")
   in
   let entry = Arg.(value & opt string "main" & info [ "entry" ]) in

@@ -71,8 +71,8 @@ let run_pipeline ~pipeline ~fmt ~streams ~rate ~duration ~policy ~batch_max
     ~sessions ~rate_hz:rate ~duration_s:duration ()
 
 let main streams rate duration policy batch_max window_us workers capacity
-    deadline_ms slo_ms slow_dump pipeline rows cols opt domains trace metrics
-    =
+    deadline_ms slo_ms slow_dump pipeline rows cols opt domains devices
+    device_profile trace metrics =
   if cols mod 8 <> 0 || rows mod 9 <> 0 then begin
     Printf.eprintf "served: rows must be a multiple of 9 and cols of 8\n";
     exit 2
@@ -81,7 +81,17 @@ let main streams rate duration policy batch_max window_us workers capacity
     Printf.eprintf "served: --streams, --rate and --duration must be positive\n";
     exit 2
   end;
+  if workers < 1 || capacity < 1 || batch_max < 1 then begin
+    Printf.eprintf
+      "served: --workers, --queue-capacity and --batch-max must be positive\n";
+    exit 2
+  end;
+  if devices < 1 then begin
+    Printf.eprintf "served: --devices must be positive\n";
+    exit 2
+  end;
   apply_domains domains;
+  Serve.Session.set_devices ~profile:device_profile devices;
   Optimizer.Mode.set_default opt;
   if trace <> None then Obs.Tracer.set_enabled true;
   let fmt = { Video.Format.name = "stream"; rows; cols } in
@@ -125,6 +135,10 @@ let main streams rate duration policy batch_max window_us workers capacity
         print_string (Obs.Recorder.render_slowest ~n r.Serve.Loadgen.flight)
       end)
     reports;
+  if devices > 1 then
+    Printf.printf "\ndevices: %d x %s, stream migrations: %d\n" devices
+      device_profile.Gpu.Device.name
+      (Serve.Session.migrations ());
   Option.iter Gpu.Trace_export.write trace;
   Option.iter Obs.Metrics.write_file metrics;
   (* Lost requests would be an engine bug; fail loudly so the smoke
@@ -256,6 +270,34 @@ let () =
             "OCaml domains for the shared execution pool (must be \
              positive; omit to keep the machine default).")
   in
+  let devices =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "devices" ]
+          ~doc:
+            "Simulated devices to serve across.  With more than one, \
+             streams are pinned to devices by the residency-aware \
+             scheduler and migrate only when the imbalance exceeds the \
+             modelled transfer cost of the stream's working set.")
+  in
+  let device_profile =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("gtx480", Gpu.Device.gtx480);
+               ("tesla_c1060", Gpu.Device.tesla_c1060);
+               ("ampere", Gpu.Device.ampere);
+             ])
+          Gpu.Device.gtx480
+      & info [ "device-profile" ]
+          ~doc:
+            "Calibration profile of every simulated device: $(b,gtx480) \
+             (the paper's card, default), $(b,tesla_c1060) or \
+             $(b,ampere).")
+  in
   let trace =
     Arg.(
       value
@@ -276,7 +318,8 @@ let () =
     Term.(
       const main $ streams $ rate $ duration $ policy $ batch_max $ window_us
       $ workers $ capacity $ deadline_ms $ slo_ms $ slow_dump $ pipeline
-      $ rows $ cols $ opt $ domains $ trace $ metrics)
+      $ rows $ cols $ opt $ domains $ devices $ device_profile $ trace
+      $ metrics)
   in
   exit
     (Cmd.eval'

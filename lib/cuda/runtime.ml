@@ -2,8 +2,8 @@ type t = { ctx : Gpu.Context.t }
 
 type devptr = Gpu.Buffer.t
 
-let init ?mode ?(device = Gpu.Device.gtx480) () =
-  { ctx = Gpu.Context.create ?mode device }
+let init ?mode ?ordinal ?topology ?(device = Gpu.Device.gtx480) () =
+  { ctx = Gpu.Context.create ?mode ?ordinal ?topology device }
 
 let context t = t.ctx
 

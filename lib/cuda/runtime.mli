@@ -11,8 +11,16 @@ type t
 
 type devptr = Gpu.Buffer.t
 
-val init : ?mode:Gpu.Context.exec_mode -> ?device:Gpu.Device.t -> unit -> t
-(** Defaults to the paper's GTX480. *)
+val init :
+  ?mode:Gpu.Context.exec_mode ->
+  ?ordinal:int ->
+  ?topology:Gpu.Topology.t ->
+  ?device:Gpu.Device.t ->
+  unit ->
+  t
+(** Defaults to the paper's GTX480 on a single-device topology;
+    multi-device drivers pass the shared topology and this context's
+    ordinal so transfer times route over the right links. *)
 
 val context : t -> Gpu.Context.t
 

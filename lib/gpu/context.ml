@@ -7,8 +7,25 @@ type cache_stats = {
   cost_hits : int;
 }
 
+(* Per-device mirrors of the process-wide counters, registered lazily
+   per ordinal so a single-device run only materialises gpu.dev0.*.
+   They let the bench assert that multi-device runs keep their caches
+   and traffic separated per device. *)
+type dev_metrics = {
+  dm_launches : Obs.Metrics.counter;
+  dm_compile_hits : Obs.Metrics.counter;
+  dm_cost_hits : Obs.Metrics.counter;
+  dm_h2d_bytes : Obs.Metrics.counter;
+  dm_d2h_bytes : Obs.Metrics.counter;
+  dm_p2p_bytes : Obs.Metrics.counter;
+  dm_high_water : Obs.Metrics.gauge;
+}
+
 type t = {
   spec : Device.t;
+  ordinal : int;
+  topology : Topology.t;
+  dev : dev_metrics;
   timeline : Timeline.t;
   mutable mode : exec_mode;
   mutable allocated : int;
@@ -78,9 +95,32 @@ let set_default_mode m = default_mode_ref := m
 
 let default_mode () = !default_mode_ref
 
-let create ?mode spec =
+let dev_metrics_of ordinal =
+  let name suffix = Printf.sprintf "gpu.dev%d.%s" ordinal suffix in
+  {
+    dm_launches = Obs.Metrics.counter (name "launches");
+    dm_compile_hits = Obs.Metrics.counter (name "compile_hits");
+    dm_cost_hits = Obs.Metrics.counter (name "cost_hits");
+    dm_h2d_bytes = Obs.Metrics.counter (name "h2d_bytes");
+    dm_d2h_bytes = Obs.Metrics.counter (name "d2h_bytes");
+    dm_p2p_bytes = Obs.Metrics.counter (name "p2p_bytes");
+    dm_high_water = Obs.Metrics.gauge (name "alloc_high_water_bytes");
+  }
+
+let create ?mode ?(ordinal = 0) ?topology spec =
+  let topology =
+    match topology with Some t -> t | None -> Topology.single spec
+  in
+  if ordinal < 0 || ordinal >= Topology.device_count topology then
+    invalid_arg
+      (Printf.sprintf "Context.create: ordinal %d outside topology (%d devices)"
+         ordinal
+         (Topology.device_count topology));
   {
     spec;
+    ordinal;
+    topology;
+    dev = dev_metrics_of ordinal;
     timeline = Timeline.create ();
     mode = (match mode with Some m -> m | None -> !default_mode_ref);
     allocated = 0;
@@ -94,6 +134,10 @@ let create ?mode spec =
   }
 
 let device t = t.spec
+
+let ordinal t = t.ordinal
+
+let topology t = t.topology
 
 let timeline t = t.timeline
 
@@ -130,6 +174,7 @@ let alloc t ~name len =
   if t.allocated > t.peak then t.peak <- t.allocated;
   Obs.Metrics.add m_alloc_bytes bytes;
   Obs.Metrics.set_max m_alloc_high_water t.allocated;
+  Obs.Metrics.set_max t.dev.dm_high_water t.allocated;
   Hashtbl.add t.live buf.Buffer.id buf;
   buf
 
@@ -152,21 +197,57 @@ let free t (buf : Buffer.t) =
   if List.length shelf < arena_depth then
     Hashtbl.replace t.arena len (buf.Buffer.data :: shelf)
 
+(* All transfer accounting goes through the topology.  For the host
+   links the routed time is bit-identical to the historical direct
+   [Perf_model.memcpy_time_us] charge (the links are built from the
+   same device fields, and the time expression is the same). *)
 let copy_event t kind label detail bytes =
-  let dir = match kind with Timeline.Memcpy_h2d -> `H2d | _ -> `D2h in
-  (match dir with
-  | `H2d ->
+  let src, dst =
+    match kind with
+    | Timeline.Memcpy_h2d -> (Topology.Host, Topology.Dev t.ordinal)
+    | Timeline.Memcpy_d2h -> (Topology.Dev t.ordinal, Topology.Host)
+    | Timeline.Memcpy_d2d | Timeline.Kernel ->
+        invalid_arg "Context.copy_event: host-link copies only"
+  in
+  (match kind with
+  | Timeline.Memcpy_h2d ->
       Obs.Metrics.incr m_h2d_copies;
-      Obs.Metrics.add m_h2d_bytes bytes
-  | `D2h ->
+      Obs.Metrics.add m_h2d_bytes bytes;
+      Obs.Metrics.add t.dev.dm_h2d_bytes bytes
+  | _ ->
       Obs.Metrics.incr m_d2h_copies;
-      Obs.Metrics.add m_d2h_bytes bytes);
+      Obs.Metrics.add m_d2h_bytes bytes;
+      Obs.Metrics.add t.dev.dm_d2h_bytes bytes);
   Timeline.record t.timeline
     {
       Timeline.label;
       detail;
       kind;
-      us = Perf_model.memcpy_time_us t.spec ~bytes ~dir;
+      us = Topology.transfer_time_us t.topology ~src ~dst ~bytes;
+      start_us = 0.0;
+      bytes;
+      threads = 0;
+    }
+
+let m_p2p_copies = Obs.Metrics.counter "gpu.p2p_copies"
+
+let m_p2p_bytes = Obs.Metrics.counter "gpu.p2p_bytes"
+
+let record_d2d ?(label = "memcpyPeerAsync") t ~detail ~src ~bytes =
+  if src = t.ordinal then invalid_arg "Context.record_d2d: same device";
+  let us =
+    Topology.transfer_time_us t.topology ~src:(Topology.Dev src)
+      ~dst:(Topology.Dev t.ordinal) ~bytes
+  in
+  Obs.Metrics.incr m_p2p_copies;
+  Obs.Metrics.add m_p2p_bytes bytes;
+  Obs.Metrics.add t.dev.dm_p2p_bytes bytes;
+  Timeline.record t.timeline
+    {
+      Timeline.label;
+      detail;
+      kind = Timeline.Memcpy_d2d;
+      us;
       start_us = 0.0;
       bytes;
       threads = 0;
@@ -193,6 +274,7 @@ let prepared_of t kernel =
   | Some p ->
       t.stats <- { t.stats with compile_hits = t.stats.compile_hits + 1 };
       Obs.Metrics.incr m_compile_hits;
+      Obs.Metrics.incr t.dev.dm_compile_hits;
       p
   | None ->
       let t0 = Obs.Tracer.start () in
@@ -205,7 +287,8 @@ let prepared_of t kernel =
          the shared table did once. *)
       if shared_hit then begin
         t.stats <- { t.stats with compile_hits = t.stats.compile_hits + 1 };
-        Obs.Metrics.incr m_compile_hits
+        Obs.Metrics.incr m_compile_hits;
+        Obs.Metrics.incr t.dev.dm_compile_hits
       end
       else begin
         t.stats <- { t.stats with compiles = t.stats.compiles + 1 };
@@ -268,6 +351,7 @@ let cost_of t kernel ~grid ~args =
     | Some c ->
         t.stats <- { t.stats with cost_hits = t.stats.cost_hits + 1 };
         Obs.Metrics.incr m_cost_hits;
+        Obs.Metrics.incr t.dev.dm_cost_hits;
         c
     | None ->
         let c, global_hit =
@@ -292,7 +376,8 @@ let cost_of t kernel ~grid ~args =
            table answering counts as a hit for fresh contexts too. *)
         if global_hit then begin
           t.stats <- { t.stats with cost_hits = t.stats.cost_hits + 1 };
-          Obs.Metrics.incr m_cost_hits
+          Obs.Metrics.incr m_cost_hits;
+          Obs.Metrics.incr t.dev.dm_cost_hits
         end
         else begin
           t.stats <-
@@ -325,6 +410,7 @@ let launch ?label ?(split = 1) t kernel ~grid ~args =
       *. 4.0)
   in
   Obs.Metrics.incr m_launches;
+  Obs.Metrics.incr t.dev.dm_launches;
   Obs.Metrics.observe m_kernel_us (int_of_float us);
   Timeline.record t.timeline
     { Timeline.label; detail = kernel.Kir.kname; kind = Timeline.Kernel; us;

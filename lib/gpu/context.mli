@@ -23,9 +23,18 @@ val set_default_mode : exec_mode -> unit
 
 val default_mode : unit -> exec_mode
 
-val create : ?mode:exec_mode -> Device.t -> t
+val create : ?mode:exec_mode -> ?ordinal:int -> ?topology:Topology.t -> Device.t -> t
+(** A context simulates one device of a machine.  [ordinal] (default 0)
+    is its position in [topology] (default [Topology.single spec]);
+    transfer times are routed through the topology's links and the
+    per-device [gpu.dev<ordinal>.*] metrics are registered here.
+    Raises [Invalid_argument] when [ordinal] is outside the topology. *)
 
 val device : t -> Device.t
+
+val ordinal : t -> int
+
+val topology : t -> Topology.t
 
 val timeline : t -> Timeline.t
 
@@ -60,6 +69,17 @@ val h2d : ?label:string -> t -> Buffer.t -> int array -> unit
 val d2h : ?label:string -> t -> Buffer.t -> int array -> unit
 (** Copy a device buffer into a host array, recording a
     [memcpyDtoHasync] event. *)
+
+val record_d2d :
+  ?label:string -> t -> detail:string -> src:int -> bytes:int -> unit
+(** Record a device-to-device migration *into* this context's device
+    from device ordinal [src]: a [Memcpy_d2d] event on this timeline
+    whose duration is the topology's peer-link (or two-hop) transfer
+    time, counted under [gpu.p2p_copies]/[gpu.p2p_bytes].  The
+    receiving device pays for the migration, which is what the
+    scheduler charges when it moves work.  Raises [Invalid_argument]
+    when [src] is this context's own ordinal.  Used by
+    {!Cluster.transfer}; the data blit itself happens there. *)
 
 val launch :
   ?label:string ->

@@ -37,13 +37,17 @@ let gtx480 =
     resident_threads_per_sm = 1536;
   }
 
-let scaled ~name ~bandwidth_factor ~pcie_factor d =
+let scaled ~name ?(clock_factor = 1.0) ?(launch_factor = 1.0)
+    ~bandwidth_factor ~pcie_factor d =
   {
     d with
     name;
+    clock_ghz = d.clock_ghz *. clock_factor;
     dram_bandwidth_gbs = d.dram_bandwidth_gbs *. bandwidth_factor;
     pcie_h2d_gbs = d.pcie_h2d_gbs *. pcie_factor;
     pcie_d2h_gbs = d.pcie_d2h_gbs *. pcie_factor;
+    kernel_launch_us = d.kernel_launch_us *. launch_factor;
+    memcpy_overhead_us = d.memcpy_overhead_us *. launch_factor;
   }
 
 (* GT200-class card: 30 SMs x 8 SPs @ 1.3 GHz, 4 GB, 102 GB/s peak,
@@ -64,12 +68,29 @@ let tesla_c1060 =
     resident_threads_per_sm = 1024;
   }
 
+(* Ampere-class card (A100-like) for the modern-profile sensitivity
+   study: the rate parameters are all derived from the GTX480 via
+   [scaled] (8.8x DRAM bandwidth, PCIe Gen4, slightly faster shader
+   clock, half the fixed overheads); only the architectural counts are
+   overridden. *)
+let ampere =
+  {
+    (scaled ~name:"NVIDIA A100-class (Ampere, simulated)" ~clock_factor:1.01
+       ~launch_factor:0.5 ~bandwidth_factor:8.77 ~pcie_factor:4.6 gtx480)
+    with
+    sm_count = 108;
+    cores_per_sm = 64;
+    device_mem_mb = 40960;
+    resident_threads_per_sm = 2048;
+  }
+
 let int_throughput_gops d =
   float_of_int (d.sm_count * d.cores_per_sm) *. d.clock_ghz
 
 let pp ppf d =
   Format.fprintf ppf
-    "%s: %d SMs x %d cores @ %.1f GHz, %d MB, %.1f GB/s DRAM, PCIe \
-     %.2f/%.2f GB/s"
+    "%s: %d SMs x %d cores @@ %.2f GHz, %d MB, %.1f GB/s DRAM, PCIe \
+     %.2f/%.2f GB/s, launch %.1f us, memcpy setup %.1f us"
     d.name d.sm_count d.cores_per_sm d.clock_ghz d.device_mem_mb
-    d.dram_bandwidth_gbs d.pcie_h2d_gbs d.pcie_d2h_gbs
+    d.dram_bandwidth_gbs d.pcie_h2d_gbs d.pcie_d2h_gbs d.kernel_launch_us
+    d.memcpy_overhead_us

@@ -38,8 +38,25 @@ val tesla_c1060 : t
     device-sensitivity studies: same access-efficiency model, scaled
     peak bandwidth and clocks. *)
 
-val scaled : name:string -> bandwidth_factor:float -> pcie_factor:float -> t -> t
-(** Derive a what-if device from an existing one. *)
+val ampere : t
+(** An Ampere-class (A100-like) card for the modern-profile
+    sensitivity studies: derived from {!gtx480} via {!scaled} (DRAM
+    and PCIe bandwidth, clock and launch-overhead factors) with the
+    architectural counts overridden. *)
+
+val scaled :
+  name:string ->
+  ?clock_factor:float ->
+  ?launch_factor:float ->
+  bandwidth_factor:float ->
+  pcie_factor:float ->
+  t ->
+  t
+(** Derive a what-if device from an existing one: [bandwidth_factor]
+    scales peak DRAM bandwidth, [pcie_factor] both host-link copy
+    bandwidths, [clock_factor] (default 1.0) the shader clock and
+    [launch_factor] (default 1.0) the fixed per-launch and per-copy
+    overheads. *)
 
 val int_throughput_gops : t -> float
 (** Aggregate integer-op throughput used for the (almost always

@@ -28,7 +28,10 @@ let of_timeline timeline ~rounds =
       match e.Timeline.kind with
       | Timeline.Memcpy_h2d -> upload := !upload +. e.Timeline.us
       | Timeline.Kernel -> kernels := !kernels +. e.Timeline.us
-      | Timeline.Memcpy_d2h -> download := !download +. e.Timeline.us)
+      | Timeline.Memcpy_d2h | Timeline.Memcpy_d2d ->
+          (* Peer migrations compete with result readback for the
+             copy engines, so they pipeline with the download stage. *)
+          download := !download +. e.Timeline.us)
     (Timeline.events timeline);
   let stages = [ !upload; !kernels; !download ] in
   let serial = serial_us ~stages ~rounds in

@@ -19,6 +19,7 @@ let rows timeline =
     | Timeline.Kernel -> "K:" ^ e.label
     | Timeline.Memcpy_h2d -> "H2D"
     | Timeline.Memcpy_d2h -> "D2H"
+    | Timeline.Memcpy_d2d -> "P2P"
   in
   List.iter
     (fun (e : Timeline.event) ->
@@ -78,7 +79,7 @@ let rows timeline =
           gpu_time_us = g.us;
           share_pct = (if total > 0.0 then 100.0 *. g.us /. total else 0.0);
         }
-    | Timeline.Memcpy_h2d | Timeline.Memcpy_d2h ->
+    | Timeline.Memcpy_h2d | Timeline.Memcpy_d2h | Timeline.Memcpy_d2d ->
         {
           operation = Format.asprintf "%a" Timeline.pp_kind e0.kind;
           calls = g.events;

@@ -1,4 +1,4 @@
-type kind = Kernel | Memcpy_h2d | Memcpy_d2h
+type kind = Kernel | Memcpy_h2d | Memcpy_d2h | Memcpy_d2d
 
 type event = {
   label : string;
@@ -48,3 +48,4 @@ let pp_kind ppf = function
   | Kernel -> Format.pp_print_string ppf "kernel"
   | Memcpy_h2d -> Format.pp_print_string ppf "memcpyHtoDasync"
   | Memcpy_d2h -> Format.pp_print_string ppf "memcpyDtoHasync"
+  | Memcpy_d2d -> Format.pp_print_string ppf "memcpyPeerAsync"

@@ -5,7 +5,7 @@
     paper's Table I / Table II rows, and the trace exporter lays them
     out on the modelled clock via their start offsets. *)
 
-type kind = Kernel | Memcpy_h2d | Memcpy_d2h
+type kind = Kernel | Memcpy_h2d | Memcpy_d2h | Memcpy_d2d
 
 type event = {
   label : string;  (** profiling label, e.g. ["H. Filter"] *)

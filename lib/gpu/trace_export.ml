@@ -31,6 +31,7 @@ let track_of = function
   | Timeline.Kernel -> "kernels"
   | Timeline.Memcpy_h2d -> "h2d"
   | Timeline.Memcpy_d2h -> "d2h"
+  | Timeline.Memcpy_d2d -> "p2p"
 
 let device_events_of timeline =
   List.map

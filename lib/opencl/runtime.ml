@@ -21,7 +21,7 @@ let get_device_ids _platform = [ { spec = Gpu.Device.gtx480 } ]
 
 let device_spec d = d.spec
 
-let create_context ?mode ?device () =
+let create_context ?mode ?ordinal ?topology ?device () =
   let spec =
     match device with
     | Some d -> d
@@ -30,7 +30,7 @@ let create_context ?mode ?device () =
         | d :: _ -> d.spec
         | [] -> assert false)
   in
-  { ctx = Gpu.Context.create ?mode spec }
+  { ctx = Gpu.Context.create ?mode ?ordinal ?topology spec }
 
 let create_command_queue c = { cq_ctx = c.ctx }
 

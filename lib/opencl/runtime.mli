@@ -26,9 +26,15 @@ val get_device_ids : platform -> device list
 val device_spec : device -> Gpu.Device.t
 
 val create_context :
-  ?mode:Gpu.Context.exec_mode -> ?device:Gpu.Device.t -> unit -> context
+  ?mode:Gpu.Context.exec_mode ->
+  ?ordinal:int ->
+  ?topology:Gpu.Topology.t ->
+  ?device:Gpu.Device.t ->
+  unit ->
+  context
 (** Shorthand combining platform/device discovery for the simulator's
-    single GTX480-like device. *)
+    single GTX480-like device; multi-device drivers pass the shared
+    topology and an ordinal, as with [Cuda.Runtime.init]. *)
 
 val create_command_queue : context -> command_queue
 

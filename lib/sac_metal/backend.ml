@@ -1,0 +1,121 @@
+open Ndarray
+
+let metal_ops dev =
+  let queue = Metal.Runtime.new_command_queue dev in
+  {
+    Sac_cuda.Exec.alloc =
+      (fun ~name len -> Metal.Runtime.new_buffer dev ~name len);
+    upload = (fun buf data -> Metal.Runtime.blit_to_device queue buf data);
+    download = (fun buf data -> Metal.Runtime.blit_from_device queue buf data);
+    launch =
+      (fun ~label ~split kernel ~grid ~args ->
+        let pipeline =
+          match Metal.Runtime.new_compute_pipeline_state dev kernel with
+          | Ok p -> p
+          | Error m -> invalid_arg ("sac_metal: " ^ m)
+        in
+        Metal.Runtime.dispatch_threads queue pipeline ~label ~split ~grid
+          ~args);
+    release = (fun buf -> Metal.Runtime.release_buffer dev buf);
+  }
+
+let run ?host_mode ?liveness ?plane_tag dev plan ~args =
+  Sac_cuda.Exec.run_with ?host_mode ?liveness ?plane_tag (metal_ops dev) plan
+    ~args
+
+type sources = { metal : string; host : string; makefile : string }
+
+let dev_name name = "d_" ^ Sac_cuda.Kernelize.sanitize name
+
+let host_name name = "h_" ^ Sac_cuda.Kernelize.sanitize name
+
+let sources ~name (plan : Sac_cuda.Plan.t) =
+  let kernels = ref [] in
+  let steps = ref [] in
+  let push s = steps := s :: !steps in
+  let on_device : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let sizes : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (p, shape) -> Hashtbl.replace sizes p (Shape.size shape))
+    plan.Sac_cuda.Plan.params;
+  let ensure_device v =
+    if not (Hashtbl.mem on_device v) then begin
+      let len = try Hashtbl.find sizes v with Not_found -> 0 in
+      push (Metal.Emit.New_buffer { dst = dev_name v; len });
+      push
+        (Metal.Emit.Blit_to_device
+           { dst = dev_name v; src = host_name v; len });
+      Hashtbl.replace on_device v ()
+    end
+  in
+  List.iter
+    (fun item ->
+      match item with
+      | Sac_cuda.Plan.Const_array { target; shape; fill } ->
+          Hashtbl.replace sizes target (Shape.size shape);
+          push
+            (Metal.Emit.Comment
+               (Printf.sprintf "%s = constant array (%d) of shape %s"
+                  (host_name target) fill (Shape.to_string shape)))
+      | Sac_cuda.Plan.Copy { target; source } ->
+          (match Hashtbl.find_opt sizes source with
+          | Some n -> Hashtbl.replace sizes target n
+          | None -> ());
+          if Hashtbl.mem on_device source then
+            Hashtbl.replace on_device target ();
+          push
+            (Metal.Emit.Comment
+               (Printf.sprintf "%s aliases %s" (host_name target)
+                  (host_name source)))
+      | Sac_cuda.Plan.Device_withloop { target; swith; kernels = ks; _ } ->
+          let out_shape =
+            Shape.concat swith.Sac.Scalarize.frame
+              swith.Sac.Scalarize.cell_shape
+          in
+          Hashtbl.replace sizes target (Shape.size out_shape);
+          List.iter (fun (a, _) -> ensure_device a) swith.Sac.Scalarize.arrays;
+          push
+            (Metal.Emit.New_buffer
+               { dst = dev_name target; len = Shape.size out_shape });
+          Hashtbl.replace on_device target ();
+          List.iter
+            (fun ((k : Gpu.Kir.t), grid) ->
+              kernels := (k, grid) :: !kernels;
+              let args =
+                List.map
+                  (fun (p : Gpu.Kir.param) ->
+                    if p.Gpu.Kir.pname = "out" then ("out", dev_name target)
+                    else (p.Gpu.Kir.pname, "d_" ^ p.Gpu.Kir.pname))
+                  k.Gpu.Kir.params
+              in
+              push (Metal.Emit.Dispatch { kernel = k; grid; args }))
+            ks
+      | Sac_cuda.Plan.Host_block { stmts; reads; _ } ->
+          List.iter
+            (fun v ->
+              if Hashtbl.mem on_device v then begin
+                let len = try Hashtbl.find sizes v with Not_found -> 0 in
+                push
+                  (Metal.Emit.Blit_from_device
+                     { dst = host_name v; src = dev_name v; len });
+                Hashtbl.remove on_device v
+              end)
+            reads;
+          push
+            (Metal.Emit.Comment
+               (Printf.sprintf "host-resident SAC code (%d statements)"
+                  (List.length stmts))))
+    plan.Sac_cuda.Plan.items;
+  if Hashtbl.mem on_device plan.Sac_cuda.Plan.result then
+    push
+      (Metal.Emit.Blit_from_device
+         {
+           dst = host_name plan.Sac_cuda.Plan.result;
+           src = dev_name plan.Sac_cuda.Plan.result;
+           len = Shape.size plan.Sac_cuda.Plan.result_shape;
+         });
+  {
+    metal = Metal.Emit.metal_file ~name (List.rev !kernels);
+    host = Metal.Emit.host_program ~name ~steps:(List.rev !steps);
+    makefile = Metal.Emit.makefile ~name;
+  }

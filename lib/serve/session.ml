@@ -136,6 +136,72 @@ let custom ~id fmt f =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Multi-device serving                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* With [set_devices n] (n > 1) every stream gets a device affinity
+   from the residency-aware scheduler: the first frame pins the stream
+   to the least-loaded device and later frames stay there unless the
+   imbalance exceeds the migration cost of the stream's working set
+   (counted as [serve.migrations]).  The lock covers the scheduler
+   only; frame execution itself stays fully parallel. *)
+let sched_lock = Mutex.create ()
+
+let cluster_ref : (Gpu.Topology.t * Gpu.Sched.t) option ref = ref None
+
+let m_migrations = Obs.Metrics.counter "serve.migrations"
+
+let set_devices ?(profile = Gpu.Device.gtx480) n =
+  if n < 1 then invalid_arg "Serve.Session.set_devices: count must be positive";
+  Mutex.lock sched_lock;
+  (if n = 1 then cluster_ref := None
+   else
+     let topo = Gpu.Topology.uniform ~devices:n profile in
+     cluster_ref := Some (topo, Gpu.Sched.create topo));
+  Mutex.unlock sched_lock
+
+let device_count () =
+  Mutex.lock sched_lock;
+  let n =
+    match !cluster_ref with
+    | None -> 1
+    | Some (topo, _) -> Gpu.Topology.device_count topo
+  in
+  Mutex.unlock sched_lock;
+  n
+
+let migrations () = Option.value ~default:0 (Obs.Metrics.find "serve.migrations")
+
+let frame_bytes (fmt : Video.Format.t) =
+  3 * 4 * fmt.Video.Format.rows * fmt.Video.Format.cols
+
+(* Load proxy for stream placement, in microseconds so it compares
+   coherently with the scheduler's migration-cost estimates: the
+   upload time of one frame, which is proportional to the per-request
+   device work for a fixed pipeline. *)
+let frame_us_estimate topo fmt =
+  Gpu.Topology.transfer_time_us topo ~src:Gpu.Topology.Host
+    ~dst:(Gpu.Topology.Dev 0) ~bytes:(frame_bytes fmt)
+
+let placement t =
+  Mutex.lock sched_lock;
+  let p =
+    match !cluster_ref with
+    | None -> None
+    | Some (topo, sched) ->
+        let us = frame_us_estimate topo t.fmt in
+        let ordinal, migrated =
+          Gpu.Sched.stream_device sched
+            ~working_set_bytes:(frame_bytes t.fmt)
+            ~stream:(string_of_int t.id) ~us
+        in
+        if migrated then Obs.Metrics.incr m_migrations;
+        Some (topo, ordinal)
+  in
+  Mutex.unlock sched_lock;
+  p
+
+(* ------------------------------------------------------------------ *)
 (* Frame execution                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -146,10 +212,16 @@ let mde_label = function
 
 let run_frame t frame =
   let liveness = Optimizer.Mode.liveness t.opt in
+  let affinity = placement t in
+  let ordinal = Option.map snd affinity in
+  let topology = Option.map fst affinity in
+  let device =
+    Option.map (fun (topo, o) -> Gpu.Topology.device topo o) affinity
+  in
   match t.runner with
   | Custom_fn f -> (f frame, [])
   | Sac_plan plan ->
-      let rt = Cuda.Runtime.init () in
+      let rt = Cuda.Runtime.init ?ordinal ?topology ?device () in
       let scaled =
         Video.Frame.map_planes
           (fun ch plane ->
@@ -162,7 +234,7 @@ let run_frame t frame =
       ( scaled,
         Gpu.Timeline.events (Gpu.Context.timeline (Cuda.Runtime.context rt)) )
   | Mde_gen gen ->
-      let ctx = Opencl.Runtime.create_context () in
+      let ctx = Opencl.Runtime.create_context ?ordinal ?topology ?device () in
       let outs =
         Mde.Chain.run ctx gen ~label_of:mde_label ~liveness
           ~inputs:

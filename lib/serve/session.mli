@@ -57,3 +57,19 @@ val run_frame : t -> Video.Frame.t -> Video.Frame.t * Gpu.Timeline.event list
 
 val cache_size : unit -> int
 (** Number of distinct compiled plans held by the process-wide cache. *)
+
+val set_devices : ?profile:Gpu.Device.t -> int -> unit
+(** Serve across [n] simulated devices (default profile: GTX480).
+    With [n > 1] a process-wide residency-aware scheduler
+    ({!Gpu.Sched}) pins each stream to the least-loaded device on its
+    first frame and migrates it only when the imbalance exceeds the
+    modelled cost of moving the stream's working set over the
+    topology's links (each migration counted as [serve.migrations]).
+    [set_devices 1] restores single-device serving.  Raises
+    [Invalid_argument] when [n < 1]. *)
+
+val device_count : unit -> int
+(** Devices configured by {!set_devices} (1 when unset). *)
+
+val migrations : unit -> int
+(** Stream migrations performed so far ([serve.migrations]). *)

@@ -578,6 +578,158 @@ let overlap ?(scale = Scale.paper) () =
   in
   [ ("SAC -> CUDA (non-generic)", sac); ("Gaspard2 -> OpenCL", gaspard) ]
 
+(* ------------------------------------------------------------------ *)
+(* Multi-device sharding (devices ablation)                            *)
+(* ------------------------------------------------------------------ *)
+
+type devices_row = {
+  dv_devices : int;
+  dv_rows : int;
+  dv_cols : int;
+  dv_frames : int;
+  dv_makespan_us : float;
+  dv_serial_us : float;
+  dv_speedup : float;
+  dv_pcie_bytes : int;
+  dv_peer_bytes : int;
+  dv_bit_identical : bool;
+}
+
+(* Frames shard across the device set exactly as `downscale --devices`
+   does: the residency-aware scheduler places each frame on the
+   least-loaded device (placement is sequential, hence deterministic),
+   each device accounts its own timeline, and the scaled planes of the
+   secondary devices migrate to device 0 over peer links before the
+   final download — which is what puts Memcpy_d2d traffic on the
+   books and splits the transfer volume between PCIe (host links) and
+   peer links.
+
+   Timing runs in [Timing_only] / [`Estimate] mode, clamped to a few
+   dozen frames (the modelled per-frame time is frame-independent);
+   bit-identity of the sharded run executes functionally at the
+   validation geometry, whatever [scale] says, like the other
+   functional ablations. *)
+let devices ?(scale = Scale.paper) ?(counts = [ 1; 2; 4 ]) () =
+  Obs.Tracer.with_span ~cat:"study" "study.devices" @@ fun () ->
+  let rows = scale.Scale.rows and cols = scale.Scale.cols in
+  let frames = max 1 (min scale.Scale.frames 24) in
+  let profile = Gpu.Device.gtx480 in
+  let src = Sac.Programs.downscaler ~generic:false ~rows ~cols in
+  let plan, _ = Sac_cuda.Compile.plan_of_source src ~entry:"main" in
+  let plane =
+    Tensor.init [| rows; cols |] (fun idx -> (idx.(0) + (2 * idx.(1))) mod 251)
+  in
+  let out_bytes = 4 * Scale.v_out_rows scale * Scale.h_out_cols scale in
+  let bit_identical n =
+    let vrows = 72 and vcols = 64 in
+    let fmt = { Video.Format.name = "devices"; rows = vrows; cols = vcols } in
+    let vsrc = Sac.Programs.downscaler ~generic:false ~rows:vrows ~cols:vcols in
+    let vplan, _ = Sac_cuda.Compile.plan_of_source vsrc ~entry:"main" in
+    let topology = Gpu.Topology.uniform ~devices:n profile in
+    let sched = Gpu.Sched.create topology in
+    let frame_us =
+      Gpu.Topology.transfer_time_us topology ~src:Gpu.Topology.Host
+        ~dst:(Gpu.Topology.Dev 0)
+        ~bytes:(3 * 4 * vrows * vcols)
+    in
+    List.for_all
+      (fun f ->
+        let d =
+          Gpu.Sched.place sched
+            ~name:(Printf.sprintf "frame %d" f)
+            ~us_of:(fun _ -> frame_us)
+        in
+        let rt =
+          Cuda.Runtime.init ~ordinal:d.Gpu.Sched.ordinal ~topology ()
+        in
+        let frame = Video.Framegen.frame fmt f in
+        let scaled =
+          Video.Frame.map_planes
+            (fun _ p ->
+              (Sac_cuda.Exec.run rt vplan ~args:[ ("frame", p) ])
+                .Sac_cuda.Exec.result)
+            frame
+        in
+        Video.Frame.equal scaled (Video.Downscaler.frame frame))
+      (List.init (max 2 n) Fun.id)
+  in
+  let base_makespan = ref 0.0 in
+  List.map
+    (fun n ->
+      let topology = Gpu.Topology.uniform ~devices:n profile in
+      let sched = Gpu.Sched.create topology in
+      let rts =
+        Array.init n (fun ordinal ->
+            Cuda.Runtime.init ~mode:Gpu.Context.Timing_only ~ordinal ~topology
+              ())
+      in
+      let frame_us =
+        Gpu.Topology.transfer_time_us topology ~src:Gpu.Topology.Host
+          ~dst:(Gpu.Topology.Dev 0)
+          ~bytes:(3 * 4 * rows * cols)
+      in
+      let per_dev_frames = Array.make n 0 in
+      for f = 0 to frames - 1 do
+        let d =
+          Gpu.Sched.place sched
+            ~name:(Printf.sprintf "frame %d" f)
+            ~us_of:(fun _ -> frame_us)
+        in
+        let o = d.Gpu.Sched.ordinal in
+        per_dev_frames.(o) <- per_dev_frames.(o) + 1;
+        for _plane = 1 to Scale.planes do
+          ignore
+            (Sac_cuda.Exec.run ~host_mode:`Estimate rts.(o) plan
+               ~args:[ ("frame", plane) ])
+        done
+      done;
+      (* Gather the secondary devices' scaled planes onto device 0
+         (peer-link migrations, paid by the receiver). *)
+      let ctx0 = Cuda.Runtime.context rts.(0) in
+      for o = 1 to n - 1 do
+        if per_dev_frames.(o) > 0 then
+          Gpu.Context.record_d2d ctx0
+            ~detail:
+              (Printf.sprintf "gather dev%d (%d frame(s))" o per_dev_frames.(o))
+            ~src:o
+            ~bytes:(per_dev_frames.(o) * Scale.planes * out_bytes)
+      done;
+      let per_dev_us =
+        Array.map
+          (fun rt -> Gpu.Context.elapsed_us (Cuda.Runtime.context rt))
+          rts
+      in
+      let makespan = Array.fold_left Float.max 0.0 per_dev_us in
+      let serial = Array.fold_left ( +. ) 0.0 per_dev_us in
+      if !base_makespan = 0.0 then base_makespan := makespan;
+      let pcie = ref 0 and peer = ref 0 in
+      Array.iter
+        (fun rt ->
+          List.iter
+            (fun (e : Gpu.Timeline.event) ->
+              match e.Gpu.Timeline.kind with
+              | Gpu.Timeline.Memcpy_h2d | Gpu.Timeline.Memcpy_d2h ->
+                  pcie := !pcie + e.Gpu.Timeline.bytes
+              | Gpu.Timeline.Memcpy_d2d -> peer := !peer + e.Gpu.Timeline.bytes
+              | Gpu.Timeline.Kernel -> ())
+            (Gpu.Timeline.events
+               (Gpu.Context.timeline (Cuda.Runtime.context rt))))
+        rts;
+      {
+        dv_devices = n;
+        dv_rows = rows;
+        dv_cols = cols;
+        dv_frames = frames;
+        dv_makespan_us = makespan;
+        dv_serial_us = serial;
+        dv_speedup =
+          (if makespan > 0.0 then !base_makespan /. makespan else 1.0);
+        dv_pcie_bytes = !pcie;
+        dv_peer_bytes = !peer;
+        dv_bit_identical = bit_identical n;
+      })
+    counts
+
 type lint_report = {
   pipeline : string;
   kernels : int;

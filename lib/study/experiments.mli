@@ -118,6 +118,31 @@ val overlap : ?scale:Scale.t -> unit -> (string * Gpu.Overlap.summary) list
     rounds are per plane): how much double-buffered streams would
     recover from the per-frame synchronisation both backends ship. *)
 
+type devices_row = {
+  dv_devices : int;
+  dv_rows : int;
+  dv_cols : int;
+  dv_frames : int;  (** frames actually sharded (clamped for speed) *)
+  dv_makespan_us : float;  (** slowest device's modelled time *)
+  dv_serial_us : float;  (** sum over devices = single-device serial *)
+  dv_speedup : float;  (** first row's makespan / this makespan *)
+  dv_pcie_bytes : int;  (** H2D + D2H volume over host (PCIe) links *)
+  dv_peer_bytes : int;  (** D2D gather volume over peer links *)
+  dv_bit_identical : bool;
+      (** sharded functional run at the validation geometry =
+          reference, frame placement included *)
+}
+
+val devices :
+  ?scale:Scale.t -> ?counts:int list -> unit -> devices_row list
+(** Multi-device sharding ablation: frames placed across 1/2/4
+    simulated devices (default [counts]) by the residency-aware
+    {!Gpu.Sched} over a fully peer-linked {!Gpu.Topology}, one
+    timing-only context per device, secondary devices gathering their
+    scaled planes to device 0 over peer links.  Reports the modelled
+    makespan, the speedup against the first configuration and the
+    transfer volume split by link type. *)
+
 type lint_report = {
   pipeline : string;
   kernels : int;

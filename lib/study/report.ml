@@ -205,6 +205,28 @@ let autotune (rows : Experiments.autotune_row list) =
     rows;
   Buffer.contents buf
 
+let devices (rows : Experiments.devices_row list) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "Multi-device sharding (scheduler-placed frames, peer-link gather):\n";
+  Buffer.add_string buf
+    (Printf.sprintf "%8s %-10s %7s %15s %9s %12s %12s %10s\n" "devices"
+       "shape" "frames" "makespan (usec)" "speedup" "PCIe (KB)" "peer (KB)"
+       "identical");
+  List.iter
+    (fun (r : Experiments.devices_row) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%8d %-10s %7d %15.0f %8.2fx %12.1f %12.1f %10s\n"
+           r.Experiments.dv_devices
+           (Printf.sprintf "%dx%d" r.Experiments.dv_rows r.Experiments.dv_cols)
+           r.Experiments.dv_frames r.Experiments.dv_makespan_us
+           r.Experiments.dv_speedup
+           (float_of_int r.Experiments.dv_pcie_bytes /. 1024.)
+           (float_of_int r.Experiments.dv_peer_bytes /. 1024.)
+           (if r.Experiments.dv_bit_identical then "yes" else "NO")))
+    rows;
+  Buffer.contents buf
+
 let overlap (rows : (string * Gpu.Overlap.summary) list) =
   let buf = Buffer.create 256 in
   Buffer.add_string buf

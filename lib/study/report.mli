@@ -35,6 +35,11 @@ val autotune : Experiments.autotune_row list -> string
     (["(modelled)"] where functional execution is skipped) and the
     winning rewrite sequence. *)
 
+val devices : Experiments.devices_row list -> string
+(** The multi-device sharding ablation as one row per device count:
+    makespan, speedup against the first configuration and the
+    transfer volume split by link type (PCIe vs peer). *)
+
 val overlap : (string * Gpu.Overlap.summary) list -> string
 (** One line per pipeline: the serial and stream-pipelined makespans
     with the bottleneck share and the saving. *)

@@ -125,7 +125,8 @@ let cuda_us ~generic filter (s : Scale.t) =
             else acc +. e.Gpu.Timeline.us
         | Gpu.Timeline.Memcpy_d2h ->
             if e.Gpu.Timeline.detail = result_buffer then acc
-            else acc +. e.Gpu.Timeline.us)
+            else acc +. e.Gpu.Timeline.us
+        | Gpu.Timeline.Memcpy_d2d -> acc +. e.Gpu.Timeline.us)
       0.0 events
   in
   (device_us +. host_us)

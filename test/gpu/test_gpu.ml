@@ -870,6 +870,7 @@ let test_divmod_emitters_agree () =
     [
       Cuda.Emit.kernel ~grid:[| 1 |] divmod_kernel;
       Opencl.Emit.kernel ~grid:[| 1 |] divmod_kernel;
+      Metal.Emit.kernel ~grid:[| 1 |] divmod_kernel;
     ]
 
 let test_cuda_emit () =
@@ -887,6 +888,20 @@ let test_opencl_emit () =
     (contains ~needle:"iGID % 720" src);
   Alcotest.(check bool) "guard" true
     (contains ~needle:(Printf.sprintf "iGID >= %d" (1080 * 720)) src)
+
+let test_metal_emit () =
+  let src = Metal.Emit.kernel ~grid:[| 1080; 720 |] vadd_2d in
+  Alcotest.(check bool) "kernel void" true (contains ~needle:"kernel void" src);
+  Alcotest.(check bool) "buffer binding" true
+    (contains ~needle:"[[buffer(0)]]" src);
+  Alcotest.(check bool) "output address space" true
+    (contains ~needle:"device int *out [[buffer(1)]]" src);
+  Alcotest.(check bool) "grid id attribute" true
+    (contains ~needle:"uint iGID [[thread_position_in_grid]]" src);
+  Alcotest.(check bool) "guard with unsigned literal" true
+    (contains ~needle:(Printf.sprintf "iGID >= %du" (1080 * 720)) src);
+  Alcotest.(check bool) "gid decomposition" true
+    (contains ~needle:"% 720" src)
 
 let test_cuda_program_shape () =
   let src =
@@ -1347,6 +1362,285 @@ let prop_compile_matches_interpretation =
       in
       got = expected)
 
+(* ---------- Topology, scheduler and cluster ---------- *)
+
+let raises_invalid f =
+  try
+    ignore (f ());
+    false
+  with Invalid_argument _ -> true
+
+(* A single-device topology must charge host links exactly what
+   [Perf_model.memcpy_time_us] charged before topologies existed, so
+   all pre-existing single-device accounting is bit-identical. *)
+let test_topology_matches_perf_model () =
+  let d = Device.gtx480 in
+  let topo = Topology.single d in
+  List.iter
+    (fun bytes ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "h2d %d bytes" bytes)
+        (Perf_model.memcpy_time_us d ~bytes ~dir:`H2d)
+        (Topology.transfer_time_us topo ~src:Topology.Host
+           ~dst:(Topology.Dev 0) ~bytes);
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "d2h %d bytes" bytes)
+        (Perf_model.memcpy_time_us d ~bytes ~dir:`D2h)
+        (Topology.transfer_time_us topo ~src:(Topology.Dev 0)
+           ~dst:Topology.Host ~bytes))
+    [ 0; 1; 4096; 288 * 352 * 4; 1920 * 1080 * 4 ]
+
+let test_topology_peer_vs_two_hop () =
+  let d = Device.gtx480 in
+  let peer = Topology.uniform ~devices:2 d in
+  let hop = Topology.of_devices ~peer_linked:false [ d; d ] in
+  let src = Topology.Dev 0 and dst = Topology.Dev 1 in
+  Alcotest.(check bool) "peer route" true
+    (Topology.route peer ~src ~dst = Topology.Peer);
+  Alcotest.(check bool) "two-hop route" true
+    (Topology.route hop ~src ~dst = Topology.Two_hop);
+  let bytes = 1 lsl 20 in
+  let t_peer = Topology.transfer_time_us peer ~src ~dst ~bytes in
+  let t_hop = Topology.transfer_time_us hop ~src ~dst ~bytes in
+  Alcotest.(check bool) "peer link beats staging through the host" true
+    (t_peer < t_hop);
+  (* Store-and-forward: the two-hop time is exactly d2h + h2d. *)
+  Alcotest.(check (float 1e-9)) "two-hop pays both host links" t_hop
+    (Perf_model.memcpy_time_us d ~bytes ~dir:`D2h
+    +. Perf_model.memcpy_time_us d ~bytes ~dir:`H2d)
+
+let test_topology_invalid () =
+  let topo = Topology.uniform ~devices:2 Device.gtx480 in
+  Alcotest.(check bool) "host->host" true
+    (raises_invalid (fun () ->
+         Topology.transfer_time_us topo ~src:Topology.Host ~dst:Topology.Host
+           ~bytes:1));
+  Alcotest.(check bool) "same device" true
+    (raises_invalid (fun () ->
+         Topology.transfer_time_us topo ~src:(Topology.Dev 1)
+           ~dst:(Topology.Dev 1) ~bytes:1));
+  Alcotest.(check bool) "ordinal out of range" true
+    (raises_invalid (fun () ->
+         Topology.transfer_time_us topo ~src:Topology.Host
+           ~dst:(Topology.Dev 2) ~bytes:1));
+  Alcotest.(check bool) "empty device list" true
+    (raises_invalid (fun () -> Topology.of_devices []));
+  Alcotest.(check bool) "zero devices" true
+    (raises_invalid (fun () -> Topology.uniform ~devices:0 Device.gtx480))
+
+let test_device_scaled () =
+  let d = Device.gtx480 in
+  let same =
+    Device.scaled ~name:"clone" ~bandwidth_factor:1.0 ~pcie_factor:1.0 d
+  in
+  Alcotest.(check bool) "unit factors change only the name" true
+    ({ same with Device.name = d.Device.name } = d);
+  let f =
+    Device.scaled ~name:"what-if" ~clock_factor:2.0 ~launch_factor:0.5
+      ~bandwidth_factor:3.0 ~pcie_factor:4.0 d
+  in
+  Alcotest.(check (float 1e-9)) "clock" (d.Device.clock_ghz *. 2.0)
+    f.Device.clock_ghz;
+  Alcotest.(check (float 1e-9)) "dram bandwidth"
+    (d.Device.dram_bandwidth_gbs *. 3.0)
+    f.Device.dram_bandwidth_gbs;
+  Alcotest.(check (float 1e-9)) "pcie h2d" (d.Device.pcie_h2d_gbs *. 4.0)
+    f.Device.pcie_h2d_gbs;
+  Alcotest.(check (float 1e-9)) "pcie d2h" (d.Device.pcie_d2h_gbs *. 4.0)
+    f.Device.pcie_d2h_gbs;
+  Alcotest.(check (float 1e-9)) "launch overhead"
+    (d.Device.kernel_launch_us *. 0.5)
+    f.Device.kernel_launch_us;
+  Alcotest.(check (float 1e-9)) "memcpy setup"
+    (d.Device.memcpy_overhead_us *. 0.5)
+    f.Device.memcpy_overhead_us;
+  (* Architectural counts are never scaled. *)
+  Alcotest.(check int) "sm count" d.Device.sm_count f.Device.sm_count;
+  Alcotest.(check int) "warp size" d.Device.warp_size f.Device.warp_size
+
+(* [Device.pp] prints the full rate spec, so a profile quoted in a log
+   or report can be read back against the profiles' definitions. *)
+let test_device_pp_roundtrip () =
+  List.iter
+    (fun (d : Device.t) ->
+      let s = Format.asprintf "%a" Device.pp d in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s prints %s" d.Device.name needle)
+            true (contains ~needle s))
+        [
+          d.Device.name;
+          Printf.sprintf "%d SMs x %d cores" d.Device.sm_count
+            d.Device.cores_per_sm;
+          Printf.sprintf "@ %.2f GHz" d.Device.clock_ghz;
+          Printf.sprintf "%d MB" d.Device.device_mem_mb;
+          Printf.sprintf "%.1f GB/s DRAM" d.Device.dram_bandwidth_gbs;
+          Printf.sprintf "PCIe %.2f/%.2f GB/s" d.Device.pcie_h2d_gbs
+            d.Device.pcie_d2h_gbs;
+          Printf.sprintf "launch %.1f us" d.Device.kernel_launch_us;
+        ])
+    [ Device.gtx480; Device.tesla_c1060; Device.ampere ]
+
+(* A fixed task sequence placed twice on fresh schedulers. *)
+let place_sequence () =
+  let topo = Topology.uniform ~devices:3 Device.gtx480 in
+  let s = Sched.create topo in
+  List.map
+    (fun i ->
+      let d =
+        Sched.place s
+          ~inputs:
+            [ (Printf.sprintf "buf%d" (i mod 4), 4096 * (1 + (i mod 3))) ]
+          ~outputs:[ Printf.sprintf "out%d" i ]
+          ~name:(Printf.sprintf "t%d" i)
+          ~us_of:(fun o -> 10.0 +. float_of_int ((i + o) mod 3))
+      in
+      (d.Sched.ordinal, d.Sched.predicted_us, d.Sched.transfer_us))
+    (List.init 12 Fun.id)
+
+(* Placement must not depend on the execution mode or pool width: the
+   scheduler consults only the topology and its own accumulated state,
+   so `--domains N` cannot change where work lands. *)
+let test_sched_deterministic_across_modes () =
+  let saved = Context.default_mode () in
+  Fun.protect
+    ~finally:(fun () -> Context.set_default_mode saved)
+    (fun () ->
+      Context.set_default_mode Context.Sequential;
+      let a = place_sequence () in
+      Context.set_default_mode (Context.Parallel 2);
+      let b = place_sequence () in
+      Context.set_default_mode (Context.Parallel 7);
+      let c = place_sequence () in
+      Alcotest.(check bool) "parallel 2 = sequential" true (a = b);
+      Alcotest.(check bool) "parallel 7 = sequential" true (a = c))
+
+let test_sched_ties_break_low () =
+  let s = Sched.create (Topology.uniform ~devices:4 Device.gtx480) in
+  let d = Sched.place s ~name:"first" ~us_of:(fun _ -> 5.0) in
+  Alcotest.(check int) "all-idle tie goes to ordinal 0" 0 d.Sched.ordinal;
+  Alcotest.(check (float 0.0)) "no inputs, no transfer" 0.0 d.Sched.transfer_us
+
+let test_sched_residency_attracts () =
+  let s = Sched.create (Topology.uniform ~devices:2 Device.gtx480) in
+  let p = Sched.place s ~outputs:[ "mid" ] ~name:"producer" ~us_of:(fun _ -> 10.0) in
+  (* The consumer's input is resident on the producer's device; staying
+     there is free while the idle device charges a 64 MB migration, so
+     residency must win even against the load imbalance. *)
+  let c =
+    Sched.place s
+      ~inputs:[ ("mid", 64 * 1024 * 1024) ]
+      ~name:"consumer"
+      ~us_of:(fun _ -> 1.0)
+  in
+  Alcotest.(check int) "consumer follows its producer" p.Sched.ordinal
+    c.Sched.ordinal;
+  Alcotest.(check (float 0.0)) "resident input transfers nothing" 0.0
+    c.Sched.transfer_us;
+  Alcotest.(check int) "residency recorded" p.Sched.ordinal
+    (Option.get (Sched.residency s "mid"))
+
+let test_sched_spreads_independent_work () =
+  let s = Sched.create (Topology.uniform ~devices:2 Device.gtx480) in
+  let placed =
+    List.map
+      (fun i ->
+        (Sched.place s ~name:(Printf.sprintf "w%d" i) ~us_of:(fun _ -> 10.0))
+          .Sched.ordinal)
+      (List.init 4 Fun.id)
+  in
+  Alcotest.(check (list int)) "independent equal tasks alternate"
+    [ 0; 1; 0; 1 ] placed;
+  Alcotest.(check (float 1e-9)) "load balances" (Sched.load s 0)
+    (Sched.load s 1)
+
+let test_sched_stream_pinning_and_migration () =
+  let s = Sched.create (Topology.uniform ~devices:2 Device.gtx480) in
+  (* A heavy working set makes migration never pay: the stream stays
+     pinned no matter how lopsided its own load gets. *)
+  let o0, m0 = Sched.stream_device s ~stream:"a" ~us:100.0 in
+  Alcotest.(check bool) "first placement is not a migration" false m0;
+  List.iter
+    (fun _ ->
+      let o, m =
+        Sched.stream_device s ~working_set_bytes:(64 * 1024 * 1024)
+          ~stream:"a" ~us:100.0
+      in
+      Alcotest.(check int) "stays pinned under a heavy working set" o0 o;
+      Alcotest.(check bool) "no migration" false m)
+    (List.init 5 Fun.id);
+  Alcotest.(check int) "no migrations counted" 0 (Sched.migrations s);
+  (* A free-to-move stream migrates only once its device is loaded
+     beyond the hysteresis band, not on the first imbalance. *)
+  let s = Sched.create (Topology.uniform ~devices:2 Device.gtx480) in
+  let o0, _ = Sched.stream_device s ~stream:"a" ~us:100.0 in
+  let o1, m1 = Sched.stream_device s ~stream:"a" ~us:100.0 in
+  Alcotest.(check int) "inside the band: stays" o0 o1;
+  Alcotest.(check bool) "inside the band: not a migration" false m1;
+  let o2, m2 = Sched.stream_device s ~stream:"a" ~us:100.0 in
+  Alcotest.(check bool) "past the band: migrates" true m2;
+  Alcotest.(check bool) "lands on the other device" true (o2 <> o0);
+  Alcotest.(check int) "migration counted" 1 (Sched.migrations s)
+
+let test_cluster_transfer_accounting () =
+  let cl = Cluster.uniform ~devices:2 Device.gtx480 in
+  let c0 = Cluster.context cl 0 and c1 = Cluster.context cl 1 in
+  let n = 16 in
+  let data = Array.init n (fun i -> (i * 13) mod 7) in
+  let buf = Context.alloc c0 ~name:"x" n in
+  Context.h2d c0 buf data;
+  let moved = Cluster.transfer cl ~src:0 ~dst:1 buf in
+  let host = Array.make n 0 in
+  Context.d2h c1 moved host;
+  Alcotest.(check (array int)) "contents survive the migration" data host;
+  let d2d tl =
+    List.filter
+      (fun (e : Timeline.event) -> e.Timeline.kind = Timeline.Memcpy_d2d)
+      (Timeline.events tl)
+  in
+  let recv = d2d (Context.timeline c1) in
+  Alcotest.(check int) "one d2d event, on the receiver" 1 (List.length recv);
+  Alcotest.(check int) "no d2d on the sender" 0
+    (List.length (d2d (Context.timeline c0)));
+  Alcotest.(check int) "event carries the payload bytes" (n * 4)
+    (List.hd recv).Timeline.bytes;
+  (* Same-device transfer is the identity and records nothing. *)
+  let same = Cluster.transfer cl ~src:1 ~dst:1 moved in
+  Alcotest.(check bool) "src = dst returns the buffer" true (same == moved);
+  Alcotest.(check int) "and records no event" 1
+    (List.length (d2d (Context.timeline c1)));
+  (* The merged timeline sees every device's events in ordinal order. *)
+  let merged = Timeline.events (Cluster.merged_timeline cl) in
+  Alcotest.(check int) "merged timeline carries the d2d" 1
+    (List.length
+       (List.filter
+          (fun (e : Timeline.event) ->
+            e.Timeline.kind = Timeline.Memcpy_d2d)
+          merged))
+
+let metric name = Option.value ~default:0 (Obs.Metrics.find name)
+
+let test_per_device_metrics_isolated () =
+  let topo = Topology.uniform ~devices:2 Device.gtx480 in
+  let c1 = Context.create ~ordinal:1 ~topology:topo Device.gtx480 in
+  let before0 = metric "gpu.dev0.launches"
+  and before1 = metric "gpu.dev1.launches" in
+  let n = 32 in
+  let a = Context.alloc c1 ~name:"a" n in
+  let b = Context.alloc c1 ~name:"b" n in
+  let out = Context.alloc c1 ~name:"out" n in
+  Context.h2d c1 a (Array.make n 1);
+  Context.h2d c1 b (Array.make n 2);
+  Context.launch c1 vadd ~grid:[| n |]
+    ~args:
+      [ ("a", Kir.Buffer_arg a); ("b", Kir.Buffer_arg b);
+        ("out", Kir.Buffer_arg out) ];
+  Alcotest.(check int) "dev1 counter advances" (before1 + 1)
+    (metric "gpu.dev1.launches");
+  Alcotest.(check int) "dev0 counter untouched" before0
+    (metric "gpu.dev0.launches")
+
 let props =
   List.map QCheck_alcotest.to_alcotest [ prop_compile_matches_interpretation ]
 
@@ -1453,6 +1747,7 @@ let () =
             test_divmod_emitters_agree;
           Alcotest.test_case "cuda kernel" `Quick test_cuda_emit;
           Alcotest.test_case "opencl kernel" `Quick test_opencl_emit;
+          Alcotest.test_case "metal kernel" `Quick test_metal_emit;
           Alcotest.test_case "cuda program" `Quick test_cuda_program_shape;
           Alcotest.test_case "opencl host" `Quick test_opencl_host_shape;
           Alcotest.test_case "makefile" `Quick test_makefile;
@@ -1465,6 +1760,39 @@ let () =
             test_opencl_missing_args;
           Alcotest.test_case "cuda roundtrip" `Quick test_cuda_facade_roundtrip;
           Alcotest.test_case "blocks_for" `Quick test_blocks_for;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "host links match perf model" `Quick
+            test_topology_matches_perf_model;
+          Alcotest.test_case "peer vs two-hop" `Quick
+            test_topology_peer_vs_two_hop;
+          Alcotest.test_case "invalid endpoints" `Quick test_topology_invalid;
+        ] );
+      ( "device",
+        [
+          Alcotest.test_case "scaled factors" `Quick test_device_scaled;
+          Alcotest.test_case "pp round-trip" `Quick test_device_pp_roundtrip;
+        ] );
+      ( "sched",
+        [
+          Alcotest.test_case "deterministic across exec modes" `Quick
+            test_sched_deterministic_across_modes;
+          Alcotest.test_case "ties break to lowest ordinal" `Quick
+            test_sched_ties_break_low;
+          Alcotest.test_case "residency attracts consumers" `Quick
+            test_sched_residency_attracts;
+          Alcotest.test_case "independent work spreads" `Quick
+            test_sched_spreads_independent_work;
+          Alcotest.test_case "stream pinning and migration" `Quick
+            test_sched_stream_pinning_and_migration;
+        ] );
+      ( "cluster",
+        [
+          Alcotest.test_case "transfer accounting" `Quick
+            test_cluster_transfer_accounting;
+          Alcotest.test_case "per-device metrics isolated" `Quick
+            test_per_device_metrics_isolated;
         ] );
       ("properties", props);
     ]

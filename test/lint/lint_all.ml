@@ -26,12 +26,30 @@ let report name kernels findings =
     if Analysis.Finding.errors findings > 0 then failed := true
   end
 
+(* Every linted plan must also print through all three source
+   emitters: a plan the analyzers accept but a backend cannot render
+   is still a code-generator regression. *)
+let emitters_render name plan =
+  let check what src =
+    if String.length src = 0 then begin
+      Printf.printf "%-32s %s emitter produced no source\n" name what;
+      failed := true
+    end
+  in
+  check "cuda" (Sac_cuda.Emit_cu.source ~name:"lint_sweep" plan);
+  let ocl = Sac_opencl.Backend.sources ~name:"lint_sweep" plan in
+  check "opencl" ocl.Sac_opencl.Backend.cl;
+  let mtl = Sac_metal.Backend.sources ~name:"lint_sweep" plan in
+  check "metal" mtl.Sac_metal.Backend.metal;
+  check "metal host" mtl.Sac_metal.Backend.host
+
 let sac_program opt name source =
   match Sac_cuda.Compile.plan_of_source ~opt source ~entry:"main" with
   | plan, _ ->
       report name
         (Sac_cuda.Plan.kernel_count plan)
-        (Sac_cuda.Verify.check plan)
+        (Sac_cuda.Verify.check plan);
+      emitters_render name plan
   | exception Sac_cuda.Compile.Compile_error m ->
       Printf.printf "%-32s failed to compile: %s\n" name m;
       failed := true

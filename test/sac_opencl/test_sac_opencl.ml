@@ -40,6 +40,56 @@ let test_opencl_matches_cuda () =
   Alcotest.(check int) "same launch count" cuda.Sac_cuda.Exec.kernel_launches
     ocl.Sac_cuda.Exec.kernel_launches
 
+let run_metal plan plane =
+  let dev = Metal.Runtime.create_system_default_device () in
+  let outcome = Sac_metal.Backend.run dev plan ~args:[ ("frame", plane) ] in
+  (dev, outcome)
+
+(* The acceptance bar for the third backend: the same compiled plan
+   produces bit-identical frames through all three runtime facades,
+   with the same number of kernel launches. *)
+let test_three_backends_identical () =
+  List.iter
+    (fun (opt, generic, n) ->
+      let plan = plan_of ?opt ~generic () in
+      let plane = plane_of n in
+      let rt = Cuda.Runtime.init () in
+      let cuda = Sac_cuda.Exec.run rt plan ~args:[ ("frame", plane) ] in
+      let _, ocl = run_opencl plan plane in
+      let _, mtl = run_metal plan plane in
+      let reference = Video.Downscaler.plane plane in
+      Alcotest.(check bool) "CUDA bit-exact vs reference" true
+        (tensor_eq cuda.Sac_cuda.Exec.result reference);
+      Alcotest.(check bool) "OpenCL = CUDA" true
+        (tensor_eq ocl.Sac_cuda.Exec.result cuda.Sac_cuda.Exec.result);
+      Alcotest.(check bool) "Metal = CUDA" true
+        (tensor_eq mtl.Sac_cuda.Exec.result cuda.Sac_cuda.Exec.result);
+      Alcotest.(check int) "Metal launch count"
+        cuda.Sac_cuda.Exec.kernel_launches mtl.Sac_cuda.Exec.kernel_launches)
+    [
+      (None, false, 5);
+      (None, true, 6);
+      (Some Optimizer.Mode.Fuse, false, 7);
+      (Some Optimizer.Mode.Auto, false, 8);
+    ]
+
+let test_metal_events () =
+  let plan = plan_of ~generic:false () in
+  let dev, _ = run_metal plan (plane_of 9) in
+  let events =
+    Gpu.Timeline.events
+      (Gpu.Context.timeline (Metal.Runtime.gpu_context dev))
+  in
+  let count kind =
+    List.length
+      (List.filter
+         (fun (e : Gpu.Timeline.event) -> e.Gpu.Timeline.kind = kind)
+         events)
+  in
+  Alcotest.(check int) "12 dispatches" 12 (count Gpu.Timeline.Kernel);
+  Alcotest.(check int) "1 blit to device" 1 (count Gpu.Timeline.Memcpy_h2d);
+  Alcotest.(check int) "1 blit from device" 1 (count Gpu.Timeline.Memcpy_d2h)
+
 let test_opencl_generic_variant () =
   let plan = plan_of ~generic:true () in
   let plane = plane_of 2 in
@@ -108,17 +158,37 @@ let test_sources () =
   Alcotest.(check int) "12 __kernel functions" 12
     (count_occurrences src.Sac_opencl.Backend.cl "__kernel void")
 
+let test_metal_sources () =
+  let plan = plan_of ~generic:false () in
+  let src = Sac_metal.Backend.sources ~name:"downscaler" plan in
+  List.iter
+    (fun (what, text, needle) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s contains %s" what needle)
+        true (contains text needle))
+    [
+      ("metal", src.Sac_metal.Backend.metal, "#include <metal_stdlib>");
+      ("metal", src.Sac_metal.Backend.metal, "kernel void");
+      ("metal", src.Sac_metal.Backend.metal, "[[thread_position_in_grid]]");
+      ("metal", src.Sac_metal.Backend.metal, "[[buffer(");
+      ("host", src.Sac_metal.Backend.host, "MTL::CreateSystemDefaultDevice");
+      ("host", src.Sac_metal.Backend.host, "dispatchThreads");
+      ("makefile", src.Sac_metal.Backend.makefile, "-framework Metal");
+    ]
+
 let prop_backends_agree =
-  QCheck.Test.make ~name:"OpenCL backend = CUDA backend (random frames)"
-    ~count:8
+  QCheck.Test.make
+    ~name:"OpenCL and Metal backends = CUDA backend (random frames)" ~count:8
     (QCheck.pair (QCheck.int_range 0 300) QCheck.bool)
     (fun (n, generic) ->
       let plan = plan_of ~generic () in
       let plane = plane_of n in
       let _, ocl = run_opencl plan plane in
+      let _, mtl = run_metal plan plane in
       let rt = Cuda.Runtime.init () in
       let cuda = Sac_cuda.Exec.run rt plan ~args:[ ("frame", plane) ] in
-      tensor_eq ocl.Sac_cuda.Exec.result cuda.Sac_cuda.Exec.result)
+      tensor_eq ocl.Sac_cuda.Exec.result cuda.Sac_cuda.Exec.result
+      && tensor_eq mtl.Sac_cuda.Exec.result cuda.Sac_cuda.Exec.result)
 
 let () =
   Alcotest.run "sac-opencl"
@@ -133,8 +203,15 @@ let () =
             test_opencl_generic_variant;
           Alcotest.test_case "event profile" `Quick test_opencl_events;
           Alcotest.test_case "fused plan" `Quick test_opencl_fused;
+          Alcotest.test_case "three backends bit-identical" `Quick
+            test_three_backends_identical;
+          Alcotest.test_case "metal event profile" `Quick test_metal_events;
         ] );
-      ("emit", [ Alcotest.test_case "sources" `Quick test_sources ]);
+      ( "emit",
+        [
+          Alcotest.test_case "sources" `Quick test_sources;
+          Alcotest.test_case "metal sources" `Quick test_metal_sources;
+        ] );
       ( "properties",
         [ QCheck_alcotest.to_alcotest prop_backends_agree ] );
     ]
